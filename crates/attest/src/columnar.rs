@@ -1,0 +1,379 @@
+//! Domain-specific columnar compression of audit records (§7, Figure 12).
+//!
+//! Raw audit records are produced in row order; before upload, the codec
+//! separates the record fields into columns and applies a per-column
+//! encoding that exploits what the data plane knows about each field:
+//!
+//! * **timestamps, uArray ids, window numbers** increase (nearly)
+//!   monotonically → delta + zigzag + varint coding;
+//! * **op codes and count fields** come from tiny, heavily skewed alphabets
+//!   → Huffman coding;
+//! * **hints** are rare and carried verbatim as varints.
+//!
+//! The layout is self-describing so the cloud side can decompress without
+//! any out-of-band schema; decompression restores the exact record sequence.
+
+use crate::huffman;
+use crate::record::{AuditRecord, DataRef, UArrayRef};
+use crate::varint;
+use sbt_types::PrimitiveKind;
+
+/// Record-kind tags used by the codec (distinct from op codes: they identify
+/// the record *layout*).
+const TAG_INGRESS_DATA: u8 = 0;
+const TAG_INGRESS_WM: u8 = 1;
+const TAG_EGRESS: u8 = 2;
+const TAG_WINDOWING: u8 = 3;
+const TAG_EXECUTION: u8 = 4;
+
+/// Errors from decompression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError(pub &'static str);
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "audit codec error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Delta+zigzag+varint encode a sequence of u64s.
+fn encode_delta(values: &[u64], out: &mut Vec<u8>) {
+    varint::write_u64(values.len() as u64, out);
+    let mut prev = 0i64;
+    for &v in values {
+        let delta = v as i64 - prev;
+        varint::write_u64(varint::zigzag(delta), out);
+        prev = v as i64;
+    }
+}
+
+fn decode_delta(data: &[u8], pos: &mut usize) -> Result<Vec<u64>, CodecError> {
+    let len = varint::read_u64(data, pos).ok_or(CodecError("truncated delta length"))? as usize;
+    let mut out = Vec::with_capacity(len);
+    let mut prev = 0i64;
+    for _ in 0..len {
+        let z = varint::read_u64(data, pos).ok_or(CodecError("truncated delta value"))?;
+        let v = prev + varint::unzigzag(z);
+        if v < 0 {
+            return Err(CodecError("negative value after delta decoding"));
+        }
+        out.push(v as u64);
+        prev = v;
+    }
+    Ok(out)
+}
+
+/// Plain varint sequence.
+fn encode_varints(values: &[u64], out: &mut Vec<u8>) {
+    varint::write_u64(values.len() as u64, out);
+    for &v in values {
+        varint::write_u64(v, out);
+    }
+}
+
+fn decode_varints(data: &[u8], pos: &mut usize) -> Result<Vec<u64>, CodecError> {
+    let len = varint::read_u64(data, pos).ok_or(CodecError("truncated varint length"))? as usize;
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        out.push(varint::read_u64(data, pos).ok_or(CodecError("truncated varint value"))?);
+    }
+    Ok(out)
+}
+
+/// Huffman-coded byte column.
+fn encode_huffman(values: &[u8], out: &mut Vec<u8>) {
+    let block = huffman::compress_block(values);
+    varint::write_u64(block.len() as u64, out);
+    out.extend_from_slice(&block);
+}
+
+fn decode_huffman(data: &[u8], pos: &mut usize) -> Result<Vec<u8>, CodecError> {
+    let len =
+        varint::read_u64(data, pos).ok_or(CodecError("truncated huffman length"))? as usize;
+    if *pos + len > data.len() {
+        return Err(CodecError("truncated huffman block"));
+    }
+    let block = &data[*pos..*pos + len];
+    *pos += len;
+    huffman::decompress_block(block).ok_or(CodecError("corrupt huffman block"))
+}
+
+/// Compress a batch of audit records into the columnar upload format.
+pub fn compress_records(records: &[AuditRecord]) -> Vec<u8> {
+    // Column buffers.
+    let mut tags: Vec<u8> = Vec::with_capacity(records.len());
+    let mut ops: Vec<u8> = Vec::new(); // execution op codes (low byte; high byte column kept separately)
+    let mut ops_hi: Vec<u8> = Vec::new();
+    let mut timestamps: Vec<u64> = Vec::with_capacity(records.len());
+    let mut ids: Vec<u64> = Vec::new(); // all uArray ids, in record order
+    let mut watermarks: Vec<u64> = Vec::new();
+    let mut win_nos: Vec<u64> = Vec::new();
+    let mut counts: Vec<u8> = Vec::new(); // input/output/hint counts for execution records
+    let mut hints: Vec<u64> = Vec::new();
+
+    for r in records {
+        timestamps.push(r.ts_ms() as u64);
+        match r {
+            AuditRecord::Ingress { data, .. } => match data {
+                DataRef::UArray(id) => {
+                    tags.push(TAG_INGRESS_DATA);
+                    ids.push(id.0 as u64);
+                }
+                DataRef::Watermark(wm) => {
+                    tags.push(TAG_INGRESS_WM);
+                    watermarks.push(*wm as u64);
+                }
+            },
+            AuditRecord::Egress { data, .. } => {
+                tags.push(TAG_EGRESS);
+                ids.push(data.0 as u64);
+            }
+            AuditRecord::Windowing { input, win_no, output, .. } => {
+                tags.push(TAG_WINDOWING);
+                ids.push(input.0 as u64);
+                ids.push(output.0 as u64);
+                win_nos.push(*win_no as u64);
+            }
+            AuditRecord::Execution { op, inputs, outputs, hints: h, .. } => {
+                tags.push(TAG_EXECUTION);
+                let code = op.code();
+                ops.push((code & 0xFF) as u8);
+                ops_hi.push((code >> 8) as u8);
+                counts.push(inputs.len().min(255) as u8);
+                counts.push(outputs.len().min(255) as u8);
+                counts.push(h.len().min(255) as u8);
+                for i in inputs {
+                    ids.push(i.0 as u64);
+                }
+                for o in outputs {
+                    ids.push(o.0 as u64);
+                }
+                hints.extend_from_slice(h);
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    varint::write_u64(records.len() as u64, &mut out);
+    // Column order: tags (huffman), ops lo/hi (huffman), counts (huffman),
+    // timestamps (delta), ids (delta), watermarks (delta), win_nos (delta),
+    // hints (varint).
+    encode_huffman(&tags, &mut out);
+    encode_huffman(&ops, &mut out);
+    encode_huffman(&ops_hi, &mut out);
+    encode_huffman(&counts, &mut out);
+    encode_delta(&timestamps, &mut out);
+    encode_delta(&ids, &mut out);
+    encode_delta(&watermarks, &mut out);
+    encode_delta(&win_nos, &mut out);
+    encode_varints(&hints, &mut out);
+    out
+}
+
+/// Decompress a buffer produced by [`compress_records`].
+pub fn decompress_records(data: &[u8]) -> Result<Vec<AuditRecord>, CodecError> {
+    let mut pos = 0usize;
+    let n = varint::read_u64(data, &mut pos).ok_or(CodecError("truncated record count"))? as usize;
+    let tags = decode_huffman(data, &mut pos)?;
+    let ops = decode_huffman(data, &mut pos)?;
+    let ops_hi = decode_huffman(data, &mut pos)?;
+    let counts = decode_huffman(data, &mut pos)?;
+    let timestamps = decode_delta(data, &mut pos)?;
+    let ids = decode_delta(data, &mut pos)?;
+    let watermarks = decode_delta(data, &mut pos)?;
+    let win_nos = decode_delta(data, &mut pos)?;
+    let hints = decode_varints(data, &mut pos)?;
+
+    if tags.len() != n || timestamps.len() != n {
+        return Err(CodecError("column length mismatch"));
+    }
+
+    let mut out = Vec::with_capacity(n);
+    let (mut id_i, mut wm_i, mut win_i, mut op_i, mut cnt_i, mut hint_i) = (0, 0, 0, 0, 0, 0);
+    let next_id = |id_i: &mut usize| -> Result<UArrayRef, CodecError> {
+        let v = *ids.get(*id_i).ok_or(CodecError("missing id column value"))?;
+        *id_i += 1;
+        Ok(UArrayRef(v as u32))
+    };
+    for i in 0..n {
+        let ts_ms = timestamps[i] as u32;
+        let rec = match tags[i] {
+            TAG_INGRESS_DATA => AuditRecord::Ingress {
+                ts_ms,
+                data: DataRef::UArray(next_id(&mut id_i)?),
+            },
+            TAG_INGRESS_WM => {
+                let wm = *watermarks.get(wm_i).ok_or(CodecError("missing watermark"))?;
+                wm_i += 1;
+                AuditRecord::Ingress { ts_ms, data: DataRef::Watermark(wm as u32) }
+            }
+            TAG_EGRESS => AuditRecord::Egress { ts_ms, data: next_id(&mut id_i)? },
+            TAG_WINDOWING => {
+                let input = next_id(&mut id_i)?;
+                let output = next_id(&mut id_i)?;
+                let win_no = *win_nos.get(win_i).ok_or(CodecError("missing window number"))?;
+                win_i += 1;
+                AuditRecord::Windowing { ts_ms, input, win_no: win_no as u16, output }
+            }
+            TAG_EXECUTION => {
+                let lo = *ops.get(op_i).ok_or(CodecError("missing op code"))?;
+                let hi = *ops_hi.get(op_i).ok_or(CodecError("missing op code hi"))?;
+                op_i += 1;
+                let op = PrimitiveKind::from_code(u16::from_le_bytes([lo, hi]))
+                    .ok_or(CodecError("unknown op code"))?;
+                let n_in = *counts.get(cnt_i).ok_or(CodecError("missing count"))? as usize;
+                let n_out = *counts.get(cnt_i + 1).ok_or(CodecError("missing count"))? as usize;
+                let n_hint = *counts.get(cnt_i + 2).ok_or(CodecError("missing count"))? as usize;
+                cnt_i += 3;
+                let mut inputs = Vec::with_capacity(n_in);
+                for _ in 0..n_in {
+                    inputs.push(next_id(&mut id_i)?);
+                }
+                let mut outputs = Vec::with_capacity(n_out);
+                for _ in 0..n_out {
+                    outputs.push(next_id(&mut id_i)?);
+                }
+                let mut h = Vec::with_capacity(n_hint);
+                for _ in 0..n_hint {
+                    h.push(*hints.get(hint_i).ok_or(CodecError("missing hint"))?);
+                    hint_i += 1;
+                }
+                AuditRecord::Execution { ts_ms, op, inputs, outputs, hints: h }
+            }
+            _ => return Err(CodecError("unknown record tag")),
+        };
+        out.push(rec);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_records(n: u32) -> Vec<AuditRecord> {
+        // A realistic-looking stream: ingress, windowing, sort, sum, egress,
+        // with monotone timestamps and ids.
+        let mut records = Vec::new();
+        let mut id = 0u32;
+        for i in 0..n {
+            let base_ts = i * 10;
+            let ingress_id = id;
+            records.push(AuditRecord::Ingress {
+                ts_ms: base_ts,
+                data: DataRef::UArray(UArrayRef(ingress_id)),
+            });
+            id += 1;
+            let windowed = id;
+            records.push(AuditRecord::Windowing {
+                ts_ms: base_ts + 1,
+                input: UArrayRef(ingress_id),
+                win_no: (i % 100) as u16,
+                output: UArrayRef(windowed),
+            });
+            id += 1;
+            let sorted = id;
+            records.push(AuditRecord::Execution {
+                ts_ms: base_ts + 2,
+                op: PrimitiveKind::Sort,
+                inputs: vec![UArrayRef(windowed)],
+                outputs: vec![UArrayRef(sorted)],
+                hints: vec![],
+            });
+            id += 1;
+            if i % 10 == 9 {
+                records.push(AuditRecord::Ingress {
+                    ts_ms: base_ts + 3,
+                    data: DataRef::Watermark(i * 1000),
+                });
+                records.push(AuditRecord::Egress { ts_ms: base_ts + 5, data: UArrayRef(sorted) });
+            }
+        }
+        records
+    }
+
+    #[test]
+    fn round_trip_realistic_stream() {
+        let records = sample_records(200);
+        let compressed = compress_records(&records);
+        let decompressed = decompress_records(&compressed).unwrap();
+        assert_eq!(decompressed, records);
+    }
+
+    #[test]
+    fn compression_beats_raw_rows_substantially() {
+        let records = sample_records(500);
+        let raw = AuditRecord::raw_size(&records);
+        let compressed = compress_records(&records).len();
+        let ratio = raw as f64 / compressed as f64;
+        // The paper reports 5x–6.7x; the codec should comfortably exceed 3x
+        // on this synthetic-but-realistic stream.
+        assert!(ratio > 3.0, "ratio only {ratio:.2} ({raw} -> {compressed})");
+    }
+
+    #[test]
+    fn empty_batch_round_trips() {
+        let compressed = compress_records(&[]);
+        assert_eq!(decompress_records(&compressed).unwrap(), Vec::<AuditRecord>::new());
+    }
+
+    #[test]
+    fn corrupt_input_is_rejected_not_panicking() {
+        let records = sample_records(20);
+        let compressed = compress_records(&records);
+        // Truncations at various points must not panic.
+        for cut in [0, 1, 5, compressed.len() / 2, compressed.len() - 1] {
+            let _ = decompress_records(&compressed[..cut]);
+        }
+        // Bit flips must either fail or decode to *something* without panic.
+        let mut flipped = compressed.clone();
+        flipped[10] ^= 0xFF;
+        let _ = decompress_records(&flipped);
+    }
+
+    #[test]
+    fn hints_survive_round_trip() {
+        let records = vec![AuditRecord::Execution {
+            ts_ms: 1,
+            op: PrimitiveKind::SumCnt,
+            inputs: vec![UArrayRef(1), UArrayRef(2)],
+            outputs: vec![UArrayRef(3)],
+            hints: vec![0xDEAD_BEEF, (1 << 63) | 42],
+        }];
+        let rt = decompress_records(&compress_records(&records)).unwrap();
+        assert_eq!(rt, records);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn arbitrary_records_round_trip(
+            specs in proptest::collection::vec((0u8..5, 0u32..10_000, 0u32..5_000, 0u16..200), 0..200),
+        ) {
+            let mut records = Vec::new();
+            for (kind, ts, id, win) in specs {
+                let rec = match kind {
+                    0 => AuditRecord::Ingress { ts_ms: ts, data: DataRef::UArray(UArrayRef(id)) },
+                    1 => AuditRecord::Ingress { ts_ms: ts, data: DataRef::Watermark(id) },
+                    2 => AuditRecord::Egress { ts_ms: ts, data: UArrayRef(id) },
+                    3 => AuditRecord::Windowing {
+                        ts_ms: ts, input: UArrayRef(id), win_no: win, output: UArrayRef(id + 1),
+                    },
+                    _ => AuditRecord::Execution {
+                        ts_ms: ts,
+                        op: PrimitiveKind::TRUSTED_PRIMITIVES[(id % 23) as usize],
+                        inputs: vec![UArrayRef(id)],
+                        outputs: vec![UArrayRef(id + 1), UArrayRef(id + 2)],
+                        hints: vec![id as u64],
+                    },
+                };
+                records.push(rec);
+            }
+            let rt = decompress_records(&compress_records(&records)).unwrap();
+            prop_assert_eq!(rt, records);
+        }
+    }
+}

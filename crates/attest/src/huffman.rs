@@ -1,0 +1,322 @@
+//! Canonical Huffman coding over byte symbols.
+//!
+//! The columnar codec uses Huffman coding for the columns with skewed value
+//! distributions (primitive op codes and field counts, §7). The encoder
+//! builds a length-limited-enough canonical code from the symbol frequencies
+//! of the block being compressed and stores the 256 code lengths as a
+//! header, so the decoder can rebuild the identical code.
+
+/// A built Huffman code: per-symbol bit lengths and codes.
+#[derive(Debug, Clone)]
+pub struct HuffmanCode {
+    lengths: [u8; 256],
+    codes: [u64; 256],
+}
+
+/// Maximum code length the codec accepts (defensive bound for the decoder;
+/// real audit-record alphabets stay far below this).
+const MAX_CODE_LEN: u8 = 56;
+
+/// Build canonical code lengths from symbol frequencies using the standard
+/// two-queue/heap construction, then assign canonical codes.
+fn build_lengths(freqs: &[u64; 256]) -> [u8; 256] {
+    // Collect present symbols.
+    let present: Vec<usize> = (0..256).filter(|&s| freqs[s] > 0).collect();
+    let mut lengths = [0u8; 256];
+    match present.len() {
+        0 => return lengths,
+        1 => {
+            lengths[present[0]] = 1;
+            return lengths;
+        }
+        _ => {}
+    }
+    // Huffman tree via a simple binary heap of (weight, node).
+    #[derive(Debug)]
+    enum Node {
+        Leaf(usize),
+        Internal(Box<Node>, Box<Node>),
+    }
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    // BinaryHeap needs Ord on the element; wrap weight and a tiebreaker.
+    let mut heap: BinaryHeap<(Reverse<u64>, Reverse<u64>, usize)> = BinaryHeap::new();
+    let mut nodes: Vec<Option<Node>> = Vec::new();
+    let mut counter = 0u64;
+    for &s in &present {
+        nodes.push(Some(Node::Leaf(s)));
+        heap.push((Reverse(freqs[s]), Reverse(counter), nodes.len() - 1));
+        counter += 1;
+    }
+    while heap.len() > 1 {
+        let (Reverse(w1), _, i1) = heap.pop().expect("heap has >1 element");
+        let (Reverse(w2), _, i2) = heap.pop().expect("heap has >1 element");
+        let left = nodes[i1].take().expect("node taken twice");
+        let right = nodes[i2].take().expect("node taken twice");
+        nodes.push(Some(Node::Internal(Box::new(left), Box::new(right))));
+        heap.push((Reverse(w1 + w2), Reverse(counter), nodes.len() - 1));
+        counter += 1;
+    }
+    let (_, _, root_idx) = heap.pop().expect("exactly one root remains");
+    let root = nodes[root_idx].take().expect("root exists");
+    // Walk the tree to get depths.
+    fn walk(node: &Node, depth: u8, lengths: &mut [u8; 256]) {
+        match node {
+            Node::Leaf(s) => lengths[*s] = depth.max(1),
+            Node::Internal(l, r) => {
+                walk(l, depth + 1, lengths);
+                walk(r, depth + 1, lengths);
+            }
+        }
+    }
+    walk(&root, 0, &mut lengths);
+    lengths
+}
+
+impl HuffmanCode {
+    /// Build a canonical code from per-symbol frequencies.
+    pub fn from_frequencies(freqs: &[u64; 256]) -> Self {
+        let lengths = build_lengths(freqs);
+        Self::from_lengths(lengths)
+    }
+
+    /// Build the canonical code implied by per-symbol code lengths.
+    ///
+    /// Lengths above [`MAX_CODE_LEN`] are clamped; callers that accept
+    /// untrusted headers must validate lengths first (see
+    /// [`decompress_block`]).
+    pub fn from_lengths(mut lengths: [u8; 256]) -> Self {
+        for l in lengths.iter_mut() {
+            if *l > MAX_CODE_LEN {
+                *l = MAX_CODE_LEN;
+            }
+        }
+        // Canonical assignment: sort symbols by (length, symbol).
+        let mut symbols: Vec<usize> = (0..256).filter(|&s| lengths[s] > 0).collect();
+        symbols.sort_by_key(|&s| (lengths[s], s));
+        let mut codes = [0u64; 256];
+        let mut code = 0u64;
+        let mut prev_len = 0u8;
+        for &s in &symbols {
+            let len = lengths[s];
+            code <<= (len - prev_len) as u32;
+            codes[s] = code;
+            code += 1;
+            prev_len = len;
+        }
+        HuffmanCode { lengths, codes }
+    }
+
+    /// The per-symbol code lengths (the decoder header).
+    pub fn lengths(&self) -> &[u8; 256] {
+        &self.lengths
+    }
+
+    /// Encode `data`, returning the bitstream and its length in bits.
+    pub fn encode(&self, data: &[u8]) -> (Vec<u8>, u64) {
+        let mut out = Vec::new();
+        let mut bitbuf = 0u128;
+        let mut bits = 0u32;
+        let mut total_bits = 0u64;
+        for &b in data {
+            let len = self.lengths[b as usize] as u32;
+            debug_assert!(len > 0, "encoding symbol with no code");
+            let code = self.codes[b as usize] as u128;
+            bitbuf = (bitbuf << len) | code;
+            bits += len;
+            total_bits += len as u64;
+            while bits >= 8 {
+                bits -= 8;
+                out.push(((bitbuf >> bits) & 0xFF) as u8);
+            }
+        }
+        if bits > 0 {
+            out.push(((bitbuf << (8 - bits)) & 0xFF) as u8);
+        }
+        (out, total_bits)
+    }
+
+    /// Decode `count` symbols from the bitstream.
+    pub fn decode(&self, data: &[u8], count: usize) -> Option<Vec<u8>> {
+        // Build a (length, code) -> symbol lookup. Audit-record alphabets are
+        // tiny, so a simple linear structure per length is fine.
+        let mut by_len: Vec<Vec<(u64, u8)>> = vec![Vec::new(); MAX_CODE_LEN as usize + 1];
+        for s in 0..256 {
+            let len = self.lengths[s];
+            if len > 0 {
+                by_len[len as usize].push((self.codes[s], s as u8));
+            }
+        }
+        let mut out = Vec::with_capacity(count);
+        let mut bitpos = 0usize;
+        'outer: while out.len() < count {
+            let mut code = 0u64;
+            for len in 1..=MAX_CODE_LEN as usize {
+                let byte_idx = bitpos / 8;
+                if byte_idx >= data.len() {
+                    return None;
+                }
+                let bit = (data[byte_idx] >> (7 - (bitpos % 8))) & 1;
+                code = (code << 1) | bit as u64;
+                bitpos += 1;
+                if let Some(&(_, sym)) =
+                    by_len[len].iter().find(|(c, _)| *c == code)
+                {
+                    out.push(sym);
+                    continue 'outer;
+                }
+            }
+            return None;
+        }
+        Some(out)
+    }
+}
+
+/// Convenience: Huffman-compress a byte block, producing a self-describing
+/// buffer.
+///
+/// Layout: `symbol_count: u32 LE`, `present_symbols: u16 LE`, then one
+/// `(symbol, code_length)` byte pair per present symbol, then the bitstream.
+/// The sparse header keeps the per-block overhead to a few bytes for the
+/// tiny alphabets of audit-record columns.
+pub fn compress_block(data: &[u8]) -> Vec<u8> {
+    let mut freqs = [0u64; 256];
+    for &b in data {
+        freqs[b as usize] += 1;
+    }
+    let code = HuffmanCode::from_frequencies(&freqs);
+    let (bits, _) = code.encode(data);
+    let present: Vec<u8> = (0..256u16).filter(|&s| code.lengths[s as usize] > 0).map(|s| s as u8).collect();
+    let mut out = Vec::with_capacity(6 + present.len() * 2 + bits.len());
+    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(present.len() as u16).to_le_bytes());
+    for s in &present {
+        out.push(*s);
+        out.push(code.lengths[*s as usize]);
+    }
+    out.extend_from_slice(&bits);
+    out
+}
+
+/// Inverse of [`compress_block`]. Returns `None` on corrupt or truncated
+/// input.
+pub fn decompress_block(data: &[u8]) -> Option<Vec<u8>> {
+    if data.len() < 6 {
+        return None;
+    }
+    let count = u32::from_le_bytes(data[0..4].try_into().ok()?) as usize;
+    let present = u16::from_le_bytes(data[4..6].try_into().ok()?) as usize;
+    let header_end = 6 + present * 2;
+    if data.len() < header_end {
+        return None;
+    }
+    if count == 0 {
+        return Some(Vec::new());
+    }
+    if present == 0 {
+        // Symbols claimed but no code table: corrupt.
+        return None;
+    }
+    let mut lengths = [0u8; 256];
+    for i in 0..present {
+        let sym = data[6 + i * 2] as usize;
+        let len = data[6 + i * 2 + 1];
+        if len == 0 || len > MAX_CODE_LEN {
+            return None;
+        }
+        lengths[sym] = len;
+    }
+    let code = HuffmanCode::from_lengths(lengths);
+    code.decode(&data[header_end..], count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn skewed_data_compresses_well() {
+        // 90% zeros, some other symbols: should compress far below 1 byte/sym.
+        let mut data = vec![0u8; 9000];
+        data.extend(std::iter::repeat_n(7u8, 900));
+        data.extend(std::iter::repeat_n(200u8, 100));
+        let compressed = compress_block(&data);
+        assert!(compressed.len() < data.len() / 3, "{} vs {}", compressed.len(), data.len());
+        assert_eq!(decompress_block(&compressed).unwrap(), data);
+    }
+
+    #[test]
+    fn empty_and_single_symbol_blocks() {
+        let compressed = compress_block(&[]);
+        assert_eq!(decompress_block(&compressed).unwrap(), Vec::<u8>::new());
+
+        let data = vec![42u8; 100];
+        let compressed = compress_block(&data);
+        assert_eq!(decompress_block(&compressed).unwrap(), data);
+    }
+
+    #[test]
+    fn two_symbol_block() {
+        let data: Vec<u8> = (0..100).map(|i| if i % 3 == 0 { 1 } else { 2 }).collect();
+        let compressed = compress_block(&data);
+        assert_eq!(decompress_block(&compressed).unwrap(), data);
+    }
+
+    #[test]
+    fn truncated_input_fails_gracefully() {
+        let data = vec![1u8, 2, 3, 4, 5, 6, 7, 8];
+        let compressed = compress_block(&data);
+        assert_eq!(decompress_block(&compressed[..compressed.len() - 1]), None);
+        assert_eq!(decompress_block(&compressed[..5]), None);
+        assert_eq!(decompress_block(&[]), None);
+    }
+
+    #[test]
+    fn header_overhead_is_small_for_tiny_alphabets() {
+        // A two-symbol column of 1000 entries must compress to well under
+        // 200 bytes — the sparse header is what makes small audit batches
+        // compressible at all.
+        let data: Vec<u8> = (0..1000).map(|i| (i % 2) as u8).collect();
+        let compressed = compress_block(&data);
+        assert!(compressed.len() < 200, "{}", compressed.len());
+    }
+
+    #[test]
+    fn canonical_codes_are_prefix_free() {
+        let mut freqs = [0u64; 256];
+        for (i, f) in [50u64, 30, 10, 5, 3, 1, 1].iter().enumerate() {
+            freqs[i] = *f;
+        }
+        let code = HuffmanCode::from_frequencies(&freqs);
+        // Check no code is a prefix of another.
+        let active: Vec<usize> = (0..256).filter(|&s| code.lengths[s] > 0).collect();
+        for &a in &active {
+            for &b in &active {
+                if a == b {
+                    continue;
+                }
+                let (la, lb) = (code.lengths[a] as u32, code.lengths[b] as u32);
+                if la <= lb {
+                    let prefix = code.codes[b] >> (lb - la);
+                    assert_ne!(prefix, code.codes[a], "code {a} is a prefix of {b}");
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip_arbitrary(data in proptest::collection::vec(any::<u8>(), 0..2000)) {
+            let compressed = compress_block(&data);
+            prop_assert_eq!(decompress_block(&compressed).unwrap(), data);
+        }
+
+        #[test]
+        fn round_trip_skewed(data in proptest::collection::vec(
+            prop_oneof![9 => Just(0u8), 2 => Just(3u8), 1 => any::<u8>()], 0..3000)) {
+            let compressed = compress_block(&data);
+            prop_assert_eq!(decompress_block(&compressed).unwrap(), data);
+        }
+    }
+}

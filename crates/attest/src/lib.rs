@@ -1,0 +1,40 @@
+//! Remote attestation for StreamBox-TZ (§7 of the paper).
+//!
+//! The data plane, while being driven by the untrusted control plane,
+//! generates **audit records** at the TEE boundary: data ingress/egress,
+//! window assignments, watermark arrivals, and every trusted-primitive
+//! execution (with its inputs, outputs and any consumption hints). The
+//! records are timestamped, compressed with domain-specific **columnar
+//! encoding** (delta coding for monotone columns, Huffman coding for skewed
+//! ones), signed, and uploaded to the cloud.
+//!
+//! A **cloud verifier** replays the records symbolically against its own
+//! copy of the pipeline declaration to attest:
+//!
+//! * *correctness* — all ingested data flowed through the declared
+//!   primitives of the declared pipeline, respecting windows and watermarks;
+//! * *freshness* — output delays (watermark ingress → result egress) stayed
+//!   below the deployment's target;
+//! * *hint honesty* — the consumption hints the control plane supplied did
+//!   not systematically contradict the observed consumption order.
+//!
+//! The crate also contains a from-scratch LZ77+Huffman ("gzip-like")
+//! compressor used purely as the baseline that Figure 12's comparison quotes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod columnar;
+pub mod huffman;
+pub mod log;
+pub mod lz77;
+pub mod record;
+pub mod varint;
+pub mod verifier;
+
+pub use columnar::{compress_records, decompress_records};
+pub use log::{AuditLog, LogSegment};
+pub use record::{AuditRecord, DataRef, UArrayRef};
+pub use verifier::{
+    FreshnessReport, PipelineSpec, VerificationReport, Verifier, Violation,
+};

@@ -1,0 +1,217 @@
+//! Audit record types and their row-format serialization (Figure 6).
+//!
+//! A record carries a data-plane timestamp (32-bit, milliseconds of
+//! processing time), a 16-bit op code, and a record-kind-specific payload:
+//!
+//! * **Ingress/Egress** — the uArray id that entered or left the TEE, or the
+//!   watermark value that was ingested;
+//! * **Windowing** — input uArray, monotonically increasing window sequence
+//!   number and output uArray;
+//! * **Execution** — the primitive that ran, its input and output uArray
+//!   ids, and any consumption hints supplied by the control plane.
+//!
+//! uArray ids in records are the data plane's monotonically increasing
+//! internal identifiers (not the random opaque references handed to the
+//! control plane), which is what makes delta encoding effective.
+
+use sbt_types::PrimitiveKind;
+
+/// A data-plane-internal uArray identifier as carried in audit records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct UArrayRef(pub u32);
+
+/// The payload of an ingress record: either a data uArray or a watermark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataRef {
+    /// A data uArray with the given internal id.
+    UArray(UArrayRef),
+    /// A watermark carrying the given event time in milliseconds.
+    Watermark(u32),
+}
+
+/// One audit record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuditRecord {
+    /// Data or a watermark entered the TEE.
+    Ingress {
+        /// Data-plane timestamp, milliseconds.
+        ts_ms: u32,
+        /// What was ingested.
+        data: DataRef,
+    },
+    /// A result uArray left the TEE (encrypted and signed).
+    Egress {
+        /// Data-plane timestamp, milliseconds.
+        ts_ms: u32,
+        /// The externalized uArray.
+        data: UArrayRef,
+    },
+    /// The Windowing primitive assigned (part of) an input uArray to a
+    /// window, producing a new per-window uArray.
+    Windowing {
+        /// Data-plane timestamp, milliseconds.
+        ts_ms: u32,
+        /// The input uArray being segmented.
+        input: UArrayRef,
+        /// The window sequence number.
+        win_no: u16,
+        /// The per-window output uArray.
+        output: UArrayRef,
+    },
+    /// A trusted primitive executed.
+    Execution {
+        /// Data-plane timestamp, milliseconds.
+        ts_ms: u32,
+        /// Which primitive ran.
+        op: PrimitiveKind,
+        /// Input uArray ids (watermark inputs are recorded by their ingress
+        /// uArray id as in the paper's Listing 1).
+        inputs: Vec<UArrayRef>,
+        /// Output uArray ids.
+        outputs: Vec<UArrayRef>,
+        /// Encoded consumption hints supplied with the invocation.
+        hints: Vec<u64>,
+    },
+}
+
+impl AuditRecord {
+    /// The record's data-plane timestamp.
+    pub fn ts_ms(&self) -> u32 {
+        match self {
+            AuditRecord::Ingress { ts_ms, .. }
+            | AuditRecord::Egress { ts_ms, .. }
+            | AuditRecord::Windowing { ts_ms, .. }
+            | AuditRecord::Execution { ts_ms, .. } => *ts_ms,
+        }
+    }
+
+    /// The op code stored in the record's `Op` field.
+    pub fn op_code(&self) -> u16 {
+        match self {
+            AuditRecord::Ingress { .. } => PrimitiveKind::Ingress.code(),
+            AuditRecord::Egress { .. } => PrimitiveKind::Egress.code(),
+            AuditRecord::Windowing { .. } => PrimitiveKind::Segment.code(),
+            AuditRecord::Execution { op, .. } => op.code(),
+        }
+    }
+
+    /// Serialize into the uncompressed row format (Figure 6). This is the
+    /// "raw" byte volume that Figure 12 compares compression against.
+    pub fn to_row_bytes(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.op_code().to_le_bytes());
+        out.extend_from_slice(&self.ts_ms().to_le_bytes());
+        match self {
+            AuditRecord::Ingress { data, .. } => match data {
+                DataRef::UArray(id) => {
+                    out.push(0);
+                    out.extend_from_slice(&id.0.to_le_bytes());
+                }
+                DataRef::Watermark(wm) => {
+                    out.push(1);
+                    out.extend_from_slice(&wm.to_le_bytes());
+                }
+            },
+            AuditRecord::Egress { data, .. } => {
+                out.push(0);
+                out.extend_from_slice(&data.0.to_le_bytes());
+            }
+            AuditRecord::Windowing { input, win_no, output, .. } => {
+                out.extend_from_slice(&input.0.to_le_bytes());
+                out.extend_from_slice(&win_no.to_le_bytes());
+                out.extend_from_slice(&output.0.to_le_bytes());
+            }
+            AuditRecord::Execution { inputs, outputs, hints, .. } => {
+                out.extend_from_slice(&(inputs.len() as u16).to_le_bytes());
+                for i in inputs {
+                    out.extend_from_slice(&i.0.to_le_bytes());
+                }
+                out.extend_from_slice(&(outputs.len() as u16).to_le_bytes());
+                for o in outputs {
+                    out.extend_from_slice(&o.0.to_le_bytes());
+                }
+                out.extend_from_slice(&(hints.len() as u16).to_le_bytes());
+                for h in hints {
+                    out.extend_from_slice(&h.to_le_bytes());
+                }
+            }
+        }
+    }
+
+    /// Total row-format size of a batch of records, in bytes.
+    pub fn raw_size(records: &[AuditRecord]) -> usize {
+        let mut buf = Vec::new();
+        for r in records {
+            r.to_row_bytes(&mut buf);
+        }
+        buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ts_and_op_codes() {
+        let r = AuditRecord::Ingress { ts_ms: 5, data: DataRef::UArray(UArrayRef(9)) };
+        assert_eq!(r.ts_ms(), 5);
+        assert_eq!(r.op_code(), PrimitiveKind::Ingress.code());
+
+        let r = AuditRecord::Execution {
+            ts_ms: 10,
+            op: PrimitiveKind::Sort,
+            inputs: vec![UArrayRef(1)],
+            outputs: vec![UArrayRef(2)],
+            hints: vec![],
+        };
+        assert_eq!(r.op_code(), PrimitiveKind::Sort.code());
+        assert_eq!(r.ts_ms(), 10);
+
+        let r = AuditRecord::Windowing {
+            ts_ms: 3,
+            input: UArrayRef(1),
+            win_no: 7,
+            output: UArrayRef(2),
+        };
+        assert_eq!(r.op_code(), PrimitiveKind::Segment.code());
+
+        let r = AuditRecord::Egress { ts_ms: 8, data: UArrayRef(4) };
+        assert_eq!(r.op_code(), PrimitiveKind::Egress.code());
+    }
+
+    #[test]
+    fn row_bytes_have_expected_sizes() {
+        let mut buf = Vec::new();
+        AuditRecord::Ingress { ts_ms: 1, data: DataRef::UArray(UArrayRef(2)) }
+            .to_row_bytes(&mut buf);
+        // op(2) + ts(4) + tag(1) + id(4)
+        assert_eq!(buf.len(), 11);
+
+        let mut buf = Vec::new();
+        AuditRecord::Windowing { ts_ms: 1, input: UArrayRef(1), win_no: 0, output: UArrayRef(2) }
+            .to_row_bytes(&mut buf);
+        // op(2) + ts(4) + in(4) + win(2) + out(4)
+        assert_eq!(buf.len(), 16);
+
+        let mut buf = Vec::new();
+        AuditRecord::Execution {
+            ts_ms: 1,
+            op: PrimitiveKind::Sum,
+            inputs: vec![UArrayRef(1), UArrayRef(2)],
+            outputs: vec![UArrayRef(3)],
+            hints: vec![42],
+        }
+        .to_row_bytes(&mut buf);
+        // op(2) + ts(4) + cnt(2) + 2*4 + cnt(2) + 4 + cnt(2) + 8
+        assert_eq!(buf.len(), 32);
+    }
+
+    #[test]
+    fn raw_size_sums_rows() {
+        let records = vec![
+            AuditRecord::Ingress { ts_ms: 1, data: DataRef::Watermark(100) },
+            AuditRecord::Egress { ts_ms: 2, data: UArrayRef(1) },
+        ];
+        assert_eq!(AuditRecord::raw_size(&records), 11 + 11);
+    }
+}

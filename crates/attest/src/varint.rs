@@ -1,0 +1,111 @@
+//! LEB128-style variable-length integer encoding used by the columnar codec.
+//!
+//! Delta-encoded columns produce mostly small magnitudes; varints turn those
+//! into one-byte symbols, which is where most of the compression ratio of
+//! the domain-specific codec comes from.
+
+/// Append an unsigned varint to `out`.
+pub fn write_u64(mut value: u64, out: &mut Vec<u8>) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Read an unsigned varint from `data` starting at `pos`, advancing `pos`.
+/// Returns `None` on truncated input.
+pub fn read_u64(data: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *data.get(*pos)?;
+        *pos += 1;
+        value |= ((byte & 0x7F) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Some(value);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return None;
+        }
+    }
+}
+
+/// ZigZag-encode a signed delta so small negative values stay small.
+pub fn zigzag(value: i64) -> u64 {
+    ((value << 1) ^ (value >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(value: u64) -> i64 {
+    ((value >> 1) as i64) ^ -((value & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn small_values_are_one_byte() {
+        let mut out = Vec::new();
+        write_u64(0, &mut out);
+        write_u64(1, &mut out);
+        write_u64(127, &mut out);
+        assert_eq!(out.len(), 3);
+        write_u64(128, &mut out);
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    fn truncated_input_returns_none() {
+        let mut out = Vec::new();
+        write_u64(u64::MAX, &mut out);
+        let mut pos = 0;
+        assert!(read_u64(&out[..out.len() - 1], &mut pos).is_none());
+    }
+
+    #[test]
+    fn zigzag_maps_small_magnitudes_to_small_codes() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+        assert_eq!(unzigzag(zigzag(-123456)), -123456);
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip(v in any::<u64>()) {
+            let mut out = Vec::new();
+            write_u64(v, &mut out);
+            let mut pos = 0;
+            prop_assert_eq!(read_u64(&out, &mut pos), Some(v));
+            prop_assert_eq!(pos, out.len());
+        }
+
+        #[test]
+        fn zigzag_round_trip(v in any::<i64>()) {
+            prop_assert_eq!(unzigzag(zigzag(v)), v);
+        }
+
+        #[test]
+        fn sequences_round_trip(values in proptest::collection::vec(any::<u64>(), 0..200)) {
+            let mut out = Vec::new();
+            for v in &values {
+                write_u64(*v, &mut out);
+            }
+            let mut pos = 0;
+            let mut decoded = Vec::new();
+            while pos < out.len() {
+                decoded.push(read_u64(&out, &mut pos).unwrap());
+            }
+            prop_assert_eq!(decoded, values);
+        }
+    }
+}

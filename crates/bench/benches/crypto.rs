@@ -1,0 +1,40 @@
+//! Criterion benchmarks for the crypto substrate on the data path:
+//! AES-128-CTR (ingress decryption / egress encryption), SHA-256 and
+//! HMAC-SHA-256 (egress signing and audit-segment authentication).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sbt_crypto::{hmac_sha256, sha256, AesCtr, SigningKey};
+
+fn bench_aes_ctr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aes128_ctr");
+    group.sample_size(10);
+    for &size in &[64 * 1024usize, 1024 * 1024] {
+        let data = vec![0xA5u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("encrypt_{}kb", size / 1024), |b| {
+            let ctr = AesCtr::new(&[7u8; 16], &[9u8; 16]);
+            b.iter(|| ctr.encrypt(&data));
+        });
+    }
+    group.finish();
+}
+
+fn bench_hashes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hashes");
+    group.sample_size(10);
+    let data = vec![0x5Au8; 256 * 1024];
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("sha256_256kb", |b| b.iter(|| sha256(&data)));
+    group.bench_function("hmac_sha256_256kb", |b| b.iter(|| hmac_sha256(b"key", &data)));
+    group.bench_function("sign_and_verify_256kb", |b| {
+        let key = SigningKey::new(b"edge-cloud-key");
+        b.iter(|| {
+            let sig = key.sign(&data);
+            assert!(key.verify(&data, &sig));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_aes_ctr, bench_hashes);
+criterion_main!(benches);

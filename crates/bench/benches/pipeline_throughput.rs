@@ -1,0 +1,38 @@
+//! Criterion benchmark of end-to-end pipeline throughput (a scaled-down
+//! companion of the Figure 7 harness, runnable under `cargo bench`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sbt_bench::{drive, BenchId, RunScale};
+use sbt_engine::{Engine, EngineConfig, EngineVariant, StreamSide};
+
+fn bench_pipelines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_throughput");
+    group.sample_size(10);
+    let scale = RunScale { windows: 2, events_per_window: 50_000, batch_events: 10_000 };
+    for bench in [BenchId::WinSum, BenchId::TopK, BenchId::Filter] {
+        for variant in [EngineVariant::Sbt, EngineVariant::Insecure] {
+            group.throughput(Throughput::Elements(
+                scale.windows as u64 * scale.events_per_window as u64,
+            ));
+            group.bench_with_input(
+                BenchmarkId::new(bench.name(), variant.label()),
+                &variant,
+                |b, &variant| {
+                    b.iter(|| {
+                        let engine = Engine::new(
+                            EngineConfig::for_variant(variant, 4),
+                            bench.pipeline(scale.batch_events),
+                        );
+                        let chunks = bench.stream(scale.windows, scale.events_per_window, 42);
+                        drive(&engine, chunks, variant, scale.batch_events, StreamSide::Left);
+                        engine.results().len()
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipelines);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Criterion benchmarks for the Sort/Merge trusted primitives versus the
+//! generic comparison sorts the paper compares against (§9.3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sbt_primitives::{merge_sorted_u64, multiway_merge_u64, sort_events_by_key, vector_sort_u64};
+use sbt_types::Event;
+
+fn make_u64s(n: usize) -> Vec<u64> {
+    (0..n as u64).map(|i| (i.wrapping_mul(2654435761)) & 0xFFFF_FFFF).collect()
+}
+
+fn make_events(n: usize) -> Vec<Event> {
+    (0..n).map(|i| Event::new(((i * 2654435761) % 1000) as u32, i as u32, 0)).collect()
+}
+
+fn bench_sort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sort_u64");
+    group.sample_size(10);
+    for &n in &[64_000usize, 256_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("vectorized", n), &n, |b, &n| {
+            let data = make_u64s(n);
+            b.iter(|| {
+                let mut v = data.clone();
+                vector_sort_u64(&mut v);
+                v
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("std_unstable", n), &n, |b, &n| {
+            let data = make_u64s(n);
+            b.iter(|| {
+                let mut v = data.clone();
+                v.sort_unstable();
+                v
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_event_sort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sort_events_by_key");
+    group.sample_size(10);
+    for &n in &[100_000usize] {
+        group.throughput(Throughput::Elements(n as u64));
+        let events = make_events(n);
+        group.bench_with_input(BenchmarkId::new("vectorized", n), &n, |b, _| {
+            b.iter(|| sort_events_by_key(&events));
+        });
+        group.bench_with_input(BenchmarkId::new("std_by_key", n), &n, |b, _| {
+            b.iter(|| {
+                let mut v = events.clone();
+                v.sort_by_key(|e| e.key);
+                v
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge");
+    group.sample_size(10);
+    let mut a = make_u64s(100_000);
+    let mut b_run = make_u64s(100_000);
+    a.sort_unstable();
+    b_run.sort_unstable();
+    group.throughput(Throughput::Elements(200_000));
+    group.bench_function("two_way_200k", |b| {
+        b.iter(|| merge_sorted_u64(&a, &b_run));
+    });
+
+    let runs: Vec<Vec<u64>> = (0..16)
+        .map(|_| {
+            let mut r = make_u64s(20_000);
+            r.sort_unstable();
+            r
+        })
+        .collect();
+    group.throughput(Throughput::Elements(16 * 20_000));
+    group.bench_function("multiway_16x20k", |b| {
+        b.iter(|| multiway_merge_u64(&runs));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sort, bench_event_sort, bench_merge);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Table 4: breakdown of the StreamBox-TZ source into trusted (data-plane)
+//! and untrusted (control-plane / library) code, demonstrating the lean TCB.
+//!
+//! The reproduction measures its own source tree: the crates that would run
+//! inside the TEE versus those that stay in the normal world. Run with
+//! `cargo run -p sbt-bench --bin table4_tcb` from the repository root.
+
+use sbt_bench::print_table;
+use serde::Serialize;
+use std::path::Path;
+
+#[derive(Serialize)]
+struct CrateRow {
+    component: String,
+    crates: Vec<String>,
+    sloc: usize,
+    trusted: bool,
+}
+
+/// Count non-empty, non-comment-only lines of Rust source under a crate's
+/// `src` directory (tests included: the paper's SLoC counts are source
+/// counts of the implementation files).
+fn count_sloc(dir: &Path) -> usize {
+    let mut total = 0;
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            total += count_sloc(&path);
+        } else if path.extension().map(|e| e == "rs").unwrap_or(false) {
+            if let Ok(content) = std::fs::read_to_string(&path) {
+                total += content
+                    .lines()
+                    .map(str::trim)
+                    .filter(|l| !l.is_empty() && !l.starts_with("//"))
+                    .count();
+            }
+        }
+    }
+    total
+}
+
+fn main() {
+    // Locate the workspace root whether we run from it or from the crate dir.
+    let root = if Path::new("crates").exists() {
+        Path::new(".").to_path_buf()
+    } else {
+        Path::new("../..").to_path_buf()
+    };
+
+    let groups: Vec<(&str, Vec<&str>, bool)> = vec![
+        // The data plane: what would be compiled into the TA (trusted).
+        ("Data plane: trusted primitives", vec!["primitives"], true),
+        ("Data plane: TEE memory mgmt (uArray)", vec!["uarray"], true),
+        ("Data plane: crypto", vec!["crypto"], true),
+        ("Data plane: attestation (records + codec)", vec!["attest"], true),
+        ("Data plane: dispatch/ingress/egress", vec!["dataplane"], true),
+        // The control plane and everything else (untrusted).
+        ("Control plane: engine, operators, scheduler", vec!["engine"], false),
+        ("Shared types", vec!["types"], false),
+        ("Platform simulation (OP-TEE/TrustZone stand-in)", vec!["tz"], false),
+        ("Workloads & transport", vec!["workloads"], false),
+        ("Baselines", vec!["baselines"], false),
+        ("Benchmark harness", vec!["bench"], false),
+    ];
+
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    let mut trusted_total = 0;
+    let mut untrusted_total = 0;
+    for (label, crates, trusted) in groups {
+        let sloc: usize =
+            crates.iter().map(|c| count_sloc(&root.join("crates").join(c).join("src"))).sum();
+        if trusted {
+            trusted_total += sloc;
+        } else {
+            untrusted_total += sloc;
+        }
+        table.push(vec![
+            label.to_string(),
+            crates.join(", "),
+            sloc.to_string(),
+            if trusted { "trusted (TCB)" } else { "untrusted" }.to_string(),
+        ]);
+        rows.push(CrateRow {
+            component: label.to_string(),
+            crates: crates.iter().map(|s| s.to_string()).collect(),
+            sloc,
+            trusted,
+        });
+    }
+    print_table(
+        "Table 4 — source breakdown of this reproduction",
+        &["component", "crates", "SLoC", "trust"],
+        &table,
+    );
+    let total = trusted_total + untrusted_total;
+    println!("\nTrusted (data plane) SLoC:   {trusted_total}");
+    println!("Untrusted SLoC:              {untrusted_total}");
+    println!(
+        "Data plane share of sources: {:.1}% (paper: the data plane adds 5K SLoC / 42.5 KB,\n\
+         16% of the OP-TEE TCB binary; the untrusted side is ~31K SLoC plus ~1.3M SLoC of\n\
+         commodity libraries that this reproduction does not need to link)",
+        100.0 * trusted_total as f64 / total.max(1) as f64
+    );
+    sbt_bench::dump_json("table4_tcb", &rows);
+}

@@ -1,0 +1,106 @@
+//! HMAC-SHA-256 (RFC 2104 / FIPS 198-1).
+
+use crate::sha256::{sha256, Sha256};
+
+const BLOCK_SIZE: usize = 64;
+
+/// Compute `HMAC-SHA-256(key, message)`.
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; 32] {
+    // Keys longer than the block size are hashed first.
+    let mut key_block = [0u8; BLOCK_SIZE];
+    if key.len() > BLOCK_SIZE {
+        let digest = sha256(key);
+        key_block[..32].copy_from_slice(&digest);
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+
+    let mut ipad = [0x36u8; BLOCK_SIZE];
+    let mut opad = [0x5cu8; BLOCK_SIZE];
+    for i in 0..BLOCK_SIZE {
+        ipad[i] ^= key_block[i];
+        opad[i] ^= key_block[i];
+    }
+
+    let mut inner = Sha256::new();
+    inner.update(&ipad);
+    inner.update(message);
+    let inner_digest = inner.finalize();
+
+    let mut outer = Sha256::new();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+/// Constant-length comparison of two MACs.
+///
+/// The comparison is branch-free over the full 32 bytes so that verification
+/// time does not depend on where the first mismatching byte is.
+pub fn verify_hmac(expected: &[u8; 32], actual: &[u8; 32]) -> bool {
+    let mut diff = 0u8;
+    for i in 0..32 {
+        diff |= expected[i] ^ actual[i];
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{:02x}", b)).collect()
+    }
+
+    /// RFC 4231 test case 1.
+    #[test]
+    fn rfc4231_case1() {
+        let key = [0x0b_u8; 20];
+        let msg = b"Hi There";
+        assert_eq!(
+            hex(&hmac_sha256(&key, msg)),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    /// RFC 4231 test case 2 ("Jefe").
+    #[test]
+    fn rfc4231_case2() {
+        assert_eq!(
+            hex(&hmac_sha256(b"Jefe", b"what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    /// RFC 4231 test case 3 (0xaa key, 0xdd data).
+    #[test]
+    fn rfc4231_case3() {
+        let key = [0xaa_u8; 20];
+        let msg = [0xdd_u8; 50];
+        assert_eq!(
+            hex(&hmac_sha256(&key, &msg)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    /// RFC 4231 test case 6: key larger than the block size.
+    #[test]
+    fn rfc4231_case6_long_key() {
+        let key = [0xaa_u8; 131];
+        let msg = b"Test Using Larger Than Block-Size Key - Hash Key First";
+        assert_eq!(
+            hex(&hmac_sha256(&key, msg)),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn verify_detects_mismatch() {
+        let a = hmac_sha256(b"k", b"m");
+        let mut b = a;
+        assert!(verify_hmac(&a, &b));
+        b[31] ^= 1;
+        assert!(!verify_hmac(&a, &b));
+    }
+}

@@ -1,0 +1,70 @@
+//! Egress signing.
+//!
+//! At the pipeline egress, the data plane encrypts, signs, and sends results
+//! to the cloud (§3.2). The reproduction uses HMAC-SHA-256 with a key shared
+//! between the TEE and the cloud consumer; the same key also authenticates
+//! the periodic audit-record uploads so the verifier can trust them.
+
+use crate::hmac::{hmac_sha256, verify_hmac};
+
+/// A MAC over an egress message or an audit-record flush.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Signature(pub [u8; 32]);
+
+/// A symmetric signing key shared between the edge TEE and the cloud.
+#[derive(Clone)]
+pub struct SigningKey {
+    key: Vec<u8>,
+}
+
+impl SigningKey {
+    /// Construct a signing key from raw bytes.
+    pub fn new(key: &[u8]) -> Self {
+        SigningKey { key: key.to_vec() }
+    }
+
+    /// Sign a message.
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        Signature(hmac_sha256(&self.key, message))
+    }
+
+    /// Verify a message/signature pair.
+    pub fn verify(&self, message: &[u8], signature: &Signature) -> bool {
+        let expected = hmac_sha256(&self.key, message);
+        verify_hmac(&expected, &signature.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_and_verify_round_trip() {
+        let key = SigningKey::new(b"edge-cloud-shared-key");
+        let msg = b"window 7 results: house 3 -> 4 plugs";
+        let sig = key.sign(msg);
+        assert!(key.verify(msg, &sig));
+    }
+
+    #[test]
+    fn verification_fails_for_tampered_message() {
+        let key = SigningKey::new(b"edge-cloud-shared-key");
+        let sig = key.sign(b"original");
+        assert!(!key.verify(b"tampered", &sig));
+    }
+
+    #[test]
+    fn verification_fails_for_wrong_key() {
+        let key_a = SigningKey::new(b"key-a");
+        let key_b = SigningKey::new(b"key-b");
+        let sig = key_a.sign(b"message");
+        assert!(!key_b.verify(b"message", &sig));
+    }
+
+    #[test]
+    fn signatures_differ_across_messages() {
+        let key = SigningKey::new(b"k");
+        assert_ne!(key.sign(b"a"), key.sign(b"b"));
+    }
+}

@@ -1,0 +1,47 @@
+//! The StreamBox-TZ trusted data plane (§3–§7 of the paper).
+//!
+//! The data plane is the only component that ever touches plaintext stream
+//! data. It runs inside the (simulated) TrustZone secure world and exposes a
+//! narrow, shared-nothing interface to the untrusted control plane:
+//!
+//! * **Ingress** — event batches arrive through trusted IO (or via the OS,
+//!   paying a boundary copy), are decrypted with the key shared with the
+//!   sources, parsed into a fresh uArray and registered with the allocator.
+//!   The control plane receives only an opaque reference.
+//! * **Invoke** — the single entry function shared by all 23 trusted
+//!   primitives: the control plane names a primitive, passes opaque input
+//!   references, optional parameters and optional consumption hints; the
+//!   data plane validates the references, runs the primitive, stores the
+//!   outputs in new uArrays placed by the hint-guided allocator, and emits
+//!   audit records.
+//! * **Egress** — results are serialized, AES-encrypted, HMAC-signed and
+//!   handed back for upload; an egress audit record is emitted and the audit
+//!   log flushed.
+//! * **Retire** — the control plane signals that it will no longer consume a
+//!   reference; the data plane retires the uArray and reclaims memory in
+//!   uGroup order. A bogus or premature retire can at worst waste memory or
+//!   delay results — never corrupt them.
+//!
+//! Opaque references are long random integers; every incoming reference is
+//! validated against the table of live references, so fabricated references
+//! are rejected (§3.2). All methods assert that they execute in the secure
+//! world, which the SMC layer of `sbt-tz` establishes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod egress;
+pub mod error;
+pub mod opaque;
+pub mod params;
+pub mod plane;
+pub mod stats;
+pub mod store;
+
+pub use egress::EgressMessage;
+pub use error::DataPlaneError;
+pub use opaque::OpaqueRef;
+pub use params::{InvokeOutput, PrimitiveParams};
+pub use plane::{DataPlane, DataPlaneConfig};
+pub use stats::{DataPlaneStats, InvocationBreakdown};
+pub use store::StoredData;

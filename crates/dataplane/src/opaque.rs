@@ -1,0 +1,108 @@
+//! Opaque references: the only handles the untrusted control plane holds on
+//! protected data (§3.2, §8).
+//!
+//! References are 64-bit random integers minted by the data plane. The data
+//! plane keeps the mapping from live references to internal uArray ids and
+//! validates every incoming reference by table lookup; references that do
+//! not exist (fabricated or already retired) are rejected. Because live
+//! references rarely exceed a few thousand, the lookup cost is negligible
+//! relative to primitive execution.
+
+use crate::error::DataPlaneError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sbt_uarray::UArrayId;
+use std::collections::HashMap;
+
+/// An opaque, unforgeable-by-guessing handle on a uArray inside the TEE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpaqueRef(pub u64);
+
+/// The live-reference table.
+pub struct RefTable {
+    rng: StdRng,
+    live: HashMap<OpaqueRef, UArrayId>,
+}
+
+impl RefTable {
+    /// Create a table seeded from the platform's entropy source. A fixed
+    /// seed may be supplied for reproducible tests; production use should
+    /// pass fresh entropy.
+    pub fn new(seed: u64) -> Self {
+        RefTable { rng: StdRng::seed_from_u64(seed), live: HashMap::new() }
+    }
+
+    /// Mint a new reference for an internal uArray id.
+    pub fn mint(&mut self, id: UArrayId) -> OpaqueRef {
+        loop {
+            let candidate = OpaqueRef(self.rng.gen::<u64>());
+            // Zero is reserved as an obviously-invalid sentinel; collisions
+            // are astronomically unlikely but cheap to re-roll.
+            if candidate.0 != 0 && !self.live.contains_key(&candidate) {
+                self.live.insert(candidate, id);
+                return candidate;
+            }
+        }
+    }
+
+    /// Resolve a reference, rejecting unknown ones.
+    pub fn resolve(&self, r: OpaqueRef) -> Result<UArrayId, DataPlaneError> {
+        self.live.get(&r).copied().ok_or(DataPlaneError::InvalidReference)
+    }
+
+    /// Remove a reference (when its uArray is retired). Unknown references
+    /// are rejected the same way as in [`resolve`](RefTable::resolve).
+    pub fn revoke(&mut self, r: OpaqueRef) -> Result<UArrayId, DataPlaneError> {
+        self.live.remove(&r).ok_or(DataPlaneError::InvalidReference)
+    }
+
+    /// Number of live references.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mint_resolve_revoke_cycle() {
+        let mut t = RefTable::new(1);
+        let r = t.mint(UArrayId(7));
+        assert_eq!(t.resolve(r), Ok(UArrayId(7)));
+        assert_eq!(t.live_count(), 1);
+        assert_eq!(t.revoke(r), Ok(UArrayId(7)));
+        assert_eq!(t.live_count(), 0);
+        assert_eq!(t.resolve(r), Err(DataPlaneError::InvalidReference));
+        assert_eq!(t.revoke(r), Err(DataPlaneError::InvalidReference));
+    }
+
+    #[test]
+    fn fabricated_references_are_rejected() {
+        let mut t = RefTable::new(2);
+        let _real = t.mint(UArrayId(1));
+        assert_eq!(t.resolve(OpaqueRef(0)), Err(DataPlaneError::InvalidReference));
+        assert_eq!(t.resolve(OpaqueRef(0xDEAD_BEEF)), Err(DataPlaneError::InvalidReference));
+    }
+
+    #[test]
+    fn references_are_distinct_and_nonzero() {
+        let mut t = RefTable::new(3);
+        let refs: Vec<OpaqueRef> = (0..1000).map(|i| t.mint(UArrayId(i))).collect();
+        let unique: std::collections::HashSet<_> = refs.iter().collect();
+        assert_eq!(unique.len(), refs.len());
+        assert!(refs.iter().all(|r| r.0 != 0));
+    }
+
+    #[test]
+    fn references_are_not_sequential() {
+        // The opaque namespace must not leak allocation order (sequential
+        // handles would be guessable).
+        let mut t = RefTable::new(4);
+        let a = t.mint(UArrayId(0)).0;
+        let b = t.mint(UArrayId(1)).0;
+        let c = t.mint(UArrayId(2)).0;
+        assert!(b != a + 1 || c != b + 1);
+    }
+}

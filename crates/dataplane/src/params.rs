@@ -1,0 +1,81 @@
+//! Parameters and outputs of the single `InvokePrimitive` entry function.
+//!
+//! The interface is deliberately narrow and shared-nothing: the control
+//! plane passes plain values (primitive identity, opaque references, scalar
+//! parameters, encoded hints) and receives plain values back (opaque
+//! references plus per-output metadata). No pointers or shared state cross
+//! the boundary.
+
+use crate::opaque::OpaqueRef;
+use sbt_types::{Duration, EventTime, WindowId, WindowSpec};
+
+/// Scalar parameters a primitive may need beyond its input arrays.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PrimitiveParams {
+    /// No parameters.
+    None,
+    /// Window specification for `Segment`.
+    Window(WindowSpec),
+    /// Value band for `FilterBand` (inclusive).
+    Band {
+        /// Lower bound (inclusive).
+        lo: u32,
+        /// Upper bound (inclusive).
+        hi: u32,
+    },
+    /// Event-time range for `FilterTime` (half-open).
+    TimeRange {
+        /// Start (inclusive).
+        start: EventTime,
+        /// End (exclusive).
+        end: EventTime,
+    },
+    /// K for `TopK` / `TopKPerKey`.
+    K(usize),
+    /// Sampling period for `Sample`.
+    Every(usize),
+}
+
+impl PrimitiveParams {
+    /// Convenience constructor for 1-second fixed windows (the evaluation's
+    /// default).
+    pub fn one_second_windows() -> Self {
+        PrimitiveParams::Window(WindowSpec::fixed(Duration::from_secs(1)))
+    }
+}
+
+/// Metadata about one output uArray returned from an invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvokeOutput {
+    /// The opaque reference the control plane uses to name this output.
+    pub opaque: OpaqueRef,
+    /// Number of records in the output.
+    pub len: usize,
+    /// The window this output belongs to, if the primitive assigned one
+    /// (only `Segment` does).
+    pub window: Option<WindowId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_second_window_param() {
+        match PrimitiveParams::one_second_windows() {
+            PrimitiveParams::Window(WindowSpec::Fixed { size }) => {
+                assert_eq!(size, Duration::from_secs(1));
+            }
+            other => panic!("unexpected params {other:?}"),
+        }
+    }
+
+    #[test]
+    fn params_compare_by_value() {
+        assert_eq!(
+            PrimitiveParams::Band { lo: 1, hi: 2 },
+            PrimitiveParams::Band { lo: 1, hi: 2 }
+        );
+        assert_ne!(PrimitiveParams::K(3), PrimitiveParams::K(4));
+    }
+}

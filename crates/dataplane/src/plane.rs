@@ -1,0 +1,915 @@
+//! The data plane proper: ingress, primitive dispatch, egress, memory
+//! management and audit-record generation.
+//!
+//! One [`DataPlane`] instance corresponds to the StreamBox-TZ trusted
+//! application loaded into the secure world of one platform. It is `Sync`:
+//! many control-plane worker threads invoke primitives concurrently (each
+//! through its own SMC session), sharing one cache-coherent TEE address
+//! space exactly as in the paper. Internally, the record store is read-mostly
+//! (`RwLock` around `Arc`-shared arrays: lookups clone the `Arc`, drop the
+//! lock and compute without holding it), while the allocator, reference
+//! table and audit log take short critical sections.
+
+use crate::egress::EgressMessage;
+use crate::error::DataPlaneError;
+use crate::opaque::{OpaqueRef, RefTable};
+use crate::params::{InvokeOutput, PrimitiveParams};
+use crate::stats::{DataPlaneStats, InvocationBreakdown};
+use crate::store::StoredData;
+use parking_lot::{Mutex, RwLock};
+use sbt_attest::{AuditLog, AuditRecord, DataRef, LogSegment, UArrayRef};
+use sbt_crypto::{AesCtr, Key128, Nonce, SigningKey};
+use sbt_primitives as prim;
+use sbt_tz::{Platform, WorldTracker};
+use sbt_types::{Event, KeyValue, PowerEvent, PrimitiveKind, Watermark, WindowId};
+use sbt_uarray::{
+    Allocator, AllocatorConfig, ConsumptionHint, HintSet, MemoryReport, TeePager, UArrayId,
+    UArrayState, PAGE_SIZE,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Configuration of a data plane instance.
+#[derive(Clone)]
+pub struct DataPlaneConfig {
+    /// AES key shared with the data sources (ingress decryption).
+    pub source_key: Key128,
+    /// CTR nonce shared with the data sources.
+    pub source_nonce: Nonce,
+    /// AES key shared with the cloud consumer (egress encryption).
+    pub cloud_key: Key128,
+    /// CTR nonce for egress encryption.
+    pub cloud_nonce: Nonce,
+    /// HMAC key for signing egress messages and audit segments.
+    pub signing_key: Vec<u8>,
+    /// Allocator configuration (placement policy, reservation size).
+    pub allocator: AllocatorConfig,
+    /// Flush the audit log every this many records (in addition to flushes
+    /// at egress).
+    pub audit_flush_threshold: usize,
+    /// Seed for the opaque-reference RNG (tests pass a fixed value).
+    pub ref_seed: u64,
+}
+
+impl Default for DataPlaneConfig {
+    fn default() -> Self {
+        DataPlaneConfig {
+            source_key: [7u8; 16],
+            source_nonce: [9u8; 16],
+            cloud_key: [11u8; 16],
+            cloud_nonce: [13u8; 16],
+            signing_key: b"streambox-tz-attestation-key".to_vec(),
+            allocator: AllocatorConfig::default(),
+            audit_flush_threshold: 256,
+            ref_seed: 0x5b7_57a7e,
+        }
+    }
+}
+
+/// Mutable bookkeeping guarded by one mutex (allocator + id minting +
+/// committed-size map). These are all short, metadata-only operations.
+struct AllocState {
+    allocator: Allocator,
+    next_id: UArrayId,
+    /// committed bytes per live uArray (needed to release pages on reclaim,
+    /// since the record storage itself is dropped via `Arc`).
+    committed: HashMap<UArrayId, u64>,
+}
+
+/// The StreamBox-TZ trusted data plane.
+pub struct DataPlane {
+    platform: Arc<Platform>,
+    config: DataPlaneConfig,
+    pager: TeePager,
+    store: RwLock<HashMap<UArrayId, Arc<StoredData>>>,
+    refs: Mutex<RefTable>,
+    alloc: Mutex<AllocState>,
+    audit: Mutex<AuditLog>,
+    segments: Mutex<Vec<LogSegment>>,
+    stats: DataPlaneStats,
+    signing: SigningKey,
+    egress_seq: Mutex<u64>,
+    start: Instant,
+}
+
+impl DataPlane {
+    /// Load the data plane onto a platform (the `Initialize` entry function).
+    pub fn new(platform: Arc<Platform>, config: DataPlaneConfig) -> Arc<Self> {
+        let pager = TeePager::new(
+            platform.secure_mem().clone(),
+            platform.stats().clone(),
+            *platform.cost(),
+        );
+        let signing = SigningKey::new(&config.signing_key);
+        Arc::new(DataPlane {
+            pager,
+            store: RwLock::new(HashMap::new()),
+            refs: Mutex::new(RefTable::new(config.ref_seed)),
+            alloc: Mutex::new(AllocState {
+                allocator: Allocator::new(config.allocator),
+                next_id: UArrayId(0),
+                committed: HashMap::new(),
+            }),
+            audit: Mutex::new(AuditLog::new(
+                SigningKey::new(&config.signing_key),
+                config.audit_flush_threshold,
+            )),
+            segments: Mutex::new(Vec::new()),
+            stats: DataPlaneStats::new(),
+            signing,
+            egress_seq: Mutex::new(0),
+            start: Instant::now(),
+            config,
+            platform,
+        })
+    }
+
+    /// Data-plane timestamp (milliseconds since initialization), as stamped
+    /// on audit records.
+    fn now_ms(&self) -> u32 {
+        self.start.elapsed().as_millis() as u32
+    }
+
+    /// The platform this data plane runs on.
+    pub fn platform(&self) -> &Arc<Platform> {
+        &self.platform
+    }
+
+    /// Lifetime statistics.
+    pub fn stats(&self) -> &DataPlaneStats {
+        &self.stats
+    }
+
+    /// Current memory report from the allocator.
+    pub fn memory_report(&self) -> MemoryReport {
+        self.alloc.lock().allocator.report()
+    }
+
+    /// Whether the engine should apply backpressure to sources.
+    pub fn under_memory_pressure(&self) -> bool {
+        self.pager.under_pressure()
+    }
+
+    /// Number of live opaque references.
+    pub fn live_refs(&self) -> usize {
+        self.refs.lock().live_count()
+    }
+
+    /// Drain audit segments flushed so far (the engine uploads them).
+    pub fn drain_audit_segments(&self) -> Vec<LogSegment> {
+        let mut flushed = std::mem::take(&mut *self.segments.lock());
+        if let Some(seg) = self.audit.lock().flush() {
+            flushed.push(seg);
+        }
+        flushed
+    }
+
+    /// Compression statistics of the audit log: (raw bytes, compressed bytes).
+    pub fn audit_bytes(&self) -> (u64, u64) {
+        let log = self.audit.lock();
+        (log.total_raw_bytes(), log.total_compressed_bytes())
+    }
+
+    // ----- internal helpers ---------------------------------------------
+
+    fn append_audit(&self, record: AuditRecord) {
+        self.stats.record_audit(1);
+        let mut log = self.audit.lock();
+        if let Some(segment) = log.append(record) {
+            self.segments.lock().push(segment);
+        }
+    }
+
+    /// Mint a new uArray id, place it with the allocator, and remember its
+    /// committed size once built. Returns (internal id, opaque ref).
+    fn register_output(
+        &self,
+        data: StoredData,
+        producer: u64,
+        hint: Option<ConsumptionHint>,
+    ) -> (UArrayId, OpaqueRef, usize) {
+        let len = data.len();
+        let id = data.id();
+        {
+            let mut alloc = self.alloc.lock();
+            alloc.allocator.place(id, producer, hint);
+            alloc.allocator.update(id, UArrayState::Produced, data.committed_bytes());
+            alloc.committed.insert(id, data.committed_bytes());
+        }
+        self.store.write().insert(id, Arc::new(data));
+        let opaque = self.refs.lock().mint(id);
+        (id, opaque, len)
+    }
+
+    fn next_id(&self) -> UArrayId {
+        let mut alloc = self.alloc.lock();
+        let id = alloc.next_id;
+        alloc.next_id = id.next();
+        id
+    }
+
+    fn lookup(&self, r: OpaqueRef) -> Result<(UArrayId, Arc<StoredData>), DataPlaneError> {
+        let id = self.refs.lock().resolve(r)?;
+        let store = self.store.read();
+        let data = store.get(&id).cloned().ok_or(DataPlaneError::InvalidReference)?;
+        Ok((id, data))
+    }
+
+    // ----- ingress -------------------------------------------------------
+
+    /// Ingest a batch of events whose bytes have arrived in the secure world
+    /// (through trusted IO or copied in via the OS — that cost is charged by
+    /// the engine through `sbt_tz::IoChannel`).
+    ///
+    /// `encrypted` payloads are decrypted with the source key; `is_power`
+    /// selects the 16-byte power-event layout, which is projected onto the
+    /// generic layout for the shared primitives.
+    ///
+    /// `keystream_block` is the CTR block offset at which this payload was
+    /// encrypted by the source (the source advances it per batch).
+    pub fn ingress(
+        &self,
+        payload: &[u8],
+        encrypted: bool,
+        is_power: bool,
+        keystream_block: u32,
+    ) -> Result<InvokeOutput, DataPlaneError> {
+        WorldTracker::assert_secure("DataPlane::ingress");
+        let decrypt_start = Instant::now();
+        let plaintext: Vec<u8> = if encrypted {
+            let ctr = AesCtr::new(&self.config.source_key, &self.config.source_nonce);
+            let mut buf = payload.to_vec();
+            ctr.apply_keystream_at(&mut buf, keystream_block);
+            buf
+        } else {
+            payload.to_vec()
+        };
+        let decrypt_nanos =
+            if encrypted { decrypt_start.elapsed().as_nanos() as u64 } else { 0 };
+
+        let events: Vec<Event> = if is_power {
+            if plaintext.len() % sbt_types::POWER_EVENT_BYTES != 0 {
+                return Err(DataPlaneError::BadIngress("power payload not a whole event"));
+            }
+            PowerEvent::slice_from_bytes(&plaintext).iter().map(|e| e.to_generic()).collect()
+        } else {
+            if plaintext.len() % sbt_types::EVENT_BYTES != 0 {
+                return Err(DataPlaneError::BadIngress("payload not a whole event"));
+            }
+            Event::slice_from_bytes(&plaintext)
+        };
+
+        let id = self.next_id();
+        let data = StoredData::from_events(id, &events, &self.pager)?;
+        self.stats.record_ingress(events.len() as u64, plaintext.len() as u64, decrypt_nanos);
+        let (_, opaque, len) = self.register_output(data, PrimitiveKind::Ingress.code() as u64, None);
+        self.append_audit(AuditRecord::Ingress {
+            ts_ms: self.now_ms(),
+            data: DataRef::UArray(UArrayRef(id.0 as u32)),
+        });
+        Ok(InvokeOutput { opaque, len, window: None })
+    }
+
+    /// Ingest a watermark (watermarks are control metadata, not protected
+    /// data, but they are audited because freshness attestation depends on
+    /// them).
+    pub fn ingress_watermark(&self, wm: Watermark) {
+        WorldTracker::assert_secure("DataPlane::ingress_watermark");
+        self.append_audit(AuditRecord::Ingress {
+            ts_ms: self.now_ms(),
+            data: DataRef::Watermark(wm.event_time.as_millis() as u32),
+        });
+    }
+
+    // ----- the shared primitive entry point ------------------------------
+
+    /// Execute a trusted primitive over opaque inputs, producing opaque
+    /// outputs (the single entry function shared by all 23 primitives).
+    pub fn invoke(
+        &self,
+        op: PrimitiveKind,
+        inputs: &[OpaqueRef],
+        params: PrimitiveParams,
+        hints: &HintSet,
+    ) -> Result<Vec<InvokeOutput>, DataPlaneError> {
+        WorldTracker::assert_secure("DataPlane::invoke");
+        // Validate all references before doing any work.
+        let mut resolved = Vec::with_capacity(inputs.len());
+        for r in inputs {
+            resolved.push(self.lookup(*r)?);
+        }
+        let input_ids: Vec<UArrayId> = resolved.iter().map(|(id, _)| *id).collect();
+
+        let compute_start = Instant::now();
+        let produced = self.execute(op, &resolved, &params)?;
+        let compute_nanos = compute_start.elapsed().as_nanos() as u64;
+
+        // Register outputs: allocator placement (guided by hints), reference
+        // minting, audit records. The producer tag identifies the primitive
+        // *type*: the Figure 10 baseline policy treats all outputs of the
+        // same primitive as one generation and co-locates them.
+        let producer_tag = op.code() as u64;
+        let mut outputs = Vec::with_capacity(produced.len());
+        let mut output_ids = Vec::with_capacity(produced.len());
+        let mut memory_nanos = 0;
+        for (i, (data, window)) in produced.into_iter().enumerate() {
+            memory_nanos += data.paging_nanos();
+            let (id, opaque, len) = self.register_output(data, producer_tag, hints.get(i));
+            output_ids.push(id);
+            outputs.push(InvokeOutput { opaque, len, window });
+            if let Some(w) = window {
+                self.append_audit(AuditRecord::Windowing {
+                    ts_ms: self.now_ms(),
+                    input: UArrayRef(input_ids[0].0 as u32),
+                    win_no: w.0 as u16,
+                    output: UArrayRef(id.0 as u32),
+                });
+            }
+        }
+        // Windowing is fully described by its Windowing records; everything
+        // else gets an Execution record.
+        if op != PrimitiveKind::Segment {
+            self.append_audit(AuditRecord::Execution {
+                ts_ms: self.now_ms(),
+                op,
+                inputs: input_ids.iter().map(|i| UArrayRef(i.0 as u32)).collect(),
+                outputs: output_ids.iter().map(|i| UArrayRef(i.0 as u32)).collect(),
+                hints: hints.iter().map(|h| h.encode()).collect(),
+            });
+        }
+        self.stats.record_invocation(InvocationBreakdown { compute_nanos, memory_nanos });
+        Ok(outputs)
+    }
+
+    /// The primitive dispatch table. Returns the produced arrays, each with
+    /// an optional window assignment (only `Segment` assigns windows).
+    #[allow(clippy::type_complexity)]
+    fn execute(
+        &self,
+        op: PrimitiveKind,
+        inputs: &[(UArrayId, Arc<StoredData>)],
+        params: &PrimitiveParams,
+    ) -> Result<Vec<(StoredData, Option<WindowId>)>, DataPlaneError> {
+        let one_events = |n: usize| -> Result<&[Event], DataPlaneError> {
+            inputs
+                .get(n)
+                .ok_or(DataPlaneError::BadArguments("missing input"))?
+                .1
+                .as_events()
+        };
+        let pager = &self.pager;
+        let mut out: Vec<(StoredData, Option<WindowId>)> = Vec::new();
+        match op {
+            PrimitiveKind::Ingress | PrimitiveKind::Egress => {
+                return Err(DataPlaneError::BadArguments(
+                    "boundary operations are not invokable primitives",
+                ))
+            }
+            PrimitiveKind::Sort => {
+                let sorted = prim::sort_events_by_key(one_events(0)?);
+                out.push((StoredData::from_events(self.next_id(), &sorted, pager)?, None));
+            }
+            PrimitiveKind::SortByValue => {
+                let sorted = prim::sort_events_by_value(one_events(0)?);
+                out.push((StoredData::from_events(self.next_id(), &sorted, pager)?, None));
+            }
+            PrimitiveKind::SortByTime => {
+                let sorted = prim::sort_events_by_time(one_events(0)?);
+                out.push((StoredData::from_events(self.next_id(), &sorted, pager)?, None));
+            }
+            PrimitiveKind::Merge => {
+                let merged = prim::merge_sorted_by_key(one_events(0)?, one_events(1)?);
+                out.push((StoredData::from_events(self.next_id(), &merged, pager)?, None));
+            }
+            PrimitiveKind::MergeK => {
+                // Merge all event inputs pairwise.
+                let mut acc: Vec<Event> = one_events(0)?.to_vec();
+                for i in 1..inputs.len() {
+                    acc = prim::merge_sorted_by_key(&acc, one_events(i)?);
+                }
+                out.push((StoredData::from_events(self.next_id(), &acc, pager)?, None));
+            }
+            PrimitiveKind::Segment => {
+                let spec = match params {
+                    PrimitiveParams::Window(spec) => *spec,
+                    _ => return Err(DataPlaneError::BadArguments("Segment needs a window spec")),
+                };
+                for (win, events) in prim::segment_by_window(one_events(0)?, &spec) {
+                    out.push((
+                        StoredData::from_events(self.next_id(), &events, pager)?,
+                        Some(win),
+                    ));
+                }
+            }
+            PrimitiveKind::SumCnt | PrimitiveKind::AveragePerKey => {
+                let aggs = prim::sum_count_per_key(one_events(0)?);
+                out.push((StoredData::from_aggs(self.next_id(), &aggs, pager)?, None));
+            }
+            PrimitiveKind::Sum => {
+                let s = prim::sum(one_events(0)?);
+                out.push((StoredData::from_scalars(self.next_id(), &[s], pager)?, None));
+            }
+            PrimitiveKind::Count => {
+                let c = prim::count(one_events(0)?);
+                out.push((StoredData::from_scalars(self.next_id(), &[c], pager)?, None));
+            }
+            PrimitiveKind::CountPerKey => {
+                let counts = prim::count_per_key(one_events(0)?);
+                let pairs: Vec<KeyValue> =
+                    counts.iter().map(|kc| KeyValue::new(kc.key, kc.count)).collect();
+                out.push((StoredData::from_pairs(self.next_id(), &pairs, pager)?, None));
+            }
+            PrimitiveKind::Average => {
+                let avg = prim::average(one_events(0)?);
+                out.push((StoredData::from_scalars(self.next_id(), &[avg], pager)?, None));
+            }
+            PrimitiveKind::Median => {
+                let m = prim::median(one_events(0)?).unwrap_or(0) as u64;
+                out.push((StoredData::from_scalars(self.next_id(), &[m], pager)?, None));
+            }
+            PrimitiveKind::MedianPerKey => {
+                let med = prim::median_per_key(one_events(0)?);
+                let pairs: Vec<KeyValue> =
+                    med.iter().map(|(k, v)| KeyValue::new(*k, *v as u64)).collect();
+                out.push((StoredData::from_pairs(self.next_id(), &pairs, pager)?, None));
+            }
+            PrimitiveKind::MinMax => {
+                let (lo, hi) = prim::min_max(one_events(0)?).unwrap_or((0, 0));
+                out.push((
+                    StoredData::from_scalars(self.next_id(), &[lo as u64, hi as u64], pager)?,
+                    None,
+                ));
+            }
+            PrimitiveKind::Unique => {
+                let keys = prim::unique_keys(one_events(0)?);
+                let scalars: Vec<u64> = keys.iter().map(|k| *k as u64).collect();
+                out.push((StoredData::from_scalars(self.next_id(), &scalars, pager)?, None));
+            }
+            PrimitiveKind::TopK => {
+                let k = match params {
+                    PrimitiveParams::K(k) => *k,
+                    _ => return Err(DataPlaneError::BadArguments("TopK needs K")),
+                };
+                let top: Vec<u64> =
+                    prim::top_k_by_value(one_events(0)?, k).iter().map(|v| *v as u64).collect();
+                out.push((StoredData::from_scalars(self.next_id(), &top, pager)?, None));
+            }
+            PrimitiveKind::TopKPerKey => {
+                let k = match params {
+                    PrimitiveParams::K(k) => *k,
+                    _ => return Err(DataPlaneError::BadArguments("TopKPerKey needs K")),
+                };
+                let mut pairs = Vec::new();
+                for (key, values) in prim::top_k_per_key(one_events(0)?, k) {
+                    for v in values {
+                        pairs.push(KeyValue::new(key, v as u64));
+                    }
+                }
+                out.push((StoredData::from_pairs(self.next_id(), &pairs, pager)?, None));
+            }
+            PrimitiveKind::FilterBand => {
+                let (lo, hi) = match params {
+                    PrimitiveParams::Band { lo, hi } => (*lo, *hi),
+                    _ => return Err(DataPlaneError::BadArguments("FilterBand needs a band")),
+                };
+                let kept = prim::filter_band(one_events(0)?, lo, hi);
+                out.push((StoredData::from_events(self.next_id(), &kept, pager)?, None));
+            }
+            PrimitiveKind::FilterTime => {
+                let (start, end) = match params {
+                    PrimitiveParams::TimeRange { start, end } => (*start, *end),
+                    _ => return Err(DataPlaneError::BadArguments("FilterTime needs a range")),
+                };
+                let kept = prim::filter_time(one_events(0)?, start, end);
+                out.push((StoredData::from_events(self.next_id(), &kept, pager)?, None));
+            }
+            PrimitiveKind::Project => {
+                let keys = prim::project_keys(one_events(0)?);
+                let scalars: Vec<u64> = keys.iter().map(|k| *k as u64).collect();
+                out.push((StoredData::from_scalars(self.next_id(), &scalars, pager)?, None));
+            }
+            PrimitiveKind::Sample => {
+                let every = match params {
+                    PrimitiveParams::Every(n) => *n,
+                    _ => return Err(DataPlaneError::BadArguments("Sample needs a period")),
+                };
+                let sampled = prim::sample_every(one_events(0)?, every);
+                out.push((StoredData::from_events(self.next_id(), &sampled, pager)?, None));
+            }
+            PrimitiveKind::Concat => {
+                let mut parts: Vec<&[Event]> = Vec::with_capacity(inputs.len());
+                for i in 0..inputs.len() {
+                    parts.push(one_events(i)?);
+                }
+                let joined = prim::concat_events(&parts);
+                out.push((StoredData::from_events(self.next_id(), &joined, pager)?, None));
+            }
+            PrimitiveKind::Union => {
+                let merged = prim::union_events(one_events(0)?, one_events(1)?);
+                out.push((StoredData::from_events(self.next_id(), &merged, pager)?, None));
+            }
+            PrimitiveKind::Join => {
+                let joined = prim::join_by_key(one_events(0)?, one_events(1)?);
+                let pairs: Vec<KeyValue> = joined
+                    .iter()
+                    .map(|p| {
+                        KeyValue::new(p.key, ((p.left_value as u64) << 32) | p.right_value as u64)
+                    })
+                    .collect();
+                out.push((StoredData::from_pairs(self.next_id(), &pairs, pager)?, None));
+            }
+        }
+        Ok(out)
+    }
+
+    // ----- egress and retirement -----------------------------------------
+
+    /// Externalize a result: encrypt, sign, audit, flush the audit log.
+    pub fn egress(&self, r: OpaqueRef) -> Result<EgressMessage, DataPlaneError> {
+        WorldTracker::assert_secure("DataPlane::egress");
+        let (id, data) = self.lookup(r)?;
+        let plaintext = data.to_wire_bytes();
+        let seq = {
+            let mut seq = self.egress_seq.lock();
+            let s = *seq;
+            *seq += 1;
+            s
+        };
+        let msg = EgressMessage::seal(
+            seq,
+            &plaintext,
+            &self.config.cloud_key,
+            &self.config.cloud_nonce,
+            &self.signing,
+        );
+        self.stats.record_egress();
+        self.append_audit(AuditRecord::Egress {
+            ts_ms: self.now_ms(),
+            data: UArrayRef(id.0 as u32),
+        });
+        // Flush audit records on externalization, as the paper requires.
+        if let Some(segment) = self.audit.lock().flush() {
+            self.segments.lock().push(segment);
+        }
+        Ok(msg)
+    }
+
+    /// Retire a reference: the control plane will not consume it again. The
+    /// uArray becomes reclaimable; memory is released in uGroup order.
+    pub fn retire(&self, r: OpaqueRef) -> Result<(), DataPlaneError> {
+        WorldTracker::assert_secure("DataPlane::retire");
+        let id = self.refs.lock().revoke(r)?;
+        let reclaimed = {
+            let mut alloc = self.alloc.lock();
+            let committed = alloc.committed.get(&id).copied().unwrap_or(0);
+            alloc.allocator.update(id, UArrayState::Retired, committed);
+            alloc.allocator.reclaim()
+        };
+        if !reclaimed.is_empty() {
+            let mut store = self.store.write();
+            let mut alloc = self.alloc.lock();
+            for rid in reclaimed {
+                store.remove(&rid);
+                if let Some(bytes) = alloc.committed.remove(&rid) {
+                    self.pager.release_pages(bytes / PAGE_SIZE);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The signing key verifier half (what the cloud consumer would hold).
+    pub fn cloud_keys(&self) -> (Key128, Nonce, SigningKey) {
+        (self.config.cloud_key, self.config.cloud_nonce, SigningKey::new(&self.config.signing_key))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbt_tz::World;
+    use sbt_tz::WorldGuard;
+    use sbt_types::Duration;
+    use sbt_types::WindowSpec;
+
+    fn plane() -> Arc<DataPlane> {
+        DataPlane::new(Platform::hikey(), DataPlaneConfig::default())
+    }
+
+    /// Run a closure "in the secure world" as the SMC layer would.
+    fn in_tee<R>(f: impl FnOnce() -> R) -> R {
+        let _g = WorldGuard::enter(World::Secure);
+        f()
+    }
+
+    fn ingest_events(dp: &DataPlane, events: &[Event]) -> InvokeOutput {
+        let bytes = Event::slice_to_bytes(events);
+        in_tee(|| dp.ingress(&bytes, false, false, 0)).unwrap()
+    }
+
+    #[test]
+    fn ingress_creates_opaque_reference() {
+        let dp = plane();
+        let events: Vec<Event> = (0..100).map(|i| Event::new(i, i * 2, i * 10)).collect();
+        let out = ingest_events(&dp, &events);
+        assert_eq!(out.len, 100);
+        assert_eq!(dp.live_refs(), 1);
+        assert_eq!(dp.stats().snapshot().events_ingested, 100);
+        assert!(dp.memory_report().committed_bytes > 0);
+    }
+
+    #[test]
+    fn encrypted_ingress_decrypts_with_source_key() {
+        let dp = plane();
+        let events: Vec<Event> = (0..50).map(|i| Event::new(i, i, i)).collect();
+        let mut payload = Event::slice_to_bytes(&events);
+        let cfg = DataPlaneConfig::default();
+        AesCtr::new(&cfg.source_key, &cfg.source_nonce).apply_keystream_at(&mut payload, 0);
+        let out = in_tee(|| dp.ingress(&payload, true, false, 0)).unwrap();
+        assert_eq!(out.len, 50);
+        // Sorting the ingested array gives back the events (proves the
+        // decryption produced real data, not garbage).
+        let sorted = in_tee(|| {
+            dp.invoke(PrimitiveKind::Sort, &[out.opaque], PrimitiveParams::None, &HintSet::none())
+        })
+        .unwrap();
+        assert_eq!(sorted[0].len, 50);
+        assert!(dp.stats().snapshot().decrypt_nanos > 0);
+    }
+
+    #[test]
+    fn power_ingress_projects_to_generic_layout() {
+        let dp = plane();
+        let events: Vec<PowerEvent> =
+            (0..10).map(|i| PowerEvent::new(100 + i, i, i / 2, i * 5)).collect();
+        let bytes = PowerEvent::slice_to_bytes(&events);
+        let out = in_tee(|| dp.ingress(&bytes, false, true, 0)).unwrap();
+        assert_eq!(out.len, 10);
+    }
+
+    #[test]
+    fn malformed_ingress_is_rejected() {
+        let dp = plane();
+        let err = in_tee(|| dp.ingress(&[1, 2, 3], false, false, 0)).unwrap_err();
+        assert_eq!(err, DataPlaneError::BadIngress("payload not a whole event"));
+    }
+
+    #[test]
+    fn fabricated_reference_is_rejected() {
+        let dp = plane();
+        let err = in_tee(|| {
+            dp.invoke(
+                PrimitiveKind::Sort,
+                &[OpaqueRef(0xBAD)],
+                PrimitiveParams::None,
+                &HintSet::none(),
+            )
+        })
+        .unwrap_err();
+        assert_eq!(err, DataPlaneError::InvalidReference);
+        assert!(in_tee(|| dp.egress(OpaqueRef(0xBAD))).is_err());
+        assert!(in_tee(|| dp.retire(OpaqueRef(0xBAD))).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "secure-world code reached")]
+    fn normal_world_cannot_call_the_data_plane_directly() {
+        let dp = plane();
+        // No WorldGuard: this models a control-plane thread trying to call
+        // into data-plane code without going through the SMC interface.
+        let _ = dp.ingress(&[], false, false, 0);
+    }
+
+    #[test]
+    fn groupby_chain_computes_correct_aggregates() {
+        let dp = plane();
+        let events = vec![
+            Event::new(2, 10, 100),
+            Event::new(1, 5, 200),
+            Event::new(2, 20, 300),
+            Event::new(1, 15, 400),
+        ];
+        let ingested = ingest_events(&dp, &events);
+        let sorted = in_tee(|| {
+            dp.invoke(
+                PrimitiveKind::Sort,
+                &[ingested.opaque],
+                PrimitiveParams::None,
+                &HintSet::none(),
+            )
+        })
+        .unwrap();
+        let aggs = in_tee(|| {
+            dp.invoke(
+                PrimitiveKind::SumCnt,
+                &[sorted[0].opaque],
+                PrimitiveParams::None,
+                &HintSet::none(),
+            )
+        })
+        .unwrap();
+        assert_eq!(aggs[0].len, 2);
+        // Egress and decrypt on the "cloud side" to check the values.
+        let msg = in_tee(|| dp.egress(aggs[0].opaque)).unwrap();
+        let (key, nonce, signing) = dp.cloud_keys();
+        let plain = msg.open(&key, &nonce, &signing).unwrap();
+        // KeyAgg wire layout: key(4) sum(8) count(8) per record.
+        assert_eq!(plain.len(), 2 * 20);
+        let key1 = u32::from_le_bytes(plain[0..4].try_into().unwrap());
+        let sum1 = u64::from_le_bytes(plain[4..12].try_into().unwrap());
+        assert_eq!(key1, 1);
+        assert_eq!(sum1, 20);
+    }
+
+    #[test]
+    fn segment_assigns_windows_and_emits_windowing_records() {
+        let dp = plane();
+        let events = vec![Event::new(1, 1, 100), Event::new(2, 2, 1100), Event::new(3, 3, 2100)];
+        let ingested = ingest_events(&dp, &events);
+        let spec = WindowSpec::fixed(Duration::from_secs(1));
+        let outs = in_tee(|| {
+            dp.invoke(
+                PrimitiveKind::Segment,
+                &[ingested.opaque],
+                PrimitiveParams::Window(spec),
+                &HintSet::none(),
+            )
+        })
+        .unwrap();
+        assert_eq!(outs.len(), 3);
+        assert_eq!(outs[0].window, Some(WindowId(0)));
+        assert_eq!(outs[2].window, Some(WindowId(2)));
+        // Audit log contains ingress + 3 windowing records.
+        let segments = dp.drain_audit_segments();
+        let records: Vec<AuditRecord> = segments
+            .iter()
+            .flat_map(|s| sbt_attest::decompress_records(&s.compressed).unwrap())
+            .collect();
+        let windowing = records
+            .iter()
+            .filter(|r| matches!(r, AuditRecord::Windowing { .. }))
+            .count();
+        assert_eq!(windowing, 3);
+    }
+
+    #[test]
+    fn retire_reclaims_memory() {
+        let dp = plane();
+        let events: Vec<Event> = (0..50_000).map(|i| Event::new(i, i, i % 1000)).collect();
+        let ingested = ingest_events(&dp, &events);
+        let before = dp.memory_report().committed_bytes;
+        assert!(before > 0);
+        in_tee(|| dp.retire(ingested.opaque)).unwrap();
+        let after = dp.memory_report().committed_bytes;
+        assert_eq!(after, 0);
+        assert_eq!(dp.live_refs(), 0);
+        // The reference is dead: further use is rejected.
+        assert!(in_tee(|| dp.egress(ingested.opaque)).is_err());
+    }
+
+    #[test]
+    fn wrong_arity_or_params_are_rejected() {
+        let dp = plane();
+        let ingested = ingest_events(&dp, &[Event::new(1, 1, 1)]);
+        // Merge needs two inputs.
+        assert!(matches!(
+            in_tee(|| dp.invoke(
+                PrimitiveKind::Merge,
+                &[ingested.opaque],
+                PrimitiveParams::None,
+                &HintSet::none()
+            )),
+            Err(DataPlaneError::BadArguments(_))
+        ));
+        // TopK needs K.
+        assert!(matches!(
+            in_tee(|| dp.invoke(
+                PrimitiveKind::TopK,
+                &[ingested.opaque],
+                PrimitiveParams::None,
+                &HintSet::none()
+            )),
+            Err(DataPlaneError::BadArguments(_))
+        ));
+        // Boundary ops are not invokable.
+        assert!(matches!(
+            in_tee(|| dp.invoke(
+                PrimitiveKind::Ingress,
+                &[ingested.opaque],
+                PrimitiveParams::None,
+                &HintSet::none()
+            )),
+            Err(DataPlaneError::BadArguments(_))
+        ));
+    }
+
+    #[test]
+    fn hints_guide_allocator_placement() {
+        let dp = plane();
+        let a = ingest_events(&dp, &(0..100).map(|i| Event::new(i, i, 0)).collect::<Vec<_>>());
+        // Sort with a consumed-in-parallel hint: output goes to its own group.
+        let groups_before = dp.memory_report().live_groups;
+        let _sorted = in_tee(|| {
+            dp.invoke(
+                PrimitiveKind::Sort,
+                &[a.opaque],
+                PrimitiveParams::None,
+                &HintSet::consumed_in_parallel(1),
+            )
+        })
+        .unwrap();
+        assert!(dp.memory_report().live_groups > groups_before);
+    }
+
+    #[test]
+    fn audit_stream_verifies_for_a_full_pipeline_run() {
+        use sbt_attest::{PipelineSpec, Verifier};
+        let dp = plane();
+        // window 0 events then a watermark at 1s.
+        let events: Vec<Event> = (0..1000).map(|i| Event::new(i % 7, i, i % 1000)).collect();
+        let ingested = ingest_events(&dp, &events);
+        let spec = WindowSpec::fixed(Duration::from_secs(1));
+        let windows = in_tee(|| {
+            dp.invoke(
+                PrimitiveKind::Segment,
+                &[ingested.opaque],
+                PrimitiveParams::Window(spec),
+                &HintSet::none(),
+            )
+        })
+        .unwrap();
+        in_tee(|| dp.ingress_watermark(Watermark::from_secs(1)));
+        let sorted = in_tee(|| {
+            dp.invoke(
+                PrimitiveKind::Sort,
+                &[windows[0].opaque],
+                PrimitiveParams::None,
+                &HintSet::none(),
+            )
+        })
+        .unwrap();
+        let aggs = in_tee(|| {
+            dp.invoke(
+                PrimitiveKind::SumCnt,
+                &[sorted[0].opaque],
+                PrimitiveParams::None,
+                &HintSet::none(),
+            )
+        })
+        .unwrap();
+        in_tee(|| dp.egress(aggs[0].opaque)).unwrap();
+
+        let records: Vec<AuditRecord> = dp
+            .drain_audit_segments()
+            .iter()
+            .flat_map(|s| sbt_attest::decompress_records(&s.compressed).unwrap())
+            .collect();
+        let verifier = Verifier::new(PipelineSpec::new(
+            "groupby-sum",
+            vec![PrimitiveKind::Sort, PrimitiveKind::SumCnt],
+            10_000,
+        ));
+        let report = verifier.replay(&records);
+        assert!(report.is_correct(), "violations: {:?}", report.violations);
+        assert_eq!(report.egressed, 1);
+    }
+
+    #[test]
+    fn concurrent_invocations_from_many_threads() {
+        let dp = plane();
+        let refs: Vec<OpaqueRef> = (0..8)
+            .map(|t| {
+                ingest_events(
+                    &dp,
+                    &(0..5_000).map(|i| Event::new(i % 100, i + t, 0)).collect::<Vec<_>>(),
+                )
+                .opaque
+            })
+            .collect();
+        let mut handles = Vec::new();
+        for r in refs {
+            let dp = dp.clone();
+            handles.push(std::thread::spawn(move || {
+                let sorted = in_tee(|| {
+                    dp.invoke(PrimitiveKind::Sort, &[r], PrimitiveParams::None, &HintSet::none())
+                })
+                .unwrap();
+                let aggs = in_tee(|| {
+                    dp.invoke(
+                        PrimitiveKind::SumCnt,
+                        &[sorted[0].opaque],
+                        PrimitiveParams::None,
+                        &HintSet::none(),
+                    )
+                })
+                .unwrap();
+                aggs[0].len
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 100);
+        }
+        assert_eq!(dp.stats().snapshot().invocations, 16);
+    }
+}

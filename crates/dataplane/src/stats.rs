@@ -1,0 +1,135 @@
+//! Data-plane execution statistics.
+//!
+//! The Figure 9 breakdown separates, for a GroupBy operator, the time spent
+//! in actual computation inside the TEE, in world switches, and in TEE
+//! memory management, as a function of the input batch size. The data plane
+//! measures the first and third per invocation (the switch cost lives in the
+//! `sbt-tz` counters) and accumulates them here.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Breakdown of one invocation's cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InvocationBreakdown {
+    /// Nanoseconds spent executing the primitive itself.
+    pub compute_nanos: u64,
+    /// Simulated nanoseconds spent committing pages for the outputs.
+    pub memory_nanos: u64,
+}
+
+/// Aggregate counters over a data plane's lifetime.
+#[derive(Debug, Default)]
+pub struct DataPlaneStats {
+    /// Total primitive invocations.
+    pub invocations: AtomicU64,
+    /// Total nanoseconds of primitive compute.
+    pub compute_nanos: AtomicU64,
+    /// Total simulated nanoseconds of TEE memory management.
+    pub memory_nanos: AtomicU64,
+    /// Total events ingested.
+    pub events_ingested: AtomicU64,
+    /// Total bytes ingested (plaintext size).
+    pub bytes_ingested: AtomicU64,
+    /// Total nanoseconds spent decrypting ingress data.
+    pub decrypt_nanos: AtomicU64,
+    /// Total results egressed.
+    pub egress_count: AtomicU64,
+    /// Total audit records generated.
+    pub audit_records: AtomicU64,
+}
+
+impl DataPlaneStats {
+    /// Create zeroed stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one primitive invocation's breakdown.
+    pub fn record_invocation(&self, breakdown: InvocationBreakdown) {
+        self.invocations.fetch_add(1, Ordering::Relaxed);
+        self.compute_nanos.fetch_add(breakdown.compute_nanos, Ordering::Relaxed);
+        self.memory_nanos.fetch_add(breakdown.memory_nanos, Ordering::Relaxed);
+    }
+
+    /// Record an ingress of `events` events / `bytes` bytes taking
+    /// `decrypt_nanos` to decrypt (zero for cleartext links).
+    pub fn record_ingress(&self, events: u64, bytes: u64, decrypt_nanos: u64) {
+        self.events_ingested.fetch_add(events, Ordering::Relaxed);
+        self.bytes_ingested.fetch_add(bytes, Ordering::Relaxed);
+        self.decrypt_nanos.fetch_add(decrypt_nanos, Ordering::Relaxed);
+    }
+
+    /// Record one egress.
+    pub fn record_egress(&self) {
+        self.egress_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `n` audit records generated.
+    pub fn record_audit(&self, n: u64) {
+        self.audit_records.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the counters.
+    pub fn snapshot(&self) -> DataPlaneSnapshot {
+        DataPlaneSnapshot {
+            invocations: self.invocations.load(Ordering::Relaxed),
+            compute_nanos: self.compute_nanos.load(Ordering::Relaxed),
+            memory_nanos: self.memory_nanos.load(Ordering::Relaxed),
+            events_ingested: self.events_ingested.load(Ordering::Relaxed),
+            bytes_ingested: self.bytes_ingested.load(Ordering::Relaxed),
+            decrypt_nanos: self.decrypt_nanos.load(Ordering::Relaxed),
+            egress_count: self.egress_count.load(Ordering::Relaxed),
+            audit_records: self.audit_records.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of [`DataPlaneStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DataPlaneSnapshot {
+    /// Total primitive invocations.
+    pub invocations: u64,
+    /// Total nanoseconds of primitive compute.
+    pub compute_nanos: u64,
+    /// Total simulated nanoseconds of TEE memory management.
+    pub memory_nanos: u64,
+    /// Total events ingested.
+    pub events_ingested: u64,
+    /// Total bytes ingested.
+    pub bytes_ingested: u64,
+    /// Total nanoseconds spent decrypting ingress data.
+    pub decrypt_nanos: u64,
+    /// Total results egressed.
+    pub egress_count: u64,
+    /// Total audit records generated.
+    pub audit_records: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = DataPlaneStats::new();
+        s.record_invocation(InvocationBreakdown { compute_nanos: 100, memory_nanos: 10 });
+        s.record_invocation(InvocationBreakdown { compute_nanos: 50, memory_nanos: 5 });
+        s.record_ingress(1000, 12_000, 77);
+        s.record_egress();
+        s.record_audit(3);
+        let snap = s.snapshot();
+        assert_eq!(snap.invocations, 2);
+        assert_eq!(snap.compute_nanos, 150);
+        assert_eq!(snap.memory_nanos, 15);
+        assert_eq!(snap.events_ingested, 1000);
+        assert_eq!(snap.bytes_ingested, 12_000);
+        assert_eq!(snap.decrypt_nanos, 77);
+        assert_eq!(snap.egress_count, 1);
+        assert_eq!(snap.audit_records, 3);
+    }
+
+    #[test]
+    fn default_snapshot_is_zero() {
+        assert_eq!(DataPlaneStats::new().snapshot(), DataPlaneSnapshot::default());
+    }
+}

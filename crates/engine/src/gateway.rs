@@ -1,0 +1,146 @@
+//! The control plane's gateway into the TEE.
+//!
+//! Every data-plane call the control plane makes goes through here: the
+//! gateway owns an SMC session (charging the world-switch cost per
+//! invocation), the IO channel of the configured ingress path (charging a
+//! boundary copy for via-OS ingestion), and the `Arc<DataPlane>` handle. The
+//! rest of the engine never touches the data plane directly, which keeps the
+//! boundary in one auditable place.
+
+use sbt_dataplane::{
+    DataPlane, DataPlaneError, EgressMessage, InvokeOutput, OpaqueRef, PrimitiveParams,
+};
+use sbt_tz::{EntryFunction, IoChannel, SmcSession};
+use sbt_types::{PrimitiveKind, Watermark};
+use sbt_uarray::HintSet;
+use std::sync::Arc;
+
+/// The gateway: SMC session + IO channel + data plane handle.
+pub struct TeeGateway {
+    dp: Arc<DataPlane>,
+    session: SmcSession,
+    io: IoChannel,
+}
+
+impl TeeGateway {
+    /// Open a gateway to a data plane: opens an SMC session and runs the
+    /// `Initialize` entry function.
+    pub fn open(dp: Arc<DataPlane>) -> Self {
+        let session = dp.platform().smc().open_session();
+        session
+            .invoke(EntryFunction::Initialize, || {})
+            .expect("initializing the data plane cannot fail");
+        let io = dp.platform().io_channel();
+        TeeGateway { io, session, dp }
+    }
+
+    /// The underlying data plane (read-only introspection: stats, memory).
+    pub fn data_plane(&self) -> &Arc<DataPlane> {
+        &self.dp
+    }
+
+    /// Ingest a batch of event bytes. Charges the ingress-path cost for the
+    /// delivery and one TEE entry for the ingress call.
+    pub fn ingress(
+        &self,
+        payload: &[u8],
+        encrypted: bool,
+        is_power: bool,
+        keystream_block: u32,
+    ) -> Result<InvokeOutput, DataPlaneError> {
+        self.io.deliver(payload.len());
+        self.session
+            .invoke(EntryFunction::InvokePrimitive, || {
+                self.dp.ingress(payload, encrypted, is_power, keystream_block)
+            })
+            .expect("session is open and initialized")
+    }
+
+    /// Ingest a watermark.
+    pub fn ingress_watermark(&self, wm: Watermark) {
+        self.session
+            .invoke(EntryFunction::InvokePrimitive, || self.dp.ingress_watermark(wm))
+            .expect("session is open and initialized");
+    }
+
+    /// Invoke a trusted primitive.
+    pub fn invoke(
+        &self,
+        op: PrimitiveKind,
+        inputs: &[OpaqueRef],
+        params: PrimitiveParams,
+        hints: &HintSet,
+    ) -> Result<Vec<InvokeOutput>, DataPlaneError> {
+        self.session
+            .invoke(EntryFunction::InvokePrimitive, || self.dp.invoke(op, inputs, params, hints))
+            .expect("session is open and initialized")
+    }
+
+    /// Externalize a result.
+    pub fn egress(&self, r: OpaqueRef) -> Result<EgressMessage, DataPlaneError> {
+        self.session
+            .invoke(EntryFunction::InvokePrimitive, || self.dp.egress(r))
+            .expect("session is open and initialized")
+    }
+
+    /// Retire a reference the control plane will no longer consume.
+    pub fn retire(&self, r: OpaqueRef) -> Result<(), DataPlaneError> {
+        self.session
+            .invoke(EntryFunction::InvokePrimitive, || self.dp.retire(r))
+            .expect("session is open and initialized")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbt_dataplane::DataPlaneConfig;
+    use sbt_tz::Platform;
+    use sbt_types::Event;
+
+    fn gateway() -> TeeGateway {
+        let dp = DataPlane::new(Platform::hikey(), DataPlaneConfig::default());
+        TeeGateway::open(dp)
+    }
+
+    #[test]
+    fn ingress_and_invoke_from_the_normal_world() {
+        // The whole point of the gateway: the calling thread stays in the
+        // normal world and still gets work done inside the TEE.
+        let gw = gateway();
+        assert!(!sbt_tz::WorldTracker::in_secure_world());
+        let events: Vec<Event> = (0..100).map(|i| Event::new(i % 5, i, 0)).collect();
+        let bytes = Event::slice_to_bytes(&events);
+        let ingested = gw.ingress(&bytes, false, false, 0).unwrap();
+        let sorted = gw
+            .invoke(PrimitiveKind::Sort, &[ingested.opaque], PrimitiveParams::None, &HintSet::none())
+            .unwrap();
+        assert_eq!(sorted[0].len, 100);
+        assert!(!sbt_tz::WorldTracker::in_secure_world());
+        // Costs were charged: at least 3 world switches (open + 2 invokes)
+        // and the ingress bytes went through trusted IO.
+        let stats = gw.data_plane().platform().stats().snapshot();
+        assert!(stats.world_switches >= 3);
+        assert_eq!(stats.trusted_io_bytes, bytes.len() as u64);
+    }
+
+    #[test]
+    fn egress_and_retire_round_trip() {
+        let gw = gateway();
+        let events: Vec<Event> = (0..10).map(|i| Event::new(i, i, 0)).collect();
+        let ingested = gw.ingress(&Event::slice_to_bytes(&events), false, false, 0).unwrap();
+        let msg = gw.egress(ingested.opaque).unwrap();
+        assert!(!msg.ciphertext.is_empty());
+        gw.retire(ingested.opaque).unwrap();
+        assert!(gw.egress(ingested.opaque).is_err());
+    }
+
+    #[test]
+    fn watermarks_are_forwarded() {
+        let gw = gateway();
+        gw.ingress_watermark(Watermark::from_secs(1));
+        let segments = gw.data_plane().drain_audit_segments();
+        assert_eq!(segments.len(), 1);
+        assert_eq!(segments[0].record_count, 1);
+    }
+}

@@ -1,0 +1,292 @@
+//! Declarative stream operators and their compilation onto trusted
+//! primitives (Table 2 of the paper).
+//!
+//! Programmers declare pipelines with the operators in this module; the
+//! engine compiles each operator into the sequence of trusted primitives the
+//! data plane must execute per window. The compilation also yields the
+//! [`sbt_attest::PipelineSpec`] the cloud verifier uses, so the declaration
+//! installed on the cloud and the plan executed on the edge come from the
+//! same source.
+
+use sbt_attest::PipelineSpec;
+use sbt_dataplane::PrimitiveParams;
+use sbt_types::{EventTime, PrimitiveKind};
+
+/// A declarative operator over windowed event streams.
+///
+/// Transforming operators (the `Filter*`/`Sample` family) map events to
+/// events and may appear anywhere before the terminal operator; the terminal
+/// operator aggregates the window and ends the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Operator {
+    /// Keep events whose value lies in `[lo, hi]` (inclusive).
+    Filter {
+        /// Lower bound (inclusive).
+        lo: u32,
+        /// Upper bound (inclusive).
+        hi: u32,
+    },
+    /// Keep events whose event time lies in `[start, end)`.
+    FilterTime {
+        /// Start of the retained range (inclusive).
+        start: EventTime,
+        /// End of the retained range (exclusive).
+        end: EventTime,
+    },
+    /// Keep every n-th event.
+    Sample {
+        /// Sampling period.
+        every: usize,
+    },
+    /// Per-key sum and count over the window (GroupBy + Aggregation,
+    /// SumByKey / AggregateByKey in Spark Streaming terms).
+    SumByKey,
+    /// Per-key average over the window (AvgPerKey).
+    AvgPerKey,
+    /// Per-key event count (CountByKey).
+    CountByKey,
+    /// Per-key median (MedianByKey).
+    MedianByKey,
+    /// Distinct keys in the window (Distinct / unique taxis).
+    Distinct,
+    /// The K largest values per key in the window (TopKPerKey).
+    TopKPerKey {
+        /// How many values to keep per key.
+        k: usize,
+    },
+    /// The K largest values in the whole window (TopK / CountByWindow style
+    /// global aggregations).
+    TopK {
+        /// How many values to keep.
+        k: usize,
+    },
+    /// Sum of all values in the window (windowed aggregation, WinSum).
+    WindowSum,
+    /// Count of all events in the window (CountByWindow).
+    CountByWindow,
+    /// Mean of all values in the window.
+    WindowAverage,
+    /// Minimum and maximum value in the window.
+    WindowMinMax,
+    /// Median value of the window.
+    WindowMedian,
+    /// Temporal equi-join of two input streams within the window (TempJoin).
+    TempJoin,
+    /// Pass the (possibly filtered) events through unchanged; the window's
+    /// events themselves are the result.
+    Passthrough,
+}
+
+/// How a terminal operator reduces a window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReduceKind {
+    /// Sort each partition, merge, then apply a grouped primitive.
+    Grouped {
+        /// The grouped primitive applied after the merge.
+        primitive: PrimitiveKind,
+        /// Its parameters.
+        params: PrimitiveParams,
+    },
+    /// Concatenate partitions, then apply a whole-window primitive.
+    Whole {
+        /// The whole-window primitive.
+        primitive: PrimitiveKind,
+        /// Its parameters.
+        params: PrimitiveParams,
+    },
+    /// Sort/merge both input streams, then join them.
+    Join,
+    /// Concatenate partitions and externalize the events unchanged.
+    Passthrough,
+}
+
+impl Operator {
+    /// Whether this operator transforms events to events (and therefore may
+    /// be followed by further operators).
+    pub fn is_transform(&self) -> bool {
+        matches!(
+            self,
+            Operator::Filter { .. } | Operator::FilterTime { .. } | Operator::Sample { .. }
+        )
+    }
+
+    /// The trusted primitive and parameters a transform operator runs on
+    /// each partition. Panics if called on a terminal operator.
+    pub fn transform_primitive(&self) -> (PrimitiveKind, PrimitiveParams) {
+        match *self {
+            Operator::Filter { lo, hi } => {
+                (PrimitiveKind::FilterBand, PrimitiveParams::Band { lo, hi })
+            }
+            Operator::FilterTime { start, end } => {
+                (PrimitiveKind::FilterTime, PrimitiveParams::TimeRange { start, end })
+            }
+            Operator::Sample { every } => (PrimitiveKind::Sample, PrimitiveParams::Every(every)),
+            _ => panic!("not a transform operator: {self:?}"),
+        }
+    }
+
+    /// How this terminal operator reduces a window. Panics if called on a
+    /// transform operator.
+    pub fn reduce_kind(&self) -> ReduceKind {
+        match *self {
+            Operator::SumByKey => ReduceKind::Grouped {
+                primitive: PrimitiveKind::SumCnt,
+                params: PrimitiveParams::None,
+            },
+            Operator::AvgPerKey => ReduceKind::Grouped {
+                primitive: PrimitiveKind::AveragePerKey,
+                params: PrimitiveParams::None,
+            },
+            Operator::CountByKey => ReduceKind::Grouped {
+                primitive: PrimitiveKind::CountPerKey,
+                params: PrimitiveParams::None,
+            },
+            Operator::MedianByKey => ReduceKind::Grouped {
+                primitive: PrimitiveKind::MedianPerKey,
+                params: PrimitiveParams::None,
+            },
+            Operator::Distinct => ReduceKind::Grouped {
+                primitive: PrimitiveKind::Unique,
+                params: PrimitiveParams::None,
+            },
+            Operator::TopKPerKey { k } => ReduceKind::Grouped {
+                primitive: PrimitiveKind::TopKPerKey,
+                params: PrimitiveParams::K(k),
+            },
+            Operator::TopK { k } => ReduceKind::Whole {
+                primitive: PrimitiveKind::TopK,
+                params: PrimitiveParams::K(k),
+            },
+            Operator::WindowSum => ReduceKind::Whole {
+                primitive: PrimitiveKind::Sum,
+                params: PrimitiveParams::None,
+            },
+            Operator::CountByWindow => ReduceKind::Whole {
+                primitive: PrimitiveKind::Count,
+                params: PrimitiveParams::None,
+            },
+            Operator::WindowAverage => ReduceKind::Whole {
+                primitive: PrimitiveKind::Average,
+                params: PrimitiveParams::None,
+            },
+            Operator::WindowMinMax => ReduceKind::Whole {
+                primitive: PrimitiveKind::MinMax,
+                params: PrimitiveParams::None,
+            },
+            Operator::WindowMedian => ReduceKind::Whole {
+                primitive: PrimitiveKind::Median,
+                params: PrimitiveParams::None,
+            },
+            Operator::TempJoin => ReduceKind::Join,
+            Operator::Passthrough => ReduceKind::Passthrough,
+            Operator::Filter { .. } | Operator::FilterTime { .. } | Operator::Sample { .. } => {
+                panic!("not a terminal operator: {self:?}")
+            }
+        }
+    }
+}
+
+/// Derive the verifier's pipeline declaration from an operator chain.
+///
+/// `transforms` are the event-to-event operators in order; `terminal` is the
+/// final aggregating operator.
+pub fn derive_spec(
+    name: &str,
+    transforms: &[Operator],
+    terminal: Operator,
+    target_delay_ms: u32,
+) -> PipelineSpec {
+    let mut stages: Vec<PrimitiveKind> = Vec::new();
+    for t in transforms {
+        stages.push(t.transform_primitive().0);
+    }
+    match terminal.reduce_kind() {
+        ReduceKind::Grouped { primitive, .. } => {
+            stages.push(PrimitiveKind::Sort);
+            stages.push(primitive);
+        }
+        ReduceKind::Whole { primitive, .. } => stages.push(primitive),
+        ReduceKind::Join => {
+            stages.push(PrimitiveKind::Sort);
+            stages.push(PrimitiveKind::Join);
+        }
+        ReduceKind::Passthrough => {}
+    }
+    PipelineSpec::new(name, stages, target_delay_ms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transform_classification() {
+        assert!(Operator::Filter { lo: 0, hi: 1 }.is_transform());
+        assert!(Operator::Sample { every: 2 }.is_transform());
+        assert!(!Operator::WindowSum.is_transform());
+        assert!(!Operator::TempJoin.is_transform());
+    }
+
+    #[test]
+    fn transform_primitives_carry_their_params() {
+        let (p, params) = Operator::Filter { lo: 5, hi: 9 }.transform_primitive();
+        assert_eq!(p, PrimitiveKind::FilterBand);
+        assert_eq!(params, PrimitiveParams::Band { lo: 5, hi: 9 });
+        let (p, params) = Operator::Sample { every: 3 }.transform_primitive();
+        assert_eq!(p, PrimitiveKind::Sample);
+        assert_eq!(params, PrimitiveParams::Every(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a transform operator")]
+    fn terminal_operator_has_no_transform_primitive() {
+        let _ = Operator::WindowSum.transform_primitive();
+    }
+
+    #[test]
+    #[should_panic(expected = "not a terminal operator")]
+    fn transform_operator_has_no_reduce_kind() {
+        let _ = Operator::Filter { lo: 0, hi: 1 }.reduce_kind();
+    }
+
+    #[test]
+    fn grouped_operators_compile_to_sort_plus_grouped_primitive() {
+        match Operator::SumByKey.reduce_kind() {
+            ReduceKind::Grouped { primitive, .. } => assert_eq!(primitive, PrimitiveKind::SumCnt),
+            other => panic!("unexpected {other:?}"),
+        }
+        match (Operator::TopKPerKey { k: 3 }).reduce_kind() {
+            ReduceKind::Grouped { primitive, params } => {
+                assert_eq!(primitive, PrimitiveKind::TopKPerKey);
+                assert_eq!(params, PrimitiveParams::K(3));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spec_derivation_matches_plan_shapes() {
+        let spec = derive_spec("winsum", &[], Operator::WindowSum, 20);
+        assert_eq!(spec.stages, vec![PrimitiveKind::Sum]);
+
+        let spec = derive_spec("topk", &[], Operator::TopKPerKey { k: 10 }, 500);
+        assert_eq!(spec.stages, vec![PrimitiveKind::Sort, PrimitiveKind::TopKPerKey]);
+
+        let spec = derive_spec(
+            "filter-distinct",
+            &[Operator::Filter { lo: 0, hi: 100 }],
+            Operator::Distinct,
+            200,
+        );
+        assert_eq!(
+            spec.stages,
+            vec![PrimitiveKind::FilterBand, PrimitiveKind::Sort, PrimitiveKind::Unique]
+        );
+
+        let spec = derive_spec("join", &[], Operator::TempJoin, 250);
+        assert_eq!(spec.stages, vec![PrimitiveKind::Sort, PrimitiveKind::Join]);
+
+        let spec = derive_spec("pass", &[], Operator::Passthrough, 10);
+        assert!(spec.stages.is_empty());
+    }
+}

@@ -1,0 +1,149 @@
+//! The control plane's worker-thread pool.
+//!
+//! The engine maintains a pool of worker threads onto which it elastically
+//! maps the parallelism it creates (per-batch primitives, merge-tree rounds).
+//! Thread scheduling and synchronization stay entirely in the normal world —
+//! the data plane is oblivious to them (§4.2).
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of worker threads executing submitted jobs.
+pub struct WorkerPool {
+    workers: Vec<JoinHandle<()>>,
+    sender: Option<Sender<Job>>,
+    size: usize,
+}
+
+impl WorkerPool {
+    /// Spawn a pool with `size` workers (at least one).
+    pub fn new(size: usize) -> Self {
+        let size = size.max(1);
+        let (sender, receiver): (Sender<Job>, Receiver<Job>) = unbounded();
+        let workers = (0..size)
+            .map(|i| {
+                let rx = receiver.clone();
+                std::thread::Builder::new()
+                    .name(format!("sbt-worker-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("spawning worker thread")
+            })
+            .collect();
+        WorkerPool { workers, sender: Some(sender), size }
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Run a set of tasks to completion on the pool and return their results
+    /// in submission order. Blocks the calling thread until all tasks finish.
+    pub fn run_all<T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let n = tasks.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let (result_tx, result_rx) = unbounded::<(usize, T)>();
+        let sender = self.sender.as_ref().expect("pool is alive");
+        for (i, task) in tasks.into_iter().enumerate() {
+            let tx = result_tx.clone();
+            sender
+                .send(Box::new(move || {
+                    let out = task();
+                    // The receiver lives until all results are collected.
+                    let _ = tx.send((i, out));
+                }))
+                .expect("worker channel is open");
+        }
+        drop(result_tx);
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let (i, value) = result_rx.recv().expect("all tasks report a result");
+            slots[i] = Some(value);
+        }
+        slots.into_iter().map(|s| s.expect("every slot filled")).collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channel stops the workers; join them for a clean exit.
+        drop(self.sender.take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let pool = WorkerPool::new(4);
+        let tasks: Vec<_> = (0..32)
+            .map(|i| {
+                move || {
+                    // Vary the work so completion order differs from
+                    // submission order.
+                    std::thread::sleep(std::time::Duration::from_micros((32 - i) as u64 * 10));
+                    i * 2
+                }
+            })
+            .collect();
+        let results = pool.run_all(tasks);
+        assert_eq!(results, (0..32).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_task_list_returns_immediately() {
+        let pool = WorkerPool::new(2);
+        let results: Vec<i32> = pool.run_all(Vec::<fn() -> i32>::new());
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn pool_size_is_clamped_and_reported() {
+        assert_eq!(WorkerPool::new(0).size(), 1);
+        assert_eq!(WorkerPool::new(3).size(), 3);
+    }
+
+    #[test]
+    fn all_workers_participate() {
+        let pool = WorkerPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let tasks: Vec<_> = (0..100)
+            .map(|_| {
+                let c = counter.clone();
+                move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+            .collect();
+        pool.run_all(tasks);
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn pool_survives_multiple_rounds() {
+        let pool = WorkerPool::new(2);
+        for round in 0..10 {
+            let results = pool.run_all((0..8).map(|i| move || i + round).collect::<Vec<_>>());
+            assert_eq!(results.len(), 8);
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! The Join trusted primitive: sort-merge equi-join of two key-sorted event
+//! arrays within the same window (§5; the Join / TempJoin benchmark of §9.2).
+//!
+//! Both inputs must already be sorted by key (the Sort primitive runs first
+//! in the temporal-join pipeline). The join then advances two cursors and
+//! emits the cross product of each matching key run — the classic sort-merge
+//! join, chosen over a hash join for the same TEE-friendliness reasons as
+//! the grouped aggregates.
+
+use sbt_types::Event;
+
+/// One joined output row: the shared key and the two sides' values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct JoinedPair {
+    /// The join key.
+    pub key: u32,
+    /// Value from the left input.
+    pub left_value: u32,
+    /// Value from the right input.
+    pub right_value: u32,
+    /// Event time of the left event (the pipelines' convention for the
+    /// output timestamp).
+    pub ts_ms: u32,
+}
+
+/// Sort-merge equi-join of two key-sorted arrays.
+pub fn join_by_key(left: &[Event], right: &[Event]) -> Vec<JoinedPair> {
+    debug_assert!(left.windows(2).all(|w| w[0].key <= w[1].key), "left input not key-sorted");
+    debug_assert!(right.windows(2).all(|w| w[0].key <= w[1].key), "right input not key-sorted");
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < left.len() && j < right.len() {
+        let lk = left[i].key;
+        let rk = right[j].key;
+        if lk < rk {
+            i += 1;
+        } else if lk > rk {
+            j += 1;
+        } else {
+            // Find both runs of the matching key and emit the cross product.
+            let i_end = left[i..].iter().position(|e| e.key != lk).map_or(left.len(), |p| i + p);
+            let j_end =
+                right[j..].iter().position(|e| e.key != rk).map_or(right.len(), |p| j + p);
+            for l in &left[i..i_end] {
+                for r in &right[j..j_end] {
+                    out.push(JoinedPair {
+                        key: lk,
+                        left_value: l.value,
+                        right_value: r.value,
+                        ts_ms: l.ts_ms,
+                    });
+                }
+            }
+            i = i_end;
+            j = j_end;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sort::sort_events_by_key;
+    use proptest::prelude::*;
+
+    fn evs(pairs: &[(u32, u32)]) -> Vec<Event> {
+        sort_events_by_key(
+            &pairs.iter().map(|(k, v)| Event::new(*k, *v, 0)).collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn joins_matching_keys_only() {
+        let left = evs(&[(1, 10), (2, 20), (4, 40)]);
+        let right = evs(&[(2, 200), (3, 300), (4, 400)]);
+        let out = join_by_key(&left, &right);
+        let keys: Vec<u32> = out.iter().map(|p| p.key).collect();
+        assert_eq!(keys, vec![2, 4]);
+        assert_eq!(out[0].left_value, 20);
+        assert_eq!(out[0].right_value, 200);
+    }
+
+    #[test]
+    fn emits_cross_product_for_duplicate_keys() {
+        let left = evs(&[(7, 1), (7, 2)]);
+        let right = evs(&[(7, 10), (7, 20), (7, 30)]);
+        let out = join_by_key(&left, &right);
+        assert_eq!(out.len(), 6);
+        assert!(out.iter().all(|p| p.key == 7));
+    }
+
+    #[test]
+    fn disjoint_or_empty_inputs_produce_nothing() {
+        let left = evs(&[(1, 1)]);
+        let right = evs(&[(2, 2)]);
+        assert!(join_by_key(&left, &right).is_empty());
+        assert!(join_by_key(&[], &right).is_empty());
+        assert!(join_by_key(&left, &[]).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn join_matches_nested_loop_reference(
+            left in proptest::collection::vec((0u32..20, any::<u32>()), 0..100),
+            right in proptest::collection::vec((0u32..20, any::<u32>()), 0..100),
+        ) {
+            let l = evs(&left);
+            let r = evs(&right);
+            let got = join_by_key(&l, &r);
+
+            // Nested-loop reference over the same (sorted) inputs.
+            let mut expected = Vec::new();
+            for le in &l {
+                for re in &r {
+                    if le.key == re.key {
+                        expected.push(JoinedPair {
+                            key: le.key,
+                            left_value: le.value,
+                            right_value: re.value,
+                            ts_ms: le.ts_ms,
+                        });
+                    }
+                }
+            }
+            // Compare as multisets (order differs between the algorithms).
+            let mut got_sorted = got.clone();
+            let mut expected_sorted = expected.clone();
+            let keyfn = |p: &JoinedPair| (p.key, p.left_value, p.right_value);
+            got_sorted.sort_by_key(keyfn);
+            expected_sorted.sort_by_key(keyfn);
+            prop_assert_eq!(got_sorted, expected_sorted);
+        }
+
+        #[test]
+        fn join_output_size_is_product_of_run_lengths(
+            keys in proptest::collection::vec(0u32..5, 0..50),
+        ) {
+            // Join an array with itself: output size is sum over keys of n_k^2.
+            let events = evs(&keys.iter().map(|k| (*k, 0)).collect::<Vec<_>>());
+            let out = join_by_key(&events, &events);
+            let mut counts = std::collections::HashMap::new();
+            for k in &keys {
+                *counts.entry(*k).or_insert(0u64) += 1;
+            }
+            let expected: u64 = counts.values().map(|n| n * n).sum();
+            prop_assert_eq!(out.len() as u64, expected);
+        }
+    }
+}

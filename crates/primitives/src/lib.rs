@@ -1,0 +1,42 @@
+//! Trusted primitives: the only computations allowed on protected stream
+//! data inside the StreamBox-TZ data plane (§5, Table 2).
+//!
+//! Trusted primitives are stateless, single-threaded functions over
+//! contiguous arrays. They deliberately trade algorithmic sophistication for
+//! simple logic and low memory overhead: the data plane's universal data
+//! container is a flat array, so most primitives are sequential scans or
+//! merge passes over sorted arrays rather than hash-table lookups. The two
+//! hottest primitives — Sort and Merge — use a lane-parallel, branch-reduced
+//! implementation standing in for the paper's hand-written ARMv8 NEON
+//! kernels (the scalar baselines they are compared against in §9.3 live in
+//! the benchmark harness).
+//!
+//! All primitives are pure functions of their inputs, which is what lets the
+//! cloud verifier reason about dataflow without re-executing them, and what
+//! makes parallel invocation from many worker threads safe without any
+//! locking inside the TEE.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod concat;
+pub mod filter;
+pub mod grouped;
+pub mod join;
+pub mod merge;
+pub mod segment;
+pub mod sort;
+pub mod topk;
+
+pub use aggregate::{average, count, median, min_max, sum, sum_count};
+pub use concat::{concat_events, union_events};
+pub use filter::{filter_band, filter_time, project_keys, sample_every};
+pub use grouped::{
+    avg_per_key, count_per_key, median_per_key, sum_count_per_key, unique_keys,
+};
+pub use join::join_by_key;
+pub use merge::{merge_sorted_by_key, merge_sorted_u64, multiway_merge_u64};
+pub use segment::segment_by_window;
+pub use sort::{sort_events_by_key, sort_events_by_time, sort_events_by_value, vector_sort_u64};
+pub use topk::{top_k_by_value, top_k_per_key};

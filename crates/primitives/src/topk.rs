@@ -1,0 +1,126 @@
+//! The TopK / TopKPerKey trusted primitives (§5, Table 2).
+//!
+//! TopK identifies the K largest values in a window; TopKPerKey does the
+//! same within each key group of a key-sorted array (the TopK benchmark of
+//! §9.2). Both are built on the vectorized sort kernel rather than a heap,
+//! matching the array-based design of the data plane.
+
+use crate::sort::vector_sort_u64;
+use sbt_types::Event;
+
+/// The `k` largest values in the window, in descending order. If the input
+/// has fewer than `k` events, all values are returned.
+pub fn top_k_by_value(events: &[Event], k: usize) -> Vec<u32> {
+    if k == 0 || events.is_empty() {
+        return Vec::new();
+    }
+    let mut values: Vec<u64> = events.iter().map(|e| e.value as u64).collect();
+    vector_sort_u64(&mut values);
+    values.iter().rev().take(k).map(|v| *v as u32).collect()
+}
+
+/// For each key in a key-sorted array, the `k` largest values in descending
+/// order. The output is ordered by key.
+pub fn top_k_per_key(sorted_events: &[Event], k: usize) -> Vec<(u32, Vec<u32>)> {
+    debug_assert!(
+        sorted_events.windows(2).all(|w| w[0].key <= w[1].key),
+        "top_k_per_key requires key-sorted input"
+    );
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut start = 0;
+    while start < sorted_events.len() {
+        let key = sorted_events[start].key;
+        let mut end = start + 1;
+        while end < sorted_events.len() && sorted_events[end].key == key {
+            end += 1;
+        }
+        out.push((key, top_k_by_value(&sorted_events[start..end], k)));
+        start = end;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sort::sort_events_by_key;
+    use proptest::prelude::*;
+
+    fn evs(values: &[u32]) -> Vec<Event> {
+        values.iter().map(|v| Event::new(0, *v, 0)).collect()
+    }
+
+    #[test]
+    fn top_k_returns_largest_in_descending_order() {
+        let e = evs(&[5, 1, 9, 3, 7]);
+        assert_eq!(top_k_by_value(&e, 3), vec![9, 7, 5]);
+        assert_eq!(top_k_by_value(&e, 10), vec![9, 7, 5, 3, 1]);
+        assert_eq!(top_k_by_value(&e, 0), Vec::<u32>::new());
+        assert_eq!(top_k_by_value(&[], 3), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn top_k_keeps_duplicates() {
+        let e = evs(&[4, 4, 4, 1]);
+        assert_eq!(top_k_by_value(&e, 2), vec![4, 4]);
+    }
+
+    #[test]
+    fn top_k_per_key_groups_correctly() {
+        let events = sort_events_by_key(&[
+            Event::new(2, 10, 0),
+            Event::new(1, 50, 0),
+            Event::new(2, 30, 0),
+            Event::new(1, 40, 0),
+            Event::new(2, 20, 0),
+        ]);
+        let out = top_k_per_key(&events, 2);
+        assert_eq!(out, vec![(1, vec![50, 40]), (2, vec![30, 20])]);
+    }
+
+    #[test]
+    fn top_k_per_key_zero_k_is_empty() {
+        let events = evs(&[1, 2, 3]);
+        assert!(top_k_per_key(&events, 0).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn top_k_matches_sorted_reference(
+            values in proptest::collection::vec(any::<u32>(), 0..300),
+            k in 0usize..20,
+        ) {
+            let e = evs(&values);
+            let got = top_k_by_value(&e, k);
+            let mut expected = values.clone();
+            expected.sort_unstable_by(|a, b| b.cmp(a));
+            expected.truncate(k);
+            prop_assert_eq!(got, expected);
+        }
+
+        #[test]
+        fn per_key_top_k_matches_reference(
+            pairs in proptest::collection::vec((0u32..20, any::<u32>()), 0..300),
+            k in 1usize..5,
+        ) {
+            let events: Vec<Event> = pairs.iter().map(|(key, v)| Event::new(*key, *v, 0)).collect();
+            let sorted = sort_events_by_key(&events);
+            let got = top_k_per_key(&sorted, k);
+            // Reference.
+            let mut by_key: std::collections::BTreeMap<u32, Vec<u32>> = Default::default();
+            for (key, v) in &pairs {
+                by_key.entry(*key).or_default().push(*v);
+            }
+            prop_assert_eq!(got.len(), by_key.len());
+            for (key, top) in got {
+                let mut expected = by_key[&key].clone();
+                expected.sort_unstable_by(|a, b| b.cmp(a));
+                expected.truncate(k);
+                prop_assert_eq!(top, expected);
+            }
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Batch descriptors.
+//!
+//! The control plane organizes data in batches to amortize per-invocation
+//! overheads (TEE entry/exit in particular, §4.2/§8). The batch *contents*
+//! live inside the data plane as uArrays; what crosses the boundary is only
+//! metadata plus an opaque reference. `BatchMeta` is that metadata.
+
+use crate::time::EventTime;
+use crate::window::WindowId;
+use serde::{Deserialize, Serialize};
+
+/// Identifier the control plane uses to talk about a batch it cannot see.
+///
+/// This is distinct from the data plane's opaque references: `BatchId` is a
+/// control-plane bookkeeping id (small, sequential), while opaque references
+/// are long random integers minted and validated by the data plane.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct BatchId(pub u64);
+
+impl BatchId {
+    /// The next sequential batch id.
+    pub fn next(self) -> BatchId {
+        BatchId(self.0 + 1)
+    }
+}
+
+/// Metadata about a batch of events held inside the data plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchMeta {
+    /// Control-plane id of the batch.
+    pub id: BatchId,
+    /// Number of events in the batch.
+    pub len: usize,
+    /// Minimum event time present in the batch.
+    pub min_ts: EventTime,
+    /// Maximum event time present in the batch.
+    pub max_ts: EventTime,
+    /// The window this batch has been assigned to, if already segmented.
+    pub window: Option<WindowId>,
+}
+
+impl BatchMeta {
+    /// Metadata for an empty batch.
+    pub fn empty(id: BatchId) -> Self {
+        BatchMeta { id, len: 0, min_ts: EventTime::MAX, max_ts: EventTime::ZERO, window: None }
+    }
+
+    /// Whether the batch holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Fold an event's timestamp into the min/max bounds.
+    pub fn observe(&mut self, ts: EventTime) {
+        self.len += 1;
+        if ts < self.min_ts {
+            self.min_ts = ts;
+        }
+        if ts > self.max_ts {
+            self.max_ts = ts;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_batch_meta() {
+        let m = BatchMeta::empty(BatchId(3));
+        assert!(m.is_empty());
+        assert_eq!(m.id, BatchId(3));
+    }
+
+    #[test]
+    fn observe_tracks_bounds() {
+        let mut m = BatchMeta::empty(BatchId(0));
+        m.observe(EventTime::from_millis(50));
+        m.observe(EventTime::from_millis(10));
+        m.observe(EventTime::from_millis(90));
+        assert_eq!(m.len, 3);
+        assert_eq!(m.min_ts, EventTime::from_millis(10));
+        assert_eq!(m.max_ts, EventTime::from_millis(90));
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn batch_id_next_increments() {
+        assert_eq!(BatchId(7).next(), BatchId(8));
+    }
+}

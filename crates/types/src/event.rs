@@ -1,0 +1,256 @@
+//! Event layouts used by the benchmarks and the engine.
+//!
+//! The evaluation in the paper uses fixed-width telemetry events: a generic
+//! 12-byte event with three 32-bit fields (key, value, event time) and a
+//! 16-byte power-grid event with four fields (power, plug, house, time).
+//! Fixed-width, plain-old-data events are what makes the data plane's
+//! array-based primitives and `memcpy`-free ingestion possible.
+
+use crate::time::EventTime;
+use serde::{Deserialize, Serialize};
+
+/// Size in bytes of a serialized generic [`Event`].
+pub const EVENT_BYTES: usize = 12;
+
+/// Size in bytes of a serialized [`PowerEvent`].
+pub const POWER_EVENT_BYTES: usize = 16;
+
+/// A generic 12-byte telemetry event: `(key, value, event-time seconds-offset)`.
+///
+/// The `ts` field carries event time in **milliseconds** relative to the
+/// stream origin, which is enough to express the paper's 1-second windows at
+/// millisecond resolution while keeping the event at 12 bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[repr(C)]
+pub struct Event {
+    /// Grouping key (e.g. sensor id, taxi id).
+    pub key: u32,
+    /// Measured value (e.g. reading, trip length).
+    pub value: u32,
+    /// Event time, milliseconds since stream origin.
+    pub ts_ms: u32,
+}
+
+impl Event {
+    /// Construct an event.
+    pub fn new(key: u32, value: u32, ts_ms: u32) -> Self {
+        Event { key, value, ts_ms }
+    }
+
+    /// Event time of this event.
+    pub fn event_time(&self) -> EventTime {
+        EventTime::from_millis(self.ts_ms as u64)
+    }
+
+    /// Serialize into the 12-byte little-endian wire format used on the
+    /// source→edge link.
+    pub fn to_bytes(&self) -> [u8; EVENT_BYTES] {
+        let mut out = [0u8; EVENT_BYTES];
+        out[0..4].copy_from_slice(&self.key.to_le_bytes());
+        out[4..8].copy_from_slice(&self.value.to_le_bytes());
+        out[8..12].copy_from_slice(&self.ts_ms.to_le_bytes());
+        out
+    }
+
+    /// Parse from the 12-byte wire format. Returns `None` if `bytes` is too
+    /// short.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < EVENT_BYTES {
+            return None;
+        }
+        Some(Event {
+            key: u32::from_le_bytes(bytes[0..4].try_into().ok()?),
+            value: u32::from_le_bytes(bytes[4..8].try_into().ok()?),
+            ts_ms: u32::from_le_bytes(bytes[8..12].try_into().ok()?),
+        })
+    }
+
+    /// Serialize a slice of events into a contiguous byte buffer.
+    pub fn slice_to_bytes(events: &[Event]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(events.len() * EVENT_BYTES);
+        for e in events {
+            out.extend_from_slice(&e.to_bytes());
+        }
+        out
+    }
+
+    /// Parse a contiguous byte buffer into events; trailing partial events are
+    /// dropped.
+    pub fn slice_from_bytes(bytes: &[u8]) -> Vec<Event> {
+        bytes
+            .chunks_exact(EVENT_BYTES)
+            .filter_map(Event::from_bytes)
+            .collect()
+    }
+}
+
+/// A 16-byte power-grid event as used by the Power benchmark:
+/// `(power, plug, house, time)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[repr(C)]
+pub struct PowerEvent {
+    /// Instantaneous power reading of the plug (watts).
+    pub power: u32,
+    /// Plug identifier, unique within a house.
+    pub plug: u32,
+    /// House identifier.
+    pub house: u32,
+    /// Event time, milliseconds since stream origin.
+    pub ts_ms: u32,
+}
+
+impl PowerEvent {
+    /// Construct a power event.
+    pub fn new(power: u32, plug: u32, house: u32, ts_ms: u32) -> Self {
+        PowerEvent { power, plug, house, ts_ms }
+    }
+
+    /// Event time of this event.
+    pub fn event_time(&self) -> EventTime {
+        EventTime::from_millis(self.ts_ms as u64)
+    }
+
+    /// Serialize into the 16-byte little-endian wire format.
+    pub fn to_bytes(&self) -> [u8; POWER_EVENT_BYTES] {
+        let mut out = [0u8; POWER_EVENT_BYTES];
+        out[0..4].copy_from_slice(&self.power.to_le_bytes());
+        out[4..8].copy_from_slice(&self.plug.to_le_bytes());
+        out[8..12].copy_from_slice(&self.house.to_le_bytes());
+        out[12..16].copy_from_slice(&self.ts_ms.to_le_bytes());
+        out
+    }
+
+    /// Parse from the 16-byte wire format.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < POWER_EVENT_BYTES {
+            return None;
+        }
+        Some(PowerEvent {
+            power: u32::from_le_bytes(bytes[0..4].try_into().ok()?),
+            plug: u32::from_le_bytes(bytes[4..8].try_into().ok()?),
+            house: u32::from_le_bytes(bytes[8..12].try_into().ok()?),
+            ts_ms: u32::from_le_bytes(bytes[12..16].try_into().ok()?),
+        })
+    }
+
+    /// Serialize a slice of power events into a contiguous byte buffer.
+    pub fn slice_to_bytes(events: &[PowerEvent]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(events.len() * POWER_EVENT_BYTES);
+        for e in events {
+            out.extend_from_slice(&e.to_bytes());
+        }
+        out
+    }
+
+    /// Parse a contiguous byte buffer into power events; trailing partial
+    /// events are dropped.
+    pub fn slice_from_bytes(bytes: &[u8]) -> Vec<PowerEvent> {
+        bytes
+            .chunks_exact(POWER_EVENT_BYTES)
+            .filter_map(PowerEvent::from_bytes)
+            .collect()
+    }
+
+    /// Project onto the generic event layout used by the shared primitives:
+    /// the composite `(house, plug)` becomes the key and `power` the value.
+    pub fn to_generic(&self) -> Event {
+        Event {
+            key: (self.house << 16) | (self.plug & 0xFFFF),
+            value: self.power,
+            ts_ms: self.ts_ms,
+        }
+    }
+}
+
+/// A taxi-trip event for the Distinct benchmark, carried on the generic
+/// 12-byte layout with the taxi id as the key.
+///
+/// This is a semantic alias rather than a distinct wire format; it exists so
+/// workloads and examples can speak the domain language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct TaxiEvent {
+    /// Taxi identifier (the paper's dataset has ~11 K distinct ids).
+    pub taxi_id: u32,
+    /// Trip attribute (e.g. fare in cents or trip distance in meters).
+    pub attribute: u32,
+    /// Event time, milliseconds since stream origin.
+    pub ts_ms: u32,
+}
+
+impl TaxiEvent {
+    /// Construct a taxi event.
+    pub fn new(taxi_id: u32, attribute: u32, ts_ms: u32) -> Self {
+        TaxiEvent { taxi_id, attribute, ts_ms }
+    }
+
+    /// Convert to the generic event layout.
+    pub fn to_generic(&self) -> Event {
+        Event { key: self.taxi_id, value: self.attribute, ts_ms: self.ts_ms }
+    }
+
+    /// Convert from the generic event layout.
+    pub fn from_generic(e: Event) -> Self {
+        TaxiEvent { taxi_id: e.key, attribute: e.value, ts_ms: e.ts_ms }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_byte_round_trip() {
+        let e = Event::new(7, 42, 1234);
+        let b = e.to_bytes();
+        assert_eq!(b.len(), EVENT_BYTES);
+        assert_eq!(Event::from_bytes(&b), Some(e));
+        assert_eq!(Event::from_bytes(&b[..11]), None);
+    }
+
+    #[test]
+    fn power_event_byte_round_trip() {
+        let e = PowerEvent::new(900, 3, 12, 555);
+        let b = e.to_bytes();
+        assert_eq!(b.len(), POWER_EVENT_BYTES);
+        assert_eq!(PowerEvent::from_bytes(&b), Some(e));
+        assert_eq!(PowerEvent::from_bytes(&b[..15]), None);
+    }
+
+    #[test]
+    fn slice_round_trip_drops_partial_tail() {
+        let evs: Vec<Event> = (0..10).map(|i| Event::new(i, i * 2, i * 3)).collect();
+        let mut bytes = Event::slice_to_bytes(&evs);
+        bytes.extend_from_slice(&[1, 2, 3]); // partial trailing event
+        let parsed = Event::slice_from_bytes(&bytes);
+        assert_eq!(parsed, evs);
+    }
+
+    #[test]
+    fn power_slice_round_trip() {
+        let evs: Vec<PowerEvent> =
+            (0..8).map(|i| PowerEvent::new(i * 10, i, i / 2, i * 100)).collect();
+        let bytes = PowerEvent::slice_to_bytes(&evs);
+        assert_eq!(PowerEvent::slice_from_bytes(&bytes), evs);
+    }
+
+    #[test]
+    fn power_event_generic_projection_is_injective_for_small_ids() {
+        let a = PowerEvent::new(1, 2, 3, 4).to_generic();
+        let b = PowerEvent::new(1, 3, 2, 4).to_generic();
+        assert_ne!(a.key, b.key);
+        assert_eq!(a.value, 1);
+    }
+
+    #[test]
+    fn taxi_event_round_trips_through_generic() {
+        let t = TaxiEvent::new(10_999, 77, 123);
+        assert_eq!(TaxiEvent::from_generic(t.to_generic()), t);
+    }
+
+    #[test]
+    fn event_time_uses_millis() {
+        let e = Event::new(0, 0, 2_500);
+        assert_eq!(e.event_time().as_millis(), 2_500);
+        assert_eq!(e.event_time().as_secs(), 2);
+    }
+}

@@ -1,0 +1,189 @@
+//! Identities of the trusted primitives and boundary operations.
+//!
+//! The data plane exports 23 low-level trusted primitives (Table 2); the
+//! audit records of §7 identify which primitive each record refers to with a
+//! 16-bit op code, plus dedicated codes for ingress, egress and windowing.
+//! Keeping the enum here (in the inert shared-types crate) lets the data
+//! plane, the attestation codec and the cloud verifier agree on op codes
+//! without depending on the primitive implementations.
+
+use serde::{Deserialize, Serialize};
+
+/// One of the data plane's trusted primitives, or a boundary operation
+/// (ingress / egress) recorded in the audit stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)] // The variants are the documented names from Table 2.
+pub enum PrimitiveKind {
+    // Boundary operations.
+    Ingress,
+    Egress,
+    // Core array primitives.
+    Sort,
+    SortByValue,
+    SortByTime,
+    Merge,
+    MergeK,
+    Segment,
+    // Aggregation primitives.
+    SumCnt,
+    Sum,
+    Count,
+    CountPerKey,
+    Average,
+    AveragePerKey,
+    Median,
+    MedianPerKey,
+    MinMax,
+    // Grouping / selection primitives.
+    Unique,
+    TopK,
+    TopKPerKey,
+    FilterBand,
+    FilterTime,
+    Project,
+    Sample,
+    // Multi-input primitives.
+    Concat,
+    Join,
+    Union,
+}
+
+impl PrimitiveKind {
+    /// All trusted primitives (excluding the ingress/egress boundary ops).
+    /// The paper counts 23 of them; this list is the reproduction's set.
+    pub const TRUSTED_PRIMITIVES: [PrimitiveKind; 23] = [
+        PrimitiveKind::Sort,
+        PrimitiveKind::SortByValue,
+        PrimitiveKind::SortByTime,
+        PrimitiveKind::Merge,
+        PrimitiveKind::MergeK,
+        PrimitiveKind::Segment,
+        PrimitiveKind::SumCnt,
+        PrimitiveKind::Sum,
+        PrimitiveKind::Count,
+        PrimitiveKind::CountPerKey,
+        PrimitiveKind::Average,
+        PrimitiveKind::AveragePerKey,
+        PrimitiveKind::Median,
+        PrimitiveKind::MedianPerKey,
+        PrimitiveKind::MinMax,
+        PrimitiveKind::Unique,
+        PrimitiveKind::TopK,
+        PrimitiveKind::TopKPerKey,
+        PrimitiveKind::FilterBand,
+        PrimitiveKind::FilterTime,
+        PrimitiveKind::Project,
+        PrimitiveKind::Sample,
+        PrimitiveKind::Concat,
+    ];
+
+    /// Encode as the 16-bit op code used in audit records (Figure 6).
+    pub fn code(self) -> u16 {
+        match self {
+            PrimitiveKind::Ingress => 0,
+            PrimitiveKind::Egress => 1,
+            PrimitiveKind::Sort => 2,
+            PrimitiveKind::SortByValue => 3,
+            PrimitiveKind::SortByTime => 4,
+            PrimitiveKind::Merge => 5,
+            PrimitiveKind::MergeK => 6,
+            PrimitiveKind::Segment => 7,
+            PrimitiveKind::SumCnt => 8,
+            PrimitiveKind::Sum => 9,
+            PrimitiveKind::Count => 10,
+            PrimitiveKind::CountPerKey => 11,
+            PrimitiveKind::Average => 12,
+            PrimitiveKind::AveragePerKey => 13,
+            PrimitiveKind::Median => 14,
+            PrimitiveKind::MedianPerKey => 15,
+            PrimitiveKind::MinMax => 16,
+            PrimitiveKind::Unique => 17,
+            PrimitiveKind::TopK => 18,
+            PrimitiveKind::TopKPerKey => 19,
+            PrimitiveKind::FilterBand => 20,
+            PrimitiveKind::FilterTime => 21,
+            PrimitiveKind::Project => 22,
+            PrimitiveKind::Sample => 23,
+            PrimitiveKind::Concat => 24,
+            PrimitiveKind::Join => 25,
+            PrimitiveKind::Union => 26,
+        }
+    }
+
+    /// Decode a 16-bit op code. Returns `None` for unknown codes.
+    pub fn from_code(code: u16) -> Option<PrimitiveKind> {
+        Some(match code {
+            0 => PrimitiveKind::Ingress,
+            1 => PrimitiveKind::Egress,
+            2 => PrimitiveKind::Sort,
+            3 => PrimitiveKind::SortByValue,
+            4 => PrimitiveKind::SortByTime,
+            5 => PrimitiveKind::Merge,
+            6 => PrimitiveKind::MergeK,
+            7 => PrimitiveKind::Segment,
+            8 => PrimitiveKind::SumCnt,
+            9 => PrimitiveKind::Sum,
+            10 => PrimitiveKind::Count,
+            11 => PrimitiveKind::CountPerKey,
+            12 => PrimitiveKind::Average,
+            13 => PrimitiveKind::AveragePerKey,
+            14 => PrimitiveKind::Median,
+            15 => PrimitiveKind::MedianPerKey,
+            16 => PrimitiveKind::MinMax,
+            17 => PrimitiveKind::Unique,
+            18 => PrimitiveKind::TopK,
+            19 => PrimitiveKind::TopKPerKey,
+            20 => PrimitiveKind::FilterBand,
+            21 => PrimitiveKind::FilterTime,
+            22 => PrimitiveKind::Project,
+            23 => PrimitiveKind::Sample,
+            24 => PrimitiveKind::Concat,
+            25 => PrimitiveKind::Join,
+            26 => PrimitiveKind::Union,
+            _ => return None,
+        })
+    }
+
+    /// Whether this is a boundary operation rather than a trusted primitive.
+    pub fn is_boundary(self) -> bool {
+        matches!(self, PrimitiveKind::Ingress | PrimitiveKind::Egress)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn there_are_23_trusted_primitives() {
+        assert_eq!(PrimitiveKind::TRUSTED_PRIMITIVES.len(), 23);
+        // And none of them is a boundary op.
+        assert!(PrimitiveKind::TRUSTED_PRIMITIVES.iter().all(|p| !p.is_boundary()));
+    }
+
+    #[test]
+    fn codes_round_trip() {
+        for code in 0..=26u16 {
+            let kind = PrimitiveKind::from_code(code).unwrap();
+            assert_eq!(kind.code(), code);
+        }
+        assert_eq!(PrimitiveKind::from_code(999), None);
+    }
+
+    #[test]
+    fn codes_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for p in PrimitiveKind::TRUSTED_PRIMITIVES {
+            assert!(seen.insert(p.code()));
+        }
+        assert!(seen.insert(PrimitiveKind::Ingress.code()));
+        assert!(seen.insert(PrimitiveKind::Egress.code()));
+    }
+
+    #[test]
+    fn boundary_classification() {
+        assert!(PrimitiveKind::Ingress.is_boundary());
+        assert!(PrimitiveKind::Egress.is_boundary());
+        assert!(!PrimitiveKind::Sort.is_boundary());
+    }
+}

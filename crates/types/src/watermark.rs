@@ -1,0 +1,90 @@
+//! Watermarks.
+//!
+//! Data sources emit watermarks: a watermark guarantees that no subsequent
+//! event in the stream carries an event time earlier than the watermark's
+//! timestamp (§2.2). Watermarks drive window completion and therefore both
+//! output delay and the freshness attestation of §7.
+
+use crate::time::EventTime;
+use serde::{Deserialize, Serialize};
+
+/// A watermark carried in-band in a data stream.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Watermark {
+    /// No later event will have event time earlier than this.
+    pub event_time: EventTime,
+}
+
+impl Watermark {
+    /// Construct a watermark at the given event time.
+    pub fn new(event_time: EventTime) -> Self {
+        Watermark { event_time }
+    }
+
+    /// Construct from whole seconds of event time.
+    pub fn from_secs(secs: u64) -> Self {
+        Watermark { event_time: EventTime::from_secs(secs) }
+    }
+
+    /// Construct from milliseconds of event time.
+    pub fn from_millis(ms: u64) -> Self {
+        Watermark { event_time: EventTime::from_millis(ms) }
+    }
+
+    /// Whether observing this watermark allows an event at `t` to still
+    /// arrive without violating the watermark contract.
+    pub fn admits(&self, t: EventTime) -> bool {
+        t >= self.event_time
+    }
+
+    /// The later of two watermarks (watermarks are monotone per source;
+    /// merging sources takes the minimum instead — see `merge_min`).
+    pub fn max(self, other: Watermark) -> Watermark {
+        if other.event_time > self.event_time {
+            other
+        } else {
+            self
+        }
+    }
+
+    /// The earlier of two watermarks. When a pipeline ingests multiple
+    /// sources (e.g. the two inputs of a temporal join), its effective
+    /// watermark is the minimum over sources.
+    pub fn merge_min(self, other: Watermark) -> Watermark {
+        if other.event_time < self.event_time {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watermark_admits_only_later_events() {
+        let w = Watermark::from_secs(5);
+        assert!(w.admits(EventTime::from_secs(5)));
+        assert!(w.admits(EventTime::from_secs(6)));
+        assert!(!w.admits(EventTime::from_millis(4_999)));
+    }
+
+    #[test]
+    fn watermark_max_and_min() {
+        let a = Watermark::from_secs(2);
+        let b = Watermark::from_secs(3);
+        assert_eq!(a.max(b), b);
+        assert_eq!(b.max(a), b);
+        assert_eq!(a.merge_min(b), a);
+        assert_eq!(b.merge_min(a), a);
+    }
+
+    #[test]
+    fn watermark_ordering() {
+        assert!(Watermark::from_millis(100) < Watermark::from_millis(200));
+    }
+}

@@ -1,0 +1,222 @@
+//! Platform-wide counters for the simulated TrustZone substrate.
+//!
+//! The counters separate the cost categories that Figure 9 breaks down:
+//! world switches, boundary copies, TEE memory management (paging), and the
+//! number of SMC invocations. All counters are lock-free atomics so worker
+//! threads can update them from the hot path without contention.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters accumulated over the lifetime of a [`crate::Platform`].
+#[derive(Debug, Default)]
+pub struct TzStats {
+    /// Number of world switches (each counts one entry + exit pair).
+    pub world_switches: AtomicU64,
+    /// Simulated nanoseconds spent in world switches.
+    pub switch_nanos: AtomicU64,
+    /// Bytes copied across the TEE boundary (via-OS ingress and explicit
+    /// parameter marshalling).
+    pub boundary_copy_bytes: AtomicU64,
+    /// Simulated nanoseconds spent copying across the boundary.
+    pub boundary_copy_nanos: AtomicU64,
+    /// 4 KiB pages committed by the TEE pager on behalf of uArrays.
+    pub tee_pages_committed: AtomicU64,
+    /// Simulated nanoseconds spent in TEE paging / memory management.
+    pub tee_paging_nanos: AtomicU64,
+    /// Number of SMC invocations (one per trusted-primitive call).
+    pub smc_invocations: AtomicU64,
+    /// Bytes ingested through trusted IO (no boundary copy).
+    pub trusted_io_bytes: AtomicU64,
+    /// Bytes ingested via the untrusted OS (boundary copy paid).
+    pub via_os_bytes: AtomicU64,
+}
+
+impl TzStats {
+    /// Create a zeroed counter set.
+    pub fn new() -> Self {
+        TzStats::default()
+    }
+
+    /// Record one world switch costing `nanos` simulated nanoseconds.
+    pub fn record_switch(&self, nanos: u64) {
+        self.world_switches.fetch_add(1, Ordering::Relaxed);
+        self.switch_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Record a boundary copy of `bytes` costing `nanos`.
+    pub fn record_boundary_copy(&self, bytes: u64, nanos: u64) {
+        self.boundary_copy_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.boundary_copy_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Record `pages` TEE pages committed costing `nanos`.
+    pub fn record_tee_paging(&self, pages: u64, nanos: u64) {
+        self.tee_pages_committed.fetch_add(pages, Ordering::Relaxed);
+        self.tee_paging_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Record one SMC invocation.
+    pub fn record_invocation(&self) {
+        self.smc_invocations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `bytes` ingested through trusted IO.
+    pub fn record_trusted_io(&self, bytes: u64) {
+        self.trusted_io_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Record `bytes` ingested via the untrusted OS.
+    pub fn record_via_os(&self, bytes: u64) {
+        self.via_os_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Take a consistent-enough snapshot of all counters (individual loads
+    /// are relaxed; exact cross-counter consistency is not required by the
+    /// harnesses).
+    pub fn snapshot(&self) -> StatSnapshot {
+        StatSnapshot {
+            world_switches: self.world_switches.load(Ordering::Relaxed),
+            switch_nanos: self.switch_nanos.load(Ordering::Relaxed),
+            boundary_copy_bytes: self.boundary_copy_bytes.load(Ordering::Relaxed),
+            boundary_copy_nanos: self.boundary_copy_nanos.load(Ordering::Relaxed),
+            tee_pages_committed: self.tee_pages_committed.load(Ordering::Relaxed),
+            tee_paging_nanos: self.tee_paging_nanos.load(Ordering::Relaxed),
+            smc_invocations: self.smc_invocations.load(Ordering::Relaxed),
+            trusted_io_bytes: self.trusted_io_bytes.load(Ordering::Relaxed),
+            via_os_bytes: self.via_os_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset all counters to zero (harness use between runs).
+    pub fn reset(&self) {
+        self.world_switches.store(0, Ordering::Relaxed);
+        self.switch_nanos.store(0, Ordering::Relaxed);
+        self.boundary_copy_bytes.store(0, Ordering::Relaxed);
+        self.boundary_copy_nanos.store(0, Ordering::Relaxed);
+        self.tee_pages_committed.store(0, Ordering::Relaxed);
+        self.tee_paging_nanos.store(0, Ordering::Relaxed);
+        self.smc_invocations.store(0, Ordering::Relaxed);
+        self.trusted_io_bytes.store(0, Ordering::Relaxed);
+        self.via_os_bytes.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of [`TzStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatSnapshot {
+    /// Number of world switches.
+    pub world_switches: u64,
+    /// Simulated nanoseconds spent switching worlds.
+    pub switch_nanos: u64,
+    /// Bytes copied across the TEE boundary.
+    pub boundary_copy_bytes: u64,
+    /// Simulated nanoseconds spent copying across the boundary.
+    pub boundary_copy_nanos: u64,
+    /// TEE pages committed.
+    pub tee_pages_committed: u64,
+    /// Simulated nanoseconds spent in TEE paging.
+    pub tee_paging_nanos: u64,
+    /// SMC invocations.
+    pub smc_invocations: u64,
+    /// Bytes ingested through trusted IO.
+    pub trusted_io_bytes: u64,
+    /// Bytes ingested via the OS.
+    pub via_os_bytes: u64,
+}
+
+impl StatSnapshot {
+    /// Total simulated overhead in nanoseconds (switches + copies + paging).
+    pub fn total_overhead_nanos(&self) -> u64 {
+        self.switch_nanos + self.boundary_copy_nanos + self.tee_paging_nanos
+    }
+
+    /// Counter-wise difference `self - earlier` (saturating), for measuring
+    /// a window of execution.
+    pub fn delta_since(&self, earlier: &StatSnapshot) -> StatSnapshot {
+        StatSnapshot {
+            world_switches: self.world_switches.saturating_sub(earlier.world_switches),
+            switch_nanos: self.switch_nanos.saturating_sub(earlier.switch_nanos),
+            boundary_copy_bytes: self
+                .boundary_copy_bytes
+                .saturating_sub(earlier.boundary_copy_bytes),
+            boundary_copy_nanos: self
+                .boundary_copy_nanos
+                .saturating_sub(earlier.boundary_copy_nanos),
+            tee_pages_committed: self
+                .tee_pages_committed
+                .saturating_sub(earlier.tee_pages_committed),
+            tee_paging_nanos: self.tee_paging_nanos.saturating_sub(earlier.tee_paging_nanos),
+            smc_invocations: self.smc_invocations.saturating_sub(earlier.smc_invocations),
+            trusted_io_bytes: self.trusted_io_bytes.saturating_sub(earlier.trusted_io_bytes),
+            via_os_bytes: self.via_os_bytes.saturating_sub(earlier.via_os_bytes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = TzStats::new();
+        s.record_switch(100);
+        s.record_switch(100);
+        s.record_boundary_copy(4096, 10);
+        s.record_tee_paging(2, 5);
+        s.record_invocation();
+        s.record_trusted_io(1000);
+        s.record_via_os(2000);
+        let snap = s.snapshot();
+        assert_eq!(snap.world_switches, 2);
+        assert_eq!(snap.switch_nanos, 200);
+        assert_eq!(snap.boundary_copy_bytes, 4096);
+        assert_eq!(snap.tee_pages_committed, 2);
+        assert_eq!(snap.smc_invocations, 1);
+        assert_eq!(snap.trusted_io_bytes, 1000);
+        assert_eq!(snap.via_os_bytes, 2000);
+        assert_eq!(snap.total_overhead_nanos(), 200 + 10 + 5);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let s = TzStats::new();
+        s.record_switch(100);
+        s.record_via_os(5);
+        s.reset();
+        assert_eq!(s.snapshot(), StatSnapshot::default());
+    }
+
+    #[test]
+    fn delta_since_subtracts() {
+        let s = TzStats::new();
+        s.record_switch(50);
+        let before = s.snapshot();
+        s.record_switch(70);
+        s.record_invocation();
+        let after = s.snapshot();
+        let d = after.delta_since(&before);
+        assert_eq!(d.world_switches, 1);
+        assert_eq!(d.switch_nanos, 70);
+        assert_eq!(d.smc_invocations, 1);
+    }
+
+    #[test]
+    fn counters_are_thread_safe() {
+        let s = std::sync::Arc::new(TzStats::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let s = s.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    s.record_switch(1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.snapshot().world_switches, 4000);
+        assert_eq!(s.snapshot().switch_nanos, 4000);
+    }
+}

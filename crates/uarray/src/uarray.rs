@@ -1,0 +1,318 @@
+//! The uArray abstraction (§6.1).
+//!
+//! A uArray is a contiguous, append-only buffer of same-type records with a
+//! producer/consumer lifecycle: **Open** (producer appends), **Produced**
+//! (finalized, read-only), **Retired** (consumed, memory reclaimable).
+//! Growth is backed by on-demand paging fully inside the TEE and never
+//! relocates data: the buffer reserves its maximum virtual extent when it is
+//! created and only commits physical pages as the append index advances.
+//!
+//! In this reproduction, the virtual reservation is a `Vec` capacity
+//! reservation (the host OS commits pages lazily, just as the TEE pager
+//! does), and the page commits are charged to the platform's secure-memory
+//! budget through [`TeePager`].
+
+use crate::pager::{PageError, TeePager, PAGE_SIZE};
+
+/// Identifier of a uArray, unique within one data plane.
+///
+/// The data plane mints monotonically increasing identifiers for audit
+/// records (§7); opaque references handed to the control plane are a
+/// *separate*, randomized namespace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct UArrayId(pub u64);
+
+impl UArrayId {
+    /// The next id in sequence.
+    pub fn next(self) -> UArrayId {
+        UArrayId(self.0 + 1)
+    }
+}
+
+/// Lifecycle state of a uArray.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UArrayState {
+    /// Being appended to by its producer primitive.
+    Open,
+    /// Production finished; read-only.
+    Produced,
+    /// Consumed; memory is subject to reclamation.
+    Retired,
+}
+
+/// Error returned on operations that violate the uArray lifecycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UArrayError {
+    /// Appending to a uArray that is not `Open`.
+    NotOpen(UArrayState),
+    /// The TEE pager could not commit more secure memory.
+    OutOfSecureMemory(PageError),
+}
+
+impl std::fmt::Display for UArrayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UArrayError::NotOpen(s) => write!(f, "uArray is not open (state {s:?})"),
+            UArrayError::OutOfSecureMemory(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for UArrayError {}
+
+/// A contiguous, virtually unbounded, append-only buffer of `T` records.
+#[derive(Debug)]
+pub struct UArray<T> {
+    id: UArrayId,
+    data: Vec<T>,
+    state: UArrayState,
+    /// Bytes of secure memory committed for this uArray (page-rounded).
+    committed_bytes: u64,
+    /// Simulated nanoseconds spent committing pages for this uArray.
+    paging_nanos: u64,
+}
+
+impl<T: Copy> UArray<T> {
+    /// Create an open uArray with an initial virtual reservation of
+    /// `reserve_items` records. Appending beyond the reservation extends it
+    /// (still without relocating committed data in the modelled TEE; the
+    /// reproduction's `Vec` may relocate in that rare case, which only makes
+    /// our measured numbers *pessimistic* for uArray).
+    pub fn with_reservation(id: UArrayId, reserve_items: usize) -> Self {
+        UArray {
+            id,
+            data: Vec::with_capacity(reserve_items),
+            state: UArrayState::Open,
+            committed_bytes: 0,
+            paging_nanos: 0,
+        }
+    }
+
+    /// The uArray's identifier.
+    pub fn id(&self) -> UArrayId {
+        self.id
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> UArrayState {
+        self.state
+    }
+
+    /// Number of records appended so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the uArray holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Bytes of secure memory committed on behalf of this uArray.
+    pub fn committed_bytes(&self) -> u64 {
+        self.committed_bytes
+    }
+
+    /// Simulated nanoseconds this uArray spent in the TEE pager.
+    pub fn paging_nanos(&self) -> u64 {
+        self.paging_nanos
+    }
+
+    /// Read-only view of the records. Valid in every state (consumers read
+    /// `Produced` uArrays; tests may inspect `Open` ones).
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Append one record. Fails if the uArray is not `Open` or secure memory
+    /// is exhausted.
+    #[inline]
+    pub fn append(&mut self, item: T, pager: &TeePager) -> Result<(), UArrayError> {
+        if self.state != UArrayState::Open {
+            return Err(UArrayError::NotOpen(self.state));
+        }
+        self.data.push(item);
+        self.commit_to_len(pager)
+    }
+
+    /// Append a slice of records in one go (the common case for primitives
+    /// producing output in bulk).
+    pub fn extend_from_slice(&mut self, items: &[T], pager: &TeePager) -> Result<(), UArrayError> {
+        if self.state != UArrayState::Open {
+            return Err(UArrayError::NotOpen(self.state));
+        }
+        self.data.extend_from_slice(items);
+        self.commit_to_len(pager)
+    }
+
+    /// Commit pages so that `committed_bytes` covers the current length.
+    #[inline]
+    fn commit_to_len(&mut self, pager: &TeePager) -> Result<(), UArrayError> {
+        let needed = (self.data.len() * std::mem::size_of::<T>()) as u64;
+        if needed > self.committed_bytes {
+            let new_committed = needed.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+            let pages = (new_committed - self.committed_bytes) / PAGE_SIZE;
+            match pager.commit_pages(pages) {
+                Ok(nanos) => {
+                    self.committed_bytes = new_committed;
+                    self.paging_nanos += nanos;
+                }
+                Err(e) => {
+                    // Roll back the uncommitted tail so accounting stays
+                    // consistent with the data actually backed by pages.
+                    let max_items = (self.committed_bytes as usize) / std::mem::size_of::<T>().max(1);
+                    self.data.truncate(max_items);
+                    return Err(UArrayError::OutOfSecureMemory(e));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Finalize production: the uArray becomes read-only.
+    pub fn seal(&mut self) {
+        if self.state == UArrayState::Open {
+            self.state = UArrayState::Produced;
+        }
+    }
+
+    /// Mark the uArray as consumed. The records stay readable until the
+    /// allocator actually reclaims the backing memory (reclamation is a
+    /// uGroup-level decision).
+    pub fn retire(&mut self) {
+        self.state = UArrayState::Retired;
+    }
+
+    /// Drop the record storage and release the committed pages back to the
+    /// pager. Called by the allocator when the uArray is reclaimed.
+    pub fn reclaim(&mut self, pager: &TeePager) -> u64 {
+        let released = self.committed_bytes;
+        pager.release_pages(released / PAGE_SIZE);
+        self.committed_bytes = 0;
+        self.data = Vec::new();
+        released
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbt_tz::{CostModel, SecureMemory, TzStats};
+    use std::sync::Arc;
+
+    fn pager(budget: u64) -> TeePager {
+        TeePager::new(
+            Arc::new(SecureMemory::new(budget, 80)),
+            Arc::new(TzStats::new()),
+            CostModel::hikey(),
+        )
+    }
+
+    #[test]
+    fn append_and_read_back() {
+        let p = pager(1 << 20);
+        let mut a: UArray<u32> = UArray::with_reservation(UArrayId(1), 16);
+        for i in 0..100u32 {
+            a.append(i, &p).unwrap();
+        }
+        assert_eq!(a.len(), 100);
+        assert_eq!(a.as_slice()[42], 42);
+        assert!(!a.is_empty());
+        assert_eq!(a.id(), UArrayId(1));
+    }
+
+    #[test]
+    fn committed_bytes_are_page_rounded_and_charged() {
+        let p = pager(1 << 20);
+        let mut a: UArray<u64> = UArray::with_reservation(UArrayId(0), 0);
+        a.append(1, &p).unwrap();
+        assert_eq!(a.committed_bytes(), PAGE_SIZE);
+        assert_eq!(p.committed_bytes(), PAGE_SIZE);
+        // Fill exactly one page of u64s, still one page.
+        let fill: Vec<u64> = (0..(PAGE_SIZE as usize / 8 - 1) as u64).collect();
+        a.extend_from_slice(&fill, &p).unwrap();
+        assert_eq!(a.committed_bytes(), PAGE_SIZE);
+        // One more record spills to the second page.
+        a.append(7, &p).unwrap();
+        assert_eq!(a.committed_bytes(), 2 * PAGE_SIZE);
+        assert_eq!(p.committed_bytes(), 2 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn lifecycle_enforced() {
+        let p = pager(1 << 20);
+        let mut a: UArray<u32> = UArray::with_reservation(UArrayId(0), 4);
+        a.append(1, &p).unwrap();
+        a.seal();
+        assert_eq!(a.state(), UArrayState::Produced);
+        assert!(matches!(a.append(2, &p), Err(UArrayError::NotOpen(UArrayState::Produced))));
+        a.retire();
+        assert_eq!(a.state(), UArrayState::Retired);
+        assert!(matches!(a.append(2, &p), Err(UArrayError::NotOpen(UArrayState::Retired))));
+        // Data still readable until reclamation.
+        assert_eq!(a.as_slice(), &[1]);
+    }
+
+    #[test]
+    fn seal_is_idempotent_and_does_not_unretire() {
+        let p = pager(1 << 20);
+        let mut a: UArray<u32> = UArray::with_reservation(UArrayId(0), 4);
+        a.append(1, &p).unwrap();
+        a.retire();
+        a.seal();
+        assert_eq!(a.state(), UArrayState::Retired);
+    }
+
+    #[test]
+    fn reclaim_releases_pages() {
+        let p = pager(1 << 20);
+        let mut a: UArray<u32> = UArray::with_reservation(UArrayId(0), 0);
+        let data: Vec<u32> = (0..10_000).collect();
+        a.extend_from_slice(&data, &p).unwrap();
+        let committed = a.committed_bytes();
+        assert!(committed >= 10_000 * 4);
+        assert_eq!(p.committed_bytes(), committed);
+        a.retire();
+        let released = a.reclaim(&p);
+        assert_eq!(released, committed);
+        assert_eq!(p.committed_bytes(), 0);
+        assert_eq!(a.committed_bytes(), 0);
+    }
+
+    #[test]
+    fn out_of_memory_truncates_to_committed_prefix() {
+        // Budget of 2 pages of u32s.
+        let p = pager(2 * PAGE_SIZE);
+        let mut a: UArray<u32> = UArray::with_reservation(UArrayId(0), 0);
+        let data: Vec<u32> = (0..10_000).collect();
+        let err = a.extend_from_slice(&data, &p).unwrap_err();
+        assert!(matches!(err, UArrayError::OutOfSecureMemory(_)));
+        // The visible records fit exactly in the committed pages.
+        assert_eq!(a.len() * 4, a.committed_bytes() as usize);
+        assert!(a.committed_bytes() <= 2 * PAGE_SIZE);
+        // The prefix that survived is intact.
+        for (i, v) in a.as_slice().iter().enumerate() {
+            assert_eq!(*v, i as u32);
+        }
+    }
+
+    #[test]
+    fn growth_does_not_relocate_within_reservation() {
+        let p = pager(1 << 24);
+        let mut a: UArray<u32> = UArray::with_reservation(UArrayId(0), 1 << 20);
+        a.append(0, &p).unwrap();
+        let base = a.as_slice().as_ptr();
+        let data: Vec<u32> = (1..100_000).collect();
+        a.extend_from_slice(&data, &p).unwrap();
+        assert_eq!(a.as_slice().as_ptr(), base, "uArray relocated within its reservation");
+    }
+
+    #[test]
+    fn paging_nanos_accumulate() {
+        let p = pager(1 << 24);
+        let mut a: UArray<u64> = UArray::with_reservation(UArrayId(0), 0);
+        let data: Vec<u64> = (0..100_000).collect();
+        a.extend_from_slice(&data, &p).unwrap();
+        assert!(a.paging_nanos() > 0);
+    }
+}

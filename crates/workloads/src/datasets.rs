@@ -1,0 +1,262 @@
+//! Deterministic synthetic stands-ins for the paper's benchmark datasets.
+//!
+//! Every generator produces events whose event time advances so that one
+//! 1-second window holds `events_per_window` events (the paper uses 1 M),
+//! and appends a watermark at each window boundary. The generators are
+//! seeded, so repeated runs (and the engine-variant comparisons of Figure 7)
+//! operate on identical streams.
+//!
+//! * [`synthetic_stream`] — generic events with uniformly random 32-bit key
+//!   and value fields (TopK, Join, Filter benchmarks).
+//! * [`taxi_stream`] — events whose keys are drawn from ~11 K distinct taxi
+//!   ids with a skewed popularity distribution (Distinct benchmark).
+//! * [`intel_lab_stream`] — sensor readings from a small fleet of motes with
+//!   slowly varying values (WinSum benchmark).
+//! * [`power_grid_stream`] — 16-byte smart-plug events over a house/plug
+//!   hierarchy (Power benchmark, derived from the DEBS 2014 challenge
+//!   setting).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sbt_types::{Event, PowerEvent, Watermark};
+
+/// One window's worth of generated data: the events followed by the
+/// watermark that closes the window.
+#[derive(Debug, Clone)]
+pub struct StreamChunk {
+    /// Events of this window, in arrival order.
+    pub events: Vec<Event>,
+    /// 16-byte power events (only populated by the power-grid generator).
+    pub power_events: Vec<PowerEvent>,
+    /// The watermark closing the window.
+    pub watermark: Watermark,
+}
+
+impl StreamChunk {
+    /// Number of events in the chunk (whichever representation is in use).
+    pub fn len(&self) -> usize {
+        if self.power_events.is_empty() {
+            self.events.len()
+        } else {
+            self.power_events.len()
+        }
+    }
+
+    /// Whether the chunk holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Payload size in bytes on the wire.
+    pub fn wire_bytes(&self) -> usize {
+        if self.power_events.is_empty() {
+            self.events.len() * sbt_types::EVENT_BYTES
+        } else {
+            self.power_events.len() * sbt_types::POWER_EVENT_BYTES
+        }
+    }
+}
+
+fn window_timestamps(window_index: u32, events_per_window: usize) -> impl Iterator<Item = u32> {
+    // Spread events uniformly over the 1000 ms of the window.
+    let base = window_index * 1000;
+    (0..events_per_window).map(move |i| base + ((i * 1000) / events_per_window.max(1)) as u32)
+}
+
+fn close_watermark(window_index: u32) -> Watermark {
+    Watermark::from_millis(((window_index + 1) * 1000) as u64)
+}
+
+/// Generic synthetic stream: uniformly random keys and values.
+pub fn synthetic_stream(
+    windows: u32,
+    events_per_window: usize,
+    key_cardinality: u32,
+    seed: u64,
+) -> Vec<StreamChunk> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..windows)
+        .map(|w| {
+            let events = window_timestamps(w, events_per_window)
+                .map(|ts| {
+                    Event::new(
+                        rng.gen_range(0..key_cardinality.max(1)),
+                        rng.gen::<u32>(),
+                        ts,
+                    )
+                })
+                .collect();
+            StreamChunk { events, power_events: Vec::new(), watermark: close_watermark(w) }
+        })
+        .collect()
+}
+
+/// Taxi-trip-like stream: ~11 K distinct taxi ids (the cardinality of the
+/// paper's dataset) with a Zipf-ish popularity skew, values standing in for
+/// trip attributes.
+pub fn taxi_stream(windows: u32, events_per_window: usize, seed: u64) -> Vec<StreamChunk> {
+    const TAXI_IDS: u32 = 11_000;
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..windows)
+        .map(|w| {
+            let events = window_timestamps(w, events_per_window)
+                .map(|ts| {
+                    // Skewed key draw: square a uniform draw so low ids are
+                    // more popular, which resembles busy taxis dominating.
+                    let u: f64 = rng.gen();
+                    let key = ((u * u) * TAXI_IDS as f64) as u32;
+                    Event::new(key.min(TAXI_IDS - 1), rng.gen_range(100..10_000), ts)
+                })
+                .collect();
+            StreamChunk { events, power_events: Vec::new(), watermark: close_watermark(w) }
+        })
+        .collect()
+}
+
+/// Intel-Lab-like sensor stream: a few dozen motes reporting slowly varying
+/// physical values (temperature/humidity scaled to integers).
+pub fn intel_lab_stream(windows: u32, events_per_window: usize, seed: u64) -> Vec<StreamChunk> {
+    const MOTES: u32 = 54; // the Intel Lab deployment had 54 motes
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Per-mote baseline values that drift slowly.
+    let mut baselines: Vec<f64> = (0..MOTES).map(|_| rng.gen_range(180.0..300.0)).collect();
+    (0..windows)
+        .map(|w| {
+            for b in baselines.iter_mut() {
+                *b += rng.gen_range(-1.0..1.0);
+            }
+            let events = window_timestamps(w, events_per_window)
+                .map(|ts| {
+                    let mote = rng.gen_range(0..MOTES);
+                    let value = (baselines[mote as usize] * 10.0
+                        + rng.gen_range(-20.0..20.0))
+                    .max(0.0) as u32;
+                    Event::new(mote, value, ts)
+                })
+                .collect();
+            StreamChunk { events, power_events: Vec::new(), watermark: close_watermark(w) }
+        })
+        .collect()
+}
+
+/// Smart-plug power stream over a `houses × plugs_per_house` hierarchy,
+/// 16-byte events (power, plug, house, time).
+pub fn power_grid_stream(
+    windows: u32,
+    events_per_window: usize,
+    houses: u32,
+    plugs_per_house: u32,
+    seed: u64,
+) -> Vec<StreamChunk> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..windows)
+        .map(|w| {
+            let power_events = window_timestamps(w, events_per_window)
+                .map(|ts| {
+                    let house = rng.gen_range(0..houses.max(1));
+                    let plug = rng.gen_range(0..plugs_per_house.max(1));
+                    // Most plugs idle low; some draw heavily (kettles, heaters).
+                    let power = if rng.gen_bool(0.15) {
+                        rng.gen_range(800..2500)
+                    } else {
+                        rng.gen_range(1..120)
+                    };
+                    PowerEvent::new(power, plug, house, ts)
+                })
+                .collect();
+            StreamChunk {
+                events: Vec::new(),
+                power_events,
+                watermark: close_watermark(w),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_stream_shape() {
+        let chunks = synthetic_stream(3, 1000, 50, 42);
+        assert_eq!(chunks.len(), 3);
+        for (w, c) in chunks.iter().enumerate() {
+            assert_eq!(c.len(), 1000);
+            assert!(!c.is_empty());
+            assert_eq!(c.wire_bytes(), 1000 * sbt_types::EVENT_BYTES);
+            assert_eq!(c.watermark, Watermark::from_millis(((w as u64) + 1) * 1000));
+            // Every event's time lies inside the window.
+            for e in &c.events {
+                assert!(e.ts_ms >= (w as u32) * 1000 && e.ts_ms < (w as u32 + 1) * 1000);
+                assert!(e.key < 50);
+            }
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let a = synthetic_stream(2, 500, 100, 7);
+        let b = synthetic_stream(2, 500, 100, 7);
+        let c = synthetic_stream(2, 500, 100, 8);
+        assert_eq!(a[0].events, b[0].events);
+        assert_ne!(a[0].events, c[0].events);
+    }
+
+    #[test]
+    fn taxi_stream_has_bounded_cardinality_and_skew() {
+        let chunks = taxi_stream(1, 50_000, 1);
+        let mut counts = std::collections::HashMap::new();
+        for e in &chunks[0].events {
+            assert!(e.key < 11_000);
+            *counts.entry(e.key).or_insert(0u64) += 1;
+        }
+        // Skew: the most popular decile of ids should hold well more than a
+        // tenth of the events.
+        let mut freq: Vec<u64> = counts.values().copied().collect();
+        freq.sort_unstable_by(|a, b| b.cmp(a));
+        let top_decile: u64 = freq.iter().take(freq.len() / 10).sum();
+        let total: u64 = freq.iter().sum();
+        assert!(top_decile as f64 > total as f64 * 0.15);
+    }
+
+    #[test]
+    fn intel_lab_stream_uses_mote_ids() {
+        let chunks = intel_lab_stream(2, 1000, 3);
+        for c in &chunks {
+            for e in &c.events {
+                assert!(e.key < 54);
+            }
+        }
+    }
+
+    #[test]
+    fn power_grid_stream_respects_hierarchy() {
+        let chunks = power_grid_stream(2, 1000, 20, 10, 5);
+        for c in &chunks {
+            assert!(c.events.is_empty());
+            assert_eq!(c.power_events.len(), 1000);
+            assert_eq!(c.wire_bytes(), 1000 * sbt_types::POWER_EVENT_BYTES);
+            for e in &c.power_events {
+                assert!(e.house < 20);
+                assert!(e.plug < 10);
+                assert!(e.power <= 2500);
+            }
+        }
+    }
+
+    #[test]
+    fn power_stream_contains_high_load_plugs() {
+        let chunks = power_grid_stream(1, 10_000, 20, 10, 5);
+        let high = chunks[0].power_events.iter().filter(|e| e.power >= 800).count();
+        // Roughly 15% of readings are high-load.
+        assert!(high > 500 && high < 3000, "{high}");
+    }
+
+    #[test]
+    fn empty_windows_are_representable() {
+        let chunks = synthetic_stream(1, 0, 10, 0);
+        assert!(chunks[0].is_empty());
+        assert_eq!(chunks[0].wire_bytes(), 0);
+    }
+}

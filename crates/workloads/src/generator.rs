@@ -1,0 +1,210 @@
+//! The Generator: a rate-controlled event source.
+//!
+//! The paper's evaluation uses a Generator program that streams events to the
+//! engine as fast as the engine can absorb them; the engine's reported
+//! throughput is the maximum ingestion rate at which output delay stays
+//! under the target. This module provides that driver role for the benches:
+//! it iterates over pre-generated window chunks, honours backpressure from
+//! the engine, and keeps count of what it offered and what was accepted.
+
+use crate::datasets::StreamChunk;
+use crate::transport::{Channel, Delivery};
+use sbt_types::Watermark;
+
+/// Generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct GeneratorConfig {
+    /// How many events to pack per delivered batch (the paper's input batch
+    /// size, 100 K events by default).
+    pub batch_events: usize,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig { batch_events: 100_000 }
+    }
+}
+
+/// One unit the generator offers to the engine: a batch of events (as a wire
+/// delivery) or a watermark.
+pub enum Offer {
+    /// A batch of events on the wire.
+    Batch(Delivery),
+    /// A watermark closing a window.
+    Watermark(Watermark),
+}
+
+/// The rate-controlled source driver.
+pub struct Generator {
+    config: GeneratorConfig,
+    channel: Channel,
+    chunks: Vec<StreamChunk>,
+    /// (chunk index, offset within chunk) of the next event to send.
+    cursor: (usize, usize),
+    /// Whether the watermark of the current chunk has been emitted.
+    watermark_pending: bool,
+    offered_events: u64,
+    offered_bytes: u64,
+}
+
+impl Generator {
+    /// Create a generator over pre-generated chunks, sending through the
+    /// given channel.
+    pub fn new(config: GeneratorConfig, channel: Channel, chunks: Vec<StreamChunk>) -> Self {
+        Generator {
+            config,
+            channel,
+            chunks,
+            cursor: (0, 0),
+            watermark_pending: false,
+            offered_events: 0,
+            offered_bytes: 0,
+        }
+    }
+
+    /// Total events offered so far.
+    pub fn offered_events(&self) -> u64 {
+        self.offered_events
+    }
+
+    /// Total wire bytes offered so far.
+    pub fn offered_bytes(&self) -> u64 {
+        self.offered_bytes
+    }
+
+    /// Whether the stream has been fully offered.
+    pub fn is_exhausted(&self) -> bool {
+        self.cursor.0 >= self.chunks.len() && !self.watermark_pending
+    }
+
+    /// Produce the next offer, or `None` when the stream is exhausted.
+    ///
+    /// Batches never span a window boundary, so the watermark for a window
+    /// is always offered after all of that window's events — exactly the
+    /// contract the watermark gives the engine.
+    pub fn next_offer(&mut self) -> Option<Offer> {
+        if self.watermark_pending {
+            self.watermark_pending = false;
+            let wm = self.chunks[self.cursor.0].watermark;
+            self.cursor = (self.cursor.0 + 1, 0);
+            return Some(Offer::Watermark(wm));
+        }
+        let (ci, offset) = self.cursor;
+        let chunk = self.chunks.get(ci)?;
+        let total = chunk.len();
+        if offset >= total {
+            // Window finished: emit its watermark next.
+            self.watermark_pending = true;
+            return self.next_offer();
+        }
+        let end = (offset + self.config.batch_events).min(total);
+        let sub = slice_chunk(chunk, offset, end);
+        let delivery = self.channel.send(&sub);
+        self.offered_events += delivery.event_count as u64;
+        self.offered_bytes += delivery.wire_bytes.len() as u64;
+        self.cursor = (ci, end);
+        Some(Offer::Batch(delivery))
+    }
+}
+
+/// Take `[start, end)` of a chunk's events as a new chunk (watermark copied
+/// but only meaningful on the final slice).
+fn slice_chunk(chunk: &StreamChunk, start: usize, end: usize) -> StreamChunk {
+    if chunk.power_events.is_empty() {
+        StreamChunk {
+            events: chunk.events[start..end].to_vec(),
+            power_events: Vec::new(),
+            watermark: chunk.watermark,
+        }
+    } else {
+        StreamChunk {
+            events: Vec::new(),
+            power_events: chunk.power_events[start..end].to_vec(),
+            watermark: chunk.watermark,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::synthetic_stream;
+    use crate::transport::Channel;
+
+    fn generator(windows: u32, per_window: usize, batch: usize) -> Generator {
+        Generator::new(
+            GeneratorConfig { batch_events: batch },
+            Channel::cleartext(),
+            synthetic_stream(windows, per_window, 16, 1),
+        )
+    }
+
+    #[test]
+    fn offers_batches_then_watermark_per_window() {
+        let mut g = generator(2, 250, 100);
+        let mut batches = 0;
+        let mut watermarks = Vec::new();
+        while let Some(offer) = g.next_offer() {
+            match offer {
+                Offer::Batch(d) => {
+                    batches += 1;
+                    assert!(d.event_count <= 100);
+                }
+                Offer::Watermark(wm) => watermarks.push(wm),
+            }
+        }
+        // 250 events / 100-event batches = 3 batches per window, 2 windows.
+        assert_eq!(batches, 6);
+        assert_eq!(
+            watermarks,
+            vec![Watermark::from_millis(1000), Watermark::from_millis(2000)]
+        );
+        assert!(g.is_exhausted());
+        assert_eq!(g.offered_events(), 500);
+        assert_eq!(g.offered_bytes(), 500 * sbt_types::EVENT_BYTES as u64);
+    }
+
+    #[test]
+    fn batches_never_cross_window_boundaries() {
+        let mut g = generator(3, 150, 100);
+        let mut since_watermark = 0usize;
+        while let Some(offer) = g.next_offer() {
+            match offer {
+                Offer::Batch(d) => since_watermark += d.event_count,
+                Offer::Watermark(_) => {
+                    assert_eq!(since_watermark, 150);
+                    since_watermark = 0;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_stream_is_immediately_exhausted() {
+        let mut g = Generator::new(
+            GeneratorConfig::default(),
+            Channel::cleartext(),
+            Vec::new(),
+        );
+        assert!(g.next_offer().is_none());
+        assert!(g.is_exhausted());
+    }
+
+    #[test]
+    fn power_chunks_flow_through() {
+        let chunks = crate::datasets::power_grid_stream(1, 120, 4, 3, 2);
+        let mut g = Generator::new(
+            GeneratorConfig { batch_events: 50 },
+            Channel::cleartext(),
+            chunks,
+        );
+        let mut power_batches = 0;
+        while let Some(offer) = g.next_offer() {
+            if let Offer::Batch(d) = offer {
+                assert!(d.is_power);
+                power_batches += 1;
+            }
+        }
+        assert_eq!(power_batches, 3); // 120 events in batches of 50
+    }
+}

@@ -1,0 +1,30 @@
+//! Workload generators and transport for the StreamBox-TZ evaluation (§9.2).
+//!
+//! The paper drives the engine with six benchmarks over sensor-data streams:
+//! three use synthetic events with random 32-bit fields, and three use real
+//! datasets (taxi trips with ~11 K distinct taxi ids, the DEBS 2014 smart-plug
+//! power data, and the Intel Lab sensor traces). Those datasets are not
+//! redistributable here, so this crate generates deterministic synthetic
+//! streams that match the properties the benchmarks depend on: event width,
+//! key cardinality, value ranges, and event-time density (1 M events per
+//! 1-second window).
+//!
+//! It also provides:
+//! * a rate-controlled [`generator::Generator`] standing in for the paper's
+//!   Generator program feeding the engine over ZeroMQ TCP, and
+//! * an in-memory [`transport::Channel`] with a configurable bandwidth cap
+//!   standing in for the source→edge link, including AES-128-CTR encryption
+//!   of the byte stream when the link is untrusted.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod generator;
+pub mod transport;
+
+pub use datasets::{
+    intel_lab_stream, power_grid_stream, synthetic_stream, taxi_stream, StreamChunk,
+};
+pub use generator::{Generator, GeneratorConfig};
+pub use transport::{Channel, ChannelConfig, WireFormat};

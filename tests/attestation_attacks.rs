@@ -1,0 +1,222 @@
+//! Adversarial integration tests: a compromised control plane (or a
+//! man-in-the-middle on the uplink) tries the attacks of §3.2, and the data
+//! plane / cloud verifier must defeat or detect each one.
+
+use streambox_tz::attest::record::AuditRecord;
+use streambox_tz::attest::Violation;
+use streambox_tz::dataplane::OpaqueRef;
+use streambox_tz::prelude::*;
+
+fn run_honest_engine() -> (std::sync::Arc<Engine>, Vec<AuditRecord>) {
+    let engine = Engine::new(
+        EngineConfig::for_variant(EngineVariant::Sbt, 2),
+        Pipeline::new("attack-target")
+            .then(Operator::SumByKey)
+            .target_delay_ms(60_000)
+            .batch_events(2_000),
+    );
+    let chunks = synthetic_stream(2, 6_000, 16, 77);
+    let mut generator = Generator::new(
+        GeneratorConfig { batch_events: 2_000 },
+        Channel::encrypted_demo(),
+        chunks,
+    );
+    while let Some(offer) = generator.next_offer() {
+        match offer {
+            Offer::Batch(batch) => {
+                engine.ingest(&batch).expect("ingest");
+            }
+            Offer::Watermark(wm) => engine.advance_watermark(wm).expect("watermark"),
+        }
+    }
+    let records = engine
+        .drain_audit_segments()
+        .iter()
+        .flat_map(|s| decompress_records(&s.compressed).expect("decodes"))
+        .collect();
+    (engine, records)
+}
+
+#[test]
+fn fabricated_opaque_references_are_rejected_by_the_data_plane() {
+    let (engine, _) = run_honest_engine();
+    let dp = engine.data_plane();
+    // An adversary in the control plane guesses reference values. The data
+    // plane validates every reference against its live table.
+    let _guard = streambox_tz::tz::WorldGuard::enter(streambox_tz::tz::World::Secure);
+    for guess in [0u64, 1, 0xDEAD_BEEF, u64::MAX] {
+        assert!(dp.egress(OpaqueRef(guess)).is_err());
+        assert!(dp.retire(OpaqueRef(guess)).is_err());
+        assert!(dp
+            .invoke(
+                streambox_tz::types::PrimitiveKind::Sort,
+                &[OpaqueRef(guess)],
+                streambox_tz::dataplane::PrimitiveParams::None,
+                &streambox_tz::uarray::HintSet::none(),
+            )
+            .is_err());
+    }
+}
+
+#[test]
+fn normal_world_cannot_reach_data_plane_without_smc() {
+    let (engine, _) = run_honest_engine();
+    let dp = engine.data_plane().clone();
+    // Without the SMC layer's world switch, the call must be refused (the
+    // simulation models the architectural impossibility as a panic).
+    let result = std::thread::spawn(move || {
+        let _ = dp.ingress(&[0u8; 12], false, false, 0);
+    })
+    .join();
+    assert!(result.is_err(), "direct normal-world access must be impossible");
+}
+
+#[test]
+fn tampered_results_and_audit_segments_fail_authentication() {
+    let engine = Engine::new(
+        EngineConfig::for_variant(EngineVariant::Sbt, 2),
+        Pipeline::winsum_benchmark().target_delay_ms(60_000).batch_events(2_000),
+    );
+    let chunks = synthetic_stream(1, 4_000, 8, 3);
+    let mut generator = Generator::new(
+        GeneratorConfig { batch_events: 2_000 },
+        Channel::encrypted_demo(),
+        chunks,
+    );
+    while let Some(offer) = generator.next_offer() {
+        match offer {
+            Offer::Batch(batch) => {
+                engine.ingest(&batch).expect("ingest");
+            }
+            Offer::Watermark(wm) => engine.advance_watermark(wm).expect("watermark"),
+        }
+    }
+    let (key, nonce, signing) = engine.data_plane().cloud_keys();
+
+    // A network adversary flips bits in the uploaded result.
+    let mut msg = engine.results()[0].clone();
+    msg.ciphertext[0] ^= 0xFF;
+    assert!(msg.open(&key, &nonce, &signing).is_none());
+
+    // ... or in an audit segment.
+    let mut segment = engine.drain_audit_segments().remove(0);
+    assert!(segment.verify(&signing));
+    segment.compressed[0] ^= 0xFF;
+    assert!(!segment.verify(&signing));
+}
+
+#[test]
+fn dropping_data_is_detected_by_the_verifier() {
+    let (engine, mut records) = run_honest_engine();
+    let spec = engine.pipeline().spec();
+    // The control plane "loses" a batch: remove every Windowing record for
+    // one ingress uArray.
+    let victim = records
+        .iter()
+        .find_map(|r| match r {
+            AuditRecord::Windowing { input, .. } => Some(*input),
+            _ => None,
+        })
+        .expect("at least one windowing record");
+    records.retain(
+        |r| !matches!(r, AuditRecord::Windowing { input, .. } if *input == victim),
+    );
+    let report = Verifier::new(spec).replay(&records);
+    assert!(!report.is_correct());
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| matches!(v, Violation::UnwindowedIngress(id) if *id == victim)));
+}
+
+#[test]
+fn skipping_a_declared_stage_is_detected() {
+    let (engine, records) = run_honest_engine();
+    let spec = engine.pipeline().spec();
+    // Remove every SumCnt execution: the per-key aggregation stage never ran.
+    let filtered: Vec<AuditRecord> = records
+        .into_iter()
+        .filter(|r| {
+            !matches!(
+                r,
+                AuditRecord::Execution { op: streambox_tz::types::PrimitiveKind::SumCnt, .. }
+            )
+        })
+        .collect();
+    let report = Verifier::new(spec).replay(&filtered);
+    assert!(report.violations.iter().any(|v| matches!(
+        v,
+        Violation::IncompleteWindow { missing: streambox_tz::types::PrimitiveKind::SumCnt, .. }
+            | Violation::UntraceableEgress(_)
+    )));
+}
+
+#[test]
+fn running_undeclared_computations_is_detected() {
+    let (engine, mut records) = run_honest_engine();
+    let spec = engine.pipeline().spec();
+    // The control plane sneaks an extra TopK over windowed data (e.g. to
+    // exfiltrate a different aggregate than declared).
+    let some_windowed = records
+        .iter()
+        .find_map(|r| match r {
+            AuditRecord::Windowing { output, .. } => Some(*output),
+            _ => None,
+        })
+        .unwrap();
+    records.push(AuditRecord::Execution {
+        ts_ms: 999_999,
+        op: streambox_tz::types::PrimitiveKind::TopK,
+        inputs: vec![some_windowed],
+        outputs: vec![streambox_tz::attest::UArrayRef(0xFFFF)],
+        hints: vec![],
+    });
+    let report = Verifier::new(spec).replay(&records);
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| matches!(v, Violation::UndeclaredPrimitive { .. })));
+}
+
+#[test]
+fn withholding_results_is_detected() {
+    let (engine, records) = run_honest_engine();
+    let spec = engine.pipeline().spec();
+    // The control plane suppresses the first window's egress but keeps
+    // processing later windows.
+    let first_egress = records.iter().position(|r| matches!(r, AuditRecord::Egress { .. }));
+    let mut censored = records.clone();
+    censored.remove(first_egress.expect("has egress"));
+    let report = Verifier::new(spec).replay(&censored);
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| matches!(v, Violation::MissingEgress { .. })));
+}
+
+#[test]
+fn delaying_execution_violates_freshness() {
+    let (engine, mut records) = run_honest_engine();
+    // The adversary delays invoking trusted computations; timestamps of all
+    // post-watermark work slide far beyond the freshness target.
+    for r in &mut records {
+        if let AuditRecord::Egress { ts_ms, .. } = r {
+            *ts_ms += 300_000;
+        }
+    }
+    let spec = PipelineSpec::new(
+        engine.pipeline().name(),
+        engine.pipeline().spec().stages.clone(),
+        1_000, // the deployment's actual freshness bound
+    );
+    let report = Verifier::new(spec).replay(&records);
+    assert!(report.violations.iter().any(|v| matches!(v, Violation::StaleResult { .. })));
+}
+
+#[test]
+fn honest_runs_have_no_misleading_hints() {
+    let (engine, records) = run_honest_engine();
+    let report = Verifier::new(engine.pipeline().spec()).replay(&records);
+    assert!(report.is_correct());
+    assert_eq!(report.misleading_hints, 0);
+}
