@@ -90,13 +90,15 @@ fn encode_huffman(values: &[u8], out: &mut Vec<u8>) {
 }
 
 fn decode_huffman(data: &[u8], pos: &mut usize) -> Result<Vec<u8>, CodecError> {
-    let len =
-        varint::read_u64(data, pos).ok_or(CodecError("truncated huffman length"))? as usize;
-    if *pos + len > data.len() {
+    let len = varint::read_u64(data, pos).ok_or(CodecError("truncated huffman length"))? as usize;
+    // checked_add: an adversarial varint length must not wrap the bounds
+    // check into a slice panic.
+    let end = pos.checked_add(len).ok_or(CodecError("truncated huffman block"))?;
+    if end > data.len() {
         return Err(CodecError("truncated huffman block"));
     }
-    let block = &data[*pos..*pos + len];
-    *pos += len;
+    let block = &data[*pos..end];
+    *pos = end;
     huffman::decompress_block(block).ok_or(CodecError("corrupt huffman block"))
 }
 
@@ -200,10 +202,9 @@ pub fn decompress_records(data: &[u8]) -> Result<Vec<AuditRecord>, CodecError> {
     for i in 0..n {
         let ts_ms = timestamps[i] as u32;
         let rec = match tags[i] {
-            TAG_INGRESS_DATA => AuditRecord::Ingress {
-                ts_ms,
-                data: DataRef::UArray(next_id(&mut id_i)?),
-            },
+            TAG_INGRESS_DATA => {
+                AuditRecord::Ingress { ts_ms, data: DataRef::UArray(next_id(&mut id_i)?) }
+            }
             TAG_INGRESS_WM => {
                 let wm = *watermarks.get(wm_i).ok_or(CodecError("missing watermark"))?;
                 wm_i += 1;
@@ -253,6 +254,16 @@ pub fn decompress_records(data: &[u8]) -> Result<Vec<AuditRecord>, CodecError> {
 mod tests {
     use super::*;
     use proptest::prelude::*;
+
+    #[test]
+    fn adversarial_huffman_length_is_an_error_not_a_panic() {
+        // Record count, then a huffman block claiming u64::MAX bytes: the
+        // length + position must not wrap around the bounds check.
+        let mut data = Vec::new();
+        varint::write_u64(3, &mut data);
+        varint::write_u64(u64::MAX, &mut data);
+        assert!(decompress_records(&data).is_err());
+    }
 
     fn sample_records(n: u32) -> Vec<AuditRecord> {
         // A realistic-looking stream: ingress, windowing, sort, sum, egress,

@@ -151,7 +151,7 @@ impl HuffmanCode {
         let mut bitpos = 0usize;
         'outer: while out.len() < count {
             let mut code = 0u64;
-            for len in 1..=MAX_CODE_LEN as usize {
+            for symbols_of_len in by_len.iter().skip(1) {
                 let byte_idx = bitpos / 8;
                 if byte_idx >= data.len() {
                     return None;
@@ -159,9 +159,7 @@ impl HuffmanCode {
                 let bit = (data[byte_idx] >> (7 - (bitpos % 8))) & 1;
                 code = (code << 1) | bit as u64;
                 bitpos += 1;
-                if let Some(&(_, sym)) =
-                    by_len[len].iter().find(|(c, _)| *c == code)
-                {
+                if let Some(&(_, sym)) = symbols_of_len.iter().find(|(c, _)| *c == code) {
                     out.push(sym);
                     continue 'outer;
                 }
@@ -186,7 +184,8 @@ pub fn compress_block(data: &[u8]) -> Vec<u8> {
     }
     let code = HuffmanCode::from_frequencies(&freqs);
     let (bits, _) = code.encode(data);
-    let present: Vec<u8> = (0..256u16).filter(|&s| code.lengths[s as usize] > 0).map(|s| s as u8).collect();
+    let present: Vec<u8> =
+        (0..256u16).filter(|&s| code.lengths[s as usize] > 0).map(|s| s as u8).collect();
     let mut out = Vec::with_capacity(6 + present.len() * 2 + bits.len());
     out.extend_from_slice(&(data.len() as u32).to_le_bytes());
     out.extend_from_slice(&(present.len() as u16).to_le_bytes());

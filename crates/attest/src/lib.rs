@@ -35,6 +35,4 @@ pub mod verifier;
 pub use columnar::{compress_records, decompress_records};
 pub use log::{AuditLog, LogSegment};
 pub use record::{AuditRecord, DataRef, UArrayRef};
-pub use verifier::{
-    FreshnessReport, PipelineSpec, VerificationReport, Verifier, Violation,
-};
+pub use verifier::{FreshnessReport, PipelineSpec, VerificationReport, Verifier, Violation};

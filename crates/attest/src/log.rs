@@ -98,13 +98,7 @@ impl AuditLog {
         self.total_raw_bytes += raw_bytes as u64;
         self.total_compressed_bytes += compressed.len() as u64;
         let signature = self.key.sign(&LogSegment::signed_payload(seq, &compressed));
-        Some(LogSegment {
-            seq,
-            raw_bytes,
-            record_count: records.len(),
-            compressed,
-            signature,
-        })
+        Some(LogSegment { seq, raw_bytes, record_count: records.len(), compressed, signature })
     }
 
     /// Total records ever appended and flushed.

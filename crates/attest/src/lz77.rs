@@ -124,8 +124,7 @@ pub fn decompress(data: &[u8]) -> Option<Vec<u8>> {
         columns.push(huffman::decompress_block(&data[pos..pos + len])?);
         pos += len;
     }
-    let (flags, literals, offsets, lengths) =
-        (&columns[0], &columns[1], &columns[2], &columns[3]);
+    let (flags, literals, offsets, lengths) = (&columns[0], &columns[1], &columns[2], &columns[3]);
 
     let mut out = Vec::with_capacity(original_len);
     let (mut lit_i, mut off_i, mut len_i) = (0usize, 0usize, 0usize);
@@ -164,10 +163,10 @@ mod tests {
 
     #[test]
     fn round_trip_text_like_data() {
-        let data: Vec<u8> = std::iter::repeat_n(b"the quick brown fox jumps over the lazy dog "
-            .to_vec(), 50)
-            .flatten()
-            .collect();
+        let data: Vec<u8> =
+            std::iter::repeat_n(b"the quick brown fox jumps over the lazy dog ".to_vec(), 50)
+                .flatten()
+                .collect();
         let compressed = compress(&data);
         assert!(compressed.len() < data.len() / 2);
         assert_eq!(decompress(&compressed).unwrap(), data);

@@ -290,7 +290,9 @@ impl Verifier {
                             window_stages.entry(win).or_default().insert(*op);
                             next = Some((idx.max(stage), root, win));
                         } else if !self.spec.is_structural(*op) {
-                            report.violations.push(Violation::UndeclaredPrimitive { root, op: *op });
+                            report
+                                .violations
+                                .push(Violation::UndeclaredPrimitive { root, op: *op });
                         }
                     }
                     for output in outputs {
@@ -432,10 +434,8 @@ mod tests {
                 sorted_ids.push(sorted);
             }
             // Watermark completing window w arrives, triggering the reduction.
-            records.push(AuditRecord::Ingress {
-                ts_ms: ts,
-                data: DataRef::Watermark((w + 1) * 1000),
-            });
+            records
+                .push(AuditRecord::Ingress { ts_ms: ts, data: DataRef::Watermark((w + 1) * 1000) });
             ts += 1;
             // Pairwise merge tree.
             while sorted_ids.len() > 1 {
@@ -505,10 +505,7 @@ mod tests {
         records.remove(pos);
         let report = Verifier::new(spec()).replay(&records);
         assert!(!report.is_correct());
-        assert!(report
-            .violations
-            .iter()
-            .any(|v| matches!(v, Violation::UnwindowedIngress(_))));
+        assert!(report.violations.iter().any(|v| matches!(v, Violation::UnwindowedIngress(_))));
     }
 
     #[test]
@@ -555,9 +552,7 @@ mod tests {
         let sorted_output = records
             .iter()
             .find_map(|r| match r {
-                AuditRecord::Execution { op: PrimitiveKind::Sort, outputs, .. } => {
-                    Some(outputs[0])
-                }
+                AuditRecord::Execution { op: PrimitiveKind::Sort, outputs, .. } => Some(outputs[0]),
                 _ => None,
             })
             .unwrap();
@@ -569,10 +564,10 @@ mod tests {
             hints: vec![],
         });
         let report = Verifier::new(spec()).replay(&records);
-        assert!(report.violations.iter().any(|v| matches!(
-            v,
-            Violation::UndeclaredPrimitive { op: PrimitiveKind::TopK, .. }
-        )));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::UndeclaredPrimitive { op: PrimitiveKind::TopK, .. })));
     }
 
     #[test]
@@ -596,10 +591,7 @@ mod tests {
     fn missing_egress_for_completed_window_is_detected() {
         // Drop window 0's egress while window 1 still egresses.
         let mut records = honest_run(2, 1);
-        let pos = records
-            .iter()
-            .position(|r| matches!(r, AuditRecord::Egress { .. }))
-            .unwrap();
+        let pos = records.iter().position(|r| matches!(r, AuditRecord::Egress { .. })).unwrap();
         records.remove(pos);
         let report = Verifier::new(spec()).replay(&records);
         assert!(report

@@ -211,11 +211,9 @@ mod tests {
     fn all_kinds_compute_the_same_window_sums() {
         let evs = events(3, 5_000);
         let expected = oracle(&evs);
-        for kind in [
-            CommodityKind::FlinkLike,
-            CommodityKind::EsperLike,
-            CommodityKind::SensorBeeLike,
-        ] {
+        for kind in
+            [CommodityKind::FlinkLike, CommodityKind::EsperLike, CommodityKind::SensorBeeLike]
+        {
             let engine = CommodityEngine::new(kind, 4);
             assert_eq!(engine.run_winsum(&evs), expected, "{}", kind.label());
         }
@@ -223,7 +221,10 @@ mod tests {
 
     #[test]
     fn labels_and_kind_accessors() {
-        assert_eq!(CommodityEngine::new(CommodityKind::FlinkLike, 2).kind(), CommodityKind::FlinkLike);
+        assert_eq!(
+            CommodityEngine::new(CommodityKind::FlinkLike, 2).kind(),
+            CommodityKind::FlinkLike
+        );
         assert_eq!(CommodityKind::EsperLike.label(), "Esper-like");
         assert_eq!(CommodityKind::SensorBeeLike.label(), "SensorBee-like");
         assert_eq!(CommodityKind::FlinkLike.label(), "Flink-like");
@@ -231,11 +232,9 @@ mod tests {
 
     #[test]
     fn empty_input_produces_no_windows() {
-        for kind in [
-            CommodityKind::FlinkLike,
-            CommodityKind::EsperLike,
-            CommodityKind::SensorBeeLike,
-        ] {
+        for kind in
+            [CommodityKind::FlinkLike, CommodityKind::EsperLike, CommodityKind::SensorBeeLike]
+        {
             assert!(CommodityEngine::new(kind, 2).run_winsum(&[]).is_empty());
         }
     }

@@ -68,8 +68,7 @@ impl SecureStreamsLike {
             while let Ok(cipher) = prev_rx.recv() {
                 let plain = ctr.decrypt(&cipher);
                 for e in Event::slice_from_bytes(&plain) {
-                    *sums.entry(spec.primary_window(e.event_time())).or_default() +=
-                        e.value as u64;
+                    *sums.entry(spec.primary_window(e.event_time())).or_default() += e.value as u64;
                 }
             }
             sums.into_iter().collect::<Vec<_>>()

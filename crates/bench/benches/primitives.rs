@@ -56,9 +56,7 @@ fn bench_join(c: &mut Criterion) {
     let left = sort_events_by_key(&make_events(100_000, 10_000));
     let right = sort_events_by_key(&make_events(100_000, 10_000));
     group.throughput(Throughput::Elements(200_000));
-    group.bench_function("sort_merge_join_100k_x_100k", |b| {
-        b.iter(|| join_by_key(&left, &right))
-    });
+    group.bench_function("sort_merge_join_100k_x_100k", |b| b.iter(|| join_by_key(&left, &right)));
     group.finish();
 }
 

@@ -41,7 +41,8 @@ fn bench_sort(c: &mut Criterion) {
 fn bench_event_sort(c: &mut Criterion) {
     let mut group = c.benchmark_group("sort_events_by_key");
     group.sample_size(10);
-    for &n in &[100_000usize] {
+    {
+        let n = 100_000usize;
         group.throughput(Throughput::Elements(n as u64));
         let events = make_events(n);
         group.bench_with_input(BenchmarkId::new("vectorized", n), &n, |b, _| {

@@ -24,10 +24,8 @@ struct CompressionRow {
 }
 
 fn run(bench: BenchId, batch_events: usize, scale: RunScale) -> CompressionRow {
-    let engine = Engine::new(
-        EngineConfig::for_variant(EngineVariant::Sbt, 8),
-        bench.pipeline(batch_events),
-    );
+    let engine =
+        Engine::new(EngineConfig::for_variant(EngineVariant::Sbt, 8), bench.pipeline(batch_events));
     let chunks = bench.stream(scale.windows, scale.events_per_window, 42);
     drive(&engine, chunks, EngineVariant::Sbt, batch_events, StreamSide::Left);
 

@@ -7,8 +7,8 @@
 use sbt_bench::print_table;
 use sbt_dataplane::{DataPlane, DataPlaneConfig, PrimitiveParams};
 use sbt_engine::{TeeGateway, WorkerPool};
-use sbt_tz::Platform;
 use sbt_types::{Event, PrimitiveKind};
+use sbt_tz::Platform;
 use sbt_uarray::HintSet;
 use serde::Serialize;
 use std::sync::Arc;
@@ -115,7 +115,9 @@ fn main() {
         rows.push(row);
     }
     print_table(
-        &format!("Figure 9 — GroupBy run-time breakdown ({threads} threads, {total_events} events)"),
+        &format!(
+            "Figure 9 — GroupBy run-time breakdown ({threads} threads, {total_events} events)"
+        ),
         &["batch size", "compute in TEE", "world switch", "TEE mem mgmt", "total ms"],
         &table,
     );

@@ -38,10 +38,8 @@ fn qsort_like(events: &mut [Event], cmp: fn(&[u8], &[u8]) -> std::cmp::Ordering)
     }
     qsort_like(&mut left, cmp);
     qsort_like(&mut right, cmp);
-    let mut i = 0;
-    for e in left.into_iter().chain(equal).chain(right) {
+    for (i, e) in left.into_iter().chain(equal).chain(right).enumerate() {
         events[i] = e;
-        i += 1;
     }
 }
 
@@ -52,7 +50,11 @@ fn key_cmp(a: &[u8], b: &[u8]) -> std::cmp::Ordering {
 }
 
 /// GroupBy = sort by key + per-key aggregation, timed over `iters` batches.
-fn groupby_throughput(events: &[Event], iters: usize, sort: impl Fn(&[Event]) -> Vec<Event>) -> f64 {
+fn groupby_throughput(
+    events: &[Event],
+    iters: usize,
+    sort: impl Fn(&[Event]) -> Vec<Event>,
+) -> f64 {
     let start = Instant::now();
     let mut sink = 0u64;
     for _ in 0..iters {
@@ -73,7 +75,7 @@ fn main() {
         .map(|i| Event::new(((i as u64 * 2654435761) % 1000) as u32, (i % 65536) as u32, 0))
         .collect();
 
-    let vectorized = groupby_throughput(&events, iters, |e| sort_events_by_key(e));
+    let vectorized = groupby_throughput(&events, iters, sort_events_by_key);
     let std_sort = groupby_throughput(&events, iters, |e| {
         let mut v = e.to_vec();
         v.sort_by_key(|ev| ev.key);

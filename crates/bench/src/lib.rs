@@ -14,8 +14,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use sbt_engine::{Engine, EngineConfig, EngineVariant, IngestStatus, Pipeline, StreamSide};
 use sbt_engine::metrics::EngineMetrics;
+use sbt_engine::{Engine, EngineConfig, EngineVariant, IngestStatus, Pipeline, StreamSide};
 use sbt_workloads::datasets::{
     intel_lab_stream, power_grid_stream, synthetic_stream, taxi_stream, StreamChunk,
 };
@@ -201,11 +201,8 @@ pub fn drive(
     batch_events: usize,
     side: StreamSide,
 ) {
-    let mut generator = Generator::new(
-        GeneratorConfig { batch_events },
-        channel_for(variant),
-        chunks,
-    );
+    let mut generator =
+        Generator::new(GeneratorConfig { batch_events }, channel_for(variant), chunks);
     let mut pending = Vec::new();
     while let Some(offer) = generator.next_offer() {
         match offer {
@@ -238,7 +235,7 @@ pub fn run_benchmark(
         // Feed the same stream shape (different seed) to the right side,
         // interleaving window by window so both sides' watermarks advance.
         let right = bench.stream(scale.windows, scale.events_per_window, 43);
-        for (lc, rc) in chunks.into_iter().zip(right.into_iter()) {
+        for (lc, rc) in chunks.into_iter().zip(right) {
             drive(&engine, vec![lc], variant, scale.batch_events, StreamSide::Left);
             drive(&engine, vec![rc], variant, scale.batch_events, StreamSide::Right);
         }

@@ -24,7 +24,7 @@ pub use aes::Aes128;
 pub use ctr::AesCtr;
 pub use hmac::hmac_sha256;
 pub use sha256::{sha256, Sha256};
-pub use sign::{SigningKey, Signature};
+pub use sign::{Signature, SigningKey};
 
 /// A 128-bit symmetric key shared between sources, the edge TEE and the
 /// cloud consumer.

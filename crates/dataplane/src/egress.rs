@@ -38,12 +38,7 @@ impl EgressMessage {
 
     /// Verify and decrypt on the cloud side. Returns `None` if the MAC does
     /// not verify.
-    pub fn open(
-        &self,
-        key: &Key128,
-        nonce: &Nonce,
-        signing: &SigningKey,
-    ) -> Option<Vec<u8>> {
+    pub fn open(&self, key: &Key128, nonce: &Nonce, signing: &SigningKey) -> Option<Vec<u8>> {
         if !signing.verify(&Self::signed_payload(self.seq, &self.ciphertext), &self.signature) {
             return None;
         }

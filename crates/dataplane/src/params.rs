@@ -72,10 +72,7 @@ mod tests {
 
     #[test]
     fn params_compare_by_value() {
-        assert_eq!(
-            PrimitiveParams::Band { lo: 1, hi: 2 },
-            PrimitiveParams::Band { lo: 1, hi: 2 }
-        );
+        assert_eq!(PrimitiveParams::Band { lo: 1, hi: 2 }, PrimitiveParams::Band { lo: 1, hi: 2 });
         assert_ne!(PrimitiveParams::K(3), PrimitiveParams::K(4));
     }
 }

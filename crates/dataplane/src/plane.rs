@@ -20,8 +20,8 @@ use parking_lot::{Mutex, RwLock};
 use sbt_attest::{AuditLog, AuditRecord, DataRef, LogSegment, UArrayRef};
 use sbt_crypto::{AesCtr, Key128, Nonce, SigningKey};
 use sbt_primitives as prim;
-use sbt_tz::{Platform, WorldTracker};
 use sbt_types::{Event, KeyValue, PowerEvent, PrimitiveKind, Watermark, WindowId};
+use sbt_tz::{Platform, WorldTracker};
 use sbt_uarray::{
     Allocator, AllocatorConfig, ConsumptionHint, HintSet, MemoryReport, TeePager, UArrayId,
     UArrayState, PAGE_SIZE,
@@ -245,16 +245,15 @@ impl DataPlane {
         } else {
             payload.to_vec()
         };
-        let decrypt_nanos =
-            if encrypted { decrypt_start.elapsed().as_nanos() as u64 } else { 0 };
+        let decrypt_nanos = if encrypted { decrypt_start.elapsed().as_nanos() as u64 } else { 0 };
 
         let events: Vec<Event> = if is_power {
-            if plaintext.len() % sbt_types::POWER_EVENT_BYTES != 0 {
+            if !plaintext.len().is_multiple_of(sbt_types::POWER_EVENT_BYTES) {
                 return Err(DataPlaneError::BadIngress("power payload not a whole event"));
             }
             PowerEvent::slice_from_bytes(&plaintext).iter().map(|e| e.to_generic()).collect()
         } else {
-            if plaintext.len() % sbt_types::EVENT_BYTES != 0 {
+            if !plaintext.len().is_multiple_of(sbt_types::EVENT_BYTES) {
                 return Err(DataPlaneError::BadIngress("payload not a whole event"));
             }
             Event::slice_from_bytes(&plaintext)
@@ -263,7 +262,8 @@ impl DataPlane {
         let id = self.next_id();
         let data = StoredData::from_events(id, &events, &self.pager)?;
         self.stats.record_ingress(events.len() as u64, plaintext.len() as u64, decrypt_nanos);
-        let (_, opaque, len) = self.register_output(data, PrimitiveKind::Ingress.code() as u64, None);
+        let (_, opaque, len) =
+            self.register_output(data, PrimitiveKind::Ingress.code() as u64, None);
         self.append_audit(AuditRecord::Ingress {
             ts_ms: self.now_ms(),
             data: DataRef::UArray(UArrayRef(id.0 as u32)),
@@ -352,11 +352,7 @@ impl DataPlane {
         params: &PrimitiveParams,
     ) -> Result<Vec<(StoredData, Option<WindowId>)>, DataPlaneError> {
         let one_events = |n: usize| -> Result<&[Event], DataPlaneError> {
-            inputs
-                .get(n)
-                .ok_or(DataPlaneError::BadArguments("missing input"))?
-                .1
-                .as_events()
+            inputs.get(n).ok_or(DataPlaneError::BadArguments("missing input"))?.1.as_events()
         };
         let pager = &self.pager;
         let mut out: Vec<(StoredData, Option<WindowId>)> = Vec::new();
@@ -396,10 +392,7 @@ impl DataPlane {
                     _ => return Err(DataPlaneError::BadArguments("Segment needs a window spec")),
                 };
                 for (win, events) in prim::segment_by_window(one_events(0)?, &spec) {
-                    out.push((
-                        StoredData::from_events(self.next_id(), &events, pager)?,
-                        Some(win),
-                    ));
+                    out.push((StoredData::from_events(self.next_id(), &events, pager)?, Some(win)));
                 }
             }
             PrimitiveKind::SumCnt | PrimitiveKind::AveragePerKey => {
@@ -588,10 +581,10 @@ impl DataPlane {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sbt_tz::World;
-    use sbt_tz::WorldGuard;
     use sbt_types::Duration;
     use sbt_types::WindowSpec;
+    use sbt_tz::World;
+    use sbt_tz::WorldGuard;
 
     fn plane() -> Arc<DataPlane> {
         DataPlane::new(Platform::hikey(), DataPlaneConfig::default())
@@ -746,10 +739,8 @@ mod tests {
             .iter()
             .flat_map(|s| sbt_attest::decompress_records(&s.compressed).unwrap())
             .collect();
-        let windowing = records
-            .iter()
-            .filter(|r| matches!(r, AuditRecord::Windowing { .. }))
-            .count();
+        let windowing =
+            records.iter().filter(|r| matches!(r, AuditRecord::Windowing { .. })).count();
         assert_eq!(windowing, 3);
     }
 

@@ -78,10 +78,8 @@ impl EngineConfig {
     /// Disable hint-guided placement (Figure 10 baseline).
     pub fn without_hints(mut self) -> Self {
         self.use_hints = false;
-        self.dataplane.allocator = AllocatorConfig {
-            policy: PlacementPolicy::SameProducer,
-            ..self.dataplane.allocator
-        };
+        self.dataplane.allocator =
+            AllocatorConfig { policy: PlacementPolicy::SameProducer, ..self.dataplane.allocator };
         self
     }
 
@@ -93,9 +91,8 @@ impl EngineConfig {
 
     /// Derive the simulated platform configuration for this engine.
     pub fn platform_config(&self) -> PlatformConfig {
-        let base = PlatformConfig::hikey()
-            .with_cores(self.cores)
-            .with_secure_mem(self.secure_mem_bytes);
+        let base =
+            PlatformConfig::hikey().with_cores(self.cores).with_secure_mem(self.secure_mem_bytes);
         match self.variant {
             EngineVariant::Sbt | EngineVariant::SbtClearIngress => {
                 base.with_ingress(IngressPathConfig::TrustedIo)

@@ -10,8 +10,8 @@
 use sbt_dataplane::{
     DataPlane, DataPlaneError, EgressMessage, InvokeOutput, OpaqueRef, PrimitiveParams,
 };
-use sbt_tz::{EntryFunction, IoChannel, SmcSession};
 use sbt_types::{PrimitiveKind, Watermark};
+use sbt_tz::{EntryFunction, IoChannel, SmcSession};
 use sbt_uarray::HintSet;
 use std::sync::Arc;
 
@@ -95,8 +95,8 @@ impl TeeGateway {
 mod tests {
     use super::*;
     use sbt_dataplane::DataPlaneConfig;
-    use sbt_tz::Platform;
     use sbt_types::Event;
+    use sbt_tz::Platform;
 
     fn gateway() -> TeeGateway {
         let dp = DataPlane::new(Platform::hikey(), DataPlaneConfig::default());
@@ -113,7 +113,12 @@ mod tests {
         let bytes = Event::slice_to_bytes(&events);
         let ingested = gw.ingress(&bytes, false, false, 0).unwrap();
         let sorted = gw
-            .invoke(PrimitiveKind::Sort, &[ingested.opaque], PrimitiveParams::None, &HintSet::none())
+            .invoke(
+                PrimitiveKind::Sort,
+                &[ingested.opaque],
+                PrimitiveParams::None,
+                &HintSet::none(),
+            )
             .unwrap();
         assert_eq!(sorted[0].len, 100);
         assert!(!sbt_tz::WorldTracker::in_secure_world());

@@ -71,10 +71,7 @@ impl EngineMetrics {
 
     /// Maximum output delay across windows, in milliseconds.
     pub fn max_delay_ms(&self) -> f64 {
-        self.windows
-            .iter()
-            .map(|w| w.output_delay_nanos as f64 / 1e6)
-            .fold(0.0, f64::max)
+        self.windows.iter().map(|w| w.output_delay_nanos as f64 / 1e6).fold(0.0, f64::max)
     }
 
     /// Mean output delay across windows, in milliseconds.

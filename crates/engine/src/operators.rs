@@ -153,18 +153,15 @@ impl Operator {
                 primitive: PrimitiveKind::TopKPerKey,
                 params: PrimitiveParams::K(k),
             },
-            Operator::TopK { k } => ReduceKind::Whole {
-                primitive: PrimitiveKind::TopK,
-                params: PrimitiveParams::K(k),
-            },
-            Operator::WindowSum => ReduceKind::Whole {
-                primitive: PrimitiveKind::Sum,
-                params: PrimitiveParams::None,
-            },
-            Operator::CountByWindow => ReduceKind::Whole {
-                primitive: PrimitiveKind::Count,
-                params: PrimitiveParams::None,
-            },
+            Operator::TopK { k } => {
+                ReduceKind::Whole { primitive: PrimitiveKind::TopK, params: PrimitiveParams::K(k) }
+            }
+            Operator::WindowSum => {
+                ReduceKind::Whole { primitive: PrimitiveKind::Sum, params: PrimitiveParams::None }
+            }
+            Operator::CountByWindow => {
+                ReduceKind::Whole { primitive: PrimitiveKind::Count, params: PrimitiveParams::None }
+            }
             Operator::WindowAverage => ReduceKind::Whole {
                 primitive: PrimitiveKind::Average,
                 params: PrimitiveParams::None,

@@ -148,9 +148,7 @@ impl Pipeline {
 
     /// Filter: 1%-selectivity filtering (target delay 10 ms).
     pub fn filter_benchmark(lo: u32, hi: u32) -> Pipeline {
-        Pipeline::new("Filter")
-            .then(Operator::Filter { lo, hi })
-            .target_delay_ms(10)
+        Pipeline::new("Filter").then(Operator::Filter { lo, hi }).target_delay_ms(10)
     }
 
     /// Power: per-plug average power per window over the smart-plug stream
@@ -194,9 +192,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "must precede the terminal")]
     fn transform_after_terminal_is_rejected() {
-        let _ = Pipeline::new("bad")
-            .then(Operator::WindowSum)
-            .then(Operator::Filter { lo: 0, hi: 1 });
+        let _ =
+            Pipeline::new("bad").then(Operator::WindowSum).then(Operator::Filter { lo: 0, hi: 1 });
     }
 
     #[test]

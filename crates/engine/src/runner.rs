@@ -22,8 +22,8 @@ use sbt_attest::LogSegment;
 use sbt_dataplane::{
     DataPlane, DataPlaneConfig, DataPlaneError, EgressMessage, OpaqueRef, PrimitiveParams,
 };
-use sbt_tz::Platform;
 use sbt_types::{PrimitiveKind, Watermark, WindowId};
+use sbt_tz::Platform;
 use sbt_uarray::HintSet;
 use sbt_workloads::transport::Delivery;
 use std::collections::HashMap;
@@ -139,11 +139,8 @@ impl Engine {
         side: StreamSide,
     ) -> Result<IngestStatus, DataPlaneError> {
         self.started.lock().get_or_insert_with(Instant::now);
-        let windowed = Self::ingest_and_segment(
-            &self.gateway,
-            self.pipeline.window_spec(),
-            delivery,
-        )?;
+        let windowed =
+            Self::ingest_and_segment(&self.gateway, self.pipeline.window_spec(), delivery)?;
         self.stash_windowed(windowed, side);
         self.finish_ingest()
     }
@@ -340,9 +337,8 @@ impl Engine {
         // window was in flight (after completion everything has been
         // reclaimed, so sampling now would always read near zero).
         let overhead_after = self.platform.stats().snapshot();
-        let overhead =
-            overhead_after.delta_since(&overhead_before).total_overhead_nanos()
-                / self.config.cores.max(1) as u64;
+        let overhead = overhead_after.delta_since(&overhead_before).total_overhead_nanos()
+            / self.config.cores.max(1) as u64;
         self.sample_memory();
         let memory = std::mem::take(&mut *self.window_peak_memory.lock());
         self.window_results.lock().push(WindowResult {
@@ -627,11 +623,8 @@ mod tests {
         let chunks = synthetic_stream(2, 5_000, 32, 42);
         for (i, msg) in results.iter().enumerate() {
             let plain = msg.open(&key, &nonce, &signing).unwrap();
-            let expected: usize = chunks[i]
-                .events
-                .iter()
-                .filter(|e| e.value <= u32::MAX / 100)
-                .count();
+            let expected: usize =
+                chunks[i].events.iter().filter(|e| e.value <= u32::MAX / 100).count();
             assert_eq!(plain.len(), expected * sbt_types::EVENT_BYTES, "window {i}");
         }
     }
@@ -729,18 +722,15 @@ mod tests {
 
     #[test]
     fn backpressure_fires_under_tiny_secure_memory() {
-        let config = EngineConfig::for_variant(EngineVariant::Sbt, 1)
-            .with_secure_mem(4 * 1024 * 1024);
+        let config =
+            EngineConfig::for_variant(EngineVariant::Sbt, 1).with_secure_mem(4 * 1024 * 1024);
         let engine = Engine::new(config, Pipeline::winsum_benchmark().batch_events(10_000));
         // 280 K events of 12 bytes accumulate ~3.4 MB of windowed uArrays
         // before the watermark, crossing the 80% backpressure threshold of
         // the 4 MB budget without exhausting it.
         let chunks = synthetic_stream(1, 280_000, 16, 1);
-        let mut generator = Generator::new(
-            GeneratorConfig { batch_events: 10_000 },
-            Channel::cleartext(),
-            chunks,
-        );
+        let mut generator =
+            Generator::new(GeneratorConfig { batch_events: 10_000 }, Channel::cleartext(), chunks);
         let mut saw_backpressure = false;
         while let Some(offer) = generator.next_offer() {
             match offer {

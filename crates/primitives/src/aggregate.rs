@@ -31,11 +31,7 @@ pub fn sum_count(events: &[Event]) -> (u64, u64) {
 /// Returns 0 for an empty input.
 pub fn average(events: &[Event]) -> u64 {
     let (s, c) = sum_count(events);
-    if c == 0 {
-        0
-    } else {
-        s / c
-    }
+    s.checked_div(c).unwrap_or(0)
 }
 
 /// Minimum and maximum of the event values (the `MinMax` primitive).

@@ -103,20 +103,13 @@ mod tests {
             Event::new(3, 7, 0),
         ]);
         let aggs = sum_count_per_key(&events);
-        assert_eq!(
-            aggs,
-            vec![KeyAgg::new(1, 20, 2), KeyAgg::new(2, 30, 2), KeyAgg::new(3, 7, 1)]
-        );
+        assert_eq!(aggs, vec![KeyAgg::new(1, 20, 2), KeyAgg::new(2, 30, 2), KeyAgg::new(3, 7, 1)]);
         assert_eq!(aggs[0].avg(), 10);
     }
 
     #[test]
     fn count_and_unique() {
-        let events = sorted(&[
-            Event::new(5, 0, 0),
-            Event::new(5, 0, 0),
-            Event::new(9, 0, 0),
-        ]);
+        let events = sorted(&[Event::new(5, 0, 0), Event::new(5, 0, 0), Event::new(9, 0, 0)]);
         assert_eq!(count_per_key(&events), vec![KeyCount::new(5, 2), KeyCount::new(9, 1)]);
         assert_eq!(unique_keys(&events), vec![5, 9]);
     }

@@ -39,8 +39,7 @@ pub fn join_by_key(left: &[Event], right: &[Event]) -> Vec<JoinedPair> {
         } else {
             // Find both runs of the matching key and emit the cross product.
             let i_end = left[i..].iter().position(|e| e.key != lk).map_or(left.len(), |p| i + p);
-            let j_end =
-                right[j..].iter().position(|e| e.key != rk).map_or(right.len(), |p| j + p);
+            let j_end = right[j..].iter().position(|e| e.key != rk).map_or(right.len(), |p| j + p);
             for l in &left[i..i_end] {
                 for r in &right[j..j_end] {
                     out.push(JoinedPair {
@@ -65,9 +64,7 @@ mod tests {
     use proptest::prelude::*;
 
     fn evs(pairs: &[(u32, u32)]) -> Vec<Event> {
-        sort_events_by_key(
-            &pairs.iter().map(|(k, v)| Event::new(*k, *v, 0)).collect::<Vec<_>>(),
-        )
+        sort_events_by_key(&pairs.iter().map(|(k, v)| Event::new(*k, *v, 0)).collect::<Vec<_>>())
     }
 
     #[test]

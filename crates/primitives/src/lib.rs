@@ -32,9 +32,7 @@ pub mod topk;
 pub use aggregate::{average, count, median, min_max, sum, sum_count};
 pub use concat::{concat_events, union_events};
 pub use filter::{filter_band, filter_time, project_keys, sample_every};
-pub use grouped::{
-    avg_per_key, count_per_key, median_per_key, sum_count_per_key, unique_keys,
-};
+pub use grouped::{avg_per_key, count_per_key, median_per_key, sum_count_per_key, unique_keys};
 pub use join::join_by_key;
 pub use merge::{merge_sorted_by_key, merge_sorted_u64, multiway_merge_u64};
 pub use segment::segment_by_window;

@@ -41,11 +41,8 @@ fn radix_sort_by_bytes(data: &mut Vec<u64>, lo_byte: usize, hi_byte: usize) {
         let shift = (byte * 8) as u32;
         // Skip passes whose digit is constant across the array (common for
         // small key ranges); this keeps short-key sorts at 1–2 passes.
-        let (src, dst): (&mut Vec<u64>, &mut Vec<u64>) = if src_is_data {
-            (&mut *data, &mut scratch)
-        } else {
-            (&mut scratch, &mut *data)
-        };
+        let (src, dst): (&mut Vec<u64>, &mut Vec<u64>) =
+            if src_is_data { (&mut *data, &mut scratch) } else { (&mut scratch, &mut *data) };
         let first_digit = (src[0] >> shift) & 0xFF;
         let mut histogram = [0usize; 256];
         let mut constant = true;
@@ -179,8 +176,7 @@ mod tests {
 
     #[test]
     fn event_sort_by_value_and_time() {
-        let events =
-            vec![Event::new(1, 30, 5), Event::new(2, 10, 9), Event::new(3, 20, 1)];
+        let events = vec![Event::new(1, 30, 5), Event::new(2, 10, 9), Event::new(3, 20, 1)];
         let by_value: Vec<u32> = sort_events_by_value(&events).iter().map(|e| e.value).collect();
         assert_eq!(by_value, vec![10, 20, 30]);
         let by_time: Vec<u32> = sort_events_by_time(&events).iter().map(|e| e.ts_ms).collect();

@@ -77,10 +77,7 @@ impl Event {
     /// Parse a contiguous byte buffer into events; trailing partial events are
     /// dropped.
     pub fn slice_from_bytes(bytes: &[u8]) -> Vec<Event> {
-        bytes
-            .chunks_exact(EVENT_BYTES)
-            .filter_map(Event::from_bytes)
-            .collect()
+        bytes.chunks_exact(EVENT_BYTES).filter_map(Event::from_bytes).collect()
     }
 }
 
@@ -145,10 +142,7 @@ impl PowerEvent {
     /// Parse a contiguous byte buffer into power events; trailing partial
     /// events are dropped.
     pub fn slice_from_bytes(bytes: &[u8]) -> Vec<PowerEvent> {
-        bytes
-            .chunks_exact(POWER_EVENT_BYTES)
-            .filter_map(PowerEvent::from_bytes)
-            .collect()
+        bytes.chunks_exact(POWER_EVENT_BYTES).filter_map(PowerEvent::from_bytes).collect()
     }
 
     /// Project onto the generic event layout used by the shared primitives:

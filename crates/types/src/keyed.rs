@@ -67,11 +67,7 @@ impl KeyAgg {
 
     /// Average value for the key (integer division; zero count yields zero).
     pub fn avg(&self) -> u64 {
-        if self.count == 0 {
-            0
-        } else {
-            self.sum / self.count
-        }
+        self.sum.checked_div(self.count).unwrap_or(0)
     }
 
     /// Merge another aggregate for the same key into this one.

@@ -69,12 +69,8 @@ impl WindowSpec {
     /// (the remaining containing windows are `assign(t)`).
     pub fn primary_window(&self, t: EventTime) -> WindowId {
         match *self {
-            WindowSpec::Fixed { size } => {
-                WindowId(t.as_micros() / size.raw().max(1))
-            }
-            WindowSpec::Sliding { slide, .. } => {
-                WindowId(t.as_micros() / slide.raw().max(1))
-            }
+            WindowSpec::Fixed { size } => WindowId(t.as_micros() / size.raw().max(1)),
+            WindowSpec::Sliding { slide, .. } => WindowId(t.as_micros() / slide.raw().max(1)),
             WindowSpec::Global => WindowId(0),
         }
     }
@@ -86,7 +82,7 @@ impl WindowSpec {
             WindowSpec::Sliding { size, slide } => {
                 let slide_us = slide.raw().max(1);
                 let latest = t.as_micros() / slide_us;
-                let span = (size.raw() + slide_us - 1) / slide_us; // windows covering t
+                let span = size.raw().div_ceil(slide_us); // windows covering t
                 let earliest = latest.saturating_sub(span - 1);
                 // A window w covers [w*slide, w*slide + size); keep those that
                 // actually contain t.
@@ -200,10 +196,7 @@ mod tests {
         // size 2s, slide 1s: event at t=2.5s belongs to windows starting at
         // 1s and 2s, i.e. ids 1 and 2.
         let spec = WindowSpec::sliding(Duration::from_secs(2), Duration::from_secs(1));
-        assert_eq!(
-            spec.assign(EventTime::from_millis(2_500)),
-            vec![WindowId(1), WindowId(2)]
-        );
+        assert_eq!(spec.assign(EventTime::from_millis(2_500)), vec![WindowId(1), WindowId(2)]);
         // Event in the very first second belongs only to window 0.
         assert_eq!(spec.assign(EventTime::from_millis(500)), vec![WindowId(0)]);
     }

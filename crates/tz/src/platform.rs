@@ -101,10 +101,8 @@ impl Platform {
     /// Build a platform from a configuration.
     pub fn new(config: PlatformConfig) -> Arc<Self> {
         let stats = Arc::new(TzStats::new());
-        let secure_mem = Arc::new(SecureMemory::new(
-            config.secure_mem_bytes,
-            config.backpressure_percent,
-        ));
+        let secure_mem =
+            Arc::new(SecureMemory::new(config.secure_mem_bytes, config.backpressure_percent));
         let smc = Arc::new(SmcInterface::new(config.cost, stats.clone()));
         Arc::new(Platform { config, stats, secure_mem, smc })
     }

@@ -105,11 +105,7 @@ impl SmcSession {
     /// Returns the closure's result, or an [`SmcError`] if the calling
     /// sequence is invalid (closed session, primitive invocation before
     /// initialization).
-    pub fn invoke<R>(
-        &self,
-        func: EntryFunction,
-        f: impl FnOnce() -> R,
-    ) -> Result<R, SmcError> {
+    pub fn invoke<R>(&self, func: EntryFunction, f: impl FnOnce() -> R) -> Result<R, SmcError> {
         if !self.open {
             return Err(SmcError::SessionClosed);
         }
@@ -165,9 +161,8 @@ mod tests {
         assert_eq!(switches_after_open, 1);
 
         session.invoke(EntryFunction::Initialize, || {}).unwrap();
-        let world_inside = session
-            .invoke(EntryFunction::InvokePrimitive, WorldTracker::current)
-            .unwrap();
+        let world_inside =
+            session.invoke(EntryFunction::InvokePrimitive, WorldTracker::current).unwrap();
         assert_eq!(world_inside, World::Secure);
         assert_eq!(WorldTracker::current(), World::Normal);
 

@@ -19,8 +19,8 @@
 //! stuck-but-retired bytes, live uGroup count and virtual-space usage.
 
 use crate::hints::ConsumptionHint;
-use crate::ugroup::{UGroup, UGroupId};
 use crate::uarray::{UArrayId, UArrayState};
+use crate::ugroup::{UGroup, UGroupId};
 use crate::vspace::VirtualSpace;
 use std::collections::HashMap;
 
@@ -149,9 +149,7 @@ impl Allocator {
             if let Some(p) = self.placements.get(&pred) {
                 if let Some(group) = self.groups.get(&p.group) {
                     if let Some(tail) = group.tail() {
-                        if tail.id == pred
-                            && tail.state != UArrayState::Open
-                            && group.can_append()
+                        if tail.id == pred && tail.state != UArrayState::Open && group.can_append()
                         {
                             return Some(p.group);
                         }
@@ -196,13 +194,7 @@ impl Allocator {
             // Baseline policy: same producer -> same group, if appendable.
             (PlacementPolicy::SameProducer, _) => {
                 match self.producer_groups.get(&producer).copied() {
-                    Some(g)
-                        if self
-                            .groups
-                            .get(&g)
-                            .map(|grp| grp.can_append())
-                            .unwrap_or(false) =>
-                    {
+                    Some(g) if self.groups.get(&g).map(|grp| grp.can_append()).unwrap_or(false) => {
                         g
                     }
                     _ => {
@@ -213,10 +205,7 @@ impl Allocator {
                 }
             }
         };
-        self.groups
-            .get_mut(&group_id)
-            .expect("group just selected must exist")
-            .append(id);
+        self.groups.get_mut(&group_id).expect("group just selected must exist").append(id);
         self.placements.insert(id, Placement { group: group_id });
         group_id
     }
@@ -358,9 +347,12 @@ mod tests {
     #[test]
     fn parallel_hint_isolates_siblings() {
         let mut a = Allocator::hint_guided();
-        let g1 = a.place(UArrayId(1), 7, Some(ConsumptionHint::ConsumedInParallel { k: 3, index: 0 }));
-        let g2 = a.place(UArrayId(2), 7, Some(ConsumptionHint::ConsumedInParallel { k: 3, index: 1 }));
-        let g3 = a.place(UArrayId(3), 7, Some(ConsumptionHint::ConsumedInParallel { k: 3, index: 2 }));
+        let g1 =
+            a.place(UArrayId(1), 7, Some(ConsumptionHint::ConsumedInParallel { k: 3, index: 0 }));
+        let g2 =
+            a.place(UArrayId(2), 7, Some(ConsumptionHint::ConsumedInParallel { k: 3, index: 1 }));
+        let g3 =
+            a.place(UArrayId(3), 7, Some(ConsumptionHint::ConsumedInParallel { k: 3, index: 2 }));
         assert_ne!(g1, g2);
         assert_ne!(g2, g3);
         assert_eq!(a.report().live_groups, 3);

@@ -160,7 +160,8 @@ impl<T: Copy> UArray<T> {
                 Err(e) => {
                     // Roll back the uncommitted tail so accounting stays
                     // consistent with the data actually backed by pages.
-                    let max_items = (self.committed_bytes as usize) / std::mem::size_of::<T>().max(1);
+                    let max_items =
+                        (self.committed_bytes as usize) / std::mem::size_of::<T>().max(1);
                     self.data.truncate(max_items);
                     return Err(UArrayError::OutOfSecureMemory(e));
                 }

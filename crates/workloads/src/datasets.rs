@@ -79,11 +79,7 @@ pub fn synthetic_stream(
         .map(|w| {
             let events = window_timestamps(w, events_per_window)
                 .map(|ts| {
-                    Event::new(
-                        rng.gen_range(0..key_cardinality.max(1)),
-                        rng.gen::<u32>(),
-                        ts,
-                    )
+                    Event::new(rng.gen_range(0..key_cardinality.max(1)), rng.gen::<u32>(), ts)
                 })
                 .collect();
             StreamChunk { events, power_events: Vec::new(), watermark: close_watermark(w) }
@@ -128,9 +124,8 @@ pub fn intel_lab_stream(windows: u32, events_per_window: usize, seed: u64) -> Ve
             let events = window_timestamps(w, events_per_window)
                 .map(|ts| {
                     let mote = rng.gen_range(0..MOTES);
-                    let value = (baselines[mote as usize] * 10.0
-                        + rng.gen_range(-20.0..20.0))
-                    .max(0.0) as u32;
+                    let value = (baselines[mote as usize] * 10.0 + rng.gen_range(-20.0..20.0))
+                        .max(0.0) as u32;
                     Event::new(mote, value, ts)
                 })
                 .collect();
@@ -164,11 +159,7 @@ pub fn power_grid_stream(
                     PowerEvent::new(power, plug, house, ts)
                 })
                 .collect();
-            StreamChunk {
-                events: Vec::new(),
-                power_events,
-                watermark: close_watermark(w),
-            }
+            StreamChunk { events: Vec::new(), power_events, watermark: close_watermark(w) }
         })
         .collect()
 }

@@ -155,10 +155,7 @@ mod tests {
         }
         // 250 events / 100-event batches = 3 batches per window, 2 windows.
         assert_eq!(batches, 6);
-        assert_eq!(
-            watermarks,
-            vec![Watermark::from_millis(1000), Watermark::from_millis(2000)]
-        );
+        assert_eq!(watermarks, vec![Watermark::from_millis(1000), Watermark::from_millis(2000)]);
         assert!(g.is_exhausted());
         assert_eq!(g.offered_events(), 500);
         assert_eq!(g.offered_bytes(), 500 * sbt_types::EVENT_BYTES as u64);
@@ -181,11 +178,7 @@ mod tests {
 
     #[test]
     fn empty_stream_is_immediately_exhausted() {
-        let mut g = Generator::new(
-            GeneratorConfig::default(),
-            Channel::cleartext(),
-            Vec::new(),
-        );
+        let mut g = Generator::new(GeneratorConfig::default(), Channel::cleartext(), Vec::new());
         assert!(g.next_offer().is_none());
         assert!(g.is_exhausted());
     }
@@ -193,11 +186,8 @@ mod tests {
     #[test]
     fn power_chunks_flow_through() {
         let chunks = crate::datasets::power_grid_stream(1, 120, 4, 3, 2);
-        let mut g = Generator::new(
-            GeneratorConfig { batch_events: 50 },
-            Channel::cleartext(),
-            chunks,
-        );
+        let mut g =
+            Generator::new(GeneratorConfig { batch_events: 50 }, Channel::cleartext(), chunks);
         let mut power_batches = 0;
         while let Some(offer) = g.next_offer() {
             if let Offer::Batch(d) = offer {

@@ -61,8 +61,7 @@ impl Delivery {
         if bandwidth_bytes_per_sec == 0 {
             return 0;
         }
-        (self.wire_bytes.len() as u128 * 1_000_000_000u128 / bandwidth_bytes_per_sec as u128)
-            as u64
+        (self.wire_bytes.len() as u128 * 1_000_000_000u128 / bandwidth_bytes_per_sec as u128) as u64
     }
 }
 
@@ -124,8 +123,7 @@ impl Channel {
                 ctr.apply_keystream_at(&mut payload, self.next_block);
                 // Advance the counter past this payload so subsequent chunks
                 // use fresh keystream blocks.
-                self.next_block =
-                    self.next_block.wrapping_add(payload.len().div_ceil(16) as u32);
+                self.next_block = self.next_block.wrapping_add(payload.len().div_ceil(16) as u32);
                 true
             }
         };

@@ -16,11 +16,8 @@ fn run_edge() -> (Vec<AuditRecord>, PipelineSpec, usize) {
         .batch_events(10_000);
     let engine = Engine::new(EngineConfig::for_variant(EngineVariant::Sbt, 4), pipeline);
     let chunks = intel_lab_stream(3, 50_000, 11);
-    let mut generator = Generator::new(
-        GeneratorConfig { batch_events: 10_000 },
-        Channel::encrypted_demo(),
-        chunks,
-    );
+    let mut generator =
+        Generator::new(GeneratorConfig { batch_events: 10_000 }, Channel::encrypted_demo(), chunks);
     while let Some(offer) = generator.next_offer() {
         match offer {
             Offer::Batch(batch) => {
@@ -77,10 +74,8 @@ fn main() {
         tampered.remove(pos);
     }
     let report = verifier.replay(&tampered);
-    let dropped_data_detected = report
-        .violations
-        .iter()
-        .any(|v| matches!(v, Violation::UnwindowedIngress(_)));
+    let dropped_data_detected =
+        report.violations.iter().any(|v| matches!(v, Violation::UnwindowedIngress(_)));
     println!(
         "dropped data:  correct = {}, violations = {} (unwindowed ingress detected: {})",
         report.is_correct(),

@@ -21,11 +21,8 @@ fn main() {
 
     // 40 houses with 20 plugs each, 100 K samples per second, 4 seconds.
     let chunks = power_grid_stream(4, 100_000, 40, 20, 7);
-    let mut generator = Generator::new(
-        GeneratorConfig { batch_events: 20_000 },
-        Channel::encrypted_demo(),
-        chunks,
-    );
+    let mut generator =
+        Generator::new(GeneratorConfig { batch_events: 20_000 }, Channel::encrypted_demo(), chunks);
     while let Some(offer) = generator.next_offer() {
         match offer {
             Offer::Batch(batch) => {
@@ -52,7 +49,8 @@ fn main() {
             })
             .collect();
         let global_avg: f64 = {
-            let (sum, cnt) = plugs.iter().fold((0u64, 0u64), |(s, c), (_, ps, pc)| (s + ps, c + pc));
+            let (sum, cnt) =
+                plugs.iter().fold((0u64, 0u64), |(s, c), (_, ps, pc)| (s + ps, c + pc));
             sum as f64 / cnt.max(1) as f64
         };
         let mut high_per_house: HashMap<u32, u32> = HashMap::new();

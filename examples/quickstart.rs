@@ -22,11 +22,8 @@ fn main() {
     // 3. Stream three windows of synthetic telemetry (50 K events each, 64
     //    sensor keys) over an encrypted source→edge link.
     let chunks = synthetic_stream(3, 50_000, 64, 2024);
-    let mut generator = Generator::new(
-        GeneratorConfig { batch_events: 10_000 },
-        Channel::encrypted_demo(),
-        chunks,
-    );
+    let mut generator =
+        Generator::new(GeneratorConfig { batch_events: 10_000 }, Channel::encrypted_demo(), chunks);
     while let Some(offer) = generator.next_offer() {
         match offer {
             Offer::Batch(batch) => {
@@ -44,9 +41,7 @@ fn main() {
         let aggregates = plain.len() / 20; // key(4) + sum(8) + count(8)
         let first_key = u32::from_le_bytes(plain[0..4].try_into().unwrap());
         let first_sum = u64::from_le_bytes(plain[4..12].try_into().unwrap());
-        println!(
-            "window {i}: {aggregates} keys, e.g. key {first_key} -> sum {first_sum}"
-        );
+        println!("window {i}: {aggregates} keys, e.g. key {first_key} -> sum {first_sum}");
     }
 
     // 5. Engine-side metrics: throughput, delay, TEE memory.

@@ -21,10 +21,8 @@ fn main() {
 
     // Interleave the two sides window by window so both watermarks advance
     // together (the engine joins on the minimum watermark).
-    for (left, right) in vibration.into_iter().zip(temperature.into_iter()) {
-        for (side, chunk) in
-            [(StreamSide::Left, left), (StreamSide::Right, right)]
-        {
+    for (left, right) in vibration.into_iter().zip(temperature) {
+        for (side, chunk) in [(StreamSide::Left, left), (StreamSide::Right, right)] {
             let mut generator = Generator::new(
                 GeneratorConfig { batch_events: 10_000 },
                 Channel::encrypted_demo(),

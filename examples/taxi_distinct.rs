@@ -16,11 +16,8 @@ fn main() {
 
     // 5 windows of 200 K trip events each, skewed over ~11 K taxi ids.
     let chunks = taxi_stream(5, 200_000, 99);
-    let mut generator = Generator::new(
-        GeneratorConfig { batch_events: 25_000 },
-        Channel::encrypted_demo(),
-        chunks,
-    );
+    let mut generator =
+        Generator::new(GeneratorConfig { batch_events: 25_000 }, Channel::encrypted_demo(), chunks);
     while let Some(offer) = generator.next_offer() {
         match offer {
             Offer::Batch(batch) => {

@@ -16,11 +16,8 @@ fn run_honest_engine() -> (std::sync::Arc<Engine>, Vec<AuditRecord>) {
             .batch_events(2_000),
     );
     let chunks = synthetic_stream(2, 6_000, 16, 77);
-    let mut generator = Generator::new(
-        GeneratorConfig { batch_events: 2_000 },
-        Channel::encrypted_demo(),
-        chunks,
-    );
+    let mut generator =
+        Generator::new(GeneratorConfig { batch_events: 2_000 }, Channel::encrypted_demo(), chunks);
     while let Some(offer) = generator.next_offer() {
         match offer {
             Offer::Batch(batch) => {
@@ -78,11 +75,8 @@ fn tampered_results_and_audit_segments_fail_authentication() {
         Pipeline::winsum_benchmark().target_delay_ms(60_000).batch_events(2_000),
     );
     let chunks = synthetic_stream(1, 4_000, 8, 3);
-    let mut generator = Generator::new(
-        GeneratorConfig { batch_events: 2_000 },
-        Channel::encrypted_demo(),
-        chunks,
-    );
+    let mut generator =
+        Generator::new(GeneratorConfig { batch_events: 2_000 }, Channel::encrypted_demo(), chunks);
     while let Some(offer) = generator.next_offer() {
         match offer {
             Offer::Batch(batch) => {
@@ -118,9 +112,7 @@ fn dropping_data_is_detected_by_the_verifier() {
             _ => None,
         })
         .expect("at least one windowing record");
-    records.retain(
-        |r| !matches!(r, AuditRecord::Windowing { input, .. } if *input == victim),
-    );
+    records.retain(|r| !matches!(r, AuditRecord::Windowing { input, .. } if *input == victim));
     let report = Verifier::new(spec).replay(&records);
     assert!(!report.is_correct());
     assert!(report
@@ -172,10 +164,7 @@ fn running_undeclared_computations_is_detected() {
         hints: vec![],
     });
     let report = Verifier::new(spec).replay(&records);
-    assert!(report
-        .violations
-        .iter()
-        .any(|v| matches!(v, Violation::UndeclaredPrimitive { .. })));
+    assert!(report.violations.iter().any(|v| matches!(v, Violation::UndeclaredPrimitive { .. })));
 }
 
 #[test]
@@ -188,10 +177,7 @@ fn withholding_results_is_detected() {
     let mut censored = records.clone();
     censored.remove(first_egress.expect("has egress"));
     let report = Verifier::new(spec).replay(&censored);
-    assert!(report
-        .violations
-        .iter()
-        .any(|v| matches!(v, Violation::MissingEgress { .. })));
+    assert!(report.violations.iter().any(|v| matches!(v, Violation::MissingEgress { .. })));
 }
 
 #[test]

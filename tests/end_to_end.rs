@@ -50,10 +50,8 @@ fn winsum_end_to_end_matches_oracle_and_verifies() {
         Pipeline::winsum_benchmark().target_delay_ms(60_000).batch_events(5_000),
     );
     let chunks = intel_lab_stream(3, 20_000, 5);
-    let oracle: Vec<u64> = chunks
-        .iter()
-        .map(|c| c.events.iter().map(|e| e.value as u64).sum())
-        .collect();
+    let oracle: Vec<u64> =
+        chunks.iter().map(|c| c.events.iter().map(|e| e.value as u64).sum()).collect();
     drive(&engine, chunks);
     let plains = decrypt_all(&engine);
     assert_eq!(plains.len(), 3);
@@ -108,15 +106,15 @@ fn distinct_end_to_end_matches_oracle() {
         Pipeline::distinct_benchmark().target_delay_ms(60_000).batch_events(5_000),
     );
     let chunks = taxi_stream(2, 15_000, 9);
-    let oracle: Vec<BTreeSet<u32>> = chunks
-        .iter()
-        .map(|c| c.events.iter().map(|e| e.key).collect())
-        .collect();
+    let oracle: Vec<BTreeSet<u32>> =
+        chunks.iter().map(|c| c.events.iter().map(|e| e.key).collect()).collect();
     drive(&engine, chunks);
     let plains = decrypt_all(&engine);
     for (i, plain) in plains.iter().enumerate() {
-        let got: Vec<u32> =
-            plain.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap()) as u32).collect();
+        let got: Vec<u32> = plain
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()) as u32)
+            .collect();
         let expected: Vec<u32> = oracle[i].iter().copied().collect();
         assert_eq!(got, expected, "window {i}");
     }
@@ -136,11 +134,8 @@ fn filter_end_to_end_matches_oracle() {
         .map(|c| c.events.iter().copied().filter(|e| e.value <= hi).collect())
         .collect();
     // ClearIngress variant: the source link is trusted, so send cleartext.
-    let mut generator = Generator::new(
-        GeneratorConfig { batch_events: 5_000 },
-        Channel::cleartext(),
-        chunks,
-    );
+    let mut generator =
+        Generator::new(GeneratorConfig { batch_events: 5_000 }, Channel::cleartext(), chunks);
     while let Some(offer) = generator.next_offer() {
         match offer {
             Offer::Batch(batch) => {

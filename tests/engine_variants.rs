@@ -18,11 +18,8 @@ fn run(variant: EngineVariant, use_hints: bool) -> (Vec<Vec<u8>>, std::sync::Arc
             .batch_events(3_000),
     );
     let chunks = synthetic_stream(2, 9_000, 32, 1234);
-    let channel = if variant.encrypted_ingress() {
-        Channel::encrypted_demo()
-    } else {
-        Channel::cleartext()
-    };
+    let channel =
+        if variant.encrypted_ingress() { Channel::encrypted_demo() } else { Channel::cleartext() };
     let mut generator = Generator::new(GeneratorConfig { batch_events: 3_000 }, channel, chunks);
     while let Some(offer) = generator.next_offer() {
         match offer {
@@ -33,19 +30,15 @@ fn run(variant: EngineVariant, use_hints: bool) -> (Vec<Vec<u8>>, std::sync::Arc
         }
     }
     let (key, nonce, signing) = engine.data_plane().cloud_keys();
-    let plains = engine
-        .results()
-        .iter()
-        .map(|m| m.open(&key, &nonce, &signing).expect("verify"))
-        .collect();
+    let plains =
+        engine.results().iter().map(|m| m.open(&key, &nonce, &signing).expect("verify")).collect();
     (plains, engine)
 }
 
 #[test]
 fn all_variants_produce_identical_results() {
     let (reference, _) = run(EngineVariant::Insecure, true);
-    for variant in [EngineVariant::Sbt, EngineVariant::SbtClearIngress, EngineVariant::SbtIoViaOs]
-    {
+    for variant in [EngineVariant::Sbt, EngineVariant::SbtClearIngress, EngineVariant::SbtIoViaOs] {
         let (results, _) = run(variant, true);
         assert_eq!(results, reference, "variant {variant:?} diverged");
     }

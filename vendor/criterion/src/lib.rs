@@ -1,0 +1,241 @@
+//! Minimal, API-compatible stand-in for `criterion` (offline build).
+//!
+//! Implements the subset this workspace's benches use: `Criterion`,
+//! `benchmark_group` with `sample_size` / `throughput` / `bench_function` /
+//! `bench_with_input` / `finish`, `Bencher::iter`, `black_box`,
+//! `BenchmarkId`, `Throughput`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement is intentionally simple: each benchmark is warmed up, then
+//! timed over `samples` batches whose iteration count adapts to hit a small
+//! per-sample time budget. The median per-iteration time and derived
+//! throughput are printed to stdout. No plotting, no statistics files.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box`, criterion's optimization barrier.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation used to derive rates from per-iteration time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Identifier for a benchmark within a group: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("sort", 1024)` → `sort/1024`.
+    pub fn new<P: fmt::Display>(function_id: impl Into<String>, parameter: P) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_id.into(), parameter) }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    samples: usize,
+    per_sample_budget: Duration,
+    /// Median per-iteration time of the last `iter` call.
+    last_median: Duration,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly, recording the median per-iteration wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up and estimate a single iteration.
+        let start = Instant::now();
+        black_box(f());
+        let mut est = start.elapsed().max(Duration::from_nanos(1));
+
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let iters =
+                (self.per_sample_budget.as_nanos() / est.as_nanos()).clamp(1, 100_000) as u64;
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            let per_iter = elapsed / iters as u32;
+            est = per_iter.max(Duration::from_nanos(1));
+            times.push(per_iter);
+        }
+        times.sort();
+        self.last_median = times[times.len() / 2];
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn report(id: &str, median: Duration, throughput: Option<Throughput>) {
+    let rate = throughput.map(|t| {
+        let per_sec = |n: u64| n as f64 / median.as_secs_f64().max(1e-12);
+        match t {
+            Throughput::Elements(n) => format!("  [{:.2} Melem/s]", per_sec(n) / 1e6),
+            Throughput::Bytes(n) => format!("  [{:.2} MiB/s]", per_sec(n) / (1024.0 * 1024.0)),
+        }
+    });
+    println!("bench: {:<48} {:>12}/iter{}", id, format_duration(median), rate.unwrap_or_default());
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Set the throughput used to derive rates for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Measurement-time knob; accepted for API compatibility, unused.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    fn run(&mut self, id: BenchmarkId, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: self.samples,
+            per_sample_budget: Duration::from_millis(20),
+            last_median: Duration::ZERO,
+        };
+        f(&mut b);
+        let full = format!("{}/{}", self.name, id.id);
+        report(&full, b.last_median, self.throughput);
+    }
+
+    /// Time one benchmark.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        self.run(id.into(), f);
+        self
+    }
+
+    /// Time one benchmark that borrows an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnOnce(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: F,
+    ) -> &mut Self {
+        self.run(id.into(), |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (prints nothing extra; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), samples: 10, throughput: None, _criterion: self }
+    }
+
+    /// Time one stand-alone benchmark.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: 10,
+            per_sample_budget: Duration::from_millis(20),
+            last_median: Duration::ZERO,
+        };
+        f(&mut b);
+        report(id, b.last_median, None);
+        self
+    }
+}
+
+/// Define a function running a list of benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("test");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("spin", |b| b.iter(|| (0..100u64).map(black_box).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("with_input", 5), &5u64, |b, &n| b.iter(|| n * 2));
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("sort", 1024).id, "sort/1024");
+    }
+}

@@ -1,0 +1,379 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stand-in.
+//!
+//! The real serde_derive depends on syn/quote, which are unavailable in this
+//! offline build, so this crate parses the item with a small hand-rolled
+//! token walker. Supported shapes (everything this workspace derives on):
+//!
+//! - structs with named fields,
+//! - enums with unit variants,
+//! - enums with struct (named-field) variants, externally tagged.
+//!
+//! Tuple structs, tuple variants, and generic items are rejected with a
+//! compile-time panic naming the offending item.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the item the derive is attached to.
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    /// Tuple struct (e.g. the `WindowId(pub u64)` newtypes); only the arity
+    /// matters. Newtypes serialize transparently, wider tuples as sequences.
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Option<Vec<String>>)>,
+    },
+}
+
+/// Count top-level comma-separated items in a paren group (tuple fields).
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut angle: i32 = 0;
+    let mut count = 1;
+    let mut saw_tokens_since_comma = true;
+    for tt in &tokens {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                count += 1;
+                saw_tokens_since_comma = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens_since_comma = true;
+    }
+    if !saw_tokens_since_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn is_punct(tt: &TokenTree, ch: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+/// Skip attributes (`#[...]`) and visibility (`pub`, `pub(...)`) at `i`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        if i < tokens.len() && is_punct(&tokens[i], '#') {
+            i += 2; // '#' followed by the bracket group
+        } else if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        } else {
+            return i;
+        }
+    }
+}
+
+/// Parse `name: Type,` fields out of a brace-group body, returning the names.
+fn parse_named_fields(group: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected field name, found {other}"),
+        };
+        i += 1;
+        assert!(
+            i < tokens.len() && is_punct(&tokens[i], ':'),
+            "serde_derive: expected ':' after field `{name}` (tuple structs are unsupported)"
+        );
+        i += 1;
+        // Skip the type: consume until a ',' outside any angle brackets.
+        let mut angle: i32 = 0;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+/// Parse enum variants: `Name`, `Name { fields }`, or `Name = disc`.
+fn parse_variants(group: TokenStream) -> Vec<(String, Option<Vec<String>>)> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, found {other}"),
+        };
+        i += 1;
+        let mut fields = None;
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                fields = Some(parse_named_fields(g.stream()));
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde_derive: tuple variant `{name}` is unsupported");
+            }
+            Some(tt) if is_punct(tt, '=') => {
+                // Explicit discriminant: skip the expression.
+                while i < tokens.len() && !is_punct(&tokens[i], ',') {
+                    i += 1;
+                }
+            }
+            _ => {}
+        }
+        if matches!(tokens.get(i), Some(tt) if is_punct(tt, ',')) {
+            i += 1;
+        }
+        variants.push((name, fields));
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected item name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(tt) if is_punct(tt, '<')) {
+        panic!("serde_derive: generic item `{name}` is unsupported by the vendored derive");
+    }
+    if kind == "struct" {
+        if let Some(TokenTree::Group(g)) = &tokens.get(i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                return Item::TupleStruct { name, arity: count_tuple_fields(g.stream()) };
+            }
+        }
+    }
+    let body = match &tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => panic!("serde_derive: `{name}` has no braced body (unit items unsupported)"),
+    };
+    match kind.as_str() {
+        "struct" => Item::Struct { name, fields: parse_named_fields(body) },
+        "enum" => Item::Enum { name, variants: parse_variants(body) },
+        other => panic!("serde_derive: cannot derive on `{other}`"),
+    }
+}
+
+fn variant_fields_to_map(fields: &[String]) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!("(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f}))")
+        })
+        .collect();
+    format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+}
+
+/// Derive `serde::Serialize` (vendored `to_value` flavor).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Map(::std::vec![{}])\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let items: Vec<String> =
+                (0..arity).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Seq(::std::vec![{}])\n\
+                     }}\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    None => format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+                    ),
+                    Some(fs) => format!(
+                        "{name}::{v} {{ {} }} => ::serde::Value::Map(::std::vec![\
+                         (::std::string::String::from(\"{v}\"), {})]),",
+                        fs.join(", "),
+                        variant_fields_to_map(fs)
+                    ),
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    };
+    out.parse().expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+/// Derive `serde::Deserialize` (vendored `from_value` flavor).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(v.get(\"{f}\")\
+                         .ok_or_else(|| ::serde::Error::msg(\"missing field `{f}`\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         ::std::result::Result::Ok({name} {{ {} }})\n\
+                     }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     ::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let inits: Vec<String> = (0..arity)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(items.get({i})\
+                         .ok_or_else(|| ::serde::Error::msg(\"tuple too short for {name}\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Seq(items) => ::std::result::Result::Ok({name}({})),\n\
+                             other => ::std::result::Result::Err(::serde::Error::msg(\
+                                 ::std::format!(\"expected sequence for {name}, got {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, f)| f.is_none())
+                .map(|(v, _)| {
+                    format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),")
+                })
+                .collect();
+            let struct_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(v, f)| f.as_ref().map(|fs| (v, fs)))
+                .map(|(v, fs)| {
+                    let inits: Vec<String> = fs
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(inner.get(\"{f}\")\
+                                 .ok_or_else(|| ::serde::Error::msg(\"missing field `{f}`\"))?)?"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "if let ::std::option::Option::Some(inner) = v.get(\"{v}\") {{\n\
+                             return ::std::result::Result::Ok({name}::{v} {{ {} }});\n\
+                         }}",
+                        inits.join(", ")
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         if let ::serde::Value::Str(s) = v {{\n\
+                             #[allow(unreachable_code)]\n\
+                             return match s.as_str() {{\n\
+                                 {}\n\
+                                 other => ::std::result::Result::Err(::serde::Error::msg(\
+                                     ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                             }};\n\
+                         }}\n\
+                         {}\n\
+                         ::std::result::Result::Err(::serde::Error::msg(\
+                             \"no matching variant of {name}\"))\n\
+                     }}\n\
+                 }}",
+                unit_arms.join("\n"),
+                struct_arms.join("\n")
+            )
+        }
+    };
+    out.parse().expect("serde_derive: generated Deserialize impl failed to parse")
+}

@@ -1,0 +1,122 @@
+//! Minimal JSON serialization over the vendored serde [`Value`] data model.
+//!
+//! Only the emit side (`to_string` / `to_string_pretty`) is implemented —
+//! that is all this workspace uses (writing benchmark results to disk).
+
+#![forbid(unsafe_code)]
+
+use serde::{Serialize, Value};
+
+/// Error type (kept for API compatibility; emission is infallible).
+pub type Error = serde::Error;
+
+/// Serialize `value` to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Serialize `value` to a pretty-printed JSON string (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+fn write_value(v: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(x) => {
+            if x.is_finite() {
+                out.push_str(&x.to_string());
+            } else {
+                // JSON has no NaN/Infinity; match serde_json's lossy `null`.
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_escaped(s, out),
+        Value::Seq(items) => write_compound('[', ']', items.len(), indent, depth, out, |i, o| {
+            write_value(&items[i], indent, depth + 1, o)
+        }),
+        Value::Map(entries) => {
+            write_compound('{', '}', entries.len(), indent, depth, out, |i, o| {
+                write_escaped(&entries[i].0, o);
+                o.push(':');
+                if indent.is_some() {
+                    o.push(' ');
+                }
+                write_value(&entries[i].1, indent, depth + 1, o);
+            })
+        }
+    }
+}
+
+fn write_compound(
+    open: char,
+    close: char,
+    len: usize,
+    indent: Option<usize>,
+    depth: usize,
+    out: &mut String,
+    mut write_item: impl FnMut(usize, &mut String),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(step) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', step * (depth + 1)));
+        }
+        write_item(i, out);
+    }
+    if let Some(step) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', step * depth));
+    }
+    out.push(close);
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_and_pretty() {
+        let v = vec![(1u32, "a".to_string()), (2, "b\"x".to_string())];
+        assert_eq!(to_string(&v).unwrap(), r#"[[1,"a"],[2,"b\"x"]]"#);
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  "));
+    }
+
+    #[test]
+    fn empty_compound() {
+        let empty: Vec<u32> = vec![];
+        assert_eq!(to_string(&empty).unwrap(), "[]");
+    }
+}
