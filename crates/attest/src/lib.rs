@@ -29,10 +29,12 @@ pub mod huffman;
 pub mod log;
 pub mod lz77;
 pub mod record;
+pub mod trail;
 pub mod varint;
 pub mod verifier;
 
 pub use columnar::{compress_records, decompress_records};
 pub use log::{AuditLog, LogSegment};
 pub use record::{AuditRecord, DataRef, UArrayRef};
+pub use trail::{verify_tenant_trail, TrailError};
 pub use verifier::{FreshnessReport, PipelineSpec, VerificationReport, Verifier, Violation};

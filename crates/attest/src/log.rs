@@ -9,11 +9,15 @@
 use crate::columnar::compress_records;
 use crate::record::AuditRecord;
 use sbt_crypto::{Signature, SigningKey};
+use sbt_types::TenantId;
 
 /// One signed, compressed batch of audit records as uploaded to the cloud.
 #[derive(Clone)]
 pub struct LogSegment {
-    /// Sequence number of the segment within its log.
+    /// The tenant whose trail this segment belongs to (the default tenant in
+    /// single-pipeline deployments).
+    pub tenant: TenantId,
+    /// Sequence number of the segment within its tenant's log.
     pub seq: u64,
     /// Columnar-compressed record batch.
     pub compressed: Vec<u8>,
@@ -21,18 +25,19 @@ pub struct LogSegment {
     pub raw_bytes: usize,
     /// Number of records in the segment.
     pub record_count: usize,
-    /// HMAC over `(seq || compressed)`.
+    /// HMAC over `(tenant || seq || compressed)`.
     pub signature: Signature,
 }
 
 impl LogSegment {
     /// Verify the segment's signature with the shared key.
     pub fn verify(&self, key: &SigningKey) -> bool {
-        key.verify(&Self::signed_payload(self.seq, &self.compressed), &self.signature)
+        key.verify(&Self::signed_payload(self.tenant, self.seq, &self.compressed), &self.signature)
     }
 
-    fn signed_payload(seq: u64, compressed: &[u8]) -> Vec<u8> {
-        let mut payload = Vec::with_capacity(8 + compressed.len());
+    fn signed_payload(tenant: TenantId, seq: u64, compressed: &[u8]) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(12 + compressed.len());
+        payload.extend_from_slice(&tenant.0.to_le_bytes());
         payload.extend_from_slice(&seq.to_le_bytes());
         payload.extend_from_slice(compressed);
         payload
@@ -42,6 +47,7 @@ impl LogSegment {
 /// The in-TEE audit log.
 pub struct AuditLog {
     key: SigningKey,
+    tenant: TenantId,
     pending: Vec<AuditRecord>,
     next_seq: u64,
     /// Flush when this many records are pending (in addition to explicit
@@ -54,10 +60,18 @@ pub struct AuditLog {
 
 impl AuditLog {
     /// Create a log signing with `key`, flushing automatically every
-    /// `flush_threshold` records.
+    /// `flush_threshold` records. Segments are tagged with the default
+    /// tenant (single-pipeline deployments).
     pub fn new(key: SigningKey, flush_threshold: usize) -> Self {
+        AuditLog::for_tenant(key, flush_threshold, TenantId::DEFAULT)
+    }
+
+    /// Create a log whose segments are tagged with (and signed under)
+    /// `tenant`, so the cloud can verify each tenant's trail independently.
+    pub fn for_tenant(key: SigningKey, flush_threshold: usize, tenant: TenantId) -> Self {
         AuditLog {
             key,
+            tenant,
             pending: Vec::new(),
             next_seq: 0,
             flush_threshold: flush_threshold.max(1),
@@ -65,6 +79,11 @@ impl AuditLog {
             total_raw_bytes: 0,
             total_compressed_bytes: 0,
         }
+    }
+
+    /// The tenant this log's segments are tagged with.
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
     }
 
     /// Append a record. Returns a flushed segment if the pending batch
@@ -97,8 +116,15 @@ impl AuditLog {
         self.total_records += records.len() as u64;
         self.total_raw_bytes += raw_bytes as u64;
         self.total_compressed_bytes += compressed.len() as u64;
-        let signature = self.key.sign(&LogSegment::signed_payload(seq, &compressed));
-        Some(LogSegment { seq, raw_bytes, record_count: records.len(), compressed, signature })
+        let signature = self.key.sign(&LogSegment::signed_payload(self.tenant, seq, &compressed));
+        Some(LogSegment {
+            tenant: self.tenant,
+            seq,
+            raw_bytes,
+            record_count: records.len(),
+            compressed,
+            signature,
+        })
     }
 
     /// Total records ever appended and flushed.

@@ -1,0 +1,112 @@
+//! Audit-log compression throughput: MB/s of the gzip-like LZ77+Huffman
+//! baseline (encode and decode) over realistic audit-record row bytes, with
+//! the domain-specific columnar codec alongside for comparison. This gives
+//! the ROADMAP's audit-log-compression direction its baseline numbers: any
+//! future codec work must beat these rates at equal-or-better ratios.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sbt_attest::record::{AuditRecord, DataRef, UArrayRef};
+use sbt_attest::{compress_records, decompress_records, lz77};
+use sbt_types::PrimitiveKind;
+
+/// A realistic audit stream in row format: per window, several batches flow
+/// through ingress → windowing → sort → merge → sum → egress.
+fn make_row_bytes(windows: u32, batches_per_window: u32) -> (Vec<AuditRecord>, Vec<u8>) {
+    let mut records = Vec::new();
+    let mut id = 0u32;
+    let mut ts = 0u32;
+    let mut fresh = || {
+        let r = UArrayRef(id);
+        id += 1;
+        r
+    };
+    for w in 0..windows {
+        let mut sorted = Vec::new();
+        for _ in 0..batches_per_window {
+            let ingress = fresh();
+            records.push(AuditRecord::Ingress { ts_ms: ts, data: DataRef::UArray(ingress) });
+            let windowed = fresh();
+            records.push(AuditRecord::Windowing {
+                ts_ms: ts + 1,
+                input: ingress,
+                win_no: w as u16,
+                output: windowed,
+            });
+            let s = fresh();
+            records.push(AuditRecord::Execution {
+                ts_ms: ts + 2,
+                op: PrimitiveKind::Sort,
+                inputs: vec![windowed],
+                outputs: vec![s],
+                hints: vec![],
+            });
+            sorted.push(s);
+            ts += 3;
+        }
+        while sorted.len() > 1 {
+            let a = sorted.remove(0);
+            let b = sorted.remove(0);
+            let m = fresh();
+            records.push(AuditRecord::Execution {
+                ts_ms: ts,
+                op: PrimitiveKind::Merge,
+                inputs: vec![a, b],
+                outputs: vec![m],
+                hints: vec![],
+            });
+            sorted.push(m);
+            ts += 1;
+        }
+        let out = fresh();
+        records.push(AuditRecord::Execution {
+            ts_ms: ts,
+            op: PrimitiveKind::SumCnt,
+            inputs: vec![sorted[0]],
+            outputs: vec![out],
+            hints: vec![],
+        });
+        records.push(AuditRecord::Egress { ts_ms: ts + 1, data: out });
+        ts += 2;
+    }
+    let mut rows = Vec::new();
+    for r in &records {
+        r.to_row_bytes(&mut rows);
+    }
+    (records, rows)
+}
+
+fn bench_compression_throughput(c: &mut Criterion) {
+    let (records, rows) = make_row_bytes(50, 32);
+    let raw_bytes = rows.len() as u64;
+
+    let mut group = c.benchmark_group("audit_compression");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(raw_bytes));
+
+    // The gzip-like LZ77+Huffman baseline, encode and decode.
+    group.bench_function("lz77_huffman_encode", |b| b.iter(|| lz77::compress(&rows)));
+    let lz = lz77::compress(&rows);
+    group.bench_function("lz77_huffman_decode", |b| {
+        b.iter(|| lz77::decompress(&lz).expect("round-trips"))
+    });
+
+    // The domain-specific columnar codec on the same records.
+    group.bench_function("columnar_encode", |b| b.iter(|| compress_records(&records)));
+    let col = compress_records(&records);
+    group.bench_function("columnar_decode", |b| {
+        b.iter(|| decompress_records(&col).expect("round-trips"))
+    });
+    group.finish();
+
+    println!(
+        "audit_compression: raw {} B, lz77+huffman {} B ({:.1}x), columnar {} B ({:.1}x)",
+        raw_bytes,
+        lz.len(),
+        raw_bytes as f64 / lz.len().max(1) as f64,
+        col.len(),
+        raw_bytes as f64 / col.len().max(1) as f64,
+    );
+}
+
+criterion_group!(benches, bench_compression_throughput);
+criterion_main!(benches);

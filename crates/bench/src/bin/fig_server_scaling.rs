@@ -1,0 +1,155 @@
+//! Multi-tenant server scaling: aggregate throughput and per-tenant output
+//! delay as the number of pipelines multiplexed over one shared TEE grows.
+//!
+//! For each tenant count N in the sweep, the harness brings up one
+//! `StreamServer` (one platform, one data plane, one worker pool), admits N
+//! tenants — each with a WinSum pipeline, an equal share of the secure
+//! carve-out as its quota, and weight 1 — and serves every tenant an
+//! independent stream with a disjoint key range. After the run it reports
+//! aggregate throughput and per-tenant delays, and verifies each tenant's
+//! audit trail independently (tenant tag, signatures, segment sequence,
+//! then symbolic replay against the tenant's declared pipeline).
+//!
+//! Run with `cargo run --release -p sbt_bench --bin fig_server_scaling`.
+//! `SBT_TENANTS=1,4,16` overrides the sweep; `SBT_FULL=1` scales the
+//! streams up.
+
+use sbt_attest::{verify_tenant_trail, Verifier};
+use sbt_bench::{dump_json, print_table};
+use sbt_engine::{Operator, Pipeline};
+use sbt_server::{ServerConfig, StreamServer, TenantConfig, TenantStream};
+use sbt_workloads::datasets::multi_tenant_streams;
+use sbt_workloads::generator::{Generator, GeneratorConfig};
+use sbt_workloads::transport::Channel;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ScalingRow {
+    tenants: usize,
+    aggregate_mevents_per_sec: f64,
+    events: u64,
+    avg_delay_ms: f64,
+    max_delay_ms: f64,
+    backpressure_signals: u64,
+    rejected_batches: u64,
+    trails_verified: usize,
+}
+
+fn sweep_from_env() -> Vec<usize> {
+    std::env::var("SBT_TENANTS")
+        .ok()
+        .map(|s| s.split(',').filter_map(|t| t.trim().parse().ok()).collect())
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 4, 16])
+}
+
+fn run_tenant_count(tenants: usize, windows: u32, events_per_window: usize) -> ScalingRow {
+    let cores = 4;
+    let secure_mem: u64 = 256 * 1024 * 1024;
+    let server = StreamServer::new(
+        ServerConfig::default()
+            .with_cores(cores)
+            .with_secure_mem(secure_mem)
+            .with_max_tenants(tenants),
+    );
+    let quota = secure_mem / tenants as u64;
+    let batch = (events_per_window / 4).max(1);
+    let ids: Vec<_> = (0..tenants)
+        .map(|t| {
+            let pipeline = Pipeline::new(&format!("winsum-{t}"))
+                .then(Operator::WindowSum)
+                .target_delay_ms(60_000)
+                .batch_events(batch);
+            server
+                .admit(TenantConfig::new(&format!("tenant-{t}"), quota), pipeline)
+                .expect("admission within quota")
+        })
+        .collect();
+    let loads = multi_tenant_streams(tenants, windows, events_per_window, 64, 42);
+    let streams: Vec<TenantStream> = ids
+        .iter()
+        .zip(loads)
+        .map(|(id, chunks)| TenantStream {
+            tenant: *id,
+            generator: Generator::new(
+                GeneratorConfig { batch_events: batch },
+                Channel::encrypted_demo(),
+                chunks,
+            ),
+        })
+        .collect();
+    let report = server.serve(streams).expect("serve completes");
+
+    // Verify every tenant's audit trail independently.
+    let (_, _, signing) = server.cloud_keys();
+    let mut trails_verified = 0;
+    for id in &ids {
+        let engine = server.engine(*id).unwrap();
+        let segments = engine.drain_audit_segments();
+        let records =
+            verify_tenant_trail(&segments, *id, &signing).expect("tenant trail authenticates");
+        let replay = Verifier::new(engine.pipeline().spec()).replay(&records);
+        assert!(replay.is_correct(), "tenant {id} replay violations: {:?}", replay.violations);
+        trails_verified += 1;
+    }
+
+    let delays: Vec<f64> = report.per_tenant.iter().map(|t| t.avg_delay_ms).collect();
+    ScalingRow {
+        tenants,
+        aggregate_mevents_per_sec: report.aggregate_events_per_sec() / 1e6,
+        events: report.aggregate_events(),
+        avg_delay_ms: delays.iter().sum::<f64>() / delays.len().max(1) as f64,
+        max_delay_ms: report.per_tenant.iter().map(|t| t.max_delay_ms).fold(0.0, f64::max),
+        backpressure_signals: report.per_tenant.iter().map(|t| t.backpressure_signals).sum(),
+        rejected_batches: report.per_tenant.iter().map(|t| t.rejected_batches).sum(),
+        trails_verified,
+    }
+}
+
+fn main() {
+    let full = std::env::var("SBT_FULL").map(|v| v == "1").unwrap_or(false);
+    let (windows, events_per_window) = if full { (4u32, 200_000usize) } else { (2, 20_000) };
+    let sweep = sweep_from_env();
+
+    let rows: Vec<ScalingRow> =
+        sweep.iter().map(|&n| run_tenant_count(n, windows, events_per_window)).collect();
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.tenants.to_string(),
+                format!("{:.3}", r.aggregate_mevents_per_sec),
+                r.events.to_string(),
+                format!("{:.1}", r.avg_delay_ms),
+                format!("{:.1}", r.max_delay_ms),
+                r.backpressure_signals.to_string(),
+                r.rejected_batches.to_string(),
+                format!("{}/{}", r.trails_verified, r.tenants),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Server scaling — N tenants over one shared TEE ({windows} windows x \
+             {events_per_window} events each per tenant)"
+        ),
+        &[
+            "tenants",
+            "aggregate Mevents/s",
+            "events",
+            "avg delay ms",
+            "max delay ms",
+            "backpressure",
+            "rejected",
+            "trails ok",
+        ],
+        &table,
+    );
+    println!(
+        "\nAggregate throughput should grow with tenant count until the {}-worker pool \
+         saturates; every tenant's audit trail must verify independently.",
+        4
+    );
+    dump_json("fig_server_scaling", &rows);
+}

@@ -26,15 +26,34 @@ const SBOX: [u8; 256] = [
 /// Round constants for key expansion.
 const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
 
+/// The word-parallel round table: `TE0[b]` packs one byte's SubBytes +
+/// MixColumns contribution to a whole output column as
+/// `(2·S[b]) | (S[b] << 8) | (S[b] << 16) | (3·S[b] << 24)`; contributions
+/// for the other three row positions are byte rotations of the same word.
+/// This turns a round into 16 table lookups and XORs on 32-bit words —
+/// the software analogue of vectorizing the cipher (used only by the
+/// multi-block [`Aes128::encrypt4`] hot path; the byte-wise single-block
+/// path remains the reference the KATs pin down).
+static TE0: [u32; 256] = build_te0();
+
+const fn build_te0() -> [u32; 256] {
+    let mut t = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let s = SBOX[i] as u32;
+        let s2 = ((s << 1) ^ ((s >> 7) * 0x1b)) & 0xff;
+        let s3 = s2 ^ s;
+        t[i] = s2 | (s << 8) | (s << 16) | (s3 << 24);
+        i += 1;
+    }
+    t
+}
+
 /// Multiply by x (i.e. {02}) in GF(2^8) with the AES reduction polynomial.
+/// Branchless, so the compiler can vectorize MixColumns across lanes.
 #[inline]
 fn xtime(b: u8) -> u8 {
-    let hi = b & 0x80;
-    let mut r = b << 1;
-    if hi != 0 {
-        r ^= 0x1b;
-    }
-    r
+    (b << 1) ^ (((b >> 7) & 1) * 0x1b)
 }
 
 /// AES-128 with a pre-expanded key schedule.
@@ -42,6 +61,9 @@ fn xtime(b: u8) -> u8 {
 pub struct Aes128 {
     /// 11 round keys of 16 bytes each.
     round_keys: [[u8; 16]; 11],
+    /// The same round keys as little-endian column words (the layout the
+    /// word-parallel multi-block path consumes).
+    round_key_cols: [[u32; 4]; 11],
 }
 
 impl Aes128 {
@@ -66,12 +88,14 @@ impl Aes128 {
             }
         }
         let mut round_keys = [[0u8; 16]; 11];
+        let mut round_key_cols = [[0u32; 4]; 11];
         for r in 0..11 {
             for c in 0..4 {
                 round_keys[r][c * 4..c * 4 + 4].copy_from_slice(&w[r * 4 + c]);
+                round_key_cols[r][c] = u32::from_le_bytes(w[r * 4 + c]);
             }
         }
-        Aes128 { round_keys }
+        Aes128 { round_keys, round_key_cols }
     }
 
     /// Encrypt one 16-byte block in place.
@@ -94,6 +118,81 @@ impl Aes128 {
         self.encrypt_block(&mut b);
         b
     }
+
+    /// Encrypt four consecutive 16-byte blocks in lockstep (lane-parallel).
+    ///
+    /// Each AES round is applied across all four states before the next
+    /// round begins, so the four independent data paths interleave: the
+    /// compiler can keep all lanes in registers, hide the S-box load
+    /// latency of one lane behind the arithmetic of the others, and
+    /// auto-vectorize the XOR-heavy steps. This is the block-function shape
+    /// the CTR hot loop wants (§9.3's vectorization lesson applied to the
+    /// ingress/egress cipher rather than Sort).
+    pub fn encrypt4(&self, blocks: &mut [u8; 64]) {
+        // Each state is four little-endian column words; four states are
+        // advanced in lockstep so each round's 64 independent table lookups
+        // and XOR chains interleave freely.
+        let mut s = [[0u32; 4]; 4];
+        for (lane, state) in s.iter_mut().enumerate() {
+            for (c, col) in state.iter_mut().enumerate() {
+                let off = lane * 16 + c * 4;
+                *col = u32::from_le_bytes(blocks[off..off + 4].try_into().unwrap());
+            }
+        }
+        for state in s.iter_mut() {
+            for (col, rk) in state.iter_mut().zip(self.round_key_cols[0]) {
+                *col ^= rk;
+            }
+        }
+        for round in 1..10 {
+            let rk = &self.round_key_cols[round];
+            for state in s.iter_mut() {
+                *state = table_round(state, rk);
+            }
+        }
+        let rk = &self.round_key_cols[10];
+        for state in s.iter_mut() {
+            *state = last_round(state, rk);
+        }
+        for (lane, state) in s.iter().enumerate() {
+            for (c, col) in state.iter().enumerate() {
+                let off = lane * 16 + c * 4;
+                blocks[off..off + 4].copy_from_slice(&col.to_le_bytes());
+            }
+        }
+    }
+}
+
+/// One full word-parallel AES round (SubBytes + ShiftRows + MixColumns +
+/// AddRoundKey) over a four-column state. ShiftRows appears as the column
+/// rotation in the input indices: output column `c` draws its row-`r` byte
+/// from column `(c + r) % 4`.
+#[inline]
+fn table_round(s: &[u32; 4], rk: &[u32; 4]) -> [u32; 4] {
+    let mut out = [0u32; 4];
+    for (c, o) in out.iter_mut().enumerate() {
+        *o = TE0[(s[c] & 0xff) as usize]
+            ^ TE0[((s[(c + 1) & 3] >> 8) & 0xff) as usize].rotate_left(8)
+            ^ TE0[((s[(c + 2) & 3] >> 16) & 0xff) as usize].rotate_left(16)
+            ^ TE0[((s[(c + 3) & 3] >> 24) & 0xff) as usize].rotate_left(24)
+            ^ rk[c];
+    }
+    out
+}
+
+/// The final round (no MixColumns): plain S-box lookups reassembled into
+/// column words.
+#[inline]
+fn last_round(s: &[u32; 4], rk: &[u32; 4]) -> [u32; 4] {
+    let mut out = [0u32; 4];
+    for (c, o) in out.iter_mut().enumerate() {
+        *o = (SBOX[(s[c] & 0xff) as usize] as u32)
+            | (SBOX[((s[(c + 1) & 3] >> 8) & 0xff) as usize] as u32) << 8
+            | (SBOX[((s[(c + 2) & 3] >> 16) & 0xff) as usize] as u32) << 16
+            | (SBOX[((s[(c + 3) & 3] >> 24) & 0xff) as usize] as u32) << 24;
+        *o ^= rk[c];
+    }
+    out
 }
 
 #[inline]
@@ -186,6 +285,22 @@ mod tests {
         ];
         let aes = Aes128::new(&key);
         assert_eq!(aes.encrypt(plain), expected);
+    }
+
+    #[test]
+    fn encrypt4_matches_four_single_block_encryptions() {
+        let aes = Aes128::new(&[0x42u8; 16]);
+        let mut blocks = [0u8; 64];
+        for (i, b) in blocks.iter_mut().enumerate() {
+            *b = (i as u8).wrapping_mul(37).wrapping_add(11);
+        }
+        let mut expected = [0u8; 64];
+        for lane in 0..4 {
+            let single: [u8; 16] = blocks[lane * 16..lane * 16 + 16].try_into().unwrap();
+            expected[lane * 16..lane * 16 + 16].copy_from_slice(&aes.encrypt(single));
+        }
+        aes.encrypt4(&mut blocks);
+        assert_eq!(blocks, expected);
     }
 
     #[test]

@@ -21,6 +21,12 @@ pub enum DataPlaneError {
     OutOfSecureMemory,
     /// The ingress payload failed authentication or could not be parsed.
     BadIngress(&'static str),
+    /// The named tenant has not been registered with the data plane.
+    UnknownTenant,
+    /// The operation would push the calling tenant past its TEE memory
+    /// quota; the tenant's sources should be backpressured. Other tenants
+    /// are unaffected.
+    QuotaExceeded,
 }
 
 impl std::fmt::Display for DataPlaneError {
@@ -31,6 +37,8 @@ impl std::fmt::Display for DataPlaneError {
             DataPlaneError::UnsupportedPrimitive => write!(f, "unsupported primitive"),
             DataPlaneError::OutOfSecureMemory => write!(f, "secure memory exhausted"),
             DataPlaneError::BadIngress(msg) => write!(f, "bad ingress payload: {msg}"),
+            DataPlaneError::UnknownTenant => write!(f, "unknown tenant"),
+            DataPlaneError::QuotaExceeded => write!(f, "tenant memory quota exceeded"),
         }
     }
 }

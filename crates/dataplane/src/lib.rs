@@ -42,6 +42,6 @@ pub use egress::EgressMessage;
 pub use error::DataPlaneError;
 pub use opaque::OpaqueRef;
 pub use params::{InvokeOutput, PrimitiveParams};
-pub use plane::{DataPlane, DataPlaneConfig};
+pub use plane::{DataPlane, DataPlaneConfig, TenantMemory};
 pub use stats::{DataPlaneStats, InvocationBreakdown};
 pub use store::StoredData;

@@ -8,7 +8,26 @@
 //! space exactly as in the paper. Internally, the record store is read-mostly
 //! (`RwLock` around `Arc`-shared arrays: lookups clone the `Arc`, drop the
 //! lock and compute without holding it), while the allocator, reference
-//! table and audit log take short critical sections.
+//! tables and audit logs take short critical sections.
+//!
+//! # Multi-tenancy
+//!
+//! The data plane serves many independent pipelines (**tenants**) over the
+//! one TEE. Each tenant owns a private namespace inside the enclave:
+//!
+//! * a per-tenant **opaque-reference table** — a reference minted for one
+//!   tenant's control plane does not resolve under any other tenant, so a
+//!   compromised control plane cannot invoke primitives on another tenant's
+//!   state even if it learns the raw reference value;
+//! * a per-tenant **audit log** whose segments are tagged with (and signed
+//!   under) the tenant id, so the cloud verifies each trail independently;
+//! * a per-tenant **memory quota** enforced through the uArray allocator's
+//!   owner accounting — a tenant that fills its quota is rejected without
+//!   disturbing the others' committed memory.
+//!
+//! Single-pipeline deployments (the paper's setting) run everything under
+//! [`TenantId::DEFAULT`], which is registered unconstrained at load time;
+//! the original single-tenant entry points delegate to it.
 
 use crate::egress::EgressMessage;
 use crate::error::DataPlaneError;
@@ -20,7 +39,7 @@ use parking_lot::{Mutex, RwLock};
 use sbt_attest::{AuditLog, AuditRecord, DataRef, LogSegment, UArrayRef};
 use sbt_crypto::{AesCtr, Key128, Nonce, SigningKey};
 use sbt_primitives as prim;
-use sbt_types::{Event, KeyValue, PowerEvent, PrimitiveKind, Watermark, WindowId};
+use sbt_types::{Event, KeyValue, PowerEvent, PrimitiveKind, TenantId, Watermark, WindowId};
 use sbt_tz::{Platform, WorldTracker};
 use sbt_uarray::{
     Allocator, AllocatorConfig, ConsumptionHint, HintSet, MemoryReport, TeePager, UArrayId,
@@ -77,24 +96,59 @@ struct AllocState {
     committed: HashMap<UArrayId, u64>,
 }
 
+/// The per-tenant namespace inside the TEE.
+struct TenantState {
+    /// The tenant's private opaque-reference table.
+    refs: RefTable,
+    /// The tenant's audit log (segments tagged and signed with the tenant).
+    audit: AuditLog,
+    /// Flushed-but-undrained segments.
+    segments: Vec<LogSegment>,
+    /// Egress sequence counter of the tenant's result stream.
+    egress_seq: u64,
+    /// Events the tenant has ingested.
+    events_ingested: u64,
+    /// Plaintext bytes the tenant has ingested.
+    bytes_ingested: u64,
+}
+
+/// Point-in-time memory accounting of one tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantMemory {
+    /// Bytes currently charged to the tenant.
+    pub used_bytes: u64,
+    /// The tenant's quota, or `None` when unconstrained.
+    pub quota_bytes: Option<u64>,
+}
+
+impl TenantMemory {
+    /// Whether the tenant is near its quota (≥ 80 %, mirroring the global
+    /// backpressure threshold): its sources should slow down.
+    pub fn under_pressure(&self) -> bool {
+        match self.quota_bytes {
+            Some(quota) => self.used_bytes >= quota - quota / 5,
+            None => false,
+        }
+    }
+}
+
 /// The StreamBox-TZ trusted data plane.
 pub struct DataPlane {
     platform: Arc<Platform>,
     config: DataPlaneConfig,
     pager: TeePager,
     store: RwLock<HashMap<UArrayId, Arc<StoredData>>>,
-    refs: Mutex<RefTable>,
+    tenants: RwLock<HashMap<TenantId, Arc<Mutex<TenantState>>>>,
     alloc: Mutex<AllocState>,
-    audit: Mutex<AuditLog>,
-    segments: Mutex<Vec<LogSegment>>,
     stats: DataPlaneStats,
     signing: SigningKey,
-    egress_seq: Mutex<u64>,
     start: Instant,
 }
 
 impl DataPlane {
     /// Load the data plane onto a platform (the `Initialize` entry function).
+    /// The default tenant is registered unconstrained, so single-pipeline
+    /// deployments work without any tenant management.
     pub fn new(platform: Arc<Platform>, config: DataPlaneConfig) -> Arc<Self> {
         let pager = TeePager::new(
             platform.secure_mem().clone(),
@@ -102,27 +156,71 @@ impl DataPlane {
             *platform.cost(),
         );
         let signing = SigningKey::new(&config.signing_key);
-        Arc::new(DataPlane {
+        let dp = DataPlane {
             pager,
             store: RwLock::new(HashMap::new()),
-            refs: Mutex::new(RefTable::new(config.ref_seed)),
+            tenants: RwLock::new(HashMap::new()),
             alloc: Mutex::new(AllocState {
                 allocator: Allocator::new(config.allocator),
                 next_id: UArrayId(0),
                 committed: HashMap::new(),
             }),
-            audit: Mutex::new(AuditLog::new(
-                SigningKey::new(&config.signing_key),
-                config.audit_flush_threshold,
-            )),
-            segments: Mutex::new(Vec::new()),
             stats: DataPlaneStats::new(),
             signing,
-            egress_seq: Mutex::new(0),
             start: Instant::now(),
             config,
             platform,
-        })
+        };
+        dp.register_tenant(TenantId::DEFAULT, None).expect("default tenant registers once");
+        Arc::new(dp)
+    }
+
+    /// Register a tenant with an optional TEE memory quota in bytes
+    /// (`None` = unconstrained). Fails if the tenant already exists.
+    pub fn register_tenant(
+        &self,
+        tenant: TenantId,
+        quota_bytes: Option<u64>,
+    ) -> Result<(), DataPlaneError> {
+        let mut tenants = self.tenants.write();
+        if tenants.contains_key(&tenant) {
+            return Err(DataPlaneError::BadArguments("tenant already registered"));
+        }
+        // Distinct per-tenant RNG streams for the reference namespaces.
+        let seed = self
+            .config
+            .ref_seed
+            .wrapping_add((tenant.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        tenants.insert(
+            tenant,
+            Arc::new(Mutex::new(TenantState {
+                refs: RefTable::new(seed),
+                audit: AuditLog::for_tenant(
+                    SigningKey::new(&self.config.signing_key),
+                    self.config.audit_flush_threshold,
+                    tenant,
+                ),
+                segments: Vec::new(),
+                egress_seq: 0,
+                events_ingested: 0,
+                bytes_ingested: 0,
+            })),
+        );
+        if let Some(quota) = quota_bytes {
+            self.alloc.lock().allocator.set_owner_quota(tenant.owner_tag(), quota);
+        }
+        Ok(())
+    }
+
+    /// The registered tenants, in ascending id order.
+    pub fn tenants(&self) -> Vec<TenantId> {
+        let mut ids: Vec<TenantId> = self.tenants.read().keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    fn tenant_state(&self, tenant: TenantId) -> Result<Arc<Mutex<TenantState>>, DataPlaneError> {
+        self.tenants.read().get(&tenant).cloned().ok_or(DataPlaneError::UnknownTenant)
     }
 
     /// Data-plane timestamp (milliseconds since initialization), as stamped
@@ -146,60 +244,146 @@ impl DataPlane {
         self.alloc.lock().allocator.report()
     }
 
-    /// Whether the engine should apply backpressure to sources.
+    /// Memory accounting of one tenant: bytes charged and quota.
+    pub fn tenant_memory(&self, tenant: TenantId) -> Result<TenantMemory, DataPlaneError> {
+        self.tenant_state(tenant)?;
+        let alloc = self.alloc.lock();
+        Ok(TenantMemory {
+            used_bytes: alloc.allocator.owner_used(tenant.owner_tag()),
+            quota_bytes: alloc.allocator.owner_quota(tenant.owner_tag()),
+        })
+    }
+
+    /// One tenant's ingest counters: `(events, plaintext bytes)`.
+    pub fn tenant_ingest(&self, tenant: TenantId) -> Result<(u64, u64), DataPlaneError> {
+        let ts = self.tenant_state(tenant)?;
+        let t = ts.lock();
+        Ok((t.events_ingested, t.bytes_ingested))
+    }
+
+    /// Whether the engine should apply backpressure to sources (platform-wide
+    /// secure-memory pressure).
     pub fn under_memory_pressure(&self) -> bool {
         self.pager.under_pressure()
     }
 
-    /// Number of live opaque references.
-    pub fn live_refs(&self) -> usize {
-        self.refs.lock().live_count()
+    /// Whether one tenant's sources should slow down: near its own quota,
+    /// independent of the other tenants.
+    pub fn tenant_under_pressure(&self, tenant: TenantId) -> bool {
+        self.tenant_memory(tenant).map(|m| m.under_pressure()).unwrap_or(false)
     }
 
-    /// Drain audit segments flushed so far (the engine uploads them).
+    /// Number of live opaque references of the default tenant.
+    pub fn live_refs(&self) -> usize {
+        self.live_refs_for(TenantId::DEFAULT)
+    }
+
+    /// Number of live opaque references of one tenant.
+    pub fn live_refs_for(&self, tenant: TenantId) -> usize {
+        self.tenant_state(tenant).map(|t| t.lock().refs.live_count()).unwrap_or(0)
+    }
+
+    /// Drain the default tenant's audit segments (the engine uploads them).
     pub fn drain_audit_segments(&self) -> Vec<LogSegment> {
-        let mut flushed = std::mem::take(&mut *self.segments.lock());
-        if let Some(seg) = self.audit.lock().flush() {
+        self.drain_audit_segments_for(TenantId::DEFAULT).unwrap_or_default()
+    }
+
+    /// Drain one tenant's flushed audit segments.
+    pub fn drain_audit_segments_for(
+        &self,
+        tenant: TenantId,
+    ) -> Result<Vec<LogSegment>, DataPlaneError> {
+        let ts = self.tenant_state(tenant)?;
+        let mut t = ts.lock();
+        let mut flushed = std::mem::take(&mut t.segments);
+        if let Some(seg) = t.audit.flush() {
             flushed.push(seg);
         }
-        flushed
+        Ok(flushed)
     }
 
-    /// Compression statistics of the audit log: (raw bytes, compressed bytes).
+    /// Compression statistics of the default tenant's audit log:
+    /// (raw bytes, compressed bytes).
     pub fn audit_bytes(&self) -> (u64, u64) {
-        let log = self.audit.lock();
-        (log.total_raw_bytes(), log.total_compressed_bytes())
+        let ts = match self.tenant_state(TenantId::DEFAULT) {
+            Ok(ts) => ts,
+            Err(_) => return (0, 0),
+        };
+        let t = ts.lock();
+        (t.audit.total_raw_bytes(), t.audit.total_compressed_bytes())
     }
 
     // ----- internal helpers ---------------------------------------------
 
-    fn append_audit(&self, record: AuditRecord) {
+    fn append_audit(&self, ts: &Mutex<TenantState>, record: AuditRecord) {
         self.stats.record_audit(1);
-        let mut log = self.audit.lock();
-        if let Some(segment) = log.append(record) {
-            self.segments.lock().push(segment);
+        let mut t = ts.lock();
+        if let Some(segment) = t.audit.append(record) {
+            t.segments.push(segment);
         }
     }
 
-    /// Mint a new uArray id, place it with the allocator, and remember its
-    /// committed size once built. Returns (internal id, opaque ref).
+    /// Place, quota-charge and commit `produced` under one allocator critical
+    /// section (all-or-nothing with respect to the tenant's quota), then
+    /// publish the arrays to the store. Returns per-output
+    /// `(id, len, window, paging_nanos)`; references are minted by the
+    /// caller. On quota rejection every produced array's pages are released
+    /// and nothing is published.
+    #[allow(clippy::type_complexity)]
+    fn commit_outputs(
+        &self,
+        tenant: TenantId,
+        producer: u64,
+        produced: Vec<(StoredData, Option<WindowId>)>,
+        hints: &HintSet,
+    ) -> Result<Vec<(UArrayId, usize, Option<WindowId>, u64)>, DataPlaneError> {
+        let owner = tenant.owner_tag();
+        let total: u64 = produced.iter().map(|(d, _)| d.committed_bytes()).sum();
+        {
+            let mut alloc = self.alloc.lock();
+            if alloc.allocator.owner_would_exceed(owner, total) {
+                drop(alloc);
+                for (data, _) in &produced {
+                    self.pager.release_pages(data.committed_bytes() / PAGE_SIZE);
+                }
+                return Err(DataPlaneError::QuotaExceeded);
+            }
+            for (i, (data, _)) in produced.iter().enumerate() {
+                let id = data.id();
+                let bytes = data.committed_bytes();
+                alloc.allocator.place(id, producer, hints.get(i));
+                alloc.allocator.update(id, UArrayState::Produced, bytes);
+                alloc
+                    .allocator
+                    .charge_owner(owner, id, bytes)
+                    .expect("quota checked under the same allocator lock");
+                alloc.committed.insert(id, bytes);
+            }
+        }
+        let mut out = Vec::with_capacity(produced.len());
+        let mut store = self.store.write();
+        for (data, window) in produced {
+            out.push((data.id(), data.len(), window, data.paging_nanos()));
+            store.insert(data.id(), Arc::new(data));
+        }
+        Ok(out)
+    }
+
+    /// Convenience wrapper for single-output boundary paths (ingress).
     fn register_output(
         &self,
+        tenant: TenantId,
+        ts: &Mutex<TenantState>,
         data: StoredData,
         producer: u64,
         hint: Option<ConsumptionHint>,
-    ) -> (UArrayId, OpaqueRef, usize) {
-        let len = data.len();
-        let id = data.id();
-        {
-            let mut alloc = self.alloc.lock();
-            alloc.allocator.place(id, producer, hint);
-            alloc.allocator.update(id, UArrayState::Produced, data.committed_bytes());
-            alloc.committed.insert(id, data.committed_bytes());
-        }
-        self.store.write().insert(id, Arc::new(data));
-        let opaque = self.refs.lock().mint(id);
-        (id, opaque, len)
+    ) -> Result<(UArrayId, OpaqueRef, usize), DataPlaneError> {
+        let mut hints = HintSet::none();
+        hints.push(hint);
+        let committed = self.commit_outputs(tenant, producer, vec![(data, None)], &hints)?;
+        let (id, len, _, _) = committed[0];
+        let opaque = ts.lock().refs.mint(id);
+        Ok((id, opaque, len))
     }
 
     fn next_id(&self) -> UArrayId {
@@ -209,14 +393,29 @@ impl DataPlane {
         id
     }
 
-    fn lookup(&self, r: OpaqueRef) -> Result<(UArrayId, Arc<StoredData>), DataPlaneError> {
-        let id = self.refs.lock().resolve(r)?;
+    fn lookup(
+        &self,
+        ts: &Mutex<TenantState>,
+        r: OpaqueRef,
+    ) -> Result<(UArrayId, Arc<StoredData>), DataPlaneError> {
+        let id = ts.lock().refs.resolve(r)?;
         let store = self.store.read();
         let data = store.get(&id).cloned().ok_or(DataPlaneError::InvalidReference)?;
         Ok((id, data))
     }
 
     // ----- ingress -------------------------------------------------------
+
+    /// Ingest a batch on the default tenant.
+    pub fn ingress(
+        &self,
+        payload: &[u8],
+        encrypted: bool,
+        is_power: bool,
+        keystream_block: u32,
+    ) -> Result<InvokeOutput, DataPlaneError> {
+        self.ingress_for(TenantId::DEFAULT, payload, encrypted, is_power, keystream_block)
+    }
 
     /// Ingest a batch of events whose bytes have arrived in the secure world
     /// (through trusted IO or copied in via the OS — that cost is charged by
@@ -228,14 +427,22 @@ impl DataPlane {
     ///
     /// `keystream_block` is the CTR block offset at which this payload was
     /// encrypted by the source (the source advances it per batch).
-    pub fn ingress(
+    pub fn ingress_for(
         &self,
+        tenant: TenantId,
         payload: &[u8],
         encrypted: bool,
         is_power: bool,
         keystream_block: u32,
     ) -> Result<InvokeOutput, DataPlaneError> {
         WorldTracker::assert_secure("DataPlane::ingress");
+        let ts = self.tenant_state(tenant)?;
+        // Cheap early quota check before decrypting and parsing: the batch
+        // will commit at least its own page-rounded payload size.
+        let estimate = TeePager::pages_for(payload.len() as u64) * PAGE_SIZE;
+        if self.alloc.lock().allocator.owner_would_exceed(tenant.owner_tag(), estimate) {
+            return Err(DataPlaneError::QuotaExceeded);
+        }
         let decrypt_start = Instant::now();
         let plaintext: Vec<u8> = if encrypted {
             let ctr = AesCtr::new(&self.config.source_key, &self.config.source_nonce);
@@ -261,31 +468,54 @@ impl DataPlane {
 
         let id = self.next_id();
         let data = StoredData::from_events(id, &events, &self.pager)?;
+        let (id, opaque, len) =
+            self.register_output(tenant, &ts, data, PrimitiveKind::Ingress.code() as u64, None)?;
+        // Counters move only after the batch has actually been admitted
+        // (registration can still fail on the tenant's quota).
         self.stats.record_ingress(events.len() as u64, plaintext.len() as u64, decrypt_nanos);
-        let (_, opaque, len) =
-            self.register_output(data, PrimitiveKind::Ingress.code() as u64, None);
-        self.append_audit(AuditRecord::Ingress {
-            ts_ms: self.now_ms(),
-            data: DataRef::UArray(UArrayRef(id.0 as u32)),
-        });
+        {
+            let mut t = ts.lock();
+            t.events_ingested += events.len() as u64;
+            t.bytes_ingested += plaintext.len() as u64;
+        }
+        self.append_audit(
+            &ts,
+            AuditRecord::Ingress {
+                ts_ms: self.now_ms(),
+                data: DataRef::UArray(UArrayRef(id.0 as u32)),
+            },
+        );
         Ok(InvokeOutput { opaque, len, window: None })
+    }
+
+    /// Ingest a watermark on the default tenant.
+    pub fn ingress_watermark(&self, wm: Watermark) {
+        let _ = self.ingress_watermark_for(TenantId::DEFAULT, wm);
     }
 
     /// Ingest a watermark (watermarks are control metadata, not protected
     /// data, but they are audited because freshness attestation depends on
     /// them).
-    pub fn ingress_watermark(&self, wm: Watermark) {
+    pub fn ingress_watermark_for(
+        &self,
+        tenant: TenantId,
+        wm: Watermark,
+    ) -> Result<(), DataPlaneError> {
         WorldTracker::assert_secure("DataPlane::ingress_watermark");
-        self.append_audit(AuditRecord::Ingress {
-            ts_ms: self.now_ms(),
-            data: DataRef::Watermark(wm.event_time.as_millis() as u32),
-        });
+        let ts = self.tenant_state(tenant)?;
+        self.append_audit(
+            &ts,
+            AuditRecord::Ingress {
+                ts_ms: self.now_ms(),
+                data: DataRef::Watermark(wm.event_time.as_millis() as u32),
+            },
+        );
+        Ok(())
     }
 
     // ----- the shared primitive entry point ------------------------------
 
-    /// Execute a trusted primitive over opaque inputs, producing opaque
-    /// outputs (the single entry function shared by all 23 primitives).
+    /// Invoke a primitive on the default tenant.
     pub fn invoke(
         &self,
         op: PrimitiveKind,
@@ -293,11 +523,27 @@ impl DataPlane {
         params: PrimitiveParams,
         hints: &HintSet,
     ) -> Result<Vec<InvokeOutput>, DataPlaneError> {
+        self.invoke_for(TenantId::DEFAULT, op, inputs, params, hints)
+    }
+
+    /// Execute a trusted primitive over opaque inputs, producing opaque
+    /// outputs (the single entry function shared by all 23 primitives).
+    /// Inputs resolve only in the calling tenant's reference namespace;
+    /// outputs are charged against the tenant's memory quota.
+    pub fn invoke_for(
+        &self,
+        tenant: TenantId,
+        op: PrimitiveKind,
+        inputs: &[OpaqueRef],
+        params: PrimitiveParams,
+        hints: &HintSet,
+    ) -> Result<Vec<InvokeOutput>, DataPlaneError> {
         WorldTracker::assert_secure("DataPlane::invoke");
+        let ts = self.tenant_state(tenant)?;
         // Validate all references before doing any work.
         let mut resolved = Vec::with_capacity(inputs.len());
         for r in inputs {
-            resolved.push(self.lookup(*r)?);
+            resolved.push(self.lookup(&ts, *r)?);
         }
         let input_ids: Vec<UArrayId> = resolved.iter().map(|(id, _)| *id).collect();
 
@@ -305,38 +551,46 @@ impl DataPlane {
         let produced = self.execute(op, &resolved, &params)?;
         let compute_nanos = compute_start.elapsed().as_nanos() as u64;
 
-        // Register outputs: allocator placement (guided by hints), reference
-        // minting, audit records. The producer tag identifies the primitive
-        // *type*: the Figure 10 baseline policy treats all outputs of the
-        // same primitive as one generation and co-locates them.
+        // Register outputs: allocator placement (guided by hints) with quota
+        // charging, reference minting, audit records. The producer tag
+        // identifies the primitive *type*: the Figure 10 baseline policy
+        // treats all outputs of the same primitive as one generation and
+        // co-locates them.
         let producer_tag = op.code() as u64;
-        let mut outputs = Vec::with_capacity(produced.len());
-        let mut output_ids = Vec::with_capacity(produced.len());
+        let committed = self.commit_outputs(tenant, producer_tag, produced, hints)?;
+        let mut outputs = Vec::with_capacity(committed.len());
+        let mut output_ids = Vec::with_capacity(committed.len());
         let mut memory_nanos = 0;
-        for (i, (data, window)) in produced.into_iter().enumerate() {
-            memory_nanos += data.paging_nanos();
-            let (id, opaque, len) = self.register_output(data, producer_tag, hints.get(i));
+        for (id, len, window, paging_nanos) in committed {
+            memory_nanos += paging_nanos;
+            let opaque = ts.lock().refs.mint(id);
             output_ids.push(id);
             outputs.push(InvokeOutput { opaque, len, window });
             if let Some(w) = window {
-                self.append_audit(AuditRecord::Windowing {
-                    ts_ms: self.now_ms(),
-                    input: UArrayRef(input_ids[0].0 as u32),
-                    win_no: w.0 as u16,
-                    output: UArrayRef(id.0 as u32),
-                });
+                self.append_audit(
+                    &ts,
+                    AuditRecord::Windowing {
+                        ts_ms: self.now_ms(),
+                        input: UArrayRef(input_ids[0].0 as u32),
+                        win_no: w.0 as u16,
+                        output: UArrayRef(id.0 as u32),
+                    },
+                );
             }
         }
         // Windowing is fully described by its Windowing records; everything
         // else gets an Execution record.
         if op != PrimitiveKind::Segment {
-            self.append_audit(AuditRecord::Execution {
-                ts_ms: self.now_ms(),
-                op,
-                inputs: input_ids.iter().map(|i| UArrayRef(i.0 as u32)).collect(),
-                outputs: output_ids.iter().map(|i| UArrayRef(i.0 as u32)).collect(),
-                hints: hints.iter().map(|h| h.encode()).collect(),
-            });
+            self.append_audit(
+                &ts,
+                AuditRecord::Execution {
+                    ts_ms: self.now_ms(),
+                    op,
+                    inputs: input_ids.iter().map(|i| UArrayRef(i.0 as u32)).collect(),
+                    outputs: output_ids.iter().map(|i| UArrayRef(i.0 as u32)).collect(),
+                    hints: hints.iter().map(|h| h.encode()).collect(),
+                },
+            );
         }
         self.stats.record_invocation(InvocationBreakdown { compute_nanos, memory_nanos });
         Ok(outputs)
@@ -518,15 +772,28 @@ impl DataPlane {
 
     // ----- egress and retirement -----------------------------------------
 
-    /// Externalize a result: encrypt, sign, audit, flush the audit log.
+    /// Externalize a result of the default tenant.
     pub fn egress(&self, r: OpaqueRef) -> Result<EgressMessage, DataPlaneError> {
+        self.egress_for(TenantId::DEFAULT, r)
+    }
+
+    /// Externalize a result: encrypt, sign, audit, flush the audit log. The
+    /// reference must belong to the calling tenant; egress sequence numbers
+    /// are per tenant, so each tenant's result stream is independently
+    /// replay-protected.
+    pub fn egress_for(
+        &self,
+        tenant: TenantId,
+        r: OpaqueRef,
+    ) -> Result<EgressMessage, DataPlaneError> {
         WorldTracker::assert_secure("DataPlane::egress");
-        let (id, data) = self.lookup(r)?;
+        let ts = self.tenant_state(tenant)?;
+        let (id, data) = self.lookup(&ts, r)?;
         let plaintext = data.to_wire_bytes();
         let seq = {
-            let mut seq = self.egress_seq.lock();
-            let s = *seq;
-            *seq += 1;
+            let mut t = ts.lock();
+            let s = t.egress_seq;
+            t.egress_seq += 1;
             s
         };
         let msg = EgressMessage::seal(
@@ -537,36 +804,47 @@ impl DataPlane {
             &self.signing,
         );
         self.stats.record_egress();
-        self.append_audit(AuditRecord::Egress {
-            ts_ms: self.now_ms(),
-            data: UArrayRef(id.0 as u32),
-        });
+        self.append_audit(
+            &ts,
+            AuditRecord::Egress { ts_ms: self.now_ms(), data: UArrayRef(id.0 as u32) },
+        );
         // Flush audit records on externalization, as the paper requires.
-        if let Some(segment) = self.audit.lock().flush() {
-            self.segments.lock().push(segment);
+        let mut t = ts.lock();
+        if let Some(segment) = t.audit.flush() {
+            t.segments.push(segment);
         }
         Ok(msg)
     }
 
-    /// Retire a reference: the control plane will not consume it again. The
-    /// uArray becomes reclaimable; memory is released in uGroup order.
+    /// Retire a reference of the default tenant.
     pub fn retire(&self, r: OpaqueRef) -> Result<(), DataPlaneError> {
+        self.retire_for(TenantId::DEFAULT, r)
+    }
+
+    /// Retire a reference: the control plane will not consume it again. The
+    /// uArray becomes reclaimable; memory is released in uGroup order and
+    /// un-charged from the tenant's quota.
+    pub fn retire_for(&self, tenant: TenantId, r: OpaqueRef) -> Result<(), DataPlaneError> {
         WorldTracker::assert_secure("DataPlane::retire");
-        let id = self.refs.lock().revoke(r)?;
-        let reclaimed = {
+        let ts = self.tenant_state(tenant)?;
+        let id = ts.lock().refs.revoke(r)?;
+        let reclaimed: Vec<(UArrayId, u64)> = {
             let mut alloc = self.alloc.lock();
             let committed = alloc.committed.get(&id).copied().unwrap_or(0);
             alloc.allocator.update(id, UArrayState::Retired, committed);
-            alloc.allocator.reclaim()
+            let ids = alloc.allocator.reclaim();
+            ids.into_iter()
+                .map(|rid| {
+                    let bytes = alloc.committed.remove(&rid).unwrap_or(0);
+                    (rid, bytes)
+                })
+                .collect()
         };
         if !reclaimed.is_empty() {
             let mut store = self.store.write();
-            let mut alloc = self.alloc.lock();
-            for rid in reclaimed {
+            for (rid, bytes) in reclaimed {
                 store.remove(&rid);
-                if let Some(bytes) = alloc.committed.remove(&rid) {
-                    self.pager.release_pages(bytes / PAGE_SIZE);
-                }
+                self.pager.release_pages(bytes / PAGE_SIZE);
             }
         }
         Ok(())
@@ -599,6 +877,11 @@ mod tests {
     fn ingest_events(dp: &DataPlane, events: &[Event]) -> InvokeOutput {
         let bytes = Event::slice_to_bytes(events);
         in_tee(|| dp.ingress(&bytes, false, false, 0)).unwrap()
+    }
+
+    fn ingest_events_for(dp: &DataPlane, tenant: TenantId, events: &[Event]) -> InvokeOutput {
+        let bytes = Event::slice_to_bytes(events);
+        in_tee(|| dp.ingress_for(tenant, &bytes, false, false, 0)).unwrap()
     }
 
     #[test]
@@ -902,5 +1185,142 @@ mod tests {
             assert_eq!(h.join().unwrap(), 100);
         }
         assert_eq!(dp.stats().snapshot().invocations, 16);
+    }
+
+    // ----- multi-tenant behaviour ----------------------------------------
+
+    #[test]
+    fn tenants_register_once_and_list_in_order() {
+        let dp = plane();
+        dp.register_tenant(TenantId(2), Some(1 << 20)).unwrap();
+        dp.register_tenant(TenantId(1), None).unwrap();
+        assert_eq!(dp.tenants(), vec![TenantId::DEFAULT, TenantId(1), TenantId(2)]);
+        assert!(dp.register_tenant(TenantId(1), None).is_err());
+        let mem = dp.tenant_memory(TenantId(2)).unwrap();
+        assert_eq!(mem.quota_bytes, Some(1 << 20));
+        assert_eq!(mem.used_bytes, 0);
+    }
+
+    #[test]
+    fn unknown_tenants_are_rejected() {
+        let dp = plane();
+        let err = in_tee(|| dp.ingress_for(TenantId(9), &[], false, false, 0)).unwrap_err();
+        assert_eq!(err, DataPlaneError::UnknownTenant);
+        assert_eq!(dp.tenant_memory(TenantId(9)), Err(DataPlaneError::UnknownTenant));
+        assert!(dp.drain_audit_segments_for(TenantId(9)).is_err());
+    }
+
+    #[test]
+    fn cross_tenant_references_do_not_resolve() {
+        let dp = plane();
+        dp.register_tenant(TenantId(1), None).unwrap();
+        dp.register_tenant(TenantId(2), None).unwrap();
+        let events: Vec<Event> = (0..10).map(|i| Event::new(i, i, 0)).collect();
+        let a = ingest_events_for(&dp, TenantId(1), &events);
+        // Tenant 2 cannot invoke, egress or retire tenant 1's reference,
+        // even knowing its exact value.
+        let err = in_tee(|| {
+            dp.invoke_for(
+                TenantId(2),
+                PrimitiveKind::Sort,
+                &[a.opaque],
+                PrimitiveParams::None,
+                &HintSet::none(),
+            )
+        })
+        .unwrap_err();
+        assert_eq!(err, DataPlaneError::InvalidReference);
+        assert!(in_tee(|| dp.egress_for(TenantId(2), a.opaque)).is_err());
+        assert!(in_tee(|| dp.retire_for(TenantId(2), a.opaque)).is_err());
+        // The rightful owner still can.
+        assert!(in_tee(|| dp.egress_for(TenantId(1), a.opaque)).is_ok());
+    }
+
+    #[test]
+    fn tenant_audit_trails_are_separate_and_tagged() {
+        let dp = plane();
+        dp.register_tenant(TenantId(1), None).unwrap();
+        dp.register_tenant(TenantId(2), None).unwrap();
+        let events: Vec<Event> = (0..5).map(|i| Event::new(i, i, 0)).collect();
+        let a = ingest_events_for(&dp, TenantId(1), &events);
+        in_tee(|| dp.egress_for(TenantId(1), a.opaque)).unwrap();
+        let b = ingest_events_for(&dp, TenantId(2), &events);
+        in_tee(|| dp.egress_for(TenantId(2), b.opaque)).unwrap();
+
+        let (_, _, signing) = dp.cloud_keys();
+        let seg1 = dp.drain_audit_segments_for(TenantId(1)).unwrap();
+        let seg2 = dp.drain_audit_segments_for(TenantId(2)).unwrap();
+        assert!(seg1.iter().all(|s| s.tenant == TenantId(1)));
+        assert!(seg2.iter().all(|s| s.tenant == TenantId(2)));
+        let r1 = sbt_attest::verify_tenant_trail(&seg1, TenantId(1), &signing).unwrap();
+        let r2 = sbt_attest::verify_tenant_trail(&seg2, TenantId(2), &signing).unwrap();
+        // Each trail holds exactly its own tenant's ingress + egress.
+        assert_eq!(r1.len(), 2);
+        assert_eq!(r2.len(), 2);
+        // A trail cannot be passed off as the other tenant's.
+        assert!(sbt_attest::verify_tenant_trail(&seg1, TenantId(2), &signing).is_err());
+    }
+
+    #[test]
+    fn quota_rejects_the_exceeding_tenant_only() {
+        let dp = plane();
+        // Tenant 1 gets a 16 KiB quota; tenant 2 is unconstrained.
+        dp.register_tenant(TenantId(1), Some(16 * 1024)).unwrap();
+        dp.register_tenant(TenantId(2), None).unwrap();
+        let big: Vec<Event> = (0..2_000).map(|i| Event::new(i, i, 0)).collect(); // ~24 KB
+        let small: Vec<Event> = (0..100).map(|i| Event::new(i, i, 0)).collect();
+        let bytes = Event::slice_to_bytes(&big);
+        let err = in_tee(|| dp.ingress_for(TenantId(1), &bytes, false, false, 0)).unwrap_err();
+        assert_eq!(err, DataPlaneError::QuotaExceeded);
+        // The rejected batch is not counted as ingested.
+        assert_eq!(dp.tenant_ingest(TenantId(1)).unwrap(), (0, 0));
+        // Tenant 1 can still ingest within its quota...
+        let a = ingest_events_for(&dp, TenantId(1), &small);
+        // ...and tenant 2 is completely unaffected.
+        let b = ingest_events_for(&dp, TenantId(2), &big);
+        assert_eq!(a.len, 100);
+        assert_eq!(b.len, 2_000);
+        let m1 = dp.tenant_memory(TenantId(1)).unwrap();
+        assert!(m1.used_bytes > 0 && m1.used_bytes <= 16 * 1024);
+        // Retiring releases the quota.
+        in_tee(|| dp.retire_for(TenantId(1), a.opaque)).unwrap();
+        assert_eq!(dp.tenant_memory(TenantId(1)).unwrap().used_bytes, 0);
+    }
+
+    #[test]
+    fn quota_rejection_of_invoke_outputs_releases_pages() {
+        let dp = plane();
+        // Quota fits the ingested array but not a sorted copy of it.
+        dp.register_tenant(TenantId(1), Some(8 * 4096)).unwrap();
+        let events: Vec<Event> = (0..2_000).map(|i| Event::new(i % 50, i, 0)).collect();
+        let a = ingest_events_for(&dp, TenantId(1), &events); // ~6 pages
+        let before = dp.platform().secure_mem().in_use();
+        let err = in_tee(|| {
+            dp.invoke_for(
+                TenantId(1),
+                PrimitiveKind::Sort,
+                &[a.opaque],
+                PrimitiveParams::None,
+                &HintSet::none(),
+            )
+        })
+        .unwrap_err();
+        assert_eq!(err, DataPlaneError::QuotaExceeded);
+        // The transiently committed output pages were released.
+        assert_eq!(dp.platform().secure_mem().in_use(), before);
+        // The input is still usable.
+        assert!(in_tee(|| dp.egress_for(TenantId(1), a.opaque)).is_ok());
+    }
+
+    #[test]
+    fn tenant_pressure_tracks_quota_usage() {
+        let dp = plane();
+        dp.register_tenant(TenantId(1), Some(10 * 4096)).unwrap();
+        assert!(!dp.tenant_under_pressure(TenantId(1)));
+        let events: Vec<Event> = (0..3_000).map(|i| Event::new(i, i, 0)).collect(); // 9 pages
+        let _ = ingest_events_for(&dp, TenantId(1), &events);
+        assert!(dp.tenant_under_pressure(TenantId(1)));
+        // The default (unconstrained) tenant never reports quota pressure.
+        assert!(!dp.tenant_under_pressure(TenantId::DEFAULT));
     }
 }

@@ -6,37 +6,62 @@
 //! boundary copy for via-OS ingestion), and the `Arc<DataPlane>` handle. The
 //! rest of the engine never touches the data plane directly, which keeps the
 //! boundary in one auditable place.
+//!
+//! A gateway is scoped to one **tenant**: every call it forwards executes in
+//! that tenant's namespace (reference table, audit log, memory quota). The
+//! multi-tenant server opens one gateway per admitted tenant over the one
+//! shared data plane; single-pipeline deployments use the default tenant.
 
+use sbt_attest::LogSegment;
 use sbt_dataplane::{
     DataPlane, DataPlaneError, EgressMessage, InvokeOutput, OpaqueRef, PrimitiveParams,
 };
-use sbt_types::{PrimitiveKind, Watermark};
+use sbt_types::{PrimitiveKind, TenantId, Watermark};
 use sbt_tz::{EntryFunction, IoChannel, SmcSession};
 use sbt_uarray::HintSet;
 use std::sync::Arc;
 
-/// The gateway: SMC session + IO channel + data plane handle.
+/// The gateway: SMC session + IO channel + data plane handle, scoped to one
+/// tenant.
 pub struct TeeGateway {
     dp: Arc<DataPlane>,
+    tenant: TenantId,
     session: SmcSession,
     io: IoChannel,
 }
 
 impl TeeGateway {
-    /// Open a gateway to a data plane: opens an SMC session and runs the
-    /// `Initialize` entry function.
+    /// Open a gateway to a data plane for the default tenant: opens an SMC
+    /// session and runs the `Initialize` entry function.
     pub fn open(dp: Arc<DataPlane>) -> Self {
+        Self::open_for(dp, TenantId::DEFAULT)
+    }
+
+    /// Open a gateway scoped to `tenant` (which must already be registered
+    /// with the data plane).
+    pub fn open_for(dp: Arc<DataPlane>, tenant: TenantId) -> Self {
         let session = dp.platform().smc().open_session();
         session
             .invoke(EntryFunction::Initialize, || {})
             .expect("initializing the data plane cannot fail");
         let io = dp.platform().io_channel();
-        TeeGateway { io, session, dp }
+        TeeGateway { io, session, tenant, dp }
     }
 
     /// The underlying data plane (read-only introspection: stats, memory).
     pub fn data_plane(&self) -> &Arc<DataPlane> {
         &self.dp
+    }
+
+    /// The tenant this gateway is scoped to.
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
+    }
+
+    /// Whether this tenant's sources should slow down: platform-wide secure
+    /// memory pressure, or the tenant nearing its own quota.
+    pub fn under_pressure(&self) -> bool {
+        self.dp.under_memory_pressure() || self.dp.tenant_under_pressure(self.tenant)
     }
 
     /// Ingest a batch of event bytes. Charges the ingress-path cost for the
@@ -51,7 +76,7 @@ impl TeeGateway {
         self.io.deliver(payload.len());
         self.session
             .invoke(EntryFunction::InvokePrimitive, || {
-                self.dp.ingress(payload, encrypted, is_power, keystream_block)
+                self.dp.ingress_for(self.tenant, payload, encrypted, is_power, keystream_block)
             })
             .expect("session is open and initialized")
     }
@@ -59,7 +84,9 @@ impl TeeGateway {
     /// Ingest a watermark.
     pub fn ingress_watermark(&self, wm: Watermark) {
         self.session
-            .invoke(EntryFunction::InvokePrimitive, || self.dp.ingress_watermark(wm))
+            .invoke(EntryFunction::InvokePrimitive, || {
+                let _ = self.dp.ingress_watermark_for(self.tenant, wm);
+            })
             .expect("session is open and initialized");
     }
 
@@ -72,22 +99,29 @@ impl TeeGateway {
         hints: &HintSet,
     ) -> Result<Vec<InvokeOutput>, DataPlaneError> {
         self.session
-            .invoke(EntryFunction::InvokePrimitive, || self.dp.invoke(op, inputs, params, hints))
+            .invoke(EntryFunction::InvokePrimitive, || {
+                self.dp.invoke_for(self.tenant, op, inputs, params, hints)
+            })
             .expect("session is open and initialized")
     }
 
     /// Externalize a result.
     pub fn egress(&self, r: OpaqueRef) -> Result<EgressMessage, DataPlaneError> {
         self.session
-            .invoke(EntryFunction::InvokePrimitive, || self.dp.egress(r))
+            .invoke(EntryFunction::InvokePrimitive, || self.dp.egress_for(self.tenant, r))
             .expect("session is open and initialized")
     }
 
     /// Retire a reference the control plane will no longer consume.
     pub fn retire(&self, r: OpaqueRef) -> Result<(), DataPlaneError> {
         self.session
-            .invoke(EntryFunction::InvokePrimitive, || self.dp.retire(r))
+            .invoke(EntryFunction::InvokePrimitive, || self.dp.retire_for(self.tenant, r))
             .expect("session is open and initialized")
+    }
+
+    /// Drain this tenant's flushed audit segments (for upload).
+    pub fn drain_audit_segments(&self) -> Vec<LogSegment> {
+        self.dp.drain_audit_segments_for(self.tenant).unwrap_or_default()
     }
 }
 
@@ -147,5 +181,23 @@ mod tests {
         let segments = gw.data_plane().drain_audit_segments();
         assert_eq!(segments.len(), 1);
         assert_eq!(segments[0].record_count, 1);
+    }
+
+    #[test]
+    fn tenant_scoped_gateways_are_isolated() {
+        let dp = DataPlane::new(Platform::hikey(), DataPlaneConfig::default());
+        dp.register_tenant(TenantId(1), None).unwrap();
+        dp.register_tenant(TenantId(2), None).unwrap();
+        let gw1 = TeeGateway::open_for(dp.clone(), TenantId(1));
+        let gw2 = TeeGateway::open_for(dp.clone(), TenantId(2));
+        assert_eq!(gw1.tenant(), TenantId(1));
+        let events: Vec<Event> = (0..10).map(|i| Event::new(i, i, 0)).collect();
+        let a = gw1.ingress(&Event::slice_to_bytes(&events), false, false, 0).unwrap();
+        // Tenant 2's gateway cannot touch tenant 1's reference.
+        assert_eq!(gw2.egress(a.opaque).unwrap_err(), DataPlaneError::InvalidReference);
+        // Audit segments drain per tenant and carry the tenant tag.
+        let segs = gw1.drain_audit_segments();
+        assert!(segs.iter().all(|s| s.tenant == TenantId(1)));
+        assert!(gw2.drain_audit_segments().is_empty());
     }
 }

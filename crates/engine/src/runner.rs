@@ -22,7 +22,7 @@ use sbt_attest::LogSegment;
 use sbt_dataplane::{
     DataPlane, DataPlaneConfig, DataPlaneError, EgressMessage, OpaqueRef, PrimitiveParams,
 };
-use sbt_types::{PrimitiveKind, Watermark, WindowId};
+use sbt_types::{PrimitiveKind, TenantId, Watermark, WindowId};
 use sbt_tz::Platform;
 use sbt_uarray::HintSet;
 use sbt_workloads::transport::Delivery;
@@ -63,7 +63,7 @@ pub struct Engine {
     pipeline: Pipeline,
     platform: Arc<Platform>,
     gateway: Arc<TeeGateway>,
-    pool: WorkerPool,
+    pool: Arc<WorkerPool>,
     windows: Mutex<HashMap<WindowId, WindowState>>,
     next_unexecuted: Mutex<WindowId>,
     watermarks: Mutex<(Watermark, Watermark)>,
@@ -77,7 +77,9 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Build an engine for a pipeline under a configuration.
+    /// Build an engine for a pipeline under a configuration. The engine owns
+    /// its platform, data plane and worker pool (single-pipeline deployment,
+    /// default tenant).
     pub fn new(config: EngineConfig, pipeline: Pipeline) -> Arc<Self> {
         let platform = Platform::new(config.platform_config());
         let mut dp_config: DataPlaneConfig = config.dataplane.clone();
@@ -85,8 +87,34 @@ impl Engine {
             dp_config.allocator.policy = sbt_uarray::PlacementPolicy::SameProducer;
         }
         let dp = DataPlane::new(platform.clone(), dp_config);
-        let gateway = Arc::new(TeeGateway::open(dp));
-        let pool = WorkerPool::new(config.cores);
+        let pool = Arc::new(WorkerPool::new(config.cores));
+        Self::assemble(config, pipeline, dp, TenantId::DEFAULT, pool)
+    }
+
+    /// Build an engine for one tenant over a **shared** data plane and worker
+    /// pool (the multi-tenant server's constructor). The tenant must already
+    /// be registered with the data plane; all of this engine's calls execute
+    /// in the tenant's namespace, and its parallelism is mapped onto the
+    /// shared pool alongside the other tenants'.
+    pub fn for_tenant(
+        config: EngineConfig,
+        pipeline: Pipeline,
+        dp: Arc<DataPlane>,
+        tenant: TenantId,
+        pool: Arc<WorkerPool>,
+    ) -> Arc<Self> {
+        Self::assemble(config, pipeline, dp, tenant, pool)
+    }
+
+    fn assemble(
+        config: EngineConfig,
+        pipeline: Pipeline,
+        dp: Arc<DataPlane>,
+        tenant: TenantId,
+        pool: Arc<WorkerPool>,
+    ) -> Arc<Self> {
+        let platform = dp.platform().clone();
+        let gateway = Arc::new(TeeGateway::open_for(dp, tenant));
         Arc::new(Engine {
             pipeline,
             platform,
@@ -125,6 +153,16 @@ impl Engine {
     /// The simulated platform the engine runs on.
     pub fn platform(&self) -> &Arc<Platform> {
         &self.platform
+    }
+
+    /// The tenant this engine's TEE calls execute under.
+    pub fn tenant(&self) -> TenantId {
+        self.gateway.tenant()
+    }
+
+    /// The worker pool (shared across engines in multi-tenant deployments).
+    pub fn worker_pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
     }
 
     /// Ingest a batch on the primary stream.
@@ -184,12 +222,21 @@ impl Engine {
             delivery.is_power,
             delivery.keystream_block,
         )?;
-        let outputs = gateway.invoke(
+        let outputs = match gateway.invoke(
             PrimitiveKind::Segment,
             &[ingested.opaque],
             PrimitiveParams::Window(spec),
             &HintSet::none(),
-        )?;
+        ) {
+            Ok(outputs) => outputs,
+            Err(e) => {
+                // Don't leak the ingested array (and its quota charge) when
+                // windowing is rejected — e.g. the segment outputs pushed
+                // the tenant past its memory quota.
+                let _ = gateway.retire(ingested.opaque);
+                return Err(e);
+            }
+        };
         gateway.retire(ingested.opaque)?;
         Ok(outputs
             .into_iter()
@@ -210,7 +257,10 @@ impl Engine {
 
     fn finish_ingest(&self) -> Result<IngestStatus, DataPlaneError> {
         self.sample_memory();
-        if self.data_plane().under_memory_pressure() {
+        // Backpressure is per tenant, not global: platform-wide pressure
+        // slows everyone, but a tenant nearing its own quota is slowed
+        // without affecting the other tenants.
+        if self.gateway.under_pressure() {
             *self.backpressure_events.lock() += 1;
             Ok(IngestStatus::Backpressure)
         } else {
@@ -268,14 +318,30 @@ impl Engine {
         };
         let overhead_before = self.platform.stats().snapshot();
 
-        // 1. Transform operators, applied per partition in parallel.
+        // 1. Transform operators, applied per partition in parallel. Every
+        // fallible step below cleans up the references it holds on error
+        // (the helpers retire their own; siblings are retired here), so a
+        // mid-window failure — e.g. an intermediate tripping the tenant's
+        // quota — costs the window but never strands quota or pages.
         let mut left = state.left;
         let mut right = state.right;
         for t in self.pipeline.transforms() {
             let (op, params) = t.transform_primitive();
-            left = self.parallel_map(&left, op, params)?;
+            left = match self.parallel_map(&left, op, params) {
+                Ok(v) => v,
+                Err(e) => {
+                    self.retire_all(&right);
+                    return Err(e);
+                }
+            };
             if !right.is_empty() {
-                right = self.parallel_map(&right, op, params)?;
+                right = match self.parallel_map(&right, op, params) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        self.retire_all(&left);
+                        return Err(e);
+                    }
+                };
             }
         }
 
@@ -286,21 +352,53 @@ impl Engine {
                 let Some(merged) = merged else {
                     return Ok(());
                 };
-                let out = self.gateway.invoke(primitive, &[merged], params, &HintSet::none())?;
-                self.gateway.retire(merged)?;
+                let out = match self.gateway.invoke(primitive, &[merged], params, &HintSet::none())
+                {
+                    Ok(out) => out,
+                    Err(e) => {
+                        self.retire_all(&[merged]);
+                        return Err(e);
+                    }
+                };
+                if let Err(e) = self.gateway.retire(merged) {
+                    self.retire_all(&[out[0].opaque]);
+                    return Err(e);
+                }
                 out[0].opaque
             }
             ReduceKind::Whole { primitive, params } => {
                 let Some(concat) = self.concat(&left)? else {
                     return Ok(());
                 };
-                let out = self.gateway.invoke(primitive, &[concat], params, &HintSet::none())?;
-                self.gateway.retire(concat)?;
+                let out = match self.gateway.invoke(primitive, &[concat], params, &HintSet::none())
+                {
+                    Ok(out) => out,
+                    Err(e) => {
+                        self.retire_all(&[concat]);
+                        return Err(e);
+                    }
+                };
+                if let Err(e) = self.gateway.retire(concat) {
+                    self.retire_all(&[out[0].opaque]);
+                    return Err(e);
+                }
                 out[0].opaque
             }
             ReduceKind::Join => {
-                let l = self.sort_and_merge(&left)?;
-                let r = self.sort_and_merge(&right)?;
+                let l = match self.sort_and_merge(&left) {
+                    Ok(l) => l,
+                    Err(e) => {
+                        self.retire_all(&right);
+                        return Err(e);
+                    }
+                };
+                let r = match self.sort_and_merge(&right) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        self.retire_all(&l.into_iter().collect::<Vec<_>>());
+                        return Err(e);
+                    }
+                };
                 let (Some(l), Some(r)) = (l, r) else {
                     // One side has no data for the window: retire whatever
                     // the other side produced and skip.
@@ -309,14 +407,22 @@ impl Engine {
                     }
                     return Ok(());
                 };
-                let out = self.gateway.invoke(
+                let out = match self.gateway.invoke(
                     PrimitiveKind::Join,
                     &[l, r],
                     PrimitiveParams::None,
                     &HintSet::none(),
-                )?;
-                self.gateway.retire(l)?;
-                self.gateway.retire(r)?;
+                ) {
+                    Ok(out) => out,
+                    Err(e) => {
+                        self.retire_all(&[l, r]);
+                        return Err(e);
+                    }
+                };
+                if let Err(e) = self.gateway.retire(l).and_then(|()| self.gateway.retire(r)) {
+                    self.retire_all(&[r, out[0].opaque]);
+                    return Err(e);
+                }
                 out[0].opaque
             }
             ReduceKind::Passthrough => {
@@ -328,7 +434,13 @@ impl Engine {
         };
 
         // 3. Egress and retire.
-        let message = self.gateway.egress(final_ref)?;
+        let message = match self.gateway.egress(final_ref) {
+            Ok(m) => m,
+            Err(e) => {
+                self.retire_all(&[final_ref]);
+                return Err(e);
+            }
+        };
         let result_records = message.ciphertext.len();
         self.results.lock().push(message);
         self.gateway.retire(final_ref)?;
@@ -350,9 +462,44 @@ impl Engine {
         Ok(())
     }
 
+    /// Best-effort retirement of references during error cleanup. The error
+    /// being unwound is the one worth reporting; a retire failing here just
+    /// means the reference is already gone.
+    fn retire_all(&self, refs: &[OpaqueRef]) {
+        for r in refs {
+            let _ = self.gateway.retire(*r);
+        }
+    }
+
+    /// Collect parallel ref-producing task outcomes. On any failure, retires
+    /// every reference that survived — successful tasks' outputs and failed
+    /// tasks' still-live references — so no quota or pages stay charged, and
+    /// returns the first error.
+    #[allow(clippy::type_complexity)]
+    fn collect_or_cleanup(
+        &self,
+        results: Vec<Result<OpaqueRef, (Vec<OpaqueRef>, DataPlaneError)>>,
+    ) -> Result<Vec<OpaqueRef>, DataPlaneError> {
+        if results.iter().all(|r| r.is_ok()) {
+            return Ok(results.into_iter().map(|r| r.expect("all ok")).collect());
+        }
+        let mut first = None;
+        for result in results {
+            match result {
+                Ok(out) => self.retire_all(&[out]),
+                Err((live, e)) => {
+                    self.retire_all(&live);
+                    first.get_or_insert(e);
+                }
+            }
+        }
+        Err(first.expect("at least one task failed"))
+    }
+
     /// Apply one primitive to every partition in parallel, retiring the
     /// inputs. Outputs carry consumed-in-parallel hints (they will be
-    /// consumed by independent downstream tasks).
+    /// consumed by independent downstream tasks). On failure every still-
+    /// live input and output is retired before the error is returned.
     fn parallel_map(
         &self,
         refs: &[OpaqueRef],
@@ -365,19 +512,21 @@ impl Engine {
             .map(|r| {
                 let gw = Arc::clone(&self.gateway);
                 let r = *r;
-                move || -> Result<OpaqueRef, DataPlaneError> {
-                    let out = gw.invoke(op, &[r], params, &HintSet::consumed_in_parallel(k))?;
-                    gw.retire(r)?;
+                move || -> Result<OpaqueRef, (Vec<OpaqueRef>, DataPlaneError)> {
+                    let out = gw
+                        .invoke(op, &[r], params, &HintSet::consumed_in_parallel(k))
+                        .map_err(|e| (vec![r], e))?;
+                    gw.retire(r).map_err(|e| (vec![out[0].opaque], e))?;
                     Ok(out[0].opaque)
                 }
             })
             .collect();
-        self.pool.run_all(tasks).into_iter().collect()
+        self.collect_or_cleanup(self.pool.run_all(tasks))
     }
 
     /// Sort every partition in parallel, then merge pairwise in parallel
     /// rounds down to one key-sorted partition. Returns `None` if there are
-    /// no partitions.
+    /// no partitions. Cleans up all intermediates on failure.
     fn sort_and_merge(&self, refs: &[OpaqueRef]) -> Result<Option<OpaqueRef>, DataPlaneError> {
         if refs.is_empty() {
             return Ok(None);
@@ -392,28 +541,37 @@ impl Engine {
                     [a, b] => {
                         let (a, b) = (*a, *b);
                         let gw = Arc::clone(&self.gateway);
-                        tasks.push(move || -> Result<OpaqueRef, DataPlaneError> {
-                            // The merged output is consumed after its inputs
-                            // have been fully consumed; hint accordingly so
-                            // the allocator can reclaim the inputs' group.
-                            let out = gw.invoke(
-                                PrimitiveKind::Merge,
-                                &[a, b],
-                                PrimitiveParams::None,
-                                &HintSet::consumed_after(sbt_uarray::UArrayId(0)),
-                            )?;
-                            gw.retire(a)?;
-                            gw.retire(b)?;
-                            Ok(out[0].opaque)
-                        });
+                        tasks.push(
+                            move || -> Result<OpaqueRef, (Vec<OpaqueRef>, DataPlaneError)> {
+                                // The merged output is consumed after its
+                                // inputs have been fully consumed; hint
+                                // accordingly so the allocator can reclaim
+                                // the inputs' group.
+                                let out = gw
+                                    .invoke(
+                                        PrimitiveKind::Merge,
+                                        &[a, b],
+                                        PrimitiveParams::None,
+                                        &HintSet::consumed_after(sbt_uarray::UArrayId(0)),
+                                    )
+                                    .map_err(|e| (vec![a, b], e))?;
+                                gw.retire(a).map_err(|e| (vec![b, out[0].opaque], e))?;
+                                gw.retire(b).map_err(|e| (vec![out[0].opaque], e))?;
+                                Ok(out[0].opaque)
+                            },
+                        );
                     }
                     [a] => carried.push(*a),
                     _ => unreachable!(),
                 }
             }
-            let merged: Result<Vec<OpaqueRef>, DataPlaneError> =
-                self.pool.run_all(tasks).into_iter().collect();
-            let mut next = merged?;
+            let mut next = match self.collect_or_cleanup(self.pool.run_all(tasks)) {
+                Ok(v) => v,
+                Err(e) => {
+                    self.retire_all(&carried);
+                    return Err(e);
+                }
+            };
             next.extend(carried);
             current = next;
         }
@@ -422,20 +580,30 @@ impl Engine {
 
     /// Concatenate all partitions into one (retiring them). Returns `None`
     /// if there are no partitions; skips the call entirely for a single
-    /// partition.
+    /// partition. Cleans up the inputs on failure.
     fn concat(&self, refs: &[OpaqueRef]) -> Result<Option<OpaqueRef>, DataPlaneError> {
         match refs.len() {
             0 => Ok(None),
             1 => Ok(Some(refs[0])),
             _ => {
-                let out = self.gateway.invoke(
+                let out = match self.gateway.invoke(
                     PrimitiveKind::Concat,
                     refs,
                     PrimitiveParams::None,
                     &HintSet::none(),
-                )?;
-                for r in refs {
-                    self.gateway.retire(*r)?;
+                ) {
+                    Ok(out) => out,
+                    Err(e) => {
+                        self.retire_all(refs);
+                        return Err(e);
+                    }
+                };
+                for (i, r) in refs.iter().enumerate() {
+                    if let Err(e) = self.gateway.retire(*r) {
+                        self.retire_all(&refs[i + 1..]);
+                        self.retire_all(&[out[0].opaque]);
+                        return Err(e);
+                    }
                 }
                 Ok(Some(out[0].opaque))
             }
@@ -460,14 +628,24 @@ impl Engine {
         self.results.lock().clone()
     }
 
-    /// Drain the audit segments accumulated so far (for upload).
-    pub fn drain_audit_segments(&self) -> Vec<LogSegment> {
-        self.data_plane().drain_audit_segments()
+    /// Number of results externalized so far (without cloning the
+    /// ciphertexts as [`results`](Engine::results) does).
+    pub fn results_len(&self) -> usize {
+        self.results.lock().len()
     }
 
-    /// Metrics of the run so far.
+    /// Drain this engine's tenant's audit segments accumulated so far (for
+    /// upload).
+    pub fn drain_audit_segments(&self) -> Vec<LogSegment> {
+        self.gateway.drain_audit_segments()
+    }
+
+    /// Metrics of the run so far. Ingest counters are this engine's
+    /// tenant's, so multi-tenant engines over a shared data plane report
+    /// only their own traffic.
     pub fn metrics(&self) -> EngineMetrics {
-        let dp = self.data_plane().stats().snapshot();
+        let (events_ingested, bytes_ingested) =
+            self.data_plane().tenant_ingest(self.tenant()).unwrap_or((0, 0));
         let tz = self.platform.stats().snapshot();
         let wall = match (*self.started.lock(), *self.finished.lock()) {
             (Some(s), Some(f)) => f.duration_since(s).as_nanos() as u64,
@@ -475,8 +653,8 @@ impl Engine {
             _ => 0,
         };
         EngineMetrics {
-            events_ingested: dp.events_ingested,
-            bytes_ingested: dp.bytes_ingested,
+            events_ingested,
+            bytes_ingested,
             wall_nanos: wall,
             simulated_overhead_nanos: tz.total_overhead_nanos(),
             cores: self.config.cores,
@@ -718,6 +896,38 @@ mod tests {
         engine.advance_watermark(Watermark::from_secs(5)).unwrap();
         assert!(engine.results().is_empty());
         assert_eq!(engine.metrics().windows.len(), 0);
+    }
+
+    #[test]
+    fn quota_rejected_ingest_leaves_no_residue() {
+        // The tenant's quota fits the raw ingress array (~6 pages) but not
+        // ingress + its windowed copy, so windowing is rejected — and the
+        // already-ingested array must be retired, not leaked.
+        let config = EngineConfig::for_variant(EngineVariant::Sbt, 1);
+        let platform = sbt_tz::Platform::new(config.platform_config());
+        let dp = sbt_dataplane::DataPlane::new(platform, config.dataplane.clone());
+        dp.register_tenant(TenantId(1), Some(8 * 4096)).unwrap();
+        let pool = Arc::new(WorkerPool::new(1));
+        let engine = Engine::for_tenant(
+            config,
+            Pipeline::winsum_benchmark().batch_events(10_000),
+            dp.clone(),
+            TenantId(1),
+            pool,
+        );
+        let chunks = synthetic_stream(1, 2_000, 16, 1);
+        let mut generator =
+            Generator::new(GeneratorConfig { batch_events: 2_000 }, Channel::cleartext(), chunks);
+        let Some(Offer::Batch(delivery)) = generator.next_offer() else {
+            panic!("first offer is a batch")
+        };
+        let err = engine.ingest(&delivery).unwrap_err();
+        assert_eq!(err, DataPlaneError::QuotaExceeded);
+        assert_eq!(dp.tenant_memory(TenantId(1)).unwrap().used_bytes, 0);
+        assert_eq!(dp.live_refs_for(TenantId(1)), 0);
+        // The batch did enter the TEE (its ingress fit the quota) before
+        // windowing was rejected, so it counts as ingested.
+        assert_eq!(engine.metrics().events_ingested, 2_000);
     }
 
     #[test]

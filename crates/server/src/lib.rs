@@ -1,0 +1,41 @@
+//! Multi-tenant stream serving: many pipelines, one shared TEE.
+//!
+//! The paper's engine runs a single pipeline whose tasks all enter one
+//! shared TEE (§2.2, §4.2). Production edges serve many independent streams,
+//! so this crate multiplexes N **tenants** — each an admitted pipeline with
+//! its own control-plane engine — over one [`Platform`], one
+//! [`DataPlane`] and one worker pool:
+//!
+//! * **Admission control** ([`StreamServer::admit`]): each tenant declares a
+//!   TEE memory quota; the server refuses to overcommit the secure carve-out
+//!   and caps the tenant count. Quotas are enforced inside the TEE through
+//!   the uArray allocator's owner accounting.
+//! * **Fair scheduling** ([`StreamServer::serve`]): tenant sources are
+//!   drained by weighted round-robin; each tenant's per-batch primitive
+//!   tasks then fan out onto the shared worker pool. Backpressure is per
+//!   tenant — a tenant nearing its quota is slowed (and its overflowing
+//!   batches rejected) without stalling the other tenants.
+//! * **Isolation**: opaque-reference namespaces, audit-log segment streams
+//!   and egress sequence numbers are all per tenant; one tenant's control
+//!   plane cannot invoke a primitive on another tenant's state, and the
+//!   cloud verifies each tenant's audit trail independently
+//!   (`sbt_attest::verify_tenant_trail`).
+//!
+//! The TCB story is unchanged: the server, like the engine, is untrusted
+//! control-plane code. Everything it is trusted *not* to do is enforced by
+//! the data plane, and everything it does is reflected in per-tenant audit
+//! records.
+//!
+//! [`Platform`]: sbt_tz::Platform
+//! [`DataPlane`]: sbt_dataplane::DataPlane
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod sched;
+pub mod server;
+pub mod tenant;
+
+pub use sched::{ServeReport, TenantProgress, TenantStream};
+pub use server::{ServerConfig, StreamServer};
+pub use tenant::{AdmissionError, TenantConfig};

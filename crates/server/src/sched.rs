@@ -1,0 +1,284 @@
+//! Weighted round-robin serving of tenant sources.
+//!
+//! The server drains each tenant's source in rounds: a tenant with weight
+//! *w* is offered up to *w* batches per round. When a tenant signals
+//! backpressure (its quota is nearly full) it sits out the next round;
+//! when a batch would exceed its quota outright the batch is rejected and
+//! counted. Neither slows any other tenant: the penalty is per tenant, and
+//! the shared worker pool keeps executing the others' primitive tasks.
+
+use crate::server::StreamServer;
+use sbt_dataplane::DataPlaneError;
+use sbt_engine::{Engine, IngestStatus, StreamSide};
+use sbt_types::TenantId;
+use sbt_workloads::generator::{Generator, Offer};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One tenant's input: its id plus the rate-controlled source draining into
+/// it.
+pub struct TenantStream {
+    /// Which admitted tenant the stream feeds.
+    pub tenant: TenantId,
+    /// The source generator (events pre-chunked into windows).
+    pub generator: Generator,
+}
+
+/// Per-tenant outcome of a serve run.
+#[derive(Debug, Clone)]
+pub struct TenantProgress {
+    /// The tenant.
+    pub tenant: TenantId,
+    /// Events offered by the tenant's source.
+    pub offered_events: u64,
+    /// Batches accepted into the TEE.
+    pub accepted_batches: u64,
+    /// Batches rejected because they would exceed the tenant's quota.
+    pub rejected_batches: u64,
+    /// Backpressure signals the tenant's engine raised.
+    pub backpressure_signals: u64,
+    /// Results (windows) the tenant externalized.
+    pub results: usize,
+    /// Events the tenant's engine ingested.
+    pub ingested_events: u64,
+    /// Mean output delay over the tenant's windows, in milliseconds.
+    pub avg_delay_ms: f64,
+    /// Maximum output delay over the tenant's windows, in milliseconds.
+    pub max_delay_ms: f64,
+}
+
+/// Outcome of serving a set of tenant streams to completion.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Wall-clock nanoseconds of the whole run.
+    pub wall_nanos: u64,
+    /// Per-tenant progress, in the order the streams were passed.
+    pub per_tenant: Vec<TenantProgress>,
+}
+
+impl ServeReport {
+    /// Total events ingested across all tenants.
+    pub fn aggregate_events(&self) -> u64 {
+        self.per_tenant.iter().map(|t| t.ingested_events).sum()
+    }
+
+    /// Aggregate throughput in events per second.
+    pub fn aggregate_events_per_sec(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            return 0.0;
+        }
+        self.aggregate_events() as f64 / (self.wall_nanos as f64 / 1e9)
+    }
+}
+
+/// Internal per-stream scheduling state.
+struct Lane {
+    tenant: TenantId,
+    weight: u32,
+    engine: Arc<Engine>,
+    generator: Generator,
+    /// Rounds this lane sits out (backpressure / quota penalty).
+    penalty: u32,
+    accepted_batches: u64,
+    rejected_batches: u64,
+    backpressure_signals: u64,
+}
+
+impl StreamServer {
+    /// Drain every tenant stream to exhaustion under weighted round-robin.
+    ///
+    /// Returns an error only for streams naming un-admitted tenants or for
+    /// data-plane failures other than quota rejections (those are counted,
+    /// not fatal).
+    pub fn serve(&self, streams: Vec<TenantStream>) -> Result<ServeReport, DataPlaneError> {
+        let entries = self.entries_snapshot();
+        let mut lanes = Vec::with_capacity(streams.len());
+        for s in streams {
+            let (_, weight, engine) = entries
+                .iter()
+                .find(|(id, _, _)| *id == s.tenant)
+                .cloned()
+                .ok_or(DataPlaneError::UnknownTenant)?;
+            lanes.push(Lane {
+                tenant: s.tenant,
+                weight,
+                engine,
+                generator: s.generator,
+                penalty: 0,
+                accepted_batches: 0,
+                rejected_batches: 0,
+                backpressure_signals: 0,
+            });
+        }
+        let pool = self.worker_pool().clone();
+        let start = Instant::now();
+        loop {
+            // Phase 1 — weighted offer pull: each unpenalized lane
+            // contributes up to `weight` batches this round; a watermark
+            // ends the lane's turn (it must run after the lane's batches).
+            let mut round_batches = Vec::new();
+            let mut round_marks = Vec::new();
+            let mut any_live = false;
+            for (li, lane) in lanes.iter_mut().enumerate() {
+                if lane.generator.is_exhausted() {
+                    continue;
+                }
+                any_live = true;
+                if lane.penalty > 0 {
+                    // The penalized tenant sits this round out; because the
+                    // penalty is per lane, every other tenant still runs.
+                    lane.penalty -= 1;
+                    continue;
+                }
+                let mut pulled = 0;
+                while pulled < lane.weight {
+                    match lane.generator.next_offer() {
+                        None => break,
+                        Some(Offer::Batch(delivery)) => {
+                            round_batches.push((li, delivery));
+                            pulled += 1;
+                        }
+                        Some(Offer::Watermark(wm)) => {
+                            round_marks.push((li, wm));
+                            break;
+                        }
+                    }
+                }
+            }
+            if !any_live {
+                break;
+            }
+
+            // Phase 2 — parallel ingestion: every tenant's batches of this
+            // round enter the shared TEE concurrently on the shared worker
+            // pool (one SMC entry per batch, decryption and windowing
+            // inside), so one slow tenant cannot serialize the others.
+            let tasks: Vec<_> = round_batches
+                .into_iter()
+                .map(|(li, delivery)| {
+                    let engine = lanes[li].engine.clone();
+                    move || (li, engine.ingest_on(&delivery, StreamSide::Left))
+                })
+                .collect();
+            for (li, outcome) in pool.run_all(tasks) {
+                let lane = &mut lanes[li];
+                match outcome {
+                    Ok(IngestStatus::Accepted) => lane.accepted_batches += 1,
+                    Ok(IngestStatus::Backpressure) => {
+                        lane.accepted_batches += 1;
+                        lane.backpressure_signals += 1;
+                        lane.penalty = 1;
+                    }
+                    Err(DataPlaneError::QuotaExceeded) => {
+                        // The batch is dropped: the tenant outgrew its
+                        // quota. Penalize only this lane.
+                        lane.rejected_batches += 1;
+                        lane.penalty = 1;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+
+            // Phase 3 — watermarks: completed windows execute (their
+            // primitive fan-out reuses the shared pool). Window execution
+            // may itself trip the tenant's quota (intermediates count too);
+            // that costs the tenant its window, nothing else.
+            for (li, wm) in round_marks {
+                let lane = &mut lanes[li];
+                match lane.engine.advance_watermark(wm) {
+                    Ok(()) => {}
+                    Err(DataPlaneError::QuotaExceeded) => {
+                        lane.rejected_batches += 1;
+                        lane.penalty = 1;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        let wall_nanos = start.elapsed().as_nanos() as u64;
+        let per_tenant = lanes
+            .iter()
+            .map(|lane| {
+                let metrics = lane.engine.metrics();
+                TenantProgress {
+                    tenant: lane.tenant,
+                    offered_events: lane.generator.offered_events(),
+                    accepted_batches: lane.accepted_batches,
+                    rejected_batches: lane.rejected_batches,
+                    backpressure_signals: lane.backpressure_signals,
+                    results: lane.engine.results_len(),
+                    ingested_events: metrics.events_ingested,
+                    avg_delay_ms: metrics.avg_delay_ms(),
+                    max_delay_ms: metrics.max_delay_ms(),
+                }
+            })
+            .collect();
+        Ok(ServeReport { wall_nanos, per_tenant })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServerConfig;
+    use crate::tenant::TenantConfig;
+    use sbt_engine::{Operator, Pipeline};
+    use sbt_workloads::datasets::multi_tenant_streams;
+    use sbt_workloads::generator::GeneratorConfig;
+    use sbt_workloads::transport::Channel;
+
+    fn pipeline(name: &str) -> Pipeline {
+        Pipeline::new(name).then(Operator::WindowSum).target_delay_ms(60_000).batch_events(500)
+    }
+
+    #[test]
+    fn serves_two_tenants_to_completion_with_correct_results() {
+        let server = StreamServer::new(ServerConfig::default().with_cores(2));
+        let a = server.admit(TenantConfig::new("a", 32 << 20), pipeline("a")).unwrap();
+        let b =
+            server.admit(TenantConfig::new("b", 32 << 20).with_weight(2), pipeline("b")).unwrap();
+        let loads = multi_tenant_streams(2, 2, 2_000, 16, 7);
+        let streams: Vec<TenantStream> = [a, b]
+            .into_iter()
+            .zip(loads.clone())
+            .map(|(tenant, chunks)| TenantStream {
+                tenant,
+                generator: Generator::new(
+                    GeneratorConfig { batch_events: 500 },
+                    Channel::encrypted_demo(),
+                    chunks,
+                ),
+            })
+            .collect();
+        let report = server.serve(streams).unwrap();
+        assert_eq!(report.aggregate_events(), 2 * 2 * 2_000);
+        assert!(report.aggregate_events_per_sec() > 0.0);
+        // Every tenant produced one result per window, matching its oracle.
+        let (key, nonce, signing) = server.cloud_keys();
+        for (i, tenant) in [a, b].into_iter().enumerate() {
+            let engine = server.engine(tenant).unwrap();
+            let results = engine.results();
+            assert_eq!(results.len(), 2, "{tenant}");
+            for (w, msg) in results.iter().enumerate() {
+                let plain = msg.open(&key, &nonce, &signing).unwrap();
+                let got = u64::from_le_bytes(plain[..8].try_into().unwrap());
+                let expected: u64 = loads[i][w].events.iter().map(|e| e.value as u64).sum();
+                assert_eq!(got, expected, "{tenant} window {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn unadmitted_tenant_streams_are_refused() {
+        let server = StreamServer::new(ServerConfig::default());
+        let streams = vec![TenantStream {
+            tenant: TenantId(99),
+            generator: Generator::new(
+                GeneratorConfig { batch_events: 100 },
+                Channel::cleartext(),
+                vec![],
+            ),
+        }];
+        assert_eq!(server.serve(streams).unwrap_err(), DataPlaneError::UnknownTenant);
+    }
+}

@@ -1,0 +1,260 @@
+//! The multi-tenant stream server: admission and shared-substrate ownership.
+
+use crate::tenant::{AdmissionError, TenantConfig};
+use parking_lot::Mutex;
+use sbt_crypto::{Key128, Nonce, SigningKey};
+use sbt_dataplane::{DataPlane, DataPlaneConfig};
+use sbt_engine::{Engine, EngineConfig, EngineVariant, Pipeline, WorkerPool};
+use sbt_types::TenantId;
+use sbt_tz::Platform;
+use std::sync::Arc;
+
+/// Server-wide configuration.
+#[derive(Clone)]
+pub struct ServerConfig {
+    /// Worker threads shared by all tenants' control planes.
+    pub cores: usize,
+    /// Secure-memory carve-out of the shared platform, in bytes. The sum of
+    /// admitted tenant quotas may not exceed it.
+    pub secure_mem_bytes: u64,
+    /// Maximum number of tenants the server admits.
+    pub max_tenants: usize,
+    /// Which engine variant the shared platform models (isolation costs,
+    /// ingress path).
+    pub variant: EngineVariant,
+    /// Data-plane keys and audit settings (shared TEE instance).
+    pub dataplane: DataPlaneConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            cores: 4,
+            secure_mem_bytes: 256 * 1024 * 1024,
+            max_tenants: 64,
+            variant: EngineVariant::Sbt,
+            dataplane: DataPlaneConfig::default(),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// A server on an n-core HiKey-like platform.
+    pub fn with_cores(mut self, cores: usize) -> Self {
+        self.cores = cores.max(1);
+        self
+    }
+
+    /// Override the secure-memory carve-out.
+    pub fn with_secure_mem(mut self, bytes: u64) -> Self {
+        self.secure_mem_bytes = bytes;
+        self
+    }
+
+    /// Override the tenant cap.
+    pub fn with_max_tenants(mut self, n: usize) -> Self {
+        self.max_tenants = n.max(1);
+        self
+    }
+}
+
+/// One admitted tenant.
+pub(crate) struct TenantEntry {
+    pub(crate) id: TenantId,
+    pub(crate) config: TenantConfig,
+    pub(crate) engine: Arc<Engine>,
+}
+
+/// The multi-tenant serving layer over one shared TEE.
+pub struct StreamServer {
+    config: ServerConfig,
+    platform: Arc<Platform>,
+    dp: Arc<DataPlane>,
+    pool: Arc<WorkerPool>,
+    tenants: Mutex<Vec<TenantEntry>>,
+    next_tenant: Mutex<u32>,
+    reserved_quota: Mutex<u64>,
+}
+
+impl StreamServer {
+    /// Bring up the shared substrate: one platform, one data plane loaded
+    /// into its TEE, one worker pool. No tenants are admitted yet.
+    pub fn new(config: ServerConfig) -> Arc<Self> {
+        let platform_config = EngineConfig::for_variant(config.variant, config.cores)
+            .with_secure_mem(config.secure_mem_bytes)
+            .platform_config();
+        let platform = Platform::new(platform_config);
+        let dp = DataPlane::new(platform.clone(), config.dataplane.clone());
+        let pool = Arc::new(WorkerPool::new(config.cores));
+        Arc::new(StreamServer {
+            platform,
+            dp,
+            pool,
+            tenants: Mutex::new(Vec::new()),
+            // Tenant 0 is the data plane's built-in unconstrained default;
+            // server tenants start at 1.
+            next_tenant: Mutex::new(1),
+            reserved_quota: Mutex::new(0),
+            config,
+        })
+    }
+
+    /// Admit a tenant: check capacity and quota headroom, register the
+    /// tenant's namespace and quota inside the TEE, and build its
+    /// control-plane engine over the shared data plane and worker pool.
+    pub fn admit(
+        &self,
+        tenant_config: TenantConfig,
+        pipeline: Pipeline,
+    ) -> Result<TenantId, AdmissionError> {
+        if tenant_config.quota_bytes == 0 {
+            return Err(AdmissionError::EmptyQuota);
+        }
+        let mut tenants = self.tenants.lock();
+        if tenants.len() >= self.config.max_tenants {
+            return Err(AdmissionError::ServerFull { max_tenants: self.config.max_tenants });
+        }
+        if tenants.iter().any(|t| t.config.name == tenant_config.name) {
+            return Err(AdmissionError::DuplicateName(tenant_config.name));
+        }
+        {
+            let mut reserved = self.reserved_quota.lock();
+            let available = self.config.secure_mem_bytes.saturating_sub(*reserved);
+            if tenant_config.quota_bytes > available {
+                return Err(AdmissionError::QuotaOvercommit {
+                    requested: tenant_config.quota_bytes,
+                    available,
+                });
+            }
+            *reserved += tenant_config.quota_bytes;
+        }
+        let id = {
+            let mut next = self.next_tenant.lock();
+            let id = TenantId(*next);
+            *next += 1;
+            id
+        };
+        if let Err(e) = self.dp.register_tenant(id, Some(tenant_config.quota_bytes)) {
+            *self.reserved_quota.lock() -= tenant_config.quota_bytes;
+            return Err(AdmissionError::Rejected(e));
+        }
+        let engine_config = EngineConfig {
+            dataplane: self.config.dataplane.clone(),
+            ..EngineConfig::for_variant(self.config.variant, self.config.cores)
+                .with_secure_mem(self.config.secure_mem_bytes)
+        };
+        let engine =
+            Engine::for_tenant(engine_config, pipeline, self.dp.clone(), id, self.pool.clone());
+        tenants.push(TenantEntry { id, config: tenant_config, engine });
+        Ok(id)
+    }
+
+    /// Ids of the admitted tenants, in admission order.
+    pub fn tenants(&self) -> Vec<TenantId> {
+        self.tenants.lock().iter().map(|t| t.id).collect()
+    }
+
+    /// The engine serving one tenant.
+    pub fn engine(&self, tenant: TenantId) -> Option<Arc<Engine>> {
+        self.tenants.lock().iter().find(|t| t.id == tenant).map(|t| t.engine.clone())
+    }
+
+    /// The admitted configuration of one tenant.
+    pub fn tenant_config(&self, tenant: TenantId) -> Option<TenantConfig> {
+        self.tenants.lock().iter().find(|t| t.id == tenant).map(|t| t.config.clone())
+    }
+
+    /// Secure-memory bytes not yet reserved by tenant quotas.
+    pub fn unreserved_quota(&self) -> u64 {
+        self.config.secure_mem_bytes.saturating_sub(*self.reserved_quota.lock())
+    }
+
+    /// The shared data plane (introspection, per-tenant audit drains).
+    pub fn data_plane(&self) -> &Arc<DataPlane> {
+        &self.dp
+    }
+
+    /// The shared platform.
+    pub fn platform(&self) -> &Arc<Platform> {
+        &self.platform
+    }
+
+    /// The shared worker pool.
+    pub fn worker_pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
+    }
+
+    /// The server configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Cloud-side key material (what the per-tenant consumers hold).
+    pub fn cloud_keys(&self) -> (Key128, Nonce, SigningKey) {
+        self.dp.cloud_keys()
+    }
+
+    pub(crate) fn entries_snapshot(&self) -> Vec<(TenantId, u32, Arc<Engine>)> {
+        self.tenants.lock().iter().map(|t| (t.id, t.config.weight, t.engine.clone())).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbt_engine::Operator;
+
+    fn pipeline() -> Pipeline {
+        Pipeline::new("t").then(Operator::WindowSum).target_delay_ms(60_000).batch_events(1_000)
+    }
+
+    #[test]
+    fn admits_tenants_and_tracks_quota_headroom() {
+        let server = StreamServer::new(ServerConfig::default().with_secure_mem(64 * 1024 * 1024));
+        let a = server.admit(TenantConfig::new("a", 16 * 1024 * 1024), pipeline()).unwrap();
+        let b = server.admit(TenantConfig::new("b", 16 * 1024 * 1024), pipeline()).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(server.tenants(), vec![a, b]);
+        assert_eq!(server.unreserved_quota(), 32 * 1024 * 1024);
+        // The engines share one platform, data plane and pool.
+        let ea = server.engine(a).unwrap();
+        let eb = server.engine(b).unwrap();
+        assert!(Arc::ptr_eq(ea.data_plane(), eb.data_plane()));
+        assert!(Arc::ptr_eq(ea.worker_pool(), eb.worker_pool()));
+        assert_eq!(ea.tenant(), a);
+        assert_eq!(server.tenant_config(a).unwrap().name, "a");
+    }
+
+    #[test]
+    fn admission_rejects_overcommit_full_and_duplicates() {
+        let server = StreamServer::new(
+            ServerConfig::default().with_secure_mem(8 * 1024 * 1024).with_max_tenants(2),
+        );
+        server.admit(TenantConfig::new("a", 6 * 1024 * 1024), pipeline()).unwrap();
+        // Overcommit.
+        let err = server.admit(TenantConfig::new("b", 4 * 1024 * 1024), pipeline()).unwrap_err();
+        assert_eq!(
+            err,
+            AdmissionError::QuotaOvercommit {
+                requested: 4 * 1024 * 1024,
+                available: 2 * 1024 * 1024
+            }
+        );
+        // Duplicate name.
+        assert!(matches!(
+            server.admit(TenantConfig::new("a", 1024), pipeline()),
+            Err(AdmissionError::DuplicateName(_))
+        ));
+        // Zero quota.
+        assert!(matches!(
+            server.admit(TenantConfig::new("z", 0), pipeline()),
+            Err(AdmissionError::EmptyQuota)
+        ));
+        // Fill the server, then hit the cap.
+        server.admit(TenantConfig::new("c", 1024 * 1024), pipeline()).unwrap();
+        assert!(matches!(
+            server.admit(TenantConfig::new("d", 1024), pipeline()),
+            Err(AdmissionError::ServerFull { max_tenants: 2 })
+        ));
+    }
+}

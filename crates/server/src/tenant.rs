@@ -1,0 +1,91 @@
+//! Tenant declarations and admission errors.
+
+use sbt_dataplane::DataPlaneError;
+
+/// What a tenant asks for at admission time.
+#[derive(Debug, Clone)]
+pub struct TenantConfig {
+    /// Human-readable tenant name (must be unique on the server).
+    pub name: String,
+    /// TEE memory quota in bytes, enforced through the uArray allocator.
+    pub quota_bytes: u64,
+    /// Weighted-round-robin scheduling weight (≥ 1): a tenant with weight 2
+    /// is offered twice as many batches per round as a weight-1 tenant.
+    pub weight: u32,
+}
+
+impl TenantConfig {
+    /// A tenant with the given name and quota, weight 1.
+    pub fn new(name: &str, quota_bytes: u64) -> Self {
+        TenantConfig { name: name.to_string(), quota_bytes, weight: 1 }
+    }
+
+    /// Set the scheduling weight.
+    pub fn with_weight(mut self, weight: u32) -> Self {
+        self.weight = weight.max(1);
+        self
+    }
+}
+
+/// Why the server refused to admit a tenant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The server already hosts its maximum number of tenants.
+    ServerFull {
+        /// The configured tenant cap.
+        max_tenants: usize,
+    },
+    /// Admitting the tenant would overcommit the secure-memory carve-out.
+    QuotaOvercommit {
+        /// The quota the tenant requested.
+        requested: u64,
+        /// Unreserved secure-memory bytes remaining.
+        available: u64,
+    },
+    /// A tenant with this name is already admitted.
+    DuplicateName(String),
+    /// The tenant asked for a zero-byte quota, which could never ingest.
+    EmptyQuota,
+    /// The data plane refused the registration.
+    Rejected(DataPlaneError),
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::ServerFull { max_tenants } => {
+                write!(f, "server full ({max_tenants} tenants)")
+            }
+            AdmissionError::QuotaOvercommit { requested, available } => {
+                write!(f, "quota overcommit: requested {requested} B, {available} B available")
+            }
+            AdmissionError::DuplicateName(name) => write!(f, "tenant name {name:?} already taken"),
+            AdmissionError::EmptyQuota => write!(f, "tenant quota must be nonzero"),
+            AdmissionError::Rejected(e) => write!(f, "data plane rejected tenant: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_builder_clamps_weight() {
+        let t = TenantConfig::new("a", 1024).with_weight(0);
+        assert_eq!(t.weight, 1);
+        assert_eq!(t.quota_bytes, 1024);
+        assert_eq!(TenantConfig::new("b", 1).weight, 1);
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(AdmissionError::ServerFull { max_tenants: 4 }.to_string().contains('4'));
+        assert!(AdmissionError::QuotaOvercommit { requested: 10, available: 5 }
+            .to_string()
+            .contains("10"));
+        assert!(AdmissionError::DuplicateName("x".into()).to_string().contains('x'));
+    }
+}

@@ -17,6 +17,7 @@ pub mod batch;
 pub mod event;
 pub mod keyed;
 pub mod ops;
+pub mod tenant;
 pub mod time;
 pub mod watermark;
 pub mod window;
@@ -25,6 +26,7 @@ pub use batch::{BatchId, BatchMeta};
 pub use event::{Event, PowerEvent, TaxiEvent, EVENT_BYTES, POWER_EVENT_BYTES};
 pub use keyed::{KeyAgg, KeyCount, KeyValue};
 pub use ops::PrimitiveKind;
+pub use tenant::TenantId;
 pub use time::{Duration, EventTime, ProcessingTime};
 pub use watermark::Watermark;
 pub use window::{WindowId, WindowSpec, WindowedKey};

@@ -1,0 +1,46 @@
+//! Tenant identity for the multi-tenant serving layer.
+//!
+//! One edge platform hosts one TEE, but a production deployment serves many
+//! independent pipelines (tenants) over it. Every tenant-scoped structure —
+//! opaque-reference namespaces, audit-log segments, memory quotas — is keyed
+//! by a [`TenantId`]. The id itself is not a capability: it only selects a
+//! namespace, and the data plane validates every reference against the
+//! namespace of the calling tenant.
+
+/// Identifier of a tenant (one admitted pipeline) on a shared platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct TenantId(pub u32);
+
+impl TenantId {
+    /// The default tenant: single-pipeline deployments (the paper's setting)
+    /// run everything under this id.
+    pub const DEFAULT: TenantId = TenantId(0);
+
+    /// The tenant id as the allocator's owner tag.
+    pub fn owner_tag(&self) -> u64 {
+        self.0 as u64
+    }
+}
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tenant-{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_tenant_is_zero() {
+        assert_eq!(TenantId::default(), TenantId::DEFAULT);
+        assert_eq!(TenantId::DEFAULT.0, 0);
+        assert_eq!(TenantId(7).owner_tag(), 7u64);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(TenantId(3).to_string(), "tenant-3");
+    }
+}

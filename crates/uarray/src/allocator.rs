@@ -19,6 +19,7 @@
 //! stuck-but-retired bytes, live uGroup count and virtual-space usage.
 
 use crate::hints::ConsumptionHint;
+use crate::quota::{QuotaBook, QuotaError};
 use crate::uarray::{UArrayId, UArrayState};
 use crate::ugroup::{UGroup, UGroupId};
 use crate::vspace::VirtualSpace;
@@ -93,6 +94,8 @@ pub struct Allocator {
     consumed_after: HashMap<UArrayId, UArrayId>,
     /// Producer -> group used by the `SameProducer` policy.
     producer_groups: HashMap<u64, UGroupId>,
+    /// Per-owner (tenant) quota accounting.
+    quotas: QuotaBook,
     next_group: u64,
     total_reclaimed: u64,
     peak_committed: u64,
@@ -108,6 +111,7 @@ impl Allocator {
             placements: HashMap::new(),
             consumed_after: HashMap::new(),
             producer_groups: HashMap::new(),
+            quotas: QuotaBook::new(),
             next_group: 0,
             total_reclaimed: 0,
             peak_committed: 0,
@@ -224,6 +228,41 @@ impl Allocator {
         }
     }
 
+    // ----- per-owner quotas (multi-tenant serving) -----------------------
+
+    /// Install (or replace) a per-owner memory quota. Owners without a quota
+    /// are unconstrained.
+    pub fn set_owner_quota(&mut self, owner: u64, bytes: u64) {
+        self.quotas.set_quota(owner, bytes);
+    }
+
+    /// Remove an owner's quota.
+    pub fn clear_owner_quota(&mut self, owner: u64) {
+        self.quotas.clear_quota(owner);
+    }
+
+    /// Bytes currently charged to an owner.
+    pub fn owner_used(&self, owner: u64) -> u64 {
+        self.quotas.used_by(owner)
+    }
+
+    /// The owner's quota, if one is installed.
+    pub fn owner_quota(&self, owner: u64) -> Option<u64> {
+        self.quotas.quota_of(owner)
+    }
+
+    /// Whether charging `bytes` more to the owner would exceed its quota.
+    pub fn owner_would_exceed(&self, owner: u64, bytes: u64) -> bool {
+        self.quotas.would_exceed(owner, bytes)
+    }
+
+    /// Charge a uArray's committed bytes to an owner. Fails (without
+    /// charging) when the owner's quota would be exceeded; the caller is
+    /// responsible for releasing the array's pages in that case.
+    pub fn charge_owner(&mut self, owner: u64, id: UArrayId, bytes: u64) -> Result<(), QuotaError> {
+        self.quotas.charge(owner, id, bytes)
+    }
+
     /// Run the reclamation scan over all groups: from the front of each
     /// group, pop members while they are retired. Returns the ids whose
     /// backing storage the data plane should now release. Groups that become
@@ -245,6 +284,7 @@ impl Allocator {
                 self.consumed_after.remove(id);
                 let _ = p;
             }
+            self.quotas.release(*id);
         }
         for gid in empty_groups {
             if let Some(g) = self.groups.remove(&gid) {
@@ -433,6 +473,33 @@ mod tests {
         a.reclaim();
         assert_eq!(a.committed_bytes(), 0);
         assert_eq!(a.peak_committed_bytes(), 8192);
+    }
+
+    #[test]
+    fn owner_quotas_gate_charges_and_release_on_reclaim() {
+        let mut a = Allocator::hint_guided();
+        a.set_owner_quota(1, 8192);
+        // Two 4 KiB arrays fill the quota; a third is rejected.
+        a.place(UArrayId(1), 0, None);
+        seal(&mut a, UArrayId(1), 4096);
+        a.charge_owner(1, UArrayId(1), 4096).unwrap();
+        a.place(UArrayId(2), 0, None);
+        seal(&mut a, UArrayId(2), 4096);
+        a.charge_owner(1, UArrayId(2), 4096).unwrap();
+        assert_eq!(a.owner_used(1), 8192);
+        assert!(a.owner_would_exceed(1, 1));
+        assert!(a.charge_owner(1, UArrayId(3), 4096).is_err());
+        // A different owner is unaffected.
+        assert!(!a.owner_would_exceed(2, 1 << 30));
+        // Retiring and reclaiming releases the owner's usage.
+        retire(&mut a, UArrayId(1), 4096);
+        retire(&mut a, UArrayId(2), 4096);
+        let reclaimed = a.reclaim();
+        assert_eq!(reclaimed.len(), 2);
+        assert_eq!(a.owner_used(1), 0);
+        assert_eq!(a.owner_quota(1), Some(8192));
+        a.clear_owner_quota(1);
+        assert_eq!(a.owner_quota(1), None);
     }
 
     #[test]

@@ -31,6 +31,7 @@
 pub mod allocator;
 pub mod hints;
 pub mod pager;
+pub mod quota;
 pub mod uarray;
 pub mod ugroup;
 pub mod vspace;
@@ -38,6 +39,7 @@ pub mod vspace;
 pub use allocator::{Allocator, AllocatorConfig, MemoryReport, PlacementPolicy};
 pub use hints::{ConsumptionHint, HintSet};
 pub use pager::{PageError, TeePager, PAGE_SIZE};
+pub use quota::{QuotaBook, QuotaError};
 pub use uarray::{UArray, UArrayId, UArrayState};
 pub use ugroup::{UGroup, UGroupId};
 pub use vspace::VirtualSpace;

@@ -56,21 +56,28 @@ pub use sbt_crypto as crypto;
 pub use sbt_dataplane as dataplane;
 pub use sbt_engine as engine;
 pub use sbt_primitives as primitives;
+pub use sbt_server as server;
 pub use sbt_types as types;
 pub use sbt_tz as tz;
 pub use sbt_uarray as uarray;
 pub use sbt_workloads as workloads;
 
-/// Everything needed to declare, run and verify a pipeline.
+/// Everything needed to declare, run and verify a pipeline — or to serve
+/// many of them multi-tenant over one shared TEE.
 pub mod prelude {
-    pub use sbt_attest::{decompress_records, PipelineSpec, VerificationReport, Verifier};
+    pub use sbt_attest::{
+        decompress_records, verify_tenant_trail, PipelineSpec, VerificationReport, Verifier,
+    };
     pub use sbt_dataplane::EgressMessage;
     pub use sbt_engine::{
         Engine, EngineConfig, EngineVariant, IngestStatus, Operator, Pipeline, StreamSide,
     };
-    pub use sbt_types::{Duration, Event, EventTime, PowerEvent, Watermark, WindowSpec};
+    pub use sbt_server::{
+        AdmissionError, ServeReport, ServerConfig, StreamServer, TenantConfig, TenantStream,
+    };
+    pub use sbt_types::{Duration, Event, EventTime, PowerEvent, TenantId, Watermark, WindowSpec};
     pub use sbt_workloads::datasets::{
-        intel_lab_stream, power_grid_stream, synthetic_stream, taxi_stream,
+        intel_lab_stream, multi_tenant_streams, power_grid_stream, synthetic_stream, taxi_stream,
     };
     pub use sbt_workloads::generator::{Generator, GeneratorConfig, Offer};
     pub use sbt_workloads::transport::{Channel, ChannelConfig, WireFormat};

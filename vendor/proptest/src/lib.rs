@@ -6,10 +6,13 @@
 //! integer-range strategies, tuple strategies, `collection::vec`, `Just`,
 //! weighted `prop_oneof!`, and the `prop_assert*` macros.
 //!
-//! Differences from real proptest: no shrinking (a failing case panics with
-//! the generated inputs printed via the assertion message), and the RNG seed
-//! is derived deterministically from the test name, so failures reproduce
-//! exactly on re-run.
+//! Differences from real proptest: shrinking is basic — integer strategies
+//! shrink toward their minimum (halving, then decrementing), `Vec`
+//! strategies shrink by truncation, element removal and element-wise
+//! shrinking, and tuples shrink component-wise; `Just` and `prop_oneof!`
+//! arms do not shrink. The RNG seed is derived deterministically from the
+//! test name, so failures reproduce exactly on re-run, and the panic
+//! message prints the minimal failing input found.
 
 #![forbid(unsafe_code)]
 
@@ -56,12 +59,23 @@ pub trait Strategy {
 
     /// Generate one value.
     fn gen(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Propose simpler variants of a failing value, most aggressive first.
+    /// An empty list means the value is minimal (the default for strategies
+    /// without a notion of "simpler").
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for &S {
     type Value = S::Value;
     fn gen(&self, rng: &mut TestRng) -> Self::Value {
         (**self).gen(rng)
+    }
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(value)
     }
 }
 
@@ -70,12 +84,43 @@ impl<S: Strategy + ?Sized> Strategy for Box<S> {
     fn gen(&self, rng: &mut TestRng) -> Self::Value {
         (**self).gen(rng)
     }
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(value)
+    }
 }
 
 /// Types with a canonical "whole domain" strategy (`any::<T>()`).
 pub trait Arbitrary: Sized {
     /// Draw a value from the whole domain of `Self`.
     fn arbitrary(rng: &mut TestRng) -> Self;
+
+    /// Propose simpler variants of a failing value (see
+    /// [`Strategy::shrink`]).
+    fn shrink_value(value: &Self) -> Vec<Self> {
+        let _ = value;
+        Vec::new()
+    }
+}
+
+/// Shrink candidates for an integer confined to `[min, value]`: the minimum
+/// itself, the midpoint (binary search toward the minimum), and the
+/// predecessor (final linear steps). Computed in `i128` so every integer
+/// type this crate supports fits.
+fn int_shrink(value: i128, min: i128) -> Vec<i128> {
+    let mut out = Vec::new();
+    if value == min {
+        return out;
+    }
+    out.push(min);
+    let mid = min + (value - min) / 2;
+    if mid != min && mid != value {
+        out.push(mid);
+    }
+    let prev = value - 1;
+    if prev != min && prev != mid {
+        out.push(prev);
+    }
+    out
 }
 
 macro_rules! impl_arbitrary_int {
@@ -84,6 +129,16 @@ macro_rules! impl_arbitrary_int {
             fn arbitrary(rng: &mut TestRng) -> Self {
                 rng.next_u64() as $t
             }
+            fn shrink_value(value: &Self) -> Vec<Self> {
+                // The whole domain shrinks toward zero (from either side).
+                let v = *value as i128;
+                let target = 0i128.clamp(<$t>::MIN as i128, <$t>::MAX as i128);
+                if v >= target {
+                    int_shrink(v, target).into_iter().map(|c| c as $t).collect()
+                } else {
+                    int_shrink(-v, -target).into_iter().map(|c| (-c) as $t).collect()
+                }
+            }
         }
         impl Strategy for Range<$t> {
             type Value = $t;
@@ -91,6 +146,12 @@ macro_rules! impl_arbitrary_int {
                 assert!(self.start < self.end, "empty range strategy");
                 let span = (self.end as u128).wrapping_sub(self.start as u128);
                 self.start.wrapping_add((rng.next_u64() as u128 % span) as $t)
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_shrink(*value as i128, self.start as i128)
+                    .into_iter()
+                    .map(|c| c as $t)
+                    .collect()
             }
         }
         impl Strategy for std::ops::RangeInclusive<$t> {
@@ -101,6 +162,12 @@ macro_rules! impl_arbitrary_int {
                 let span = (end as u128) - (start as u128) + 1;
                 start.wrapping_add((rng.next_u64() as u128 % span) as $t)
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_shrink(*value as i128, *self.start() as i128)
+                    .into_iter()
+                    .map(|c| c as $t)
+                    .collect()
+            }
         }
     )*};
 }
@@ -110,6 +177,13 @@ impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 impl Arbitrary for bool {
     fn arbitrary(rng: &mut TestRng) -> Self {
         rng.next_u64() & 1 == 1
+    }
+    fn shrink_value(value: &Self) -> Vec<Self> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
     }
 }
 
@@ -133,6 +207,9 @@ impl<T: Arbitrary> Strategy for AnyStrategy<T> {
     fn gen(&self, rng: &mut TestRng) -> T {
         T::arbitrary(rng)
     }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        T::shrink_value(value)
+    }
 }
 
 /// Strategy that always yields a clone of the given value.
@@ -148,10 +225,24 @@ impl<T: Clone> Strategy for Just<T> {
 
 macro_rules! impl_tuple_strategy {
     ($(($($name:ident : $idx:tt),+)),* $(,)?) => {$(
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone),+
+        {
             type Value = ($($name::Value,)+);
             fn gen(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.gen(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut v = value.clone();
+                        v.$idx = candidate;
+                        out.push(v);
+                    }
+                )+
+                out
             }
         }
     )*};
@@ -259,7 +350,10 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn gen(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let len = if self.size.start < self.size.end {
@@ -268,6 +362,92 @@ pub mod collection {
                 self.size.start
             };
             (0..len).map(|_| self.element.gen(rng)).collect()
+        }
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            let len = value.len();
+            let min = self.size.start;
+            // Shorter first: halve toward the minimum length, then drop one.
+            if len > min {
+                let half = min.max(len / 2);
+                if half < len {
+                    out.push(value[..half].to_vec());
+                }
+                out.push(value[..len - 1].to_vec());
+            }
+            // Then element-wise: each element replaced by its first
+            // (most aggressive) shrink candidate.
+            for i in 0..len {
+                if let Some(smaller) = self.element.shrink(&value[i]).into_iter().next() {
+                    let mut v = value.clone();
+                    v[i] = smaller;
+                    out.push(v);
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Walk shrink candidates of a failing value while the property keeps
+/// failing, returning the minimal failing value found, its failure, and the
+/// number of candidate executions spent. Used by the `proptest!` runner;
+/// public so the macro (and tests) can reach it.
+pub fn shrink_failure<S: Strategy>(
+    strategy: &S,
+    mut value: S::Value,
+    mut error: TestCaseError,
+    run: &dyn Fn(&S::Value) -> TestCaseResult,
+) -> (S::Value, TestCaseError, usize) {
+    const MAX_STEPS: usize = 256;
+    let mut steps = 0;
+    'outer: while steps < MAX_STEPS {
+        for candidate in strategy.shrink(&value) {
+            steps += 1;
+            if let Err(e) = run(&candidate) {
+                if !e.is_reject() {
+                    value = candidate;
+                    error = e;
+                    continue 'outer;
+                }
+            }
+            if steps >= MAX_STEPS {
+                break 'outer;
+            }
+        }
+        // No candidate still fails: the value is (locally) minimal.
+        break;
+    }
+    (value, error, steps)
+}
+
+/// The `proptest!` runner: generate `cfg.cases` values, run the property on
+/// each, and on failure shrink to a minimal counterexample before
+/// panicking. Public because the macro expands to a call to it.
+#[doc(hidden)]
+pub fn run_property<S: Strategy>(
+    name: &str,
+    cfg: ProptestConfig,
+    strategies: S,
+    run: impl Fn(&S::Value) -> TestCaseResult,
+) where
+    S::Value: Clone + std::fmt::Debug,
+{
+    let mut rng = TestRng::deterministic(name);
+    for case in 0..cfg.cases {
+        let vals = strategies.gen(&mut rng);
+        match run(&vals) {
+            Ok(()) => {}
+            Err(e) if e.is_reject() => {}
+            Err(e) => {
+                let (min, err, steps) = shrink_failure(&strategies, vals, e, &run);
+                panic!(
+                    "proptest `{name}`: case {}/{} failed: {err}\n\
+                     minimal failing input ({steps} shrink steps): {min:?}",
+                    case + 1,
+                    cfg.cases,
+                );
+            }
         }
     }
 }
@@ -319,29 +499,20 @@ macro_rules! __proptest_items {
         $(
             $(#[$meta])*
             fn $name() {
-                let __cfg: $crate::ProptestConfig = $cfg;
-                let __strategies = ( $($strat,)+ );
-                let mut __rng = $crate::TestRng::deterministic(stringify!($name));
-                for __case in 0..__cfg.cases {
-                    let ( $($arg,)+ ) = $crate::Strategy::gen(&__strategies, &mut __rng);
-                    // Run the body in a Result-returning closure so that
-                    // `prop_assert*` can early-return and `?` works, exactly
-                    // as in real proptest.
-                    let __result = (|| -> $crate::TestCaseResult {
+                // The body runs in a Result-returning closure so that
+                // `prop_assert*` can early-return and `?` works, exactly as
+                // in real proptest. The runner re-invokes it on shrink
+                // candidates, hence the clone.
+                $crate::run_property(
+                    stringify!($name),
+                    $cfg,
+                    ( $($strat,)+ ),
+                    |__vals| -> $crate::TestCaseResult {
+                        let ( $($arg,)+ ) = ::std::clone::Clone::clone(__vals);
                         $body
                         ::std::result::Result::Ok(())
-                    })();
-                    match __result {
-                        ::std::result::Result::Ok(()) => {}
-                        ::std::result::Result::Err(e) if e.is_reject() => {}
-                        ::std::result::Result::Err(e) => {
-                            panic!(
-                                "proptest `{}`: case {}/{} failed: {}",
-                                stringify!($name), __case + 1, __cfg.cases, e
-                            );
-                        }
-                    }
-                }
+                    },
+                );
             }
         )*
     };
@@ -458,5 +629,68 @@ mod tests {
         let mut r1 = TestRng::deterministic("x");
         let mut r2 = TestRng::deterministic("x");
         assert_eq!(s.gen(&mut r1), s.gen(&mut r2));
+    }
+
+    #[test]
+    fn integer_shrink_candidates_move_toward_the_minimum() {
+        let s = 10u32..1000;
+        let cands = s.shrink(&700);
+        assert_eq!(cands, vec![10, 355, 699]);
+        assert!(s.shrink(&10).is_empty(), "the minimum is minimal");
+        // Signed ranges shrink toward their start, not zero.
+        let s = -50i32..50;
+        assert_eq!(s.shrink(&40)[0], -50);
+        // any::<T>() shrinks toward zero from either side.
+        assert_eq!(<i64 as Arbitrary>::shrink_value(&-8), vec![0, -4, -7]);
+        assert_eq!(<u32 as Arbitrary>::shrink_value(&9), vec![0, 4, 8]);
+        assert!(<u32 as Arbitrary>::shrink_value(&0).is_empty());
+    }
+
+    #[test]
+    fn vec_shrink_truncates_removes_and_shrinks_elements() {
+        let s = crate::collection::vec(5u32..100, 2..10);
+        let cands = s.shrink(&vec![50, 60, 70, 80]);
+        // Halved, one-shorter, then element-wise variants.
+        assert!(cands.contains(&vec![50, 60]));
+        assert!(cands.contains(&vec![50, 60, 70]));
+        assert!(cands.contains(&vec![5, 60, 70, 80]));
+        // Length never shrinks below the strategy's minimum.
+        assert!(s.shrink(&vec![1, 2]).iter().all(|v| v.len() >= 2));
+    }
+
+    #[test]
+    fn shrink_failure_finds_the_minimal_counterexample() {
+        // Property: v < 13. The minimal counterexample in 0..1000 is 13.
+        let strategy = (0u32..1000,);
+        let run = |vals: &(u32,)| -> TestCaseResult {
+            prop_assert!(vals.0 < 13, "too big: {}", vals.0);
+            Ok(())
+        };
+        let first = (700u32,);
+        let err = run(&first).unwrap_err();
+        let (min, err, steps) = crate::shrink_failure(&strategy, first, err, &run);
+        assert_eq!(min, (13,));
+        assert!(steps > 0 && steps <= 256);
+        assert!(err.to_string().contains("13"));
+    }
+
+    #[test]
+    fn shrink_failure_minimizes_vectors() {
+        // Property: fewer than 3 elements. Minimal counterexample: length 3.
+        let strategy = (crate::collection::vec(0u32..10, 0..50),);
+        let run = |vals: &(Vec<u32>,)| -> TestCaseResult {
+            prop_assert!(vals.0.len() < 3, "len {}", vals.0.len());
+            Ok(())
+        };
+        let mut rng = TestRng::deterministic("vec-shrink");
+        let mut first = Strategy::gen(&strategy, &mut rng);
+        while first.0.len() < 3 {
+            first = Strategy::gen(&strategy, &mut rng);
+        }
+        let err = run(&first).unwrap_err();
+        let (min, _, _) = crate::shrink_failure(&strategy, first, err, &run);
+        assert_eq!(min.0.len(), 3);
+        // Elements were shrunk toward the strategy minimum too.
+        assert!(min.0.iter().all(|&x| x == 0));
     }
 }
