@@ -1,23 +1,30 @@
 //! Multi-tenant server scaling: aggregate throughput and per-tenant output
-//! delay as the number of pipelines multiplexed over one shared TEE grows.
+//! delay as the number of pipelines multiplexed over one shared TEE grows —
+//! swept across serving disciplines.
 //!
-//! For each tenant count N in the sweep, the harness brings up one
-//! `StreamServer` (one platform, one data plane, one worker pool), admits N
-//! tenants — each with a WinSum pipeline, an equal share of the secure
-//! carve-out as its quota, and weight 1 — and serves every tenant an
-//! independent stream with a disjoint key range. After the run it reports
-//! aggregate throughput and per-tenant delays, and verifies each tenant's
-//! audit trail independently (tenant tag, signatures, segment sequence,
-//! then symbolic replay against the tenant's declared pipeline).
+//! For each scheduler in `SBT_SCHED` (default `wrr,drr`) and each tenant
+//! count N in `SBT_TENANTS` (default `1,4,16`), the harness brings up one
+//! `StreamServer` (one platform, one data plane, one work-stealing
+//! executor), admits N tenants — each with a WinSum pipeline, an equal
+//! share of the secure carve-out as its quota, and weight 1 — and serves
+//! every tenant an independent stream with a disjoint key range. After the
+//! run it reports aggregate throughput and per-tenant delays, and verifies
+//! each tenant's audit trail independently (tenant tag, signatures, segment
+//! sequence, then symbolic replay against the tenant's declared pipeline).
+//!
+//! When both schedulers are swept, the run **fails** (exit 1) if deficit
+//! round-robin's aggregate throughput regresses more than 10% below the
+//! weighted-round-robin barrier baseline at any tenant count — the CI gate
+//! for the executor + DRR substrate.
 //!
 //! Run with `cargo run --release -p sbt_bench --bin fig_server_scaling`.
-//! `SBT_TENANTS=1,4,16` overrides the sweep; `SBT_FULL=1` scales the
-//! streams up.
+//! `SBT_TENANTS=1,4,16` overrides the sweep; `SBT_SCHED=drr` picks one
+//! scheduler; `SBT_FULL=1` scales the streams up.
 
 use sbt_attest::{verify_tenant_trail, Verifier};
 use sbt_bench::{dump_json, print_table};
 use sbt_engine::{Operator, Pipeline};
-use sbt_server::{ServerConfig, StreamServer, TenantConfig, TenantStream};
+use sbt_server::{Scheduler, ServerConfig, StreamServer, TenantConfig, TenantStream};
 use sbt_workloads::datasets::multi_tenant_streams;
 use sbt_workloads::generator::{Generator, GeneratorConfig};
 use sbt_workloads::transport::Channel;
@@ -25,6 +32,7 @@ use serde::Serialize;
 
 #[derive(Serialize)]
 struct ScalingRow {
+    scheduler: String,
     tenants: usize,
     aggregate_mevents_per_sec: f64,
     events: u64,
@@ -43,7 +51,29 @@ fn sweep_from_env() -> Vec<usize> {
         .unwrap_or_else(|| vec![1, 4, 16])
 }
 
-fn run_tenant_count(tenants: usize, windows: u32, events_per_window: usize) -> ScalingRow {
+fn schedulers_from_env() -> Vec<Scheduler> {
+    match std::env::var("SBT_SCHED") {
+        Err(_) => vec![Scheduler::WeightedRoundRobin, Scheduler::DeficitRoundRobin],
+        // A typo must not silently shrink the sweep (and with it the
+        // WRR-vs-DRR regression gate): reject unknown names loudly.
+        Ok(s) => s
+            .split(',')
+            .map(|t| {
+                Scheduler::from_name(t).unwrap_or_else(|| {
+                    eprintln!("unknown scheduler {t:?} in SBT_SCHED (expected wrr,drr)");
+                    std::process::exit(2);
+                })
+            })
+            .collect(),
+    }
+}
+
+fn run_tenant_count(
+    scheduler: Scheduler,
+    tenants: usize,
+    windows: u32,
+    events_per_window: usize,
+) -> ScalingRow {
     let cores = 4;
     let secure_mem: u64 = 256 * 1024 * 1024;
     let server = StreamServer::new(
@@ -78,7 +108,7 @@ fn run_tenant_count(tenants: usize, windows: u32, events_per_window: usize) -> S
             ),
         })
         .collect();
-    let report = server.serve(streams).expect("serve completes");
+    let report = server.serve_with(streams, scheduler).expect("serve completes");
 
     // Verify every tenant's audit trail independently.
     let (_, _, signing) = server.cloud_keys();
@@ -95,6 +125,7 @@ fn run_tenant_count(tenants: usize, windows: u32, events_per_window: usize) -> S
 
     let delays: Vec<f64> = report.per_tenant.iter().map(|t| t.avg_delay_ms).collect();
     ScalingRow {
+        scheduler: scheduler.name().to_string(),
         tenants,
         aggregate_mevents_per_sec: report.aggregate_events_per_sec() / 1e6,
         events: report.aggregate_events(),
@@ -110,14 +141,35 @@ fn main() {
     let full = std::env::var("SBT_FULL").map(|v| v == "1").unwrap_or(false);
     let (windows, events_per_window) = if full { (4u32, 200_000usize) } else { (2, 20_000) };
     let sweep = sweep_from_env();
+    let schedulers = schedulers_from_env();
+    // Short runs are dominated by cold-start noise (thread spawn, page
+    // faults); measure each cell a few times and keep the best, which
+    // estimates capability rather than luck. `SBT_REPS` overrides.
+    let reps: usize = std::env::var("SBT_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if full { 1 } else { 3 })
+        .max(1);
 
-    let rows: Vec<ScalingRow> =
-        sweep.iter().map(|&n| run_tenant_count(n, windows, events_per_window)).collect();
+    let rows: Vec<ScalingRow> = schedulers
+        .iter()
+        .flat_map(|&s| {
+            sweep.iter().map(move |&n| {
+                (0..reps)
+                    .map(|_| run_tenant_count(s, n, windows, events_per_window))
+                    .max_by(|a, b| {
+                        a.aggregate_mevents_per_sec.total_cmp(&b.aggregate_mevents_per_sec)
+                    })
+                    .expect("at least one rep")
+            })
+        })
+        .collect();
 
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
             vec![
+                r.scheduler.clone(),
                 r.tenants.to_string(),
                 format!("{:.3}", r.aggregate_mevents_per_sec),
                 r.events.to_string(),
@@ -135,6 +187,7 @@ fn main() {
              {events_per_window} events each per tenant)"
         ),
         &[
+            "sched",
             "tenants",
             "aggregate Mevents/s",
             "events",
@@ -147,9 +200,37 @@ fn main() {
         &table,
     );
     println!(
-        "\nAggregate throughput should grow with tenant count until the {}-worker pool \
-         saturates; every tenant's audit trail must verify independently.",
-        4
+        "\nAggregate throughput should grow with tenant count until the 4-worker executor \
+         saturates; every tenant's audit trail must verify independently."
     );
     dump_json("fig_server_scaling", &rows);
+
+    // Regression gate: with both schedulers swept, DRR must stay within 10%
+    // of the WRR barrier baseline at every tenant count.
+    let mut failed = false;
+    for &n in &sweep {
+        let throughput_of = |name: &str| {
+            rows.iter()
+                .find(|r| r.scheduler == name && r.tenants == n)
+                .map(|r| r.aggregate_mevents_per_sec)
+        };
+        if let (Some(wrr), Some(drr)) = (throughput_of("wrr"), throughput_of("drr")) {
+            let verdict = if drr >= wrr { "faster" } else { "slower" };
+            println!(
+                "gate: {n:3} tenants — drr {drr:.3} vs wrr {wrr:.3} Mevents/s ({verdict}, \
+                 {:+.1}%)",
+                (drr / wrr - 1.0) * 100.0
+            );
+            if drr < wrr * 0.9 {
+                eprintln!(
+                    "FAIL: DRR aggregate throughput at {n} tenants regressed more than 10% \
+                     below the WRR baseline ({drr:.3} < 0.9 x {wrr:.3} Mevents/s)"
+                );
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
 }

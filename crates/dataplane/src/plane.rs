@@ -261,6 +261,19 @@ impl DataPlane {
         Ok((t.events_ingested, t.bytes_ingested))
     }
 
+    /// Roll back a tenant's ingest counters for a batch the control plane
+    /// dropped after ingress (its windowing was rejected, e.g. by the
+    /// tenant's quota): the events never reached windowed state, so they do
+    /// not count as ingested. Platform-wide throughput stats are untouched
+    /// (the decryption work really happened).
+    pub fn uncount_ingest_for(&self, tenant: TenantId, events: u64, bytes: u64) {
+        if let Ok(ts) = self.tenant_state(tenant) {
+            let mut t = ts.lock();
+            t.events_ingested = t.events_ingested.saturating_sub(events);
+            t.bytes_ingested = t.bytes_ingested.saturating_sub(bytes);
+        }
+    }
+
     /// Whether the engine should apply backpressure to sources (platform-wide
     /// secure-memory pressure).
     pub fn under_memory_pressure(&self) -> bool {

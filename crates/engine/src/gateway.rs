@@ -12,6 +12,7 @@
 //! multi-tenant server opens one gateway per admitted tenant over the one
 //! shared data plane; single-pipeline deployments use the default tenant.
 
+use crate::metrics::CycleCost;
 use sbt_attest::LogSegment;
 use sbt_dataplane::{
     DataPlane, DataPlaneError, EgressMessage, InvokeOutput, OpaqueRef, PrimitiveParams,
@@ -19,6 +20,7 @@ use sbt_dataplane::{
 use sbt_types::{PrimitiveKind, TenantId, Watermark};
 use sbt_tz::{EntryFunction, IoChannel, SmcSession};
 use sbt_uarray::HintSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// The gateway: SMC session + IO channel + data plane handle, scoped to one
@@ -28,6 +30,10 @@ pub struct TeeGateway {
     tenant: TenantId,
     session: SmcSession,
     io: IoChannel,
+    /// Estimated cycle cost ([`CycleCost`]) of the calls serviced through
+    /// this gateway since the last drain — the scheduler's per-tenant
+    /// accounting signal.
+    cost: AtomicU64,
 }
 
 impl TeeGateway {
@@ -45,7 +51,7 @@ impl TeeGateway {
             .invoke(EntryFunction::Initialize, || {})
             .expect("initializing the data plane cannot fail");
         let io = dp.platform().io_channel();
-        TeeGateway { io, session, tenant, dp }
+        TeeGateway { io, session, tenant, dp, cost: AtomicU64::new(0) }
     }
 
     /// The underlying data plane (read-only introspection: stats, memory).
@@ -74,11 +80,19 @@ impl TeeGateway {
         keystream_block: u32,
     ) -> Result<InvokeOutput, DataPlaneError> {
         self.io.deliver(payload.len());
-        self.session
+        let out = self
+            .session
             .invoke(EntryFunction::InvokePrimitive, || {
                 self.dp.ingress_for(self.tenant, payload, encrypted, is_power, keystream_block)
             })
-            .expect("session is open and initialized")
+            .expect("session is open and initialized");
+        if let Ok(ingested) = &out {
+            self.cost.fetch_add(
+                CycleCost::batch(payload.len() as u64, ingested.len as u64),
+                Ordering::Relaxed,
+            );
+        }
+        out
     }
 
     /// Ingest a watermark.
@@ -98,18 +112,32 @@ impl TeeGateway {
         params: PrimitiveParams,
         hints: &HintSet,
     ) -> Result<Vec<InvokeOutput>, DataPlaneError> {
-        self.session
+        let out = self
+            .session
             .invoke(EntryFunction::InvokePrimitive, || {
                 self.dp.invoke_for(self.tenant, op, inputs, params, hints)
             })
-            .expect("session is open and initialized")
+            .expect("session is open and initialized");
+        if let Ok(outputs) = &out {
+            let records: u64 = outputs.iter().map(|o| o.len as u64).sum();
+            self.cost.fetch_add(records * CycleCost::PROCESS_RECORD, Ordering::Relaxed);
+        }
+        out
     }
 
     /// Externalize a result.
     pub fn egress(&self, r: OpaqueRef) -> Result<EgressMessage, DataPlaneError> {
-        self.session
+        let out = self
+            .session
             .invoke(EntryFunction::InvokePrimitive, || self.dp.egress_for(self.tenant, r))
-            .expect("session is open and initialized")
+            .expect("session is open and initialized");
+        if let Ok(msg) = &out {
+            self.cost.fetch_add(
+                msg.ciphertext.len() as u64 * CycleCost::ENCRYPT_BYTE,
+                Ordering::Relaxed,
+            );
+        }
+        out
     }
 
     /// Retire a reference the control plane will no longer consume.
@@ -117,6 +145,25 @@ impl TeeGateway {
         self.session
             .invoke(EntryFunction::InvokePrimitive, || self.dp.retire_for(self.tenant, r))
             .expect("session is open and initialized")
+    }
+
+    /// Roll back the tenant's ingest counters after the control plane
+    /// dropped a batch it had already ingressed (e.g. windowing tripped the
+    /// tenant's quota): the events never reached windowed state, so they do
+    /// not count as ingested.
+    pub fn uncount_ingest(&self, events: u64, bytes: u64) {
+        self.session
+            .invoke(EntryFunction::InvokePrimitive, || {
+                self.dp.uncount_ingest_for(self.tenant, events, bytes)
+            })
+            .expect("session is open and initialized");
+    }
+
+    /// Drain the estimated cycle cost serviced through this gateway since
+    /// the last drain (resets the meter). The deficit round-robin scheduler
+    /// charges this against the tenant's deficit.
+    pub fn drain_cost(&self) -> u64 {
+        self.cost.swap(0, Ordering::Relaxed)
     }
 
     /// Drain this tenant's flushed audit segments (for upload).

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod executor;
 pub mod gateway;
 pub mod metrics;
 pub mod operators;
@@ -34,9 +35,10 @@ pub mod pool;
 pub mod runner;
 
 pub use config::{EngineConfig, EngineVariant};
+pub use executor::{Executor, JoinHandle, TaskPanicked, TaskResult, TaskSet};
 pub use gateway::TeeGateway;
-pub use metrics::{EngineMetrics, WindowResult};
+pub use metrics::{CycleCost, EngineMetrics, WindowResult};
 pub use operators::Operator;
 pub use pipeline::Pipeline;
 pub use pool::WorkerPool;
-pub use runner::{Engine, IngestStatus, StreamSide};
+pub use runner::{Engine, IngestStatus, StreamSide, WindowTicket};

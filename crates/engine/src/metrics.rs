@@ -8,6 +8,53 @@
 
 use sbt_types::WindowId;
 
+/// The scheduler's cycle-cost model.
+///
+/// Schedulers that share the TEE across tenants need a common currency for
+/// "how much work did this tenant's traffic cost". Batch counts are a poor
+/// one — a 100-event batch and a 100 000-event batch are one "unit" each —
+/// so the deficit round-robin scheduler accounts in estimated **cycles**:
+/// abstract units proportional to the dominant per-byte and per-event work
+/// the data plane performs (AES-CTR decryption per ingress byte,
+/// windowing/segmentation per event, primitive execution per record,
+/// egress encryption per byte).
+///
+/// The constants are deliberately coarse — they only need to *rank* work
+/// correctly and keep ratios stable, not to predict wall time. They are
+/// also what pool-aware admission uses: a core is modelled as sustaining
+/// [`CycleCost::CORE_CAPACITY_PER_MS`] units per millisecond, and a tenant
+/// whose per-window working set cannot be processed within its declared
+/// output-delay target at that rate is refused admission.
+pub struct CycleCost;
+
+impl CycleCost {
+    /// Cost of decrypting (or copying) one ingress byte.
+    pub const DECRYPT_BYTE: u64 = 1;
+    /// Cost of windowing (segmenting) one ingested event.
+    pub const WINDOW_EVENT: u64 = 8;
+    /// Cost of pushing one record through a trusted primitive.
+    pub const PROCESS_RECORD: u64 = 4;
+    /// Cost of encrypting one egress byte.
+    pub const ENCRYPT_BYTE: u64 = 1;
+    /// Modelled sustained capacity of one worker core, in cost units per
+    /// millisecond (used by pool-aware admission).
+    pub const CORE_CAPACITY_PER_MS: u64 = 1_000_000;
+
+    /// Estimated cost of ingesting one batch: decrypt the payload, window
+    /// the events.
+    pub fn batch(payload_bytes: u64, events: u64) -> u64 {
+        payload_bytes * Self::DECRYPT_BYTE + events * Self::WINDOW_EVENT
+    }
+
+    /// Upper-bound cost of executing one window whose resident working set
+    /// is `bytes` (ingest plus one full pass of primitive execution).
+    /// Admission control uses the tenant's memory quota as the bound.
+    pub fn window_bound(bytes: u64) -> u64 {
+        let events = bytes / sbt_types::EVENT_BYTES as u64;
+        Self::batch(bytes, events) + events * Self::PROCESS_RECORD
+    }
+}
+
 /// The outcome of one completed window.
 #[derive(Debug, Clone)]
 pub struct WindowResult {

@@ -1,90 +1,18 @@
-//! The control plane's worker-thread pool.
+//! Compatibility shim: the barrier-style `WorkerPool` name over the
+//! work-stealing executor.
 //!
-//! The engine maintains a pool of worker threads onto which it elastically
-//! maps the parallelism it creates (per-batch primitives, merge-tree rounds).
-//! Thread scheduling and synchronization stay entirely in the normal world —
-//! the data plane is oblivious to them (§4.2).
+//! The engine's execution substrate is [`crate::executor::Executor`]
+//! (per-worker deques, a steal path, panic-safe task slots, joinable
+//! handles). `WorkerPool` survives as an alias so existing call sites —
+//! which submit a batch of tasks and barrier on [`Executor::run_all`] —
+//! keep compiling while they migrate to incremental submission and
+//! out-of-order harvesting.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use std::thread::JoinHandle;
+pub use crate::executor::Executor;
 
-type Job = Box<dyn FnOnce() + Send + 'static>;
-
-/// A fixed-size pool of worker threads executing submitted jobs.
-pub struct WorkerPool {
-    workers: Vec<JoinHandle<()>>,
-    sender: Option<Sender<Job>>,
-    size: usize,
-}
-
-impl WorkerPool {
-    /// Spawn a pool with `size` workers (at least one).
-    pub fn new(size: usize) -> Self {
-        let size = size.max(1);
-        let (sender, receiver): (Sender<Job>, Receiver<Job>) = unbounded();
-        let workers = (0..size)
-            .map(|i| {
-                let rx = receiver.clone();
-                std::thread::Builder::new()
-                    .name(format!("sbt-worker-{i}"))
-                    .spawn(move || {
-                        while let Ok(job) = rx.recv() {
-                            job();
-                        }
-                    })
-                    .expect("spawning worker thread")
-            })
-            .collect();
-        WorkerPool { workers, sender: Some(sender), size }
-    }
-
-    /// Number of worker threads.
-    pub fn size(&self) -> usize {
-        self.size
-    }
-
-    /// Run a set of tasks to completion on the pool and return their results
-    /// in submission order. Blocks the calling thread until all tasks finish.
-    pub fn run_all<T, F>(&self, tasks: Vec<F>) -> Vec<T>
-    where
-        T: Send + 'static,
-        F: FnOnce() -> T + Send + 'static,
-    {
-        let n = tasks.len();
-        if n == 0 {
-            return Vec::new();
-        }
-        let (result_tx, result_rx) = unbounded::<(usize, T)>();
-        let sender = self.sender.as_ref().expect("pool is alive");
-        for (i, task) in tasks.into_iter().enumerate() {
-            let tx = result_tx.clone();
-            sender
-                .send(Box::new(move || {
-                    let out = task();
-                    // The receiver lives until all results are collected.
-                    let _ = tx.send((i, out));
-                }))
-                .expect("worker channel is open");
-        }
-        drop(result_tx);
-        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
-        for _ in 0..n {
-            let (i, value) = result_rx.recv().expect("all tasks report a result");
-            slots[i] = Some(value);
-        }
-        slots.into_iter().map(|s| s.expect("every slot filled")).collect()
-    }
-}
-
-impl Drop for WorkerPool {
-    fn drop(&mut self) {
-        // Closing the channel stops the workers; join them for a clean exit.
-        drop(self.sender.take());
-        for w in self.workers.drain(..) {
-            let _ = w.join();
-        }
-    }
-}
+/// The historical name of the engine's thread pool. A `WorkerPool` *is*
+/// the work-stealing [`Executor`]; `run_all` is its barrier-style shim.
+pub type WorkerPool = Executor;
 
 #[cfg(test)]
 mod tests {
@@ -145,5 +73,28 @@ mod tests {
             let results = pool.run_all((0..8).map(|i| move || i + round).collect::<Vec<_>>());
             assert_eq!(results.len(), 8);
         }
+    }
+
+    #[test]
+    fn pool_survives_a_panicking_round() {
+        // Regression (satellite): a panicking task used to kill its worker
+        // and wedge `run_all`'s result collection forever. Now the panic is
+        // caught in the task slot, re-raised on the caller, and the worker
+        // keeps serving subsequent rounds.
+        let pool = Arc::new(WorkerPool::new(2));
+        let p2 = pool.clone();
+        let caught = std::thread::spawn(move || {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let tasks: Vec<Box<dyn FnOnce() -> u32 + Send>> =
+                    vec![Box::new(|| 1), Box::new(|| panic!("wedge")), Box::new(|| 3)];
+                p2.run_all(tasks);
+            }))
+        })
+        .join()
+        .unwrap();
+        assert!(caught.is_err(), "the panic must propagate to the submitter");
+        // The pool still runs full-width rounds afterwards.
+        let results = pool.run_all((0..8).map(|i| move || i * i).collect::<Vec<_>>());
+        assert_eq!(results, (0..8).map(|i| i * i).collect::<Vec<_>>());
     }
 }

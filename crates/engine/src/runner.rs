@@ -12,11 +12,11 @@
 //! uploadable results and audit segments.
 
 use crate::config::EngineConfig;
+use crate::executor::Executor;
 use crate::gateway::TeeGateway;
 use crate::metrics::{EngineMetrics, WindowResult};
 use crate::operators::ReduceKind;
 use crate::pipeline::Pipeline;
-use crate::pool::WorkerPool;
 use parking_lot::Mutex;
 use sbt_attest::LogSegment;
 use sbt_dataplane::{
@@ -26,9 +26,9 @@ use sbt_types::{PrimitiveKind, TenantId, Watermark, WindowId};
 use sbt_tz::Platform;
 use sbt_uarray::HintSet;
 use sbt_workloads::transport::Delivery;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Which input stream a batch belongs to (joins consume two streams; all
 /// other pipelines use only [`StreamSide::Left`]).
@@ -57,15 +57,109 @@ struct WindowState {
     right: Vec<OpaqueRef>,
 }
 
+/// Window-execution coordination: at most one drainer (a submitted task or
+/// an inline caller) executes this engine's completed windows at a time, in
+/// window order, up to the furthest watermark-completed window asked for.
+#[derive(Default)]
+struct WindowExec {
+    /// Furthest window a drainer must execute through, with the arrival
+    /// instant of the earliest watermark still being served (output-delay
+    /// accounting stays conservative under coalescing).
+    target: Option<(WindowId, Instant)>,
+    /// Whether a drainer currently owns window execution.
+    draining: bool,
+    /// Window-execution errors from a detached drainer, waiting to be
+    /// claimed by a [`WindowTicket`].
+    errors: VecDeque<DataPlaneError>,
+}
+
+impl WindowExec {
+    fn merge_target(&mut self, last: WindowId, arrival: Instant) {
+        self.target = Some(match self.target {
+            Some((l, a)) => (l.max(last), a.min(arrival)),
+            None => (last, arrival),
+        });
+    }
+}
+
+/// A joinable handle on the asynchronous execution of the windows a
+/// watermark completed (see [`Engine::advance_watermark_async`]).
+///
+/// The ticket resolves when every window up to the watermark's last
+/// completed window has executed (or a drainer recorded an error). Waiting
+/// **helps**: the waiting thread runs queued executor tasks, so tickets can
+/// be awaited from anywhere without idling a core.
+pub struct WindowTicket {
+    engine: Option<Arc<Engine>>,
+    last: WindowId,
+}
+
+impl WindowTicket {
+    /// A ticket that is already resolved (the watermark completed nothing).
+    fn resolved() -> Self {
+        WindowTicket { engine: None, last: WindowId(0) }
+    }
+
+    /// Whether the windows behind this ticket have finished executing.
+    pub fn is_finished(&self) -> bool {
+        match &self.engine {
+            None => true,
+            Some(engine) => {
+                let st = engine.window_exec.lock();
+                !st.errors.is_empty() || !st.draining || *engine.next_unexecuted.lock() > self.last
+            }
+        }
+    }
+
+    /// Harvest the outcome without blocking: `None` while windows are still
+    /// executing, `Some(result)` once resolved. A parked drainer error is
+    /// claimed by the first ticket that observes it (tickets of one engine
+    /// belong to one lane, so the lane sees its own failures either way).
+    pub fn try_wait(&mut self) -> Option<Result<(), DataPlaneError>> {
+        let Some(engine) = &self.engine else {
+            return Some(Ok(()));
+        };
+        let outcome = {
+            let mut st = engine.window_exec.lock();
+            if let Some(e) = st.errors.pop_front() {
+                Some(Err(e))
+            } else if !st.draining || *engine.next_unexecuted.lock() > self.last {
+                Some(Ok(()))
+            } else {
+                None
+            }
+        };
+        if outcome.is_some() {
+            self.engine = None;
+        }
+        outcome
+    }
+
+    /// Block until the windows behind this ticket resolve, helping the
+    /// executor while waiting.
+    pub fn wait(mut self) -> Result<(), DataPlaneError> {
+        loop {
+            if let Some(result) = self.try_wait() {
+                return result;
+            }
+            let engine = self.engine.as_ref().expect("pending ticket keeps its engine");
+            if !engine.pool.help_one() {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+    }
+}
+
 /// The StreamBox-TZ engine instance.
 pub struct Engine {
     config: EngineConfig,
     pipeline: Pipeline,
     platform: Arc<Platform>,
     gateway: Arc<TeeGateway>,
-    pool: Arc<WorkerPool>,
+    pool: Arc<Executor>,
     windows: Mutex<HashMap<WindowId, WindowState>>,
     next_unexecuted: Mutex<WindowId>,
+    window_exec: Mutex<WindowExec>,
     watermarks: Mutex<(Watermark, Watermark)>,
     results: Mutex<Vec<EgressMessage>>,
     window_results: Mutex<Vec<WindowResult>>,
@@ -87,7 +181,7 @@ impl Engine {
             dp_config.allocator.policy = sbt_uarray::PlacementPolicy::SameProducer;
         }
         let dp = DataPlane::new(platform.clone(), dp_config);
-        let pool = Arc::new(WorkerPool::new(config.cores));
+        let pool = Arc::new(Executor::new(config.cores));
         Self::assemble(config, pipeline, dp, TenantId::DEFAULT, pool)
     }
 
@@ -101,7 +195,7 @@ impl Engine {
         pipeline: Pipeline,
         dp: Arc<DataPlane>,
         tenant: TenantId,
-        pool: Arc<WorkerPool>,
+        pool: Arc<Executor>,
     ) -> Arc<Self> {
         Self::assemble(config, pipeline, dp, tenant, pool)
     }
@@ -111,7 +205,7 @@ impl Engine {
         pipeline: Pipeline,
         dp: Arc<DataPlane>,
         tenant: TenantId,
-        pool: Arc<WorkerPool>,
+        pool: Arc<Executor>,
     ) -> Arc<Self> {
         let platform = dp.platform().clone();
         let gateway = Arc::new(TeeGateway::open_for(dp, tenant));
@@ -122,6 +216,7 @@ impl Engine {
             pool,
             windows: Mutex::new(HashMap::new()),
             next_unexecuted: Mutex::new(WindowId(0)),
+            window_exec: Mutex::new(WindowExec::default()),
             watermarks: Mutex::new((Watermark::default(), Watermark::default())),
             results: Mutex::new(Vec::new()),
             window_results: Mutex::new(Vec::new()),
@@ -161,7 +256,7 @@ impl Engine {
     }
 
     /// The worker pool (shared across engines in multi-tenant deployments).
-    pub fn worker_pool(&self) -> &Arc<WorkerPool> {
+    pub fn worker_pool(&self) -> &Arc<Executor> {
         &self.pool
     }
 
@@ -232,8 +327,11 @@ impl Engine {
             Err(e) => {
                 // Don't leak the ingested array (and its quota charge) when
                 // windowing is rejected — e.g. the segment outputs pushed
-                // the tenant past its memory quota.
+                // the tenant past its memory quota. The batch is dropped, so
+                // its events also come back out of the tenant's ingest
+                // counters: "ingested" means reached windowed state.
                 let _ = gateway.retire(ingested.opaque);
+                gateway.uncount_ingest(ingested.len as u64, delivery.wire_bytes.len() as u64);
                 return Err(e);
             }
         };
@@ -269,18 +367,102 @@ impl Engine {
     }
 
     /// Advance the primary stream's watermark; executes any windows this
-    /// completes.
+    /// completes before returning.
     pub fn advance_watermark(&self, wm: Watermark) -> Result<(), DataPlaneError> {
         self.advance_watermark_on(wm, StreamSide::Left)
     }
 
     /// Advance one side's watermark; executes any windows completed by the
-    /// combined (minimum) watermark.
+    /// combined (minimum) watermark before returning. If a detached drainer
+    /// (from [`advance_watermark_async`]) is already executing this
+    /// engine's windows, the call waits for it to cover this watermark.
+    ///
+    /// [`advance_watermark_async`]: Engine::advance_watermark_async
     pub fn advance_watermark_on(
         &self,
         wm: Watermark,
         side: StreamSide,
     ) -> Result<(), DataPlaneError> {
+        let Some((last, arrival)) = self.note_watermark(wm, side) else {
+            return Ok(());
+        };
+        let claimed = {
+            let mut st = self.window_exec.lock();
+            st.merge_target(last, arrival);
+            if st.draining {
+                false
+            } else {
+                st.draining = true;
+                true
+            }
+        };
+        if claimed {
+            match self.drain_windows() {
+                Ok(()) => Ok(()),
+                Err(e) => {
+                    // The error was also parked for potential concurrent
+                    // waiters; claim the parked copy if no one has yet.
+                    let mut st = self.window_exec.lock();
+                    if let Some(pos) = st.errors.iter().position(|parked| *parked == e) {
+                        st.errors.remove(pos);
+                    }
+                    Err(e)
+                }
+            }
+        } else {
+            self.wait_windows_through(last)
+        }
+    }
+
+    /// Advance one side's watermark and submit the execution of any windows
+    /// it completes to the executor, returning a joinable [`WindowTicket`]
+    /// instead of blocking. Windows of one engine still execute serially and
+    /// in window order (a single drainer task per engine at a time), but
+    /// windows of *different* engines — and this engine's subsequent
+    /// ingestion — pipeline freely against them.
+    pub fn advance_watermark_async(
+        engine: &Arc<Engine>,
+        wm: Watermark,
+        side: StreamSide,
+    ) -> WindowTicket {
+        let Some((last, arrival)) = engine.note_watermark(wm, side) else {
+            return WindowTicket::resolved();
+        };
+        let spawn_drainer = {
+            let mut st = engine.window_exec.lock();
+            st.merge_target(last, arrival);
+            if st.draining {
+                false
+            } else {
+                st.draining = true;
+                true
+            }
+        };
+        if spawn_drainer {
+            let drainer = Arc::clone(engine);
+            // Detached: errors are parked in the engine's window-exec state
+            // for the ticket. A panic in the drainer would otherwise vanish
+            // into the dropped handle with `draining` stuck true, wedging
+            // every ticket — catch it, restore the state, and surface it as
+            // a parked error instead.
+            drop(engine.pool.spawn(move || {
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let _ = drainer.drain_windows();
+                }));
+                if outcome.is_err() {
+                    let mut st = drainer.window_exec.lock();
+                    st.draining = false;
+                    st.errors.push_back(DataPlaneError::BadArguments("window drainer panicked"));
+                }
+            }));
+        }
+        WindowTicket { engine: Some(Arc::clone(engine)), last }
+    }
+
+    /// Record a watermark's ingress and compute what it completes: the last
+    /// completed window and the arrival instant (for output-delay
+    /// accounting), or `None` when no window completes.
+    fn note_watermark(&self, wm: Watermark, side: StreamSide) -> Option<(WindowId, Instant)> {
         self.started.lock().get_or_insert_with(Instant::now);
         self.gateway.ingress_watermark(wm);
         let effective = {
@@ -296,18 +478,77 @@ impl Engine {
             }
         };
         let arrival = Instant::now();
-        if let Some(last) = self.pipeline.window_spec().last_complete(effective.event_time) {
+        match self.pipeline.window_spec().last_complete(effective.event_time) {
+            Some(last) => Some((last, arrival)),
+            None => {
+                *self.finished.lock() = Some(Instant::now());
+                None
+            }
+        }
+    }
+
+    /// The drainer: execute completed windows in order until the asked-for
+    /// target is covered, re-checking for targets that advanced while
+    /// draining. Exactly one drainer runs per engine at a time (the
+    /// `draining` flag); it never blocks on another drainer, so it is safe
+    /// to run as an executor task. A window failure is parked for waiters
+    /// ([`WindowTicket`]s and concurrent sync watermark calls) atomically
+    /// with the `draining` reset — so any waiter observing the drain
+    /// stopped also sees the error — and returned to the caller.
+    fn drain_windows(&self) -> Result<(), DataPlaneError> {
+        loop {
+            let (last, arrival) = {
+                let mut st = self.window_exec.lock();
+                match st.target {
+                    Some((last, arrival)) if *self.next_unexecuted.lock() <= last => {
+                        (last, arrival)
+                    }
+                    _ => {
+                        st.target = None;
+                        st.draining = false;
+                        *self.finished.lock() = Some(Instant::now());
+                        return Ok(());
+                    }
+                }
+            };
             loop {
                 let next = *self.next_unexecuted.lock();
                 if next > last {
                     break;
                 }
-                self.execute_window(next, arrival)?;
+                if let Err(e) = self.execute_window(next, arrival) {
+                    let mut st = self.window_exec.lock();
+                    st.errors.push_back(e.clone());
+                    // The target stays: the next watermark respawns a
+                    // drainer, which retries from the failed window (whose
+                    // state was consumed, so the retry skips it).
+                    st.draining = false;
+                    drop(st);
+                    *self.finished.lock() = Some(Instant::now());
+                    return Err(e);
+                }
                 *self.next_unexecuted.lock() = next.next();
             }
         }
-        *self.finished.lock() = Some(Instant::now());
-        Ok(())
+    }
+
+    /// Wait (helping the executor) until a concurrent drainer has executed
+    /// every window through `last`, surfacing a parked drainer error.
+    fn wait_windows_through(&self, last: WindowId) -> Result<(), DataPlaneError> {
+        loop {
+            {
+                let mut st = self.window_exec.lock();
+                if let Some(e) = st.errors.pop_front() {
+                    return Err(e);
+                }
+                if !st.draining || *self.next_unexecuted.lock() > last {
+                    return Ok(());
+                }
+            }
+            if !self.pool.help_one() {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
     }
 
     /// Execute one completed window end to end.
@@ -640,6 +881,15 @@ impl Engine {
         self.gateway.drain_audit_segments()
     }
 
+    /// Drain the estimated cycle cost ([`crate::metrics::CycleCost`]) this
+    /// engine's gateway serviced since the last drain — ingestion,
+    /// primitive execution and egress alike. The deficit round-robin
+    /// scheduler charges it against the tenant's deficit, so tenants pay
+    /// for the cycles they actually consumed rather than per batch.
+    pub fn drain_serviced_cost(&self) -> u64 {
+        self.gateway.drain_cost()
+    }
+
     /// Metrics of the run so far. Ingest counters are this engine's
     /// tenant's, so multi-tenant engines over a shared data plane report
     /// only their own traffic.
@@ -891,6 +1141,47 @@ mod tests {
     }
 
     #[test]
+    fn async_watermarks_pipeline_and_preserve_window_order() {
+        // Watermarks submitted asynchronously: window execution overlaps the
+        // next window's ingestion, yet results stay in window order and
+        // match the oracle.
+        let engine = winsum_engine(2, EngineVariant::Sbt);
+        let chunks = synthetic_stream(4, 6_000, 32, 42);
+        let mut generator = Generator::new(
+            GeneratorConfig { batch_events: 2_000 },
+            Channel::encrypted_demo(),
+            chunks.clone(),
+        );
+        let mut tickets = Vec::new();
+        while let Some(offer) = generator.next_offer() {
+            match offer {
+                Offer::Batch(d) => {
+                    engine.ingest(&d).unwrap();
+                }
+                Offer::Watermark(wm) => {
+                    tickets.push(Engine::advance_watermark_async(&engine, wm, StreamSide::Left));
+                }
+            }
+        }
+        assert_eq!(tickets.len(), 4);
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        let results = engine.results();
+        assert_eq!(results.len(), 4);
+        let (key, nonce, signing) = engine.data_plane().cloud_keys();
+        for (i, msg) in results.iter().enumerate() {
+            let plain = msg.open(&key, &nonce, &signing).unwrap();
+            let got = u64::from_le_bytes(plain[..8].try_into().unwrap());
+            let expected: u64 = chunks[i].events.iter().map(|e| e.value as u64).sum();
+            assert_eq!(got, expected, "window {i}");
+        }
+        // The drainer charged its work to the tenant's cost meter.
+        assert!(engine.drain_serviced_cost() > 0);
+        assert_eq!(engine.drain_serviced_cost(), 0, "drain resets the meter");
+    }
+
+    #[test]
     fn watermark_only_stream_produces_no_results() {
         let engine = winsum_engine(1, EngineVariant::Sbt);
         engine.advance_watermark(Watermark::from_secs(5)).unwrap();
@@ -907,7 +1198,7 @@ mod tests {
         let platform = sbt_tz::Platform::new(config.platform_config());
         let dp = sbt_dataplane::DataPlane::new(platform, config.dataplane.clone());
         dp.register_tenant(TenantId(1), Some(8 * 4096)).unwrap();
-        let pool = Arc::new(WorkerPool::new(1));
+        let pool = Arc::new(Executor::new(1));
         let engine = Engine::for_tenant(
             config,
             Pipeline::winsum_benchmark().batch_events(10_000),
@@ -925,9 +1216,10 @@ mod tests {
         assert_eq!(err, DataPlaneError::QuotaExceeded);
         assert_eq!(dp.tenant_memory(TenantId(1)).unwrap().used_bytes, 0);
         assert_eq!(dp.live_refs_for(TenantId(1)), 0);
-        // The batch did enter the TEE (its ingress fit the quota) before
-        // windowing was rejected, so it counts as ingested.
-        assert_eq!(engine.metrics().events_ingested, 2_000);
+        // The batch entered the TEE (its ingress fit the quota) but was
+        // dropped when windowing was rejected, so its events roll back out
+        // of the tenant's ingest counters: nothing reached windowed state.
+        assert_eq!(engine.metrics().events_ingested, 0);
     }
 
     #[test]

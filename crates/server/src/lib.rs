@@ -36,6 +36,6 @@ pub mod sched;
 pub mod server;
 pub mod tenant;
 
-pub use sched::{ServeReport, TenantProgress, TenantStream};
+pub use sched::{DrrAccounting, Scheduler, ServeReport, TenantProgress, TenantStream};
 pub use server::{ServerConfig, StreamServer};
 pub use tenant::{AdmissionError, TenantConfig};

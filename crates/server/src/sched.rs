@@ -1,19 +1,66 @@
-//! Weighted round-robin serving of tenant sources.
+//! Fair scheduling of tenant sources over the shared executor.
 //!
-//! The server drains each tenant's source in rounds: a tenant with weight
-//! *w* is offered up to *w* batches per round. When a tenant signals
-//! backpressure (its quota is nearly full) it sits out the next round;
-//! when a batch would exceed its quota outright the batch is rejected and
-//! counted. Neither slows any other tenant: the penalty is per tenant, and
-//! the shared worker pool keeps executing the others' primitive tasks.
+//! Two disciplines are implemented:
+//!
+//! * **Deficit round-robin** ([`Scheduler::DeficitRoundRobin`], the
+//!   default): each lane (tenant stream) accrues a quantum of estimated
+//!   *cycle cost* (`weight × drr_quantum` units per refill round, see
+//!   [`sbt_engine::CycleCost`]) and spends it on work actually dispatched —
+//!   bytes decrypted, events windowed, records executed. Penalties
+//!   (backpressure, quota rejections) are deficit debits rather than
+//!   skipped rounds. Ingestion tasks and window-execution tickets from many
+//!   lanes stay **in flight simultaneously** and overlap with the offer
+//!   loop itself: there is no global round barrier, so one slow tenant's
+//!   window cannot stall another tenant's ingestion.
+//! * **Weighted round-robin** ([`Scheduler::WeightedRoundRobin`], the
+//!   pre-executor baseline): lanes are offered `weight` batches per round,
+//!   each round barriers on the pool, and watermark windows execute
+//!   serially on the calling thread. Kept for comparison — the
+//!   `fig_server_scaling` harness sweeps both and gates on DRR not
+//!   regressing.
+//!
+//! Service accounting is *post-paid*: the dispatch gate uses estimated
+//! batch costs, but deficits are charged with the cycle cost each tenant's
+//! gateway actually metered, so tenants pay for the cycles they consumed —
+//! including their window executions — not for a batch count.
 
 use crate::server::StreamServer;
 use sbt_dataplane::DataPlaneError;
-use sbt_engine::{Engine, IngestStatus, StreamSide};
-use sbt_types::TenantId;
+use sbt_engine::{CycleCost, Engine, IngestStatus, JoinHandle, StreamSide, WindowTicket};
+use sbt_types::{TenantId, Watermark};
 use sbt_workloads::generator::{Generator, Offer};
+use sbt_workloads::transport::Delivery;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Which serving discipline [`StreamServer::serve_with`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheduler {
+    /// Batch-count rounds with a global pool barrier per round (baseline).
+    WeightedRoundRobin,
+    /// Cycle-cost deficits with pipelined ingestion and window execution.
+    DeficitRoundRobin,
+}
+
+impl Scheduler {
+    /// Parse a scheduler name as used by `SBT_SCHED` (`wrr` / `drr`).
+    pub fn from_name(name: &str) -> Option<Scheduler> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "wrr" => Some(Scheduler::WeightedRoundRobin),
+            "drr" => Some(Scheduler::DeficitRoundRobin),
+            _ => None,
+        }
+    }
+
+    /// The `SBT_SCHED` name of this scheduler.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scheduler::WeightedRoundRobin => "wrr",
+            Scheduler::DeficitRoundRobin => "drr",
+        }
+    }
+}
 
 /// One tenant's input: its id plus the rate-controlled source draining into
 /// it.
@@ -71,45 +118,404 @@ impl ServeReport {
     }
 }
 
-/// Internal per-stream scheduling state.
+/// Pure deficit round-robin bookkeeping, exported so the fairness property
+/// tests can drive it without a server.
+///
+/// Lanes accrue `weight × quantum` cost units per refill round while
+/// backlogged (an idle lane's deficit resets — classic DRR, so credit
+/// cannot be hoarded). A lane may dispatch a work item while its available
+/// credit (deficit minus in-flight reservations) covers the item's
+/// estimated cost; completed work is charged at its *actual* metered cost.
+#[derive(Debug)]
+pub struct DrrAccounting {
+    quantum: u64,
+    lanes: Vec<DrrLane>,
+}
+
+#[derive(Debug)]
+struct DrrLane {
+    weight: u32,
+    deficit: i64,
+    reserved: u64,
+}
+
+impl DrrAccounting {
+    /// Bookkeeping for `weights.len()` lanes with the given refill quantum.
+    pub fn new(weights: &[u32], quantum: u64) -> Self {
+        DrrAccounting {
+            quantum: quantum.max(1),
+            lanes: weights
+                .iter()
+                .map(|w| DrrLane { weight: (*w).max(1), deficit: 0, reserved: 0 })
+                .collect(),
+        }
+    }
+
+    /// Start a refill round: backlogged lanes accrue `weight × quantum`;
+    /// idle lanes reset to zero.
+    pub fn begin_round(&mut self, backlogged: impl Fn(usize) -> bool) {
+        for (i, lane) in self.lanes.iter_mut().enumerate() {
+            if backlogged(i) {
+                lane.deficit += lane.weight as i64 * self.quantum as i64;
+            } else {
+                lane.deficit = lane.deficit.min(0);
+            }
+        }
+    }
+
+    /// Whether the lane's available credit covers an item of estimated
+    /// cost `est`.
+    pub fn can_dispatch(&self, lane: usize, est: u64) -> bool {
+        self.lanes[lane].deficit - self.lanes[lane].reserved as i64 >= est as i64
+    }
+
+    /// Reserve estimated credit for a dispatched, still-in-flight item.
+    pub fn reserve(&mut self, lane: usize, est: u64) {
+        self.lanes[lane].reserved += est;
+    }
+
+    /// Release the reservation of a completed (or abandoned) item.
+    pub fn release(&mut self, lane: usize, est: u64) {
+        let l = &mut self.lanes[lane];
+        l.reserved = l.reserved.saturating_sub(est);
+    }
+
+    /// Charge actually serviced cost against the lane's deficit.
+    pub fn charge(&mut self, lane: usize, cost: u64) {
+        self.lanes[lane].deficit -= cost as i64;
+    }
+
+    /// Penalize a misbehaving lane (backpressure, quota rejection) by one
+    /// full round's credit.
+    pub fn penalize(&mut self, lane: usize) {
+        let l = &mut self.lanes[lane];
+        l.deficit -= l.weight as i64 * self.quantum as i64;
+    }
+
+    /// The lane's current deficit (may be negative after penalties or
+    /// cost overruns).
+    pub fn deficit(&self, lane: usize) -> i64 {
+        self.lanes[lane].deficit
+    }
+}
+
+/// Estimated dispatch cost of one batch delivery.
+fn batch_cost(delivery: &Delivery) -> u64 {
+    CycleCost::batch(delivery.wire_bytes.len() as u64, delivery.event_count as u64)
+}
+
+/// Lane state shared by both disciplines.
 struct Lane {
     tenant: TenantId,
     weight: u32,
     engine: Arc<Engine>,
     generator: Generator,
-    /// Rounds this lane sits out (backpressure / quota penalty).
-    penalty: u32,
     accepted_batches: u64,
     rejected_batches: u64,
     backpressure_signals: u64,
 }
 
+/// DRR-only in-flight state layered over a [`Lane`].
+struct DrrLaneRt {
+    lane: Lane,
+    /// The next undispatched offer, pulled ahead so its cost can gate
+    /// dispatch.
+    staged: Option<Offer>,
+    /// A watermark waiting for this lane's in-flight batches to drain
+    /// (batches of a window must be stashed before its watermark fires).
+    pending_wm: Option<Watermark>,
+    /// In-flight ingestion tasks: (estimated cost, handle).
+    inflight: Vec<(u64, JoinHandle<Result<IngestStatus, DataPlaneError>>)>,
+    /// In-flight window-execution tickets.
+    tickets: Vec<WindowTicket>,
+}
+
+impl DrrLaneRt {
+    /// Whether the lane still has work the serve loop must see through.
+    fn live(&self) -> bool {
+        !self.lane.generator.is_exhausted()
+            || self.staged.is_some()
+            || self.pending_wm.is_some()
+            || !self.inflight.is_empty()
+            || !self.tickets.is_empty()
+    }
+
+    /// Whether the lane has offerable input (backlogged, in DRR terms).
+    fn backlogged(&self) -> bool {
+        self.staged.is_some() || self.pending_wm.is_some() || !self.lane.generator.is_exhausted()
+    }
+}
+
+/// Cap on in-flight ingestion tasks per lane: enough to keep the pool fed,
+/// small enough that no lane floods the queues.
+const MAX_INFLIGHT_PER_LANE: usize = 4;
+
 impl StreamServer {
-    /// Drain every tenant stream to exhaustion under weighted round-robin.
-    ///
-    /// Returns an error only for streams naming un-admitted tenants or for
-    /// data-plane failures other than quota rejections (those are counted,
-    /// not fatal).
-    pub fn serve(&self, streams: Vec<TenantStream>) -> Result<ServeReport, DataPlaneError> {
-        let entries = self.entries_snapshot();
+    /// Resolve streams against the admitted tenants: one lane per stream,
+    /// erroring on unknown tenants and on two streams naming the same
+    /// tenant in one submission (which would silently double-drain it).
+    fn lanes_for(&self, streams: Vec<TenantStream>) -> Result<Vec<Lane>, DataPlaneError> {
+        let entries: HashMap<TenantId, (u32, Arc<Engine>)> = self
+            .entries_snapshot()
+            .into_iter()
+            .map(|(id, weight, engine)| (id, (weight, engine)))
+            .collect();
+        let mut seen: HashSet<TenantId> = HashSet::new();
         let mut lanes = Vec::with_capacity(streams.len());
         for s in streams {
-            let (_, weight, engine) = entries
-                .iter()
-                .find(|(id, _, _)| *id == s.tenant)
-                .cloned()
-                .ok_or(DataPlaneError::UnknownTenant)?;
+            let (weight, engine) =
+                entries.get(&s.tenant).cloned().ok_or(DataPlaneError::UnknownTenant)?;
+            if !seen.insert(s.tenant) {
+                return Err(DataPlaneError::UnknownTenant);
+            }
             lanes.push(Lane {
                 tenant: s.tenant,
                 weight,
                 engine,
                 generator: s.generator,
-                penalty: 0,
                 accepted_batches: 0,
                 rejected_batches: 0,
                 backpressure_signals: 0,
             });
         }
+        Ok(lanes)
+    }
+
+    fn report(lanes: &[Lane], wall_nanos: u64) -> ServeReport {
+        let per_tenant = lanes
+            .iter()
+            .map(|lane| {
+                let metrics = lane.engine.metrics();
+                TenantProgress {
+                    tenant: lane.tenant,
+                    offered_events: lane.generator.offered_events(),
+                    accepted_batches: lane.accepted_batches,
+                    rejected_batches: lane.rejected_batches,
+                    backpressure_signals: lane.backpressure_signals,
+                    results: lane.engine.results_len(),
+                    ingested_events: metrics.events_ingested,
+                    avg_delay_ms: metrics.avg_delay_ms(),
+                    max_delay_ms: metrics.max_delay_ms(),
+                }
+            })
+            .collect();
+        ServeReport { wall_nanos, per_tenant }
+    }
+
+    /// Drain every tenant stream to exhaustion under the default scheduler
+    /// (deficit round-robin).
+    ///
+    /// Returns an error only for streams naming un-admitted (or duplicated)
+    /// tenants or for data-plane failures other than quota rejections
+    /// (those are counted, not fatal).
+    pub fn serve(&self, streams: Vec<TenantStream>) -> Result<ServeReport, DataPlaneError> {
+        self.serve_with(streams, Scheduler::DeficitRoundRobin)
+    }
+
+    /// Drain every tenant stream to exhaustion under an explicit scheduler.
+    pub fn serve_with(
+        &self,
+        streams: Vec<TenantStream>,
+        scheduler: Scheduler,
+    ) -> Result<ServeReport, DataPlaneError> {
+        match scheduler {
+            Scheduler::WeightedRoundRobin => self.serve_wrr(streams),
+            Scheduler::DeficitRoundRobin => self.serve_drr(streams),
+        }
+    }
+
+    /// The deficit round-robin serve loop: stage offers, dispatch them as
+    /// executor tasks while deficits allow, harvest ingestion completions
+    /// and window tickets as they land, and lend the calling thread to the
+    /// executor when there is nothing to orchestrate.
+    fn serve_drr(&self, streams: Vec<TenantStream>) -> Result<ServeReport, DataPlaneError> {
+        let lanes = self.lanes_for(streams)?;
+        let executor = self.worker_pool().clone();
+        let mut rt: Vec<DrrLaneRt> = lanes
+            .into_iter()
+            .map(|lane| {
+                // Reset the cost meter so this run's charges start at zero.
+                let _ = lane.engine.drain_serviced_cost();
+                DrrLaneRt {
+                    lane,
+                    staged: None,
+                    pending_wm: None,
+                    inflight: Vec::new(),
+                    tickets: Vec::new(),
+                }
+            })
+            .collect();
+        let weights: Vec<u32> = rt.iter().map(|l| l.lane.weight).collect();
+        let mut drr = DrrAccounting::new(&weights, self.config().drr_quantum);
+        let mut fatal: Option<DataPlaneError> = None;
+        let start = Instant::now();
+
+        loop {
+            let mut progress = false;
+
+            for (li, l) in rt.iter_mut().enumerate() {
+                // Harvest finished ingestion tasks (any completion order).
+                let mut harvested = Vec::new();
+                l.inflight.retain_mut(|(est, handle)| match handle.try_join() {
+                    None => true,
+                    Some(done) => {
+                        harvested.push((*est, done));
+                        false
+                    }
+                });
+                for (est, done) in harvested {
+                    drr.release(li, est);
+                    progress = true;
+                    match done {
+                        Ok(Ok(IngestStatus::Accepted)) => l.lane.accepted_batches += 1,
+                        Ok(Ok(IngestStatus::Backpressure)) => {
+                            l.lane.accepted_batches += 1;
+                            l.lane.backpressure_signals += 1;
+                            drr.penalize(li);
+                        }
+                        Ok(Err(DataPlaneError::QuotaExceeded)) => {
+                            // The batch is dropped: the tenant outgrew its
+                            // quota. The debit penalizes only this lane.
+                            l.lane.rejected_batches += 1;
+                            drr.penalize(li);
+                        }
+                        Ok(Err(e)) => {
+                            fatal.get_or_insert(e);
+                        }
+                        Err(p) => panic!("ingest task panicked: {}", p.message),
+                    }
+                }
+
+                // Charge the cycle cost this tenant actually consumed since
+                // the last look (ingestion and window execution alike).
+                let serviced = l.lane.engine.drain_serviced_cost();
+                if serviced > 0 {
+                    drr.charge(li, serviced);
+                }
+
+                // Launch a pending watermark once its window's batches have
+                // all been stashed; the returned ticket joins the in-flight
+                // set and its window executes concurrently with everything
+                // else.
+                if l.inflight.is_empty() && fatal.is_none() {
+                    if let Some(wm) = l.pending_wm.take() {
+                        l.tickets.push(Engine::advance_watermark_async(
+                            &l.lane.engine,
+                            wm,
+                            StreamSide::Left,
+                        ));
+                        progress = true;
+                    }
+                }
+
+                // Harvest finished window tickets.
+                let mut ticket_results = Vec::new();
+                l.tickets.retain_mut(|t| match t.try_wait() {
+                    None => true,
+                    Some(result) => {
+                        ticket_results.push(result);
+                        false
+                    }
+                });
+                for result in ticket_results {
+                    progress = true;
+                    match result {
+                        Ok(()) => {}
+                        Err(DataPlaneError::QuotaExceeded) => {
+                            // Window execution tripped the tenant's quota
+                            // (intermediates count too): costs the tenant
+                            // its window, nothing else.
+                            l.lane.rejected_batches += 1;
+                            drr.penalize(li);
+                        }
+                        Err(e) => {
+                            fatal.get_or_insert(e);
+                        }
+                    }
+                }
+            }
+
+            // Offer phase: dispatch staged batches while deficits allow.
+            let mut starved_by_credit = false;
+            if fatal.is_none() {
+                for (li, l) in rt.iter_mut().enumerate() {
+                    loop {
+                        if l.staged.is_none() && l.pending_wm.is_none() {
+                            l.staged = l.lane.generator.next_offer();
+                        }
+                        match l.staged.take() {
+                            None => break,
+                            Some(Offer::Watermark(wm)) => {
+                                // Stop pulling until the watermark launches:
+                                // batches behind it belong to later windows.
+                                l.pending_wm = Some(wm);
+                                break;
+                            }
+                            Some(Offer::Batch(delivery)) => {
+                                let est = batch_cost(&delivery);
+                                if l.inflight.len() >= MAX_INFLIGHT_PER_LANE {
+                                    l.staged = Some(Offer::Batch(delivery));
+                                    break;
+                                }
+                                if !drr.can_dispatch(li, est) {
+                                    l.staged = Some(Offer::Batch(delivery));
+                                    starved_by_credit = true;
+                                    break;
+                                }
+                                drr.reserve(li, est);
+                                let engine = l.lane.engine.clone();
+                                let handle = executor
+                                    .spawn(move || engine.ingest_on(&delivery, StreamSide::Left));
+                                l.inflight.push((est, handle));
+                                progress = true;
+                            }
+                        }
+                    }
+                }
+            }
+
+            if fatal.is_some() {
+                // Fatal error: stop offering (gated above), let in-flight
+                // tasks and tickets drain, then return the error — a lane
+                // with unoffered input must not keep the loop alive.
+                if rt.iter().all(|l| l.inflight.is_empty() && l.tickets.is_empty()) {
+                    break;
+                }
+            } else if !rt.iter().any(|l| l.live()) {
+                break;
+            }
+
+            // Refill only when credit is what's actually blocking: lanes
+            // starved by in-flight caps or waiting on completions get
+            // nothing, so idle tenants cannot hoard credit.
+            if starved_by_credit && !progress {
+                drr.begin_round(|i| rt[i].backlogged());
+                continue;
+            }
+
+            if !progress {
+                // Nothing to orchestrate right now: lend this thread to the
+                // executor rather than spinning.
+                if !executor.help_one() {
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+            }
+        }
+
+        let wall_nanos = start.elapsed().as_nanos() as u64;
+        let lanes: Vec<Lane> = rt.into_iter().map(|l| l.lane).collect();
+        match fatal {
+            Some(e) => Err(e),
+            None => Ok(Self::report(&lanes, wall_nanos)),
+        }
+    }
+
+    /// The weighted round-robin baseline: batch-count rounds, a global pool
+    /// barrier per round, serial window execution on the caller.
+    fn serve_wrr(&self, streams: Vec<TenantStream>) -> Result<ServeReport, DataPlaneError> {
+        let mut lanes = self.lanes_for(streams)?;
+        // Rounds a lane sits out (backpressure / quota penalty).
+        let mut penalties: Vec<u32> = vec![0; lanes.len()];
         let pool = self.worker_pool().clone();
         let start = Instant::now();
         loop {
@@ -124,10 +530,10 @@ impl StreamServer {
                     continue;
                 }
                 any_live = true;
-                if lane.penalty > 0 {
+                if penalties[li] > 0 {
                     // The penalized tenant sits this round out; because the
                     // penalty is per lane, every other tenant still runs.
-                    lane.penalty -= 1;
+                    penalties[li] -= 1;
                     continue;
                 }
                 let mut pulled = 0;
@@ -149,10 +555,10 @@ impl StreamServer {
                 break;
             }
 
-            // Phase 2 — parallel ingestion: every tenant's batches of this
-            // round enter the shared TEE concurrently on the shared worker
-            // pool (one SMC entry per batch, decryption and windowing
-            // inside), so one slow tenant cannot serialize the others.
+            // Phase 2 — parallel ingestion with a round barrier: every
+            // tenant's batches of this round enter the shared TEE
+            // concurrently, but the round completes only when the slowest
+            // batch does.
             let tasks: Vec<_> = round_batches
                 .into_iter()
                 .map(|(li, delivery)| {
@@ -167,53 +573,32 @@ impl StreamServer {
                     Ok(IngestStatus::Backpressure) => {
                         lane.accepted_batches += 1;
                         lane.backpressure_signals += 1;
-                        lane.penalty = 1;
+                        penalties[li] = 1;
                     }
                     Err(DataPlaneError::QuotaExceeded) => {
-                        // The batch is dropped: the tenant outgrew its
-                        // quota. Penalize only this lane.
                         lane.rejected_batches += 1;
-                        lane.penalty = 1;
+                        penalties[li] = 1;
                     }
                     Err(e) => return Err(e),
                 }
             }
 
-            // Phase 3 — watermarks: completed windows execute (their
-            // primitive fan-out reuses the shared pool). Window execution
-            // may itself trip the tenant's quota (intermediates count too);
-            // that costs the tenant its window, nothing else.
+            // Phase 3 — watermarks: completed windows execute serially on
+            // this thread (their primitive fan-out reuses the pool).
             for (li, wm) in round_marks {
                 let lane = &mut lanes[li];
                 match lane.engine.advance_watermark(wm) {
                     Ok(()) => {}
                     Err(DataPlaneError::QuotaExceeded) => {
                         lane.rejected_batches += 1;
-                        lane.penalty = 1;
+                        penalties[li] = 1;
                     }
                     Err(e) => return Err(e),
                 }
             }
         }
         let wall_nanos = start.elapsed().as_nanos() as u64;
-        let per_tenant = lanes
-            .iter()
-            .map(|lane| {
-                let metrics = lane.engine.metrics();
-                TenantProgress {
-                    tenant: lane.tenant,
-                    offered_events: lane.generator.offered_events(),
-                    accepted_batches: lane.accepted_batches,
-                    rejected_batches: lane.rejected_batches,
-                    backpressure_signals: lane.backpressure_signals,
-                    results: lane.engine.results_len(),
-                    ingested_events: metrics.events_ingested,
-                    avg_delay_ms: metrics.avg_delay_ms(),
-                    max_delay_ms: metrics.max_delay_ms(),
-                }
-            })
-            .collect();
-        Ok(ServeReport { wall_nanos, per_tenant })
+        Ok(Self::report(&lanes, wall_nanos))
     }
 }
 
@@ -231,26 +616,30 @@ mod tests {
         Pipeline::new(name).then(Operator::WindowSum).target_delay_ms(60_000).batch_events(500)
     }
 
-    #[test]
-    fn serves_two_tenants_to_completion_with_correct_results() {
+    fn streams_for(
+        ids: &[TenantId],
+        loads: &[Vec<sbt_workloads::datasets::StreamChunk>],
+    ) -> Vec<TenantStream> {
+        ids.iter()
+            .zip(loads)
+            .map(|(tenant, chunks)| TenantStream {
+                tenant: *tenant,
+                generator: Generator::new(
+                    GeneratorConfig { batch_events: 500 },
+                    Channel::encrypted_demo(),
+                    chunks.clone(),
+                ),
+            })
+            .collect()
+    }
+
+    fn check_two_tenant_run(scheduler: Scheduler) {
         let server = StreamServer::new(ServerConfig::default().with_cores(2));
         let a = server.admit(TenantConfig::new("a", 32 << 20), pipeline("a")).unwrap();
         let b =
             server.admit(TenantConfig::new("b", 32 << 20).with_weight(2), pipeline("b")).unwrap();
         let loads = multi_tenant_streams(2, 2, 2_000, 16, 7);
-        let streams: Vec<TenantStream> = [a, b]
-            .into_iter()
-            .zip(loads.clone())
-            .map(|(tenant, chunks)| TenantStream {
-                tenant,
-                generator: Generator::new(
-                    GeneratorConfig { batch_events: 500 },
-                    Channel::encrypted_demo(),
-                    chunks,
-                ),
-            })
-            .collect();
-        let report = server.serve(streams).unwrap();
+        let report = server.serve_with(streams_for(&[a, b], &loads), scheduler).unwrap();
         assert_eq!(report.aggregate_events(), 2 * 2 * 2_000);
         assert!(report.aggregate_events_per_sec() > 0.0);
         // Every tenant produced one result per window, matching its oracle.
@@ -269,16 +658,76 @@ mod tests {
     }
 
     #[test]
+    fn drr_serves_two_tenants_to_completion_with_correct_results() {
+        check_two_tenant_run(Scheduler::DeficitRoundRobin);
+    }
+
+    #[test]
+    fn wrr_serves_two_tenants_to_completion_with_correct_results() {
+        check_two_tenant_run(Scheduler::WeightedRoundRobin);
+    }
+
+    #[test]
     fn unadmitted_tenant_streams_are_refused() {
         let server = StreamServer::new(ServerConfig::default());
-        let streams = vec![TenantStream {
-            tenant: TenantId(99),
-            generator: Generator::new(
-                GeneratorConfig { batch_events: 100 },
-                Channel::cleartext(),
-                vec![],
-            ),
-        }];
-        assert_eq!(server.serve(streams).unwrap_err(), DataPlaneError::UnknownTenant);
+        for scheduler in [Scheduler::WeightedRoundRobin, Scheduler::DeficitRoundRobin] {
+            let streams = vec![TenantStream {
+                tenant: TenantId(99),
+                generator: Generator::new(
+                    GeneratorConfig { batch_events: 100 },
+                    Channel::cleartext(),
+                    vec![],
+                ),
+            }];
+            assert_eq!(
+                server.serve_with(streams, scheduler).unwrap_err(),
+                DataPlaneError::UnknownTenant
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_tenant_streams_are_refused_not_double_drained() {
+        let server = StreamServer::new(ServerConfig::default());
+        let a = server.admit(TenantConfig::new("a", 32 << 20), pipeline("a")).unwrap();
+        let loads = multi_tenant_streams(2, 1, 500, 8, 3);
+        for scheduler in [Scheduler::WeightedRoundRobin, Scheduler::DeficitRoundRobin] {
+            let streams = streams_for(&[a, a], &loads);
+            assert_eq!(
+                server.serve_with(streams, scheduler).unwrap_err(),
+                DataPlaneError::UnknownTenant
+            );
+        }
+    }
+
+    #[test]
+    fn scheduler_names_round_trip() {
+        for s in [Scheduler::WeightedRoundRobin, Scheduler::DeficitRoundRobin] {
+            assert_eq!(Scheduler::from_name(s.name()), Some(s));
+        }
+        assert_eq!(Scheduler::from_name(" DRR "), Some(Scheduler::DeficitRoundRobin));
+        assert_eq!(Scheduler::from_name("fifo"), None);
+    }
+
+    #[test]
+    fn drr_accounting_reserves_charges_and_penalizes() {
+        let mut drr = DrrAccounting::new(&[1, 2], 100);
+        assert!(!drr.can_dispatch(0, 50), "no credit before the first round");
+        drr.begin_round(|_| true);
+        assert_eq!(drr.deficit(0), 100);
+        assert_eq!(drr.deficit(1), 200);
+        assert!(drr.can_dispatch(0, 100));
+        drr.reserve(0, 80);
+        assert!(!drr.can_dispatch(0, 80), "reservations hold credit");
+        // Actual cost overran the estimate; the lane pays what it used.
+        drr.release(0, 80);
+        drr.charge(0, 120);
+        assert_eq!(drr.deficit(0), -20);
+        drr.penalize(1);
+        assert_eq!(drr.deficit(1), 0);
+        // An idle lane's deficit resets instead of hoarding credit.
+        drr.begin_round(|i| i == 1);
+        assert_eq!(drr.deficit(0), -20, "negative deficits persist through idling");
+        assert_eq!(drr.deficit(1), 200);
     }
 }

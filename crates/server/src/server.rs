@@ -4,7 +4,7 @@ use crate::tenant::{AdmissionError, TenantConfig};
 use parking_lot::Mutex;
 use sbt_crypto::{Key128, Nonce, SigningKey};
 use sbt_dataplane::{DataPlane, DataPlaneConfig};
-use sbt_engine::{Engine, EngineConfig, EngineVariant, Pipeline, WorkerPool};
+use sbt_engine::{CycleCost, Engine, EngineConfig, EngineVariant, Executor, Pipeline};
 use sbt_types::TenantId;
 use sbt_tz::Platform;
 use std::sync::Arc;
@@ -24,6 +24,10 @@ pub struct ServerConfig {
     pub variant: EngineVariant,
     /// Data-plane keys and audit settings (shared TEE instance).
     pub dataplane: DataPlaneConfig,
+    /// Deficit round-robin quantum: estimated cycle-cost units credited per
+    /// unit of scheduling weight each refill round (see
+    /// [`crate::sched::DrrAccounting`]).
+    pub drr_quantum: u64,
 }
 
 impl Default for ServerConfig {
@@ -34,6 +38,7 @@ impl Default for ServerConfig {
             max_tenants: 64,
             variant: EngineVariant::Sbt,
             dataplane: DataPlaneConfig::default(),
+            drr_quantum: 32 * 1024,
         }
     }
 }
@@ -56,6 +61,12 @@ impl ServerConfig {
         self.max_tenants = n.max(1);
         self
     }
+
+    /// Override the deficit round-robin quantum.
+    pub fn with_drr_quantum(mut self, quantum: u64) -> Self {
+        self.drr_quantum = quantum.max(1);
+        self
+    }
 }
 
 /// One admitted tenant.
@@ -70,7 +81,7 @@ pub struct StreamServer {
     config: ServerConfig,
     platform: Arc<Platform>,
     dp: Arc<DataPlane>,
-    pool: Arc<WorkerPool>,
+    pool: Arc<Executor>,
     tenants: Mutex<Vec<TenantEntry>>,
     next_tenant: Mutex<u32>,
     reserved_quota: Mutex<u64>,
@@ -85,7 +96,7 @@ impl StreamServer {
             .platform_config();
         let platform = Platform::new(platform_config);
         let dp = DataPlane::new(platform.clone(), config.dataplane.clone());
-        let pool = Arc::new(WorkerPool::new(config.cores));
+        let pool = Arc::new(Executor::new(config.cores));
         Arc::new(StreamServer {
             platform,
             dp,
@@ -99,9 +110,17 @@ impl StreamServer {
         })
     }
 
-    /// Admit a tenant: check capacity and quota headroom, register the
+    /// Estimated worst-case cycle demand of one tenant, in cost units per
+    /// millisecond: its quota-bounded window working set must be processed
+    /// within its declared output-delay target.
+    fn demand_per_ms(quota_bytes: u64, target_delay_ms: u32) -> u64 {
+        CycleCost::window_bound(quota_bytes) / u64::from(target_delay_ms.max(1))
+    }
+
+    /// Admit a tenant: check capacity, quota headroom and pool headroom
+    /// (the delay target must be meetable at current load), register the
     /// tenant's namespace and quota inside the TEE, and build its
-    /// control-plane engine over the shared data plane and worker pool.
+    /// control-plane engine over the shared data plane and executor.
     pub fn admit(
         &self,
         tenant_config: TenantConfig,
@@ -116,6 +135,19 @@ impl StreamServer {
         }
         if tenants.iter().any(|t| t.config.name == tenant_config.name) {
             return Err(AdmissionError::DuplicateName(tenant_config.name));
+        }
+        // Pool-aware admission: sum every admitted tenant's estimated cycle
+        // demand plus the candidate's; refuse if the worker pool cannot
+        // sustain it (the candidate's delay target — or someone's — would
+        // become unmeetable under load).
+        let required = tenants
+            .iter()
+            .map(|t| Self::demand_per_ms(t.config.quota_bytes, t.engine.pipeline().target_delay()))
+            .sum::<u64>()
+            + Self::demand_per_ms(tenant_config.quota_bytes, pipeline.target_delay());
+        let capacity = self.config.cores as u64 * CycleCost::CORE_CAPACITY_PER_MS;
+        if required > capacity {
+            return Err(AdmissionError::DelayUnmeetable { required, capacity });
         }
         {
             let mut reserved = self.reserved_quota.lock();
@@ -179,8 +211,8 @@ impl StreamServer {
         &self.platform
     }
 
-    /// The shared worker pool.
-    pub fn worker_pool(&self) -> &Arc<WorkerPool> {
+    /// The shared work-stealing executor (historically "the worker pool").
+    pub fn worker_pool(&self) -> &Arc<Executor> {
         &self.pool
     }
 
@@ -256,5 +288,26 @@ mod tests {
             server.admit(TenantConfig::new("d", 1024), pipeline()),
             Err(AdmissionError::ServerFull { max_tenants: 2 })
         ));
+    }
+
+    #[test]
+    fn admission_is_pool_aware_about_delay_targets() {
+        // A 1 ms output-delay target over a 64 MB working set cannot be met
+        // by a 2-core pool: admission refuses up front rather than letting
+        // `serve` miss the target for everyone.
+        let server = StreamServer::new(ServerConfig::default().with_cores(2));
+        let greedy =
+            Pipeline::new("rt").then(Operator::WindowSum).target_delay_ms(1).batch_events(1_000);
+        let err = server.admit(TenantConfig::new("rt", 64 * 1024 * 1024), greedy).unwrap_err();
+        let AdmissionError::DelayUnmeetable { required, capacity } = err else {
+            panic!("expected DelayUnmeetable, got {err:?}");
+        };
+        assert!(required > capacity);
+        // The same quota under a relaxed target fits comfortably.
+        let relaxed = Pipeline::new("relaxed")
+            .then(Operator::WindowSum)
+            .target_delay_ms(60_000)
+            .batch_events(1_000);
+        server.admit(TenantConfig::new("relaxed", 64 * 1024 * 1024), relaxed).unwrap();
     }
 }

@@ -46,6 +46,18 @@ pub enum AdmissionError {
     DuplicateName(String),
     /// The tenant asked for a zero-byte quota, which could never ingest.
     EmptyQuota,
+    /// Pool-aware admission refused the tenant: with this tenant admitted,
+    /// the worker pool could no longer meet every tenant's declared
+    /// output-delay target (estimated in [`CycleCost`] units per
+    /// millisecond against the pool's modelled capacity).
+    ///
+    /// [`CycleCost`]: sbt_engine::CycleCost
+    DelayUnmeetable {
+        /// Aggregate cycle demand per millisecond with the tenant admitted.
+        required: u64,
+        /// The pool's modelled capacity in cycles per millisecond.
+        capacity: u64,
+    },
     /// The data plane refused the registration.
     Rejected(DataPlaneError),
 }
@@ -61,6 +73,11 @@ impl std::fmt::Display for AdmissionError {
             }
             AdmissionError::DuplicateName(name) => write!(f, "tenant name {name:?} already taken"),
             AdmissionError::EmptyQuota => write!(f, "tenant quota must be nonzero"),
+            AdmissionError::DelayUnmeetable { required, capacity } => write!(
+                f,
+                "delay target unmeetable: {required} cycle units/ms required, \
+                 pool sustains {capacity}"
+            ),
             AdmissionError::Rejected(e) => write!(f, "data plane rejected tenant: {e}"),
         }
     }

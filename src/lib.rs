@@ -70,10 +70,12 @@ pub mod prelude {
     };
     pub use sbt_dataplane::EgressMessage;
     pub use sbt_engine::{
-        Engine, EngineConfig, EngineVariant, IngestStatus, Operator, Pipeline, StreamSide,
+        CycleCost, Engine, EngineConfig, EngineVariant, Executor, IngestStatus, Operator, Pipeline,
+        StreamSide, TaskSet, WindowTicket,
     };
     pub use sbt_server::{
-        AdmissionError, ServeReport, ServerConfig, StreamServer, TenantConfig, TenantStream,
+        AdmissionError, DrrAccounting, Scheduler, ServeReport, ServerConfig, StreamServer,
+        TenantConfig, TenantStream,
     };
     pub use sbt_types::{Duration, Event, EventTime, PowerEvent, TenantId, Watermark, WindowSpec};
     pub use sbt_workloads::datasets::{
