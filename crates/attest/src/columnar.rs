@@ -14,7 +14,7 @@
 //! any out-of-band schema; decompression restores the exact record sequence.
 
 use crate::huffman;
-use crate::record::{AuditRecord, DataRef, UArrayRef};
+use crate::record::{AuditRecord, DataRef, DepartureReason, UArrayRef};
 use crate::varint;
 use sbt_types::PrimitiveKind;
 
@@ -25,6 +25,8 @@ const TAG_INGRESS_WM: u8 = 1;
 const TAG_EGRESS: u8 = 2;
 const TAG_WINDOWING: u8 = 3;
 const TAG_EXECUTION: u8 = 4;
+const TAG_REKEY: u8 = 5;
+const TAG_DEPARTURE: u8 = 6;
 
 /// Errors from decompression.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -114,6 +116,8 @@ pub fn compress_records(records: &[AuditRecord]) -> Vec<u8> {
     let mut win_nos: Vec<u64> = Vec::new();
     let mut counts: Vec<u8> = Vec::new(); // input/output/hint counts for execution records
     let mut hints: Vec<u64> = Vec::new();
+    let mut epochs: Vec<u64> = Vec::new(); // rekey epochs, monotone per tenant
+    let mut reasons: Vec<u8> = Vec::new(); // departure reason codes
 
     for r in records {
         timestamps.push(r.ts_ms() as u64);
@@ -154,6 +158,14 @@ pub fn compress_records(records: &[AuditRecord]) -> Vec<u8> {
                 }
                 hints.extend_from_slice(h);
             }
+            AuditRecord::Rekey { epoch, .. } => {
+                tags.push(TAG_REKEY);
+                epochs.push(*epoch as u64);
+            }
+            AuditRecord::Departure { reason, .. } => {
+                tags.push(TAG_DEPARTURE);
+                reasons.push(reason.code());
+            }
         }
     }
 
@@ -161,7 +173,7 @@ pub fn compress_records(records: &[AuditRecord]) -> Vec<u8> {
     varint::write_u64(records.len() as u64, &mut out);
     // Column order: tags (huffman), ops lo/hi (huffman), counts (huffman),
     // timestamps (delta), ids (delta), watermarks (delta), win_nos (delta),
-    // hints (varint).
+    // hints (varint), epochs (delta), reasons (huffman).
     encode_huffman(&tags, &mut out);
     encode_huffman(&ops, &mut out);
     encode_huffman(&ops_hi, &mut out);
@@ -171,6 +183,8 @@ pub fn compress_records(records: &[AuditRecord]) -> Vec<u8> {
     encode_delta(&watermarks, &mut out);
     encode_delta(&win_nos, &mut out);
     encode_varints(&hints, &mut out);
+    encode_delta(&epochs, &mut out);
+    encode_huffman(&reasons, &mut out);
     out
 }
 
@@ -187,6 +201,8 @@ pub fn decompress_records(data: &[u8]) -> Result<Vec<AuditRecord>, CodecError> {
     let watermarks = decode_delta(data, &mut pos)?;
     let win_nos = decode_delta(data, &mut pos)?;
     let hints = decode_varints(data, &mut pos)?;
+    let epochs = decode_delta(data, &mut pos)?;
+    let reasons = decode_huffman(data, &mut pos)?;
 
     if tags.len() != n || timestamps.len() != n {
         return Err(CodecError("column length mismatch"));
@@ -194,6 +210,7 @@ pub fn decompress_records(data: &[u8]) -> Result<Vec<AuditRecord>, CodecError> {
 
     let mut out = Vec::with_capacity(n);
     let (mut id_i, mut wm_i, mut win_i, mut op_i, mut cnt_i, mut hint_i) = (0, 0, 0, 0, 0, 0);
+    let (mut epoch_i, mut reason_i) = (0, 0);
     let next_id = |id_i: &mut usize| -> Result<UArrayRef, CodecError> {
         let v = *ids.get(*id_i).ok_or(CodecError("missing id column value"))?;
         *id_i += 1;
@@ -242,6 +259,18 @@ pub fn decompress_records(data: &[u8]) -> Result<Vec<AuditRecord>, CodecError> {
                     hint_i += 1;
                 }
                 AuditRecord::Execution { ts_ms, op, inputs, outputs, hints: h }
+            }
+            TAG_REKEY => {
+                let epoch = *epochs.get(epoch_i).ok_or(CodecError("missing epoch"))?;
+                epoch_i += 1;
+                AuditRecord::Rekey { ts_ms, epoch: epoch as u32 }
+            }
+            TAG_DEPARTURE => {
+                let code = *reasons.get(reason_i).ok_or(CodecError("missing reason"))?;
+                reason_i += 1;
+                let reason =
+                    DepartureReason::from_code(code).ok_or(CodecError("unknown reason code"))?;
+                AuditRecord::Departure { ts_ms, reason }
             }
             _ => return Err(CodecError("unknown record tag")),
         };
@@ -326,6 +355,21 @@ mod tests {
     }
 
     #[test]
+    fn lifecycle_records_round_trip() {
+        let records = vec![
+            AuditRecord::Ingress { ts_ms: 1, data: DataRef::UArray(UArrayRef(1)) },
+            AuditRecord::Rekey { ts_ms: 2, epoch: 1 },
+            AuditRecord::Ingress { ts_ms: 3, data: DataRef::UArray(UArrayRef(2)) },
+            AuditRecord::Rekey { ts_ms: 4, epoch: 2 },
+            AuditRecord::Departure { ts_ms: 5, reason: DepartureReason::Drained },
+        ];
+        let rt = decompress_records(&compress_records(&records)).unwrap();
+        assert_eq!(rt, records);
+        let evicted = vec![AuditRecord::Departure { ts_ms: 0, reason: DepartureReason::Evicted }];
+        assert_eq!(decompress_records(&compress_records(&evicted)).unwrap(), evicted);
+    }
+
+    #[test]
     fn empty_batch_round_trips() {
         let compressed = compress_records(&[]);
         assert_eq!(decompress_records(&compressed).unwrap(), Vec::<AuditRecord>::new());
@@ -362,7 +406,7 @@ mod tests {
         #![proptest_config(ProptestConfig::with_cases(64))]
         #[test]
         fn arbitrary_records_round_trip(
-            specs in proptest::collection::vec((0u8..5, 0u32..10_000, 0u32..5_000, 0u16..200), 0..200),
+            specs in proptest::collection::vec((0u8..7, 0u32..10_000, 0u32..5_000, 0u16..200), 0..200),
         ) {
             let mut records = Vec::new();
             for (kind, ts, id, win) in specs {
@@ -372,6 +416,15 @@ mod tests {
                     2 => AuditRecord::Egress { ts_ms: ts, data: UArrayRef(id) },
                     3 => AuditRecord::Windowing {
                         ts_ms: ts, input: UArrayRef(id), win_no: win, output: UArrayRef(id + 1),
+                    },
+                    5 => AuditRecord::Rekey { ts_ms: ts, epoch: id },
+                    6 => AuditRecord::Departure {
+                        ts_ms: ts,
+                        reason: if id % 2 == 0 {
+                            DepartureReason::Drained
+                        } else {
+                            DepartureReason::Evicted
+                        },
                     },
                     _ => AuditRecord::Execution {
                         ts_ms: ts,

@@ -35,6 +35,6 @@ pub mod verifier;
 
 pub use columnar::{compress_records, decompress_records};
 pub use log::{AuditLog, LogSegment};
-pub use record::{AuditRecord, DataRef, UArrayRef};
+pub use record::{AuditRecord, DataRef, DepartureReason, UArrayRef};
 pub use trail::{verify_tenant_trail, TrailError};
 pub use verifier::{FreshnessReport, PipelineSpec, VerificationReport, Verifier, Violation};

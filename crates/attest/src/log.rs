@@ -12,11 +12,14 @@ use sbt_crypto::{Signature, SigningKey};
 use sbt_types::TenantId;
 
 /// One signed, compressed batch of audit records as uploaded to the cloud.
-#[derive(Clone)]
+#[derive(Debug, Clone)]
 pub struct LogSegment {
     /// The tenant whose trail this segment belongs to (the default tenant in
     /// single-pipeline deployments).
     pub tenant: TenantId,
+    /// The tenant's key epoch when the segment was signed: the segment
+    /// verifies only under this epoch's derived key.
+    pub epoch: u32,
     /// Sequence number of the segment within its tenant's log.
     pub seq: u64,
     /// Columnar-compressed record batch.
@@ -25,19 +28,23 @@ pub struct LogSegment {
     pub raw_bytes: usize,
     /// Number of records in the segment.
     pub record_count: usize,
-    /// HMAC over `(tenant || seq || compressed)`.
+    /// HMAC over `(tenant || epoch || seq || compressed)`.
     pub signature: Signature,
 }
 
 impl LogSegment {
-    /// Verify the segment's signature with the shared key.
+    /// Verify the segment's signature with the epoch's key.
     pub fn verify(&self, key: &SigningKey) -> bool {
-        key.verify(&Self::signed_payload(self.tenant, self.seq, &self.compressed), &self.signature)
+        key.verify(
+            &Self::signed_payload(self.tenant, self.epoch, self.seq, &self.compressed),
+            &self.signature,
+        )
     }
 
-    fn signed_payload(tenant: TenantId, seq: u64, compressed: &[u8]) -> Vec<u8> {
-        let mut payload = Vec::with_capacity(12 + compressed.len());
+    fn signed_payload(tenant: TenantId, epoch: u32, seq: u64, compressed: &[u8]) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(16 + compressed.len());
         payload.extend_from_slice(&tenant.0.to_le_bytes());
+        payload.extend_from_slice(&epoch.to_le_bytes());
         payload.extend_from_slice(&seq.to_le_bytes());
         payload.extend_from_slice(compressed);
         payload
@@ -48,6 +55,9 @@ impl LogSegment {
 pub struct AuditLog {
     key: SigningKey,
     tenant: TenantId,
+    /// Current key epoch: segments are tagged with it and signed under the
+    /// epoch's key. Bumped by [`AuditLog::rekey`].
+    epoch: u32,
     pending: Vec<AuditRecord>,
     next_seq: u64,
     /// Flush when this many records are pending (in addition to explicit
@@ -72,6 +82,7 @@ impl AuditLog {
         AuditLog {
             key,
             tenant,
+            epoch: 0,
             pending: Vec::new(),
             next_seq: 0,
             flush_threshold: flush_threshold.max(1),
@@ -84,6 +95,22 @@ impl AuditLog {
     /// The tenant this log's segments are tagged with.
     pub fn tenant(&self) -> TenantId {
         self.tenant
+    }
+
+    /// The current key epoch.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Rotate to a new signing key and epoch. Records appended before the
+    /// rotation still belong to the old epoch, so they are flushed under the
+    /// old key first; the returned segment (if any) is the old epoch's last.
+    /// Segment sequence numbers continue across the rotation.
+    pub fn rekey(&mut self, key: SigningKey, epoch: u32) -> Option<LogSegment> {
+        let last = self.flush();
+        self.key = key;
+        self.epoch = epoch;
+        last
     }
 
     /// Append a record. Returns a flushed segment if the pending batch
@@ -116,9 +143,11 @@ impl AuditLog {
         self.total_records += records.len() as u64;
         self.total_raw_bytes += raw_bytes as u64;
         self.total_compressed_bytes += compressed.len() as u64;
-        let signature = self.key.sign(&LogSegment::signed_payload(self.tenant, seq, &compressed));
+        let signature =
+            self.key.sign(&LogSegment::signed_payload(self.tenant, self.epoch, seq, &compressed));
         Some(LogSegment {
             tenant: self.tenant,
+            epoch: self.epoch,
             seq,
             raw_bytes,
             record_count: records.len(),
@@ -199,6 +228,34 @@ mod tests {
         let mut reseq = seg.clone();
         reseq.seq += 1;
         assert!(!reseq.verify(&key()), "replayed segment under a different seq must fail");
+        let mut re_epoch = seg.clone();
+        re_epoch.epoch += 1;
+        assert!(!re_epoch.verify(&key()), "the epoch tag is covered by the signature");
+    }
+
+    #[test]
+    fn rekey_rotates_key_and_epoch_with_continuous_sequence() {
+        let old_key = key();
+        let new_key = SigningKey::new(b"rotated-key");
+        let mut log = AuditLog::new(old_key.clone(), 100);
+        log.append(record(0));
+        let old_seg = log.rekey(new_key.clone(), 1).expect("pending records flush on rekey");
+        assert_eq!(old_seg.epoch, 0);
+        assert_eq!(old_seg.seq, 0);
+        assert!(old_seg.verify(&old_key));
+        assert!(!old_seg.verify(&new_key));
+        assert_eq!(log.epoch(), 1);
+
+        log.append(record(1));
+        let new_seg = log.flush().unwrap();
+        assert_eq!(new_seg.epoch, 1);
+        assert_eq!(new_seg.seq, 1, "sequence numbers continue across epochs");
+        assert!(new_seg.verify(&new_key));
+        assert!(!new_seg.verify(&old_key));
+
+        // Rekeying with nothing pending flushes nothing.
+        let mut empty = AuditLog::new(key(), 10);
+        assert!(empty.rekey(SigningKey::new(b"k2"), 1).is_none());
     }
 
     #[test]

@@ -29,6 +29,44 @@ pub enum DataRef {
     Watermark(u32),
 }
 
+/// Why a tenant left the platform, as recorded in its final audit record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DepartureReason {
+    /// The tenant was drained: ingest stopped, remaining windows ran to the
+    /// last watermark, then the tenant was torn down.
+    Drained,
+    /// The tenant was evicted immediately; in-flight state was discarded.
+    Evicted,
+}
+
+impl DepartureReason {
+    /// Encode as the byte stored in the record's payload.
+    pub fn code(self) -> u8 {
+        match self {
+            DepartureReason::Drained => 0,
+            DepartureReason::Evicted => 1,
+        }
+    }
+
+    /// Decode a payload byte. Returns `None` for unknown codes.
+    pub fn from_code(code: u8) -> Option<DepartureReason> {
+        match code {
+            0 => Some(DepartureReason::Drained),
+            1 => Some(DepartureReason::Evicted),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for DepartureReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DepartureReason::Drained => write!(f, "drained"),
+            DepartureReason::Evicted => write!(f, "evicted"),
+        }
+    }
+}
+
 /// One audit record.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AuditRecord {
@@ -72,7 +110,30 @@ pub enum AuditRecord {
         /// Encoded consumption hints supplied with the invocation.
         hints: Vec<u64>,
     },
+    /// The tenant's key material advanced to a new epoch. Every record after
+    /// this one (and the segment carrying it) is signed under the new
+    /// epoch's derived key.
+    Rekey {
+        /// Data-plane timestamp, milliseconds.
+        ts_ms: u32,
+        /// The epoch the tenant advanced to.
+        epoch: u32,
+    },
+    /// The tenant departed the platform (drained or evicted). This is the
+    /// final record of the tenant's trail.
+    Departure {
+        /// Data-plane timestamp, milliseconds.
+        ts_ms: u32,
+        /// Why the tenant left.
+        reason: DepartureReason,
+    },
 }
+
+/// Op code of [`AuditRecord::Rekey`] rows (outside the primitive code space).
+pub const OP_CODE_REKEY: u16 = 30;
+/// Op code of [`AuditRecord::Departure`] rows (outside the primitive code
+/// space).
+pub const OP_CODE_DEPARTURE: u16 = 31;
 
 impl AuditRecord {
     /// The record's data-plane timestamp.
@@ -81,7 +142,9 @@ impl AuditRecord {
             AuditRecord::Ingress { ts_ms, .. }
             | AuditRecord::Egress { ts_ms, .. }
             | AuditRecord::Windowing { ts_ms, .. }
-            | AuditRecord::Execution { ts_ms, .. } => *ts_ms,
+            | AuditRecord::Execution { ts_ms, .. }
+            | AuditRecord::Rekey { ts_ms, .. }
+            | AuditRecord::Departure { ts_ms, .. } => *ts_ms,
         }
     }
 
@@ -92,6 +155,8 @@ impl AuditRecord {
             AuditRecord::Egress { .. } => PrimitiveKind::Egress.code(),
             AuditRecord::Windowing { .. } => PrimitiveKind::Segment.code(),
             AuditRecord::Execution { op, .. } => op.code(),
+            AuditRecord::Rekey { .. } => OP_CODE_REKEY,
+            AuditRecord::Departure { .. } => OP_CODE_DEPARTURE,
         }
     }
 
@@ -133,6 +198,12 @@ impl AuditRecord {
                 for h in hints {
                     out.extend_from_slice(&h.to_le_bytes());
                 }
+            }
+            AuditRecord::Rekey { epoch, .. } => {
+                out.extend_from_slice(&epoch.to_le_bytes());
+            }
+            AuditRecord::Departure { reason, .. } => {
+                out.push(reason.code());
             }
         }
     }
@@ -204,6 +275,32 @@ mod tests {
         .to_row_bytes(&mut buf);
         // op(2) + ts(4) + cnt(2) + 2*4 + cnt(2) + 4 + cnt(2) + 8
         assert_eq!(buf.len(), 32);
+    }
+
+    #[test]
+    fn lifecycle_records_have_dedicated_codes_and_rows() {
+        let rekey = AuditRecord::Rekey { ts_ms: 4, epoch: 2 };
+        assert_eq!(rekey.ts_ms(), 4);
+        assert_eq!(rekey.op_code(), OP_CODE_REKEY);
+        let mut buf = Vec::new();
+        rekey.to_row_bytes(&mut buf);
+        // op(2) + ts(4) + epoch(4)
+        assert_eq!(buf.len(), 10);
+
+        let dep = AuditRecord::Departure { ts_ms: 9, reason: DepartureReason::Evicted };
+        assert_eq!(dep.op_code(), OP_CODE_DEPARTURE);
+        let mut buf = Vec::new();
+        dep.to_row_bytes(&mut buf);
+        // op(2) + ts(4) + reason(1)
+        assert_eq!(buf.len(), 7);
+
+        // The lifecycle codes stay clear of every primitive's code.
+        assert!(PrimitiveKind::from_code(OP_CODE_REKEY).is_none());
+        assert!(PrimitiveKind::from_code(OP_CODE_DEPARTURE).is_none());
+        for reason in [DepartureReason::Drained, DepartureReason::Evicted] {
+            assert_eq!(DepartureReason::from_code(reason.code()), Some(reason));
+        }
+        assert_eq!(DepartureReason::from_code(9), None);
     }
 
     #[test]

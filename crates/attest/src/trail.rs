@@ -1,17 +1,21 @@
 //! Independent verification of one tenant's audit trail.
 //!
 //! A multi-tenant edge uploads one segment stream per tenant, each tagged
-//! with the tenant id and signed under it. The cloud verifier authenticates
-//! a tenant's trail in isolation — wrong-tenant segments, bad signatures,
-//! and gaps or replays in the per-tenant sequence numbers are all rejected —
-//! and only then replays the decompressed records against that tenant's
-//! pipeline declaration. One tenant's verification never depends on (or even
-//! sees) another tenant's segments.
+//! with the tenant id and the tenant's **key epoch**, and signed under that
+//! epoch's derived key. The cloud verifier holds the tenant's
+//! [`TenantKeychain`] — the per-epoch verifier keys derived from the shared
+//! master secret — and authenticates the trail in isolation: wrong-tenant
+//! segments, unknown epochs, epoch regressions (a segment from an old epoch
+//! spliced behind a rekey), bad signatures, and gaps or replays in the
+//! per-tenant sequence numbers are all rejected. Only then does it replay
+//! the decompressed records against the tenant's pipeline declaration. One
+//! tenant's verification never depends on (or even sees) another tenant's
+//! segments or keys.
 
 use crate::columnar::decompress_records;
 use crate::log::LogSegment;
 use crate::record::AuditRecord;
-use sbt_crypto::SigningKey;
+use sbt_crypto::TenantKeychain;
 use sbt_types::TenantId;
 
 /// Why a tenant trail failed authentication.
@@ -24,7 +28,32 @@ pub enum TrailError {
         /// The tenant tag found on the offending segment.
         found: TenantId,
     },
-    /// A segment's HMAC signature does not verify under the shared key.
+    /// The keychain supplied belongs to a different tenant than the trail
+    /// being verified.
+    WrongKeychain {
+        /// The tenant the trail was verified for.
+        expected: TenantId,
+        /// The tenant the keychain was derived for.
+        keychain: TenantId,
+    },
+    /// A segment claims a key epoch the verifier's keychain does not cover.
+    UnknownEpoch {
+        /// Sequence number of the offending segment.
+        seq: u64,
+        /// The unknown epoch.
+        epoch: u32,
+    },
+    /// A segment's epoch went backwards within the trail — an old epoch's
+    /// segment spliced behind a rekey.
+    EpochSplice {
+        /// Sequence number of the offending segment.
+        seq: u64,
+        /// The epoch of the preceding segment.
+        from: u32,
+        /// The (earlier) epoch the offending segment claims.
+        to: u32,
+    },
+    /// A segment's HMAC signature does not verify under its epoch's key.
     BadSignature {
         /// Sequence number of the offending segment.
         seq: u64,
@@ -50,6 +79,15 @@ impl std::fmt::Display for TrailError {
             TrailError::WrongTenant { expected, found } => {
                 write!(f, "segment tagged {found} in a trail verified for {expected}")
             }
+            TrailError::WrongKeychain { expected, keychain } => {
+                write!(f, "keychain for {keychain} used to verify a trail of {expected}")
+            }
+            TrailError::UnknownEpoch { seq, epoch } => {
+                write!(f, "segment {seq} claims epoch {epoch} outside the keychain")
+            }
+            TrailError::EpochSplice { seq, from, to } => {
+                write!(f, "segment {seq} regresses from epoch {from} to {to}")
+            }
             TrailError::BadSignature { seq } => write!(f, "segment {seq} signature invalid"),
             TrailError::BrokenSequence { expected, found } => {
                 write!(f, "segment sequence broken: expected {expected}, found {found}")
@@ -63,21 +101,41 @@ impl std::error::Error for TrailError {}
 
 /// Authenticate one tenant's segment trail and return its records in order.
 ///
-/// Checks, in order per segment: the tenant tag, the signature (which covers
-/// the tag and the sequence number), sequence contiguity from zero, and
-/// decodability. On success returns the concatenated records, ready for
+/// Checks, in order per segment: the tenant tag, the epoch (known to the
+/// keychain and non-decreasing along the trail), the signature under the
+/// epoch's derived key (which covers the tag, the epoch and the sequence
+/// number), sequence contiguity from zero, and decodability. On success
+/// returns the concatenated records, ready for
 /// [`Verifier::replay`](crate::Verifier::replay).
 pub fn verify_tenant_trail(
     segments: &[LogSegment],
     tenant: TenantId,
-    key: &SigningKey,
+    keys: &TenantKeychain,
 ) -> Result<Vec<AuditRecord>, TrailError> {
+    if keys.tenant() != tenant.0 {
+        return Err(TrailError::WrongKeychain {
+            expected: tenant,
+            keychain: TenantId(keys.tenant()),
+        });
+    }
     let mut records = Vec::new();
+    let mut current_epoch = 0u32;
     for (i, seg) in segments.iter().enumerate() {
         if seg.tenant != tenant {
             return Err(TrailError::WrongTenant { expected: tenant, found: seg.tenant });
         }
-        if !seg.verify(key) {
+        let epoch_keys = keys
+            .epoch(seg.epoch)
+            .ok_or(TrailError::UnknownEpoch { seq: seg.seq, epoch: seg.epoch })?;
+        if seg.epoch < current_epoch {
+            return Err(TrailError::EpochSplice {
+                seq: seg.seq,
+                from: current_epoch,
+                to: seg.epoch,
+            });
+        }
+        current_epoch = seg.epoch;
+        if !seg.verify(&epoch_keys.signing) {
             return Err(TrailError::BadSignature { seq: seg.seq });
         }
         if seg.seq != i as u64 {
@@ -95,9 +153,25 @@ mod tests {
     use super::*;
     use crate::log::AuditLog;
     use crate::record::{DataRef, UArrayRef};
+    use sbt_crypto::{SigningKey, VerifierKeySet};
 
     fn key() -> SigningKey {
         SigningKey::new(b"trail-key")
+    }
+
+    fn epoch_key(epoch: u32) -> SigningKey {
+        SigningKey::new(format!("trail-key-epoch-{epoch}").as_bytes())
+    }
+
+    fn chain(tenant: TenantId) -> TenantKeychain {
+        TenantKeychain::single(tenant.0, key())
+    }
+
+    fn chain_through(tenant: TenantId, through: u32) -> TenantKeychain {
+        TenantKeychain::from_epochs(
+            tenant.0,
+            (0..=through).map(|e| VerifierKeySet::signing_only(e, epoch_key(e))).collect(),
+        )
     }
 
     fn trail(tenant: TenantId, segments: usize) -> Vec<LogSegment> {
@@ -113,20 +187,45 @@ mod tests {
         out
     }
 
+    /// A trail whose key rotates after every segment: segment `s` carries
+    /// epoch `s`, signed under `epoch_key(s)`.
+    fn rekeying_trail(tenant: TenantId, segments: usize) -> Vec<LogSegment> {
+        let mut log = AuditLog::for_tenant(epoch_key(0), 2, tenant);
+        let mut out = Vec::new();
+        for s in 0..segments as u32 {
+            log.append(AuditRecord::Ingress { ts_ms: s, data: DataRef::UArray(UArrayRef(s)) });
+            if let Some(seg) =
+                log.append(AuditRecord::Ingress { ts_ms: s, data: DataRef::UArray(UArrayRef(s)) })
+            {
+                out.push(seg);
+            }
+            log.rekey(epoch_key(s + 1), s + 1);
+        }
+        out
+    }
+
     #[test]
     fn clean_trail_verifies_and_yields_records() {
         let segs = trail(TenantId(3), 3);
-        let records = verify_tenant_trail(&segs, TenantId(3), &key()).unwrap();
+        let records = verify_tenant_trail(&segs, TenantId(3), &chain(TenantId(3))).unwrap();
         assert_eq!(records.len(), 6);
         assert!(segs.iter().all(|s| s.tenant == TenantId(3)));
+        assert!(segs.iter().all(|s| s.epoch == 0));
     }
 
     #[test]
     fn wrong_tenant_segments_are_rejected() {
         let mut segs = trail(TenantId(1), 2);
         segs.extend(trail(TenantId(2), 1));
-        let err = verify_tenant_trail(&segs, TenantId(1), &key()).unwrap_err();
+        let err = verify_tenant_trail(&segs, TenantId(1), &chain(TenantId(1))).unwrap_err();
         assert_eq!(err, TrailError::WrongTenant { expected: TenantId(1), found: TenantId(2) });
+    }
+
+    #[test]
+    fn mismatched_keychain_is_rejected_up_front() {
+        let segs = trail(TenantId(1), 1);
+        let err = verify_tenant_trail(&segs, TenantId(1), &chain(TenantId(2))).unwrap_err();
+        assert_eq!(err, TrailError::WrongKeychain { expected: TenantId(1), keychain: TenantId(2) });
     }
 
     #[test]
@@ -135,7 +234,7 @@ mod tests {
         // tenant's trail: the tag is covered by the signature.
         let mut segs = trail(TenantId(1), 1);
         segs[0].tenant = TenantId(2);
-        let err = verify_tenant_trail(&segs, TenantId(2), &key()).unwrap_err();
+        let err = verify_tenant_trail(&segs, TenantId(2), &chain(TenantId(2))).unwrap_err();
         assert_eq!(err, TrailError::BadSignature { seq: 0 });
     }
 
@@ -143,7 +242,7 @@ mod tests {
     fn dropped_segments_break_the_sequence() {
         let mut segs = trail(TenantId(0), 3);
         segs.remove(1);
-        let err = verify_tenant_trail(&segs, TenantId(0), &key()).unwrap_err();
+        let err = verify_tenant_trail(&segs, TenantId(0), &chain(TenantId(0))).unwrap_err();
         assert_eq!(err, TrailError::BrokenSequence { expected: 1, found: 2 });
     }
 
@@ -151,7 +250,74 @@ mod tests {
     fn tampered_payload_is_rejected() {
         let mut segs = trail(TenantId(0), 1);
         segs[0].compressed[0] ^= 0xFF;
-        let err = verify_tenant_trail(&segs, TenantId(0), &key()).unwrap_err();
+        let err = verify_tenant_trail(&segs, TenantId(0), &chain(TenantId(0))).unwrap_err();
+        assert_eq!(err, TrailError::BadSignature { seq: 0 });
+    }
+
+    #[test]
+    fn rekeyed_trail_verifies_under_the_full_keychain() {
+        let segs = rekeying_trail(TenantId(4), 3);
+        assert_eq!(segs.iter().map(|s| s.epoch).collect::<Vec<_>>(), vec![0, 1, 2]);
+        let records =
+            verify_tenant_trail(&segs, TenantId(4), &chain_through(TenantId(4), 2)).unwrap();
+        assert_eq!(records.len(), 6);
+    }
+
+    #[test]
+    fn epochs_beyond_the_keychain_are_rejected() {
+        // A keychain provisioned only through epoch 1 cannot vouch for an
+        // epoch-2 segment.
+        let segs = rekeying_trail(TenantId(4), 3);
+        let err =
+            verify_tenant_trail(&segs, TenantId(4), &chain_through(TenantId(4), 1)).unwrap_err();
+        assert_eq!(err, TrailError::UnknownEpoch { seq: 2, epoch: 2 });
+    }
+
+    #[test]
+    fn reordered_rekeyed_segments_are_rejected() {
+        // Plain reorder across epochs: the broken sequence is caught.
+        let mut segs = rekeying_trail(TenantId(4), 3);
+        segs.swap(0, 2);
+        assert!(verify_tenant_trail(&segs, TenantId(4), &chain_through(TenantId(4), 2)).is_err());
+    }
+
+    #[test]
+    fn cross_epoch_splices_are_rejected() {
+        // A splice with *contiguous* sequence numbers but a regressing
+        // epoch: each signature is individually valid under its epoch's key,
+        // yet an old epoch's segment behind a rekey is refused.
+        let record =
+            |i: u32| AuditRecord::Ingress { ts_ms: i, data: DataRef::UArray(UArrayRef(i)) };
+        // Segment seq 0 under epoch 1.
+        let mut new_log = AuditLog::for_tenant(epoch_key(0), 100, TenantId(4));
+        new_log.rekey(epoch_key(1), 1);
+        new_log.append(record(0));
+        let seg0 = new_log.flush().unwrap();
+        assert_eq!((seg0.seq, seg0.epoch), (0, 1));
+        // Segment seq 1 under epoch 0 (an old log that kept flushing).
+        let mut old_log = AuditLog::for_tenant(epoch_key(0), 100, TenantId(4));
+        old_log.append(record(0));
+        old_log.flush().unwrap();
+        old_log.append(record(1));
+        let seg1 = old_log.flush().unwrap();
+        assert_eq!((seg1.seq, seg1.epoch), (1, 0));
+
+        let err = verify_tenant_trail(&[seg0, seg1], TenantId(4), &chain_through(TenantId(4), 1))
+            .unwrap_err();
+        assert_eq!(err, TrailError::EpochSplice { seq: 1, from: 1, to: 0 });
+    }
+
+    #[test]
+    fn old_epoch_key_cannot_sign_new_epoch_segments() {
+        // Forge: take an epoch-1 segment and relabel it epoch 0 (whose key a
+        // hypothetical attacker compromised). The signature covers the epoch
+        // tag, so the forgery fails under the epoch-0 key.
+        let mut segs = rekeying_trail(TenantId(4), 2);
+        let mut forged = segs.remove(1);
+        forged.epoch = 0;
+        forged.seq = 0;
+        let err = verify_tenant_trail(&[forged], TenantId(4), &chain_through(TenantId(4), 1))
+            .unwrap_err();
         assert_eq!(err, TrailError::BadSignature { seq: 0 });
     }
 }

@@ -140,6 +140,9 @@ pub enum Violation {
         /// The freshness target it violated.
         target_ms: u32,
     },
+    /// Records appeared after the tenant's departure record — the trail
+    /// claims activity from a namespace that had already been torn down.
+    PostDepartureActivity,
 }
 
 /// Per-result freshness measurements.
@@ -181,6 +184,12 @@ pub struct VerificationReport {
     pub egressed: usize,
     /// Consumed-after hints whose promise contradicted observed order.
     pub misleading_hints: usize,
+    /// Number of key-epoch rotations recorded in the trail.
+    pub rekeys: usize,
+    /// Whether the trail carries the tenant's departure record. Departure
+    /// is terminal: any record after it raises
+    /// [`Violation::PostDepartureActivity`].
+    pub departed: bool,
 }
 
 impl VerificationReport {
@@ -227,7 +236,14 @@ impl Verifier {
         let mut first_consumed_at: HashMap<UArrayRef, u32> = HashMap::new();
         let mut consumed_after_hints: Vec<(UArrayRef, UArrayRef)> = Vec::new();
 
+        let mut post_departure_flagged = false;
         for rec in records {
+            // Departure is terminal: a torn-down namespace cannot have kept
+            // producing records.
+            if report.departed && !post_departure_flagged {
+                report.violations.push(Violation::PostDepartureActivity);
+                post_departure_flagged = true;
+            }
             match rec {
                 AuditRecord::Ingress { ts_ms, data } => match data {
                     DataRef::UArray(id) => {
@@ -311,6 +327,11 @@ impl Verifier {
                     report.egressed += 1;
                     first_consumed_at.entry(*data).or_insert(*ts_ms);
                 }
+                // Key-lifecycle records don't participate in dataflow; their
+                // integrity is enforced at the segment layer (each segment
+                // verifies only under its epoch's key).
+                AuditRecord::Rekey { .. } => report.rekeys += 1,
+                AuditRecord::Departure { .. } => report.departed = true,
             }
         }
 
@@ -645,6 +666,27 @@ mod tests {
         }
         let report = Verifier::new(spec()).replay(&records);
         assert_eq!(report.misleading_hints, 1);
+    }
+
+    #[test]
+    fn departure_is_terminal() {
+        use crate::record::DepartureReason;
+        // A clean run ending in departure verifies with departed = true.
+        let mut records = honest_run(1, 1);
+        let last_ts = records.last().unwrap().ts_ms();
+        records
+            .push(AuditRecord::Departure { ts_ms: last_ts + 1, reason: DepartureReason::Drained });
+        let report = Verifier::new(spec()).replay(&records);
+        assert!(report.is_correct(), "violations: {:?}", report.violations);
+        assert!(report.departed);
+
+        // Any record after the departure is flagged.
+        records.push(AuditRecord::Ingress {
+            ts_ms: last_ts + 2,
+            data: DataRef::UArray(UArrayRef(900)),
+        });
+        let report = Verifier::new(spec()).replay(&records);
+        assert!(report.violations.iter().any(|v| matches!(v, Violation::PostDepartureActivity)));
     }
 
     #[test]

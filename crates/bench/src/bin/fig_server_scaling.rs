@@ -7,28 +7,39 @@
 //! `StreamServer` (one platform, one data plane, one work-stealing
 //! executor), admits N tenants — each with a WinSum pipeline, an equal
 //! share of the secure carve-out as its quota, and weight 1 — and serves
-//! every tenant an independent stream with a disjoint key range. After the
-//! run it reports aggregate throughput and per-tenant delays, and verifies
-//! each tenant's audit trail independently (tenant tag, signatures, segment
-//! sequence, then symbolic replay against the tenant's declared pipeline).
+//! every tenant an independent stream with a disjoint key range, encrypted
+//! under the tenant's own derived source key. After the run it reports
+//! aggregate throughput and per-tenant delays, and verifies each tenant's
+//! audit trail independently under the tenant's keychain (tenant tag, epoch,
+//! signatures, segment sequence, then symbolic replay against the tenant's
+//! declared pipeline).
 //!
 //! When both schedulers are swept, the run **fails** (exit 1) if deficit
 //! round-robin's aggregate throughput regresses more than 10% below the
 //! weighted-round-robin barrier baseline at any tenant count — the CI gate
 //! for the executor + DRR substrate.
 //!
+//! `SBT_CHURN=1` switches to the **churn scenario**: tenants are admitted,
+//! served a window, then one is evicted, one rekeyed, one quota-resized and
+//! a newcomer admitted into the freed reservation mid-sweep; a second
+//! window is served and *every* trail — including the departed tenant's —
+//! must verify under its keychain, or the run exits nonzero.
+//!
 //! Run with `cargo run --release -p sbt_bench --bin fig_server_scaling`.
 //! `SBT_TENANTS=1,4,16` overrides the sweep; `SBT_SCHED=drr` picks one
 //! scheduler; `SBT_FULL=1` scales the streams up.
 
-use sbt_attest::{verify_tenant_trail, Verifier};
+use sbt_attest::{verify_tenant_trail, LogSegment, Verifier};
 use sbt_bench::{dump_json, print_table};
+use sbt_crypto::MasterSecret;
 use sbt_engine::{Operator, Pipeline};
 use sbt_server::{Scheduler, ServerConfig, StreamServer, TenantConfig, TenantStream};
+use sbt_types::TenantId;
 use sbt_workloads::datasets::multi_tenant_streams;
 use sbt_workloads::generator::{Generator, GeneratorConfig};
 use sbt_workloads::transport::Channel;
 use serde::Serialize;
+use std::sync::Arc;
 
 #[derive(Serialize)]
 struct ScalingRow {
@@ -68,6 +79,10 @@ fn schedulers_from_env() -> Vec<Scheduler> {
     }
 }
 
+fn winsum_pipeline(name: &str, batch: usize) -> Pipeline {
+    Pipeline::new(name).then(Operator::WindowSum).target_delay_ms(60_000).batch_events(batch)
+}
+
 fn run_tenant_count(
     scheduler: Scheduler,
     tenants: usize,
@@ -82,16 +97,16 @@ fn run_tenant_count(
             .with_secure_mem(secure_mem)
             .with_max_tenants(tenants),
     );
+    let master = MasterSecret::demo();
     let quota = secure_mem / tenants as u64;
     let batch = (events_per_window / 4).max(1);
     let ids: Vec<_> = (0..tenants)
         .map(|t| {
-            let pipeline = Pipeline::new(&format!("winsum-{t}"))
-                .then(Operator::WindowSum)
-                .target_delay_ms(60_000)
-                .batch_events(batch);
             server
-                .admit(TenantConfig::new(&format!("tenant-{t}"), quota), pipeline)
+                .admit(
+                    TenantConfig::new(&format!("tenant-{t}"), quota),
+                    winsum_pipeline(&format!("winsum-{t}"), batch),
+                )
                 .expect("admission within quota")
         })
         .collect();
@@ -103,21 +118,22 @@ fn run_tenant_count(
             tenant: *id,
             generator: Generator::new(
                 GeneratorConfig { batch_events: batch },
-                Channel::encrypted_demo(),
+                Channel::for_tenant(&master, *id, 0),
                 chunks,
             ),
         })
         .collect();
     let report = server.serve_with(streams, scheduler).expect("serve completes");
 
-    // Verify every tenant's audit trail independently.
-    let (_, _, signing) = server.cloud_keys();
+    // Verify every tenant's audit trail independently, each under its own
+    // derived keychain.
     let mut trails_verified = 0;
     for id in &ids {
+        let keychain = server.verifier_keys(*id).expect("admitted tenant has a keychain");
         let engine = server.engine(*id).unwrap();
         let segments = engine.drain_audit_segments();
         let records =
-            verify_tenant_trail(&segments, *id, &signing).expect("tenant trail authenticates");
+            verify_tenant_trail(&segments, *id, &keychain).expect("tenant trail authenticates");
         let replay = Verifier::new(engine.pipeline().spec()).replay(&records);
         assert!(replay.is_correct(), "tenant {id} replay violations: {:?}", replay.violations);
         trails_verified += 1;
@@ -137,11 +153,152 @@ fn run_tenant_count(
     }
 }
 
+/// One tenant's view of the churn scenario: accumulated trail plus the key
+/// epoch its next traffic must encrypt under.
+struct ChurnTenant {
+    id: TenantId,
+    epoch: u32,
+    trail: Vec<LogSegment>,
+}
+
+/// The churn scenario: 4 tenants serve window 0; then tenant 0 is evicted,
+/// tenant 1 rekeyed, tenant 2 quota-resized and a newcomer admitted into
+/// the freed reservation; windows 1 of the survivors + newcomer are served;
+/// finally every trail (departed tenant included) must verify.
+fn run_churn(scheduler: Scheduler, events_per_window: usize) -> Vec<Vec<String>> {
+    let secure_mem: u64 = 256 * 1024 * 1024;
+    let server = StreamServer::new(
+        ServerConfig::default().with_cores(4).with_secure_mem(secure_mem).with_max_tenants(8),
+    );
+    let master = MasterSecret::demo();
+    let batch = (events_per_window / 4).max(1);
+    let quota = secure_mem / 8;
+    let mut tenants: Vec<ChurnTenant> = (0..4)
+        .map(|t| ChurnTenant {
+            id: server
+                .admit(
+                    TenantConfig::new(&format!("churn-{t}"), quota),
+                    winsum_pipeline(&format!("churn-{t}"), batch),
+                )
+                .expect("admission within quota"),
+            epoch: 0,
+            trail: Vec::new(),
+        })
+        .collect();
+    // Two windows per tenant, served in two phases with churn in between.
+    let loads = multi_tenant_streams(5, 2, events_per_window, 64, 1234);
+
+    // One serve phase: every current tenant streams its chunk row's given
+    // window (rows are tied to tenant ids so key ranges stay disjoint
+    // across churn), then accumulated trails are drained.
+    let serve_phase =
+        |server: &Arc<StreamServer>, tenants: &mut Vec<ChurnTenant>, window: usize| {
+            let streams: Vec<TenantStream> = tenants
+                .iter()
+                .map(|t| {
+                    let row = (t.id.0 as usize - 1).min(loads.len() - 1);
+                    TenantStream {
+                        tenant: t.id,
+                        generator: Generator::new(
+                            GeneratorConfig { batch_events: batch },
+                            Channel::for_tenant(&master, t.id, t.epoch),
+                            vec![loads[row][window].clone()],
+                        ),
+                    }
+                })
+                .collect();
+            let report = server.serve_with(streams, scheduler).expect("churn serve completes");
+            for t in tenants.iter_mut() {
+                if let Some(engine) = server.engine(t.id) {
+                    t.trail.extend(engine.drain_audit_segments());
+                }
+            }
+            report
+        };
+
+    // Phase 1: everyone serves window 0.
+    serve_phase(&server, &mut tenants, 0);
+
+    // Churn: evict tenant 0 mid-sweep...
+    let evicted = tenants.remove(0);
+    let before = server.unreserved_quota();
+    let departure = server.evict(evicted.id).expect("evict admitted tenant");
+    assert_eq!(server.unreserved_quota(), before + quota, "eviction recovers the reservation");
+    let mut evicted_trail = evicted.trail;
+    evicted_trail.extend(departure.trail);
+    // ...rekey tenant 1, resize tenant 2, admit a newcomer into the freed
+    // reservation.
+    let rekeyed = server.rekey(tenants[0].id).expect("rekey admitted tenant");
+    tenants[0].epoch = rekeyed;
+    server.resize_quota(tenants[1].id, quota * 2).expect("resize within carve-out");
+    let newcomer = server
+        .admit(TenantConfig::new("churn-new", quota), winsum_pipeline("churn-new", batch))
+        .expect("newcomer fits the freed reservation");
+    tenants.push(ChurnTenant { id: newcomer, epoch: 0, trail: Vec::new() });
+
+    // Phase 2: survivors + newcomer serve window 1. Chunk row 4 feeds the
+    // newcomer (its own disjoint key range); the newcomer's "window 0" is
+    // empty, which is fine — empty windows egress nothing.
+    serve_phase(&server, &mut tenants, 1);
+
+    // Verification: every live trail under its keychain (the rekeyed one
+    // spans two epochs), and the departed tenant's trail under its final-
+    // epoch keychain, ending in the departure record.
+    let mut rows = Vec::new();
+    for t in &tenants {
+        let keychain = server.verifier_keys(t.id).expect("live keychain");
+        let records = verify_tenant_trail(&t.trail, t.id, &keychain)
+            .expect("live tenant trail authenticates");
+        let replay = Verifier::new(server.engine(t.id).unwrap().pipeline().spec()).replay(&records);
+        assert!(replay.is_correct(), "churn tenant {} violations: {:?}", t.id, replay.violations);
+        rows.push(vec![
+            scheduler.name().to_string(),
+            t.id.to_string(),
+            format!("epoch {}", t.epoch),
+            "live".to_string(),
+            format!("{} segments ok", t.trail.len()),
+        ]);
+    }
+    let keychain = server.verifier_keys(evicted.id).expect("departed keychain stays derivable");
+    let records = verify_tenant_trail(&evicted_trail, evicted.id, &keychain)
+        .expect("departed tenant trail authenticates");
+    let replay = Verifier::new(winsum_pipeline("churn-0", batch).spec()).replay(&records);
+    assert!(replay.is_correct(), "departed tenant violations: {:?}", replay.violations);
+    assert!(replay.departed, "departed trail must end with a departure record");
+    rows.push(vec![
+        scheduler.name().to_string(),
+        evicted.id.to_string(),
+        format!("epoch {}", departure.final_epoch),
+        "evicted".to_string(),
+        format!("{} segments ok", evicted_trail.len()),
+    ]);
+    rows
+}
+
 fn main() {
     let full = std::env::var("SBT_FULL").map(|v| v == "1").unwrap_or(false);
+    let churn = std::env::var("SBT_CHURN").map(|v| v == "1").unwrap_or(false);
     let (windows, events_per_window) = if full { (4u32, 200_000usize) } else { (2, 20_000) };
-    let sweep = sweep_from_env();
     let schedulers = schedulers_from_env();
+
+    if churn {
+        let mut rows = Vec::new();
+        for &s in &schedulers {
+            rows.extend(run_churn(s, events_per_window));
+        }
+        print_table(
+            "Server churn — admit / evict / rekey / resize mid-sweep, all trails verified",
+            &["sched", "tenant", "epoch", "state", "trail"],
+            &rows,
+        );
+        println!(
+            "\nEvery trail verified under its tenant's keychain, including the evicted \
+             tenant's; its quota reservation was recovered for the newcomer."
+        );
+        return;
+    }
+
+    let sweep = sweep_from_env();
     // Short runs are dominated by cold-start noise (thread spawn, page
     // faults); measure each cell a few times and keep the best, which
     // estimates capability rather than luck. `SBT_REPS` overrides.

@@ -3,8 +3,9 @@
 //! The paper encrypts source→edge and edge→cloud streams with 128-bit AES and
 //! signs egress results inside the TEE. This crate provides the minimal
 //! primitives that the data plane needs for those paths — AES-128 in CTR
-//! mode, SHA-256, and HMAC-SHA-256 — implemented directly from the public
-//! algorithm specifications (FIPS 197, FIPS 180-4, RFC 2104) so that the
+//! mode, SHA-256, HMAC-SHA-256 and HKDF key derivation — implemented
+//! directly from the public
+//! algorithm specifications (FIPS 197, FIPS 180-4, RFC 2104, RFC 5869) so that the
 //! simulated trusted computing base carries no external dependencies.
 //!
 //! These implementations favour clarity over constant-time hardening; the
@@ -17,12 +18,14 @@
 pub mod aes;
 pub mod ctr;
 pub mod hmac;
+pub mod kdf;
 pub mod sha256;
 pub mod sign;
 
 pub use aes::Aes128;
 pub use ctr::AesCtr;
 pub use hmac::hmac_sha256;
+pub use kdf::{hkdf_expand, hkdf_extract, KeySet, MasterSecret, TenantKeychain, VerifierKeySet};
 pub use sha256::{sha256, Sha256};
 pub use sign::{Signature, SigningKey};
 

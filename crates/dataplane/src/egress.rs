@@ -5,7 +5,7 @@
 //! HMAC computed inside the TEE. The cloud side verifies the MAC before
 //! decrypting.
 
-use sbt_crypto::{AesCtr, Key128, Nonce, Signature, SigningKey};
+use sbt_crypto::{AesCtr, Key128, Nonce, Signature, SigningKey, TenantKeychain, VerifierKeySet};
 
 /// A result message as uploaded to the cloud.
 #[derive(Debug, Clone)]
@@ -45,6 +45,18 @@ impl EgressMessage {
         let mut nonce_for_msg = *nonce;
         nonce_for_msg[..8].copy_from_slice(&self.seq.to_le_bytes());
         Some(AesCtr::new(key, &nonce_for_msg).decrypt(&self.ciphertext))
+    }
+
+    /// Verify and decrypt under one epoch's verifier keys.
+    pub fn open_with(&self, keys: &VerifierKeySet) -> Option<Vec<u8>> {
+        self.open(&keys.cloud_key, &keys.cloud_nonce, &keys.signing)
+    }
+
+    /// Verify and decrypt by trial over a tenant's keychain, newest epoch
+    /// first (the MAC pins the epoch: only the sealing epoch's key opens the
+    /// message). Returns the plaintext and the epoch that opened it.
+    pub fn open_any(&self, keys: &TenantKeychain) -> Option<(Vec<u8>, u32)> {
+        keys.newest_first().find_map(|k| self.open_with(k).map(|plain| (plain, k.epoch)))
     }
 
     fn signed_payload(seq: u64, ciphertext: &[u8]) -> Vec<u8> {

@@ -864,6 +864,22 @@ impl Engine {
         committed
     }
 
+    /// Wait (helping the executor) until no window drainer owns this
+    /// engine's window execution — every submitted window task has run to
+    /// completion or parked its error. The serving layer quiesces an engine
+    /// before tearing its tenant down, so a drained tenant's final windows
+    /// finish (and are audited) before the namespace disappears.
+    pub fn quiesce(&self) {
+        loop {
+            if !self.window_exec.lock().draining {
+                return;
+            }
+            if !self.pool.help_one() {
+                std::thread::sleep(Duration::from_micros(100));
+            }
+        }
+    }
+
     /// Results externalized so far (encrypted and signed for the cloud).
     pub fn results(&self) -> Vec<EgressMessage> {
         self.results.lock().clone()

@@ -15,11 +15,19 @@
 //!   tasks then fan out onto the shared worker pool. Backpressure is per
 //!   tenant — a tenant nearing its quota is slowed (and its overflowing
 //!   batches rejected) without stalling the other tenants.
-//! * **Isolation**: opaque-reference namespaces, audit-log segment streams
-//!   and egress sequence numbers are all per tenant; one tenant's control
-//!   plane cannot invoke a primitive on another tenant's state, and the
-//!   cloud verifies each tenant's audit trail independently
-//!   (`sbt_attest::verify_tenant_trail`).
+//! * **Isolation**: opaque-reference namespaces, audit-log segment streams,
+//!   egress sequence numbers **and key material** are all per tenant; one
+//!   tenant's control plane cannot invoke a primitive on another tenant's
+//!   state, results seal under per-tenant derived keys, and the cloud
+//!   verifies each tenant's audit trail independently under that tenant's
+//!   keychain (`sbt_attest::verify_tenant_trail`).
+//! * **Lifecycle** ([`StreamServer::evict`], [`StreamServer::drain`],
+//!   [`StreamServer::rekey`], [`StreamServer::resize_quota`]): tenants
+//!   come and go on a long-running edge. Draining runs the remaining
+//!   windows to the watermark before teardown; eviction unwinds the
+//!   scheduler lane mid-`serve`; either frees the tenant's references,
+//!   uArrays and quota reservation in one pass, and the departed tenant's
+//!   trail stays verifiable under its final epoch's keychain.
 //!
 //! The TCB story is unchanged: the server, like the engine, is untrusted
 //! control-plane code. Everything it is trusted *not* to do is enforced by
@@ -37,5 +45,5 @@ pub mod server;
 pub mod tenant;
 
 pub use sched::{DrrAccounting, Scheduler, ServeReport, TenantProgress, TenantStream};
-pub use server::{ServerConfig, StreamServer};
-pub use tenant::{AdmissionError, TenantConfig};
+pub use server::{DepartureReport, ServerConfig, StreamServer};
+pub use tenant::{AdmissionError, LifecycleError, TenantConfig};

@@ -24,7 +24,7 @@
 //! gateway actually metered, so tenants pay for the cycles they consumed —
 //! including their window executions — not for a batch count.
 
-use crate::server::StreamServer;
+use crate::server::{LanePhase, StreamServer};
 use sbt_dataplane::DataPlaneError;
 use sbt_engine::{CycleCost, Engine, IngestStatus, JoinHandle, StreamSide, WindowTicket};
 use sbt_types::{TenantId, Watermark};
@@ -33,6 +33,26 @@ use sbt_workloads::transport::Delivery;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// RAII registration of the tenants whose lanes a serve loop owns, so
+/// [`StreamServer::drain`] hands teardown to the loop instead of racing it.
+struct ServingGuard<'a> {
+    server: &'a StreamServer,
+    ids: Vec<TenantId>,
+}
+
+impl<'a> ServingGuard<'a> {
+    fn new(server: &'a StreamServer, ids: Vec<TenantId>) -> Self {
+        server.mark_serving(&ids);
+        ServingGuard { server, ids }
+    }
+}
+
+impl Drop for ServingGuard<'_> {
+    fn drop(&mut self) {
+        self.server.unmark_serving(&self.ids);
+    }
+}
 
 /// Which serving discipline [`StreamServer::serve_with`] runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,6 +112,10 @@ pub struct TenantProgress {
     pub avg_delay_ms: f64,
     /// Maximum output delay over the tenant's windows, in milliseconds.
     pub max_delay_ms: f64,
+    /// Whether the tenant departed (was drained or evicted) during the run;
+    /// departed tenants' engine-side counters read zero because the
+    /// namespace is gone.
+    pub departed: bool,
 }
 
 /// Outcome of serving a set of tenant streams to completion.
@@ -228,11 +252,27 @@ struct DrrLaneRt {
     inflight: Vec<(u64, JoinHandle<Result<IngestStatus, DataPlaneError>>)>,
     /// In-flight window-execution tickets.
     tickets: Vec<WindowTicket>,
+    /// Drain requested: finish staged/pending/in-flight work, pull nothing
+    /// new, then depart the tenant.
+    draining: bool,
+    /// The tenant departed (evicted, or this loop finished its drain): the
+    /// lane only exists to absorb in-flight completions, whose outcomes —
+    /// `UnknownTenant` included — are discarded.
+    dead: bool,
 }
 
 impl DrrLaneRt {
     /// Whether the lane still has work the serve loop must see through.
     fn live(&self) -> bool {
+        if self.dead {
+            return !self.inflight.is_empty() || !self.tickets.is_empty();
+        }
+        if self.draining {
+            return self.staged.is_some()
+                || self.pending_wm.is_some()
+                || !self.inflight.is_empty()
+                || !self.tickets.is_empty();
+        }
         !self.lane.generator.is_exhausted()
             || self.staged.is_some()
             || self.pending_wm.is_some()
@@ -242,6 +282,9 @@ impl DrrLaneRt {
 
     /// Whether the lane has offerable input (backlogged, in DRR terms).
     fn backlogged(&self) -> bool {
+        if self.dead || self.draining {
+            return false;
+        }
         self.staged.is_some() || self.pending_wm.is_some() || !self.lane.generator.is_exhausted()
     }
 }
@@ -281,7 +324,7 @@ impl StreamServer {
         Ok(lanes)
     }
 
-    fn report(lanes: &[Lane], wall_nanos: u64) -> ServeReport {
+    fn report(&self, lanes: &[Lane], wall_nanos: u64) -> ServeReport {
         let per_tenant = lanes
             .iter()
             .map(|lane| {
@@ -296,6 +339,7 @@ impl StreamServer {
                     ingested_events: metrics.events_ingested,
                     avg_delay_ms: metrics.avg_delay_ms(),
                     max_delay_ms: metrics.max_delay_ms(),
+                    departed: self.is_departed(lane.tenant),
                 }
             })
             .collect();
@@ -330,6 +374,7 @@ impl StreamServer {
     /// executor when there is nothing to orchestrate.
     fn serve_drr(&self, streams: Vec<TenantStream>) -> Result<ServeReport, DataPlaneError> {
         let lanes = self.lanes_for(streams)?;
+        let _guard = ServingGuard::new(self, lanes.iter().map(|l| l.tenant).collect());
         let executor = self.worker_pool().clone();
         let mut rt: Vec<DrrLaneRt> = lanes
             .into_iter()
@@ -342,6 +387,8 @@ impl StreamServer {
                     pending_wm: None,
                     inflight: Vec::new(),
                     tickets: Vec::new(),
+                    draining: false,
+                    dead: false,
                 }
             })
             .collect();
@@ -350,10 +397,36 @@ impl StreamServer {
         let mut fatal: Option<DataPlaneError> = None;
         let start = Instant::now();
 
+        let lane_ids: Vec<TenantId> = rt.iter().map(|l| l.lane.tenant).collect();
         loop {
             let mut progress = false;
+            let phases = self.lane_phases(&lane_ids);
 
             for (li, l) in rt.iter_mut().enumerate() {
+                // Lifecycle check: an eviction (from any thread) unwinds the
+                // lane mid-serve; a drain request stops its intake.
+                if !l.dead {
+                    match phases[li] {
+                        LanePhase::Departed => {
+                            l.dead = true;
+                            l.staged = None;
+                            l.pending_wm = None;
+                            progress = true;
+                        }
+                        LanePhase::Draining if !l.draining => {
+                            l.draining = true;
+                            // The staged batch never entered the TEE; drop
+                            // it. A staged watermark still closes the
+                            // windows whose batches are already in.
+                            if matches!(l.staged, Some(Offer::Batch(_))) {
+                                l.staged = None;
+                            }
+                            progress = true;
+                        }
+                        _ => {}
+                    }
+                }
+
                 // Harvest finished ingestion tasks (any completion order).
                 let mut harvested = Vec::new();
                 l.inflight.retain_mut(|(est, handle)| match handle.try_join() {
@@ -367,6 +440,11 @@ impl StreamServer {
                     drr.release(li, est);
                     progress = true;
                     match done {
+                        _ if l.dead => {
+                            // The tenant departed with this batch in flight:
+                            // whatever the TEE answered (including
+                            // UnknownTenant) is moot.
+                        }
                         Ok(Ok(IngestStatus::Accepted)) => l.lane.accepted_batches += 1,
                         Ok(Ok(IngestStatus::Backpressure)) => {
                             l.lane.accepted_batches += 1;
@@ -378,6 +456,16 @@ impl StreamServer {
                             // quota. The debit penalizes only this lane.
                             l.lane.rejected_batches += 1;
                             drr.penalize(li);
+                        }
+                        // Evicted after this iteration's phase snapshot,
+                        // with the batch in flight: the lane dies; nothing
+                        // is fatal for the other tenants.
+                        Ok(Err(DataPlaneError::UnknownTenant))
+                            if self.lane_phase(l.lane.tenant) == LanePhase::Departed =>
+                        {
+                            l.dead = true;
+                            l.staged = None;
+                            l.pending_wm = None;
                         }
                         Ok(Err(e)) => {
                             fatal.get_or_insert(e);
@@ -397,7 +485,7 @@ impl StreamServer {
                 // all been stashed; the returned ticket joins the in-flight
                 // set and its window executes concurrently with everything
                 // else.
-                if l.inflight.is_empty() && fatal.is_none() {
+                if l.inflight.is_empty() && fatal.is_none() && !l.dead {
                     if let Some(wm) = l.pending_wm.take() {
                         l.tickets.push(Engine::advance_watermark_async(
                             &l.lane.engine,
@@ -420,6 +508,7 @@ impl StreamServer {
                 for result in ticket_results {
                     progress = true;
                     match result {
+                        _ if l.dead => {}
                         Ok(()) => {}
                         Err(DataPlaneError::QuotaExceeded) => {
                             // Window execution tripped the tenant's quota
@@ -428,9 +517,38 @@ impl StreamServer {
                             l.lane.rejected_batches += 1;
                             drr.penalize(li);
                         }
+                        // Evicted with the window in flight: lane dies,
+                        // others unaffected.
+                        Err(DataPlaneError::UnknownTenant)
+                            if self.lane_phase(l.lane.tenant) == LanePhase::Departed =>
+                        {
+                            l.dead = true;
+                            l.staged = None;
+                            l.pending_wm = None;
+                        }
                         Err(e) => {
                             fatal.get_or_insert(e);
                         }
+                    }
+                }
+            }
+
+            // Finalize drains: a draining lane with nothing left in flight
+            // departs its tenant (the namespace disappears only after its
+            // final windows executed and were audited).
+            if fatal.is_none() {
+                for l in rt.iter_mut() {
+                    if l.draining
+                        && !l.dead
+                        && l.staged.is_none()
+                        && l.pending_wm.is_none()
+                        && l.inflight.is_empty()
+                        && l.tickets.is_empty()
+                    {
+                        l.lane.engine.quiesce();
+                        self.finish_drain(l.lane.tenant);
+                        l.dead = true;
+                        progress = true;
                     }
                 }
             }
@@ -439,6 +557,18 @@ impl StreamServer {
             let mut starved_by_credit = false;
             if fatal.is_none() {
                 for (li, l) in rt.iter_mut().enumerate() {
+                    if l.dead {
+                        continue;
+                    }
+                    if l.draining {
+                        // Intake is closed: only promote an already-staged
+                        // watermark so the lane can finish its windows.
+                        if let Some(Offer::Watermark(wm)) = l.staged.take() {
+                            l.pending_wm = Some(wm);
+                            progress = true;
+                        }
+                        continue;
+                    }
                     loop {
                         if l.staged.is_none() && l.pending_wm.is_none() {
                             l.staged = l.lane.generator.next_offer();
@@ -506,19 +636,40 @@ impl StreamServer {
         let lanes: Vec<Lane> = rt.into_iter().map(|l| l.lane).collect();
         match fatal {
             Some(e) => Err(e),
-            None => Ok(Self::report(&lanes, wall_nanos)),
+            None => Ok(self.report(&lanes, wall_nanos)),
         }
     }
 
     /// The weighted round-robin baseline: batch-count rounds, a global pool
-    /// barrier per round, serial window execution on the caller.
+    /// barrier per round, serial window execution on the caller. Lifecycle
+    /// transitions are handled at round boundaries (a WRR round leaves no
+    /// in-flight work behind): departed lanes die, draining lanes stop
+    /// pulling and depart at the end of their round.
     fn serve_wrr(&self, streams: Vec<TenantStream>) -> Result<ServeReport, DataPlaneError> {
         let mut lanes = self.lanes_for(streams)?;
+        let _guard = ServingGuard::new(self, lanes.iter().map(|l| l.tenant).collect());
         // Rounds a lane sits out (backpressure / quota penalty).
         let mut penalties: Vec<u32> = vec![0; lanes.len()];
+        let mut dead: Vec<bool> = vec![false; lanes.len()];
         let pool = self.worker_pool().clone();
         let start = Instant::now();
         loop {
+            // Phase 0 — lifecycle.
+            for (li, lane) in lanes.iter().enumerate() {
+                if dead[li] {
+                    continue;
+                }
+                match self.lane_phase(lane.tenant) {
+                    LanePhase::Departed => dead[li] = true,
+                    LanePhase::Draining => {
+                        lane.engine.quiesce();
+                        self.finish_drain(lane.tenant);
+                        dead[li] = true;
+                    }
+                    LanePhase::Active => {}
+                }
+            }
+
             // Phase 1 — weighted offer pull: each unpenalized lane
             // contributes up to `weight` batches this round; a watermark
             // ends the lane's turn (it must run after the lane's batches).
@@ -526,7 +677,7 @@ impl StreamServer {
             let mut round_marks = Vec::new();
             let mut any_live = false;
             for (li, lane) in lanes.iter_mut().enumerate() {
-                if lane.generator.is_exhausted() {
+                if dead[li] || lane.generator.is_exhausted() {
                     continue;
                 }
                 any_live = true;
@@ -579,6 +730,13 @@ impl StreamServer {
                         lane.rejected_batches += 1;
                         penalties[li] = 1;
                     }
+                    // The tenant was evicted while its batch was in flight:
+                    // the lane dies, nothing else is affected.
+                    Err(DataPlaneError::UnknownTenant)
+                        if self.lane_phase(lane.tenant) == LanePhase::Departed =>
+                    {
+                        dead[li] = true;
+                    }
                     Err(e) => return Err(e),
                 }
             }
@@ -587,18 +745,26 @@ impl StreamServer {
             // this thread (their primitive fan-out reuses the pool).
             for (li, wm) in round_marks {
                 let lane = &mut lanes[li];
+                if dead[li] {
+                    continue;
+                }
                 match lane.engine.advance_watermark(wm) {
                     Ok(()) => {}
                     Err(DataPlaneError::QuotaExceeded) => {
                         lane.rejected_batches += 1;
                         penalties[li] = 1;
                     }
+                    Err(DataPlaneError::UnknownTenant)
+                        if self.lane_phase(lane.tenant) == LanePhase::Departed =>
+                    {
+                        dead[li] = true;
+                    }
                     Err(e) => return Err(e),
                 }
             }
         }
         let wall_nanos = start.elapsed().as_nanos() as u64;
-        Ok(Self::report(&lanes, wall_nanos))
+        Ok(self.report(&lanes, wall_nanos))
     }
 }
 
@@ -607,6 +773,7 @@ mod tests {
     use super::*;
     use crate::server::ServerConfig;
     use crate::tenant::TenantConfig;
+    use sbt_crypto::MasterSecret;
     use sbt_engine::{Operator, Pipeline};
     use sbt_workloads::datasets::multi_tenant_streams;
     use sbt_workloads::generator::GeneratorConfig;
@@ -620,13 +787,14 @@ mod tests {
         ids: &[TenantId],
         loads: &[Vec<sbt_workloads::datasets::StreamChunk>],
     ) -> Vec<TenantStream> {
+        let master = MasterSecret::demo();
         ids.iter()
             .zip(loads)
             .map(|(tenant, chunks)| TenantStream {
                 tenant: *tenant,
                 generator: Generator::new(
                     GeneratorConfig { batch_events: 500 },
-                    Channel::encrypted_demo(),
+                    Channel::for_tenant(&master, *tenant, 0),
                     chunks.clone(),
                 ),
             })
@@ -642,19 +810,23 @@ mod tests {
         let report = server.serve_with(streams_for(&[a, b], &loads), scheduler).unwrap();
         assert_eq!(report.aggregate_events(), 2 * 2 * 2_000);
         assert!(report.aggregate_events_per_sec() > 0.0);
-        // Every tenant produced one result per window, matching its oracle.
-        let (key, nonce, signing) = server.cloud_keys();
+        // Every tenant produced one result per window, matching its oracle —
+        // each opening only under its own derived keys.
         for (i, tenant) in [a, b].into_iter().enumerate() {
+            let keys = server.verifier_keys(tenant).unwrap();
             let engine = server.engine(tenant).unwrap();
             let results = engine.results();
             assert_eq!(results.len(), 2, "{tenant}");
             for (w, msg) in results.iter().enumerate() {
-                let plain = msg.open(&key, &nonce, &signing).unwrap();
+                let plain = msg.open_with(keys.latest()).unwrap();
                 let got = u64::from_le_bytes(plain[..8].try_into().unwrap());
                 let expected: u64 = loads[i][w].events.iter().map(|e| e.value as u64).sum();
                 assert_eq!(got, expected, "{tenant} window {w}");
             }
         }
+        // Cross-tenant: a's results do not open under b's keys.
+        let a_result = &server.engine(a).unwrap().results()[0];
+        assert!(a_result.open_with(server.verifier_keys(b).unwrap().latest()).is_none());
     }
 
     #[test]

@@ -1,13 +1,27 @@
-//! The multi-tenant stream server: admission and shared-substrate ownership.
+//! The multi-tenant stream server: admission, lifecycle and
+//! shared-substrate ownership.
+//!
+//! Tenants are full lifecycle objects. Admission brings a tenant up with its
+//! own derived key material and reserved quota; while admitted it can be
+//! **rekeyed** (epoch bump, neighbours untouched) and its quota **resized**;
+//! it leaves by **drain** (ingest stops, remaining windows run to the
+//! watermark, then teardown) or **evict** (immediate teardown, unwinding the
+//! scheduler lane mid-`serve`). Either departure frees every opaque
+//! reference and uArray the tenant owned in one pass and returns its quota
+//! reservation to [`StreamServer::unreserved_quota`], so a long-running edge
+//! can admit, churn and re-admit tenants indefinitely.
 
-use crate::tenant::{AdmissionError, TenantConfig};
+use crate::tenant::{AdmissionError, LifecycleError, TenantConfig};
 use parking_lot::Mutex;
-use sbt_crypto::{Key128, Nonce, SigningKey};
+use sbt_attest::{DepartureReason, LogSegment};
+use sbt_crypto::TenantKeychain;
 use sbt_dataplane::{DataPlane, DataPlaneConfig};
 use sbt_engine::{CycleCost, Engine, EngineConfig, EngineVariant, Executor, Pipeline};
 use sbt_types::TenantId;
 use sbt_tz::Platform;
+use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Server-wide configuration.
 #[derive(Clone)]
@@ -69,11 +83,57 @@ impl ServerConfig {
     }
 }
 
+/// Where an admitted tenant is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TenantPhase {
+    /// Serving normally.
+    Active,
+    /// Drain requested: no new ingest; remaining windows run to the
+    /// watermark, then the tenant departs.
+    Draining,
+}
+
+/// What a serve loop should do with a tenant's lane right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum LanePhase {
+    /// Keep serving.
+    Active,
+    /// Stop pulling offers; finish in-flight work, then depart the tenant.
+    Draining,
+    /// The tenant is gone (evicted or drained elsewhere): unwind the lane,
+    /// discarding outcomes of in-flight work.
+    Departed,
+}
+
 /// One admitted tenant.
 pub(crate) struct TenantEntry {
     pub(crate) id: TenantId,
     pub(crate) config: TenantConfig,
     pub(crate) engine: Arc<Engine>,
+    pub(crate) phase: TenantPhase,
+}
+
+/// The record of one tenant's departure: its final trail and what the
+/// teardown recovered. Kept by the server so departed tenants' trails stay
+/// verifiable (the cloud can fetch them after the fact).
+#[derive(Debug, Clone)]
+pub struct DepartureReport {
+    /// The departed tenant.
+    pub tenant: TenantId,
+    /// Drained or evicted.
+    pub reason: DepartureReason,
+    /// The key epoch the tenant departed under (fixes the keychain the
+    /// trail verifies with).
+    pub final_epoch: u32,
+    /// Audit segments not yet drained at departure, ending with the
+    /// departure record.
+    pub trail: Vec<LogSegment>,
+    /// Secure-memory bytes the one-pass owner teardown freed.
+    pub reclaimed_bytes: u64,
+    /// Quota reservation returned to the admission pool.
+    pub released_quota: u64,
+    /// Opaque references revoked with the tenant's namespace.
+    pub refs_revoked: usize,
 }
 
 /// The multi-tenant serving layer over one shared TEE.
@@ -85,6 +145,12 @@ pub struct StreamServer {
     tenants: Mutex<Vec<TenantEntry>>,
     next_tenant: Mutex<u32>,
     reserved_quota: Mutex<u64>,
+    /// Tenants whose lanes a `serve` loop currently owns (refcounted:
+    /// concurrent serve calls may overlap on a tenant); `drain` hands the
+    /// teardown to an owning loop instead of racing it.
+    serving: Mutex<HashMap<TenantId, usize>>,
+    /// Departure records of every tenant that ever left.
+    departed: Mutex<HashMap<TenantId, DepartureReport>>,
 }
 
 impl StreamServer {
@@ -106,6 +172,8 @@ impl StreamServer {
             // server tenants start at 1.
             next_tenant: Mutex::new(1),
             reserved_quota: Mutex::new(0),
+            serving: Mutex::new(HashMap::new()),
+            departed: Mutex::new(HashMap::new()),
             config,
         })
     }
@@ -177,8 +245,204 @@ impl StreamServer {
         };
         let engine =
             Engine::for_tenant(engine_config, pipeline, self.dp.clone(), id, self.pool.clone());
-        tenants.push(TenantEntry { id, config: tenant_config, engine });
+        tenants.push(TenantEntry { id, config: tenant_config, engine, phase: TenantPhase::Active });
         Ok(id)
+    }
+
+    // ----- tenant lifecycle ----------------------------------------------
+
+    /// Remove a tenant and tear down everything it owns on the shared
+    /// substrate: audit departure record, reference namespace, uArrays and
+    /// pages, quota reservation.
+    fn depart(
+        &self,
+        tenant: TenantId,
+        reason: DepartureReason,
+    ) -> Result<DepartureReport, LifecycleError> {
+        let entry = {
+            let mut tenants = self.tenants.lock();
+            let pos =
+                tenants.iter().position(|t| t.id == tenant).ok_or(LifecycleError::UnknownTenant)?;
+            tenants.remove(pos)
+        };
+        let teardown =
+            self.dp.deregister_tenant(tenant, reason).map_err(LifecycleError::Rejected)?;
+        {
+            let mut reserved = self.reserved_quota.lock();
+            *reserved = reserved.saturating_sub(entry.config.quota_bytes);
+        }
+        let report = DepartureReport {
+            tenant,
+            reason,
+            final_epoch: teardown.final_epoch,
+            trail: teardown.segments,
+            reclaimed_bytes: teardown.reclaimed_bytes,
+            released_quota: entry.config.quota_bytes,
+            refs_revoked: teardown.refs_revoked,
+        };
+        self.departed.lock().insert(tenant, report.clone());
+        Ok(report)
+    }
+
+    /// Evict a tenant immediately. Its scheduler lane (if a `serve` is
+    /// running) unwinds: in-flight work is discarded, no further offers are
+    /// pulled. Every opaque reference and uArray the tenant owned is freed
+    /// in one pass and its quota reservation returns to
+    /// [`unreserved_quota`](StreamServer::unreserved_quota). The tenant's
+    /// remaining audit segments — ending with an `Evicted` departure record
+    /// — are in the returned report and stay fetchable via
+    /// [`departure`](StreamServer::departure).
+    pub fn evict(&self, tenant: TenantId) -> Result<DepartureReport, LifecycleError> {
+        self.depart(tenant, DepartureReason::Evicted)
+    }
+
+    /// Drain a tenant: stop its ingest, let the windows its watermarks
+    /// already completed run to the end, then tear it down like
+    /// [`evict`](StreamServer::evict) (with a `Drained` departure record).
+    /// If a `serve` loop currently owns the tenant's lane, the drain is
+    /// handed to it and this call blocks until the lane has wound down.
+    pub fn drain(&self, tenant: TenantId) -> Result<DepartureReport, LifecycleError> {
+        {
+            let mut tenants = self.tenants.lock();
+            let entry =
+                tenants.iter_mut().find(|t| t.id == tenant).ok_or(LifecycleError::UnknownTenant)?;
+            entry.phase = TenantPhase::Draining;
+        }
+        loop {
+            if self.is_departed(tenant) {
+                return self.departure(tenant).ok_or(LifecycleError::UnknownTenant);
+            }
+            if !self.is_being_served(tenant) {
+                // No serve loop owns the lane: finish the drain here. Any
+                // windows still executing asynchronously get to complete
+                // (and be audited) before the namespace disappears.
+                if let Some(engine) = self.engine(tenant) {
+                    engine.quiesce();
+                }
+                return match self.depart(tenant, DepartureReason::Drained) {
+                    Ok(report) => Ok(report),
+                    // Lost the race to a concurrent evict/serve teardown:
+                    // the departure record is the outcome either way.
+                    Err(LifecycleError::UnknownTenant) => {
+                        self.departure(tenant).ok_or(LifecycleError::UnknownTenant)
+                    }
+                    Err(e) => Err(e),
+                };
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    /// Resize a tenant's TEE memory quota. Growing requires headroom in the
+    /// secure carve-out against the other tenants' reservations; shrinking
+    /// below current usage is allowed (further charges fail until usage
+    /// drops).
+    pub fn resize_quota(&self, tenant: TenantId, new_bytes: u64) -> Result<(), LifecycleError> {
+        if new_bytes == 0 {
+            return Err(LifecycleError::EmptyQuota);
+        }
+        let mut tenants = self.tenants.lock();
+        let entry =
+            tenants.iter_mut().find(|t| t.id == tenant).ok_or(LifecycleError::UnknownTenant)?;
+        let mut reserved = self.reserved_quota.lock();
+        let others = reserved.saturating_sub(entry.config.quota_bytes);
+        let available = self.config.secure_mem_bytes.saturating_sub(others);
+        if new_bytes > available {
+            return Err(LifecycleError::QuotaOvercommit { requested: new_bytes, available });
+        }
+        self.dp.set_tenant_quota(tenant, Some(new_bytes)).map_err(LifecycleError::Rejected)?;
+        *reserved = others + new_bytes;
+        entry.config.quota_bytes = new_bytes;
+        Ok(())
+    }
+
+    /// Rotate a tenant's key material to the next epoch. Ingest encrypted
+    /// under the old epoch's source key stops decrypting; audit segments
+    /// from here on sign under the new epoch's key; other tenants are
+    /// untouched. Returns the new epoch.
+    pub fn rekey(&self, tenant: TenantId) -> Result<u32, LifecycleError> {
+        if !self.tenants.lock().iter().any(|t| t.id == tenant) {
+            return Err(LifecycleError::UnknownTenant);
+        }
+        self.dp.rekey_tenant(tenant).map_err(LifecycleError::Rejected)
+    }
+
+    /// The departure record of a tenant that left, if it ever did. The
+    /// record (trail included) is retained until the cloud drains it with
+    /// [`take_departed_trail`](StreamServer::take_departed_trail).
+    pub fn departure(&self, tenant: TenantId) -> Option<DepartureReport> {
+        self.departed.lock().get(&tenant).cloned()
+    }
+
+    /// Drain a departed tenant's retained trail segments (the cloud fetches
+    /// them once, then they are dropped). The compact departure record —
+    /// reason, final epoch, reclaimed bytes — stays, so
+    /// [`verifier_keys`](StreamServer::verifier_keys) keeps working and an
+    /// indefinitely churning edge retains only O(bytes) per departed tenant
+    /// rather than its whole trail.
+    pub fn take_departed_trail(&self, tenant: TenantId) -> Option<Vec<LogSegment>> {
+        let mut departed = self.departed.lock();
+        departed.get_mut(&tenant).map(|report| std::mem::take(&mut report.trail))
+    }
+
+    /// Ids of every tenant that has departed, in no particular order.
+    pub fn departed_tenants(&self) -> Vec<TenantId> {
+        self.departed.lock().keys().copied().collect()
+    }
+
+    /// What the serve loop should do with a tenant's lane right now.
+    pub(crate) fn lane_phase(&self, tenant: TenantId) -> LanePhase {
+        self.lane_phases(&[tenant])[0]
+    }
+
+    /// Batched [`lane_phase`](StreamServer::lane_phase) for a whole lane
+    /// set under one lock (the DRR loop polls this once per iteration).
+    pub(crate) fn lane_phases(&self, ids: &[TenantId]) -> Vec<LanePhase> {
+        let tenants = self.tenants.lock();
+        ids.iter()
+            .map(|id| match tenants.iter().find(|t| t.id == *id) {
+                Some(entry) => match entry.phase {
+                    TenantPhase::Active => LanePhase::Active,
+                    TenantPhase::Draining => LanePhase::Draining,
+                },
+                None => LanePhase::Departed,
+            })
+            .collect()
+    }
+
+    /// Called by a serve loop when a draining lane has wound down.
+    pub(crate) fn finish_drain(&self, tenant: TenantId) {
+        let _ = self.depart(tenant, DepartureReason::Drained);
+    }
+
+    pub(crate) fn mark_serving(&self, ids: &[TenantId]) {
+        let mut serving = self.serving.lock();
+        for id in ids {
+            *serving.entry(*id).or_insert(0) += 1;
+        }
+    }
+
+    pub(crate) fn unmark_serving(&self, ids: &[TenantId]) {
+        let mut serving = self.serving.lock();
+        for id in ids {
+            if let Some(count) = serving.get_mut(id) {
+                *count -= 1;
+                if *count == 0 {
+                    serving.remove(id);
+                }
+            }
+        }
+    }
+
+    /// Whether any serve loop currently owns a lane for the tenant.
+    fn is_being_served(&self, tenant: TenantId) -> bool {
+        self.serving.lock().contains_key(&tenant)
+    }
+
+    /// Whether the tenant has departed, without cloning its report (the
+    /// serve loop and `drain`'s wait loop poll this).
+    pub(crate) fn is_departed(&self, tenant: TenantId) -> bool {
+        self.departed.lock().contains_key(&tenant)
     }
 
     /// Ids of the admitted tenants, in admission order.
@@ -221,9 +485,17 @@ impl StreamServer {
         &self.config
     }
 
-    /// Cloud-side key material (what the per-tenant consumers hold).
-    pub fn cloud_keys(&self) -> (Key128, Nonce, SigningKey) {
-        self.dp.cloud_keys()
+    /// The cloud-side keychain of one tenant: per-epoch verifier keys (trail
+    /// signing + result decryption), which is all trail verification needs.
+    /// Works for departed tenants too — their trails stay verifiable under
+    /// the keychain of their final epoch. Raw platform-wide keys are never
+    /// handed out; there is no platform-wide key to hand out.
+    pub fn verifier_keys(&self, tenant: TenantId) -> Option<TenantKeychain> {
+        if let Ok(chain) = self.dp.verifier_keys(tenant) {
+            return Some(chain);
+        }
+        let final_epoch = self.departed.lock().get(&tenant)?.final_epoch;
+        Some(self.config.dataplane.master.keychain(tenant.0, final_epoch))
     }
 
     pub(crate) fn entries_snapshot(&self) -> Vec<(TenantId, u32, Arc<Engine>)> {
@@ -288,6 +560,95 @@ mod tests {
             server.admit(TenantConfig::new("d", 1024), pipeline()),
             Err(AdmissionError::ServerFull { max_tenants: 2 })
         ));
+    }
+
+    #[test]
+    fn evict_recovers_quota_for_new_admissions() {
+        let server = StreamServer::new(ServerConfig::default().with_secure_mem(32 * 1024 * 1024));
+        let a = server.admit(TenantConfig::new("a", 24 * 1024 * 1024), pipeline()).unwrap();
+        // No headroom for b...
+        assert!(matches!(
+            server.admit(TenantConfig::new("b", 16 * 1024 * 1024), pipeline()),
+            Err(AdmissionError::QuotaOvercommit { .. })
+        ));
+        let report = server.evict(a).unwrap();
+        assert_eq!(report.reason, DepartureReason::Evicted);
+        assert_eq!(report.released_quota, 24 * 1024 * 1024);
+        assert_eq!(server.unreserved_quota(), 32 * 1024 * 1024);
+        assert!(server.tenants().is_empty());
+        assert_eq!(server.departed_tenants(), vec![a]);
+        assert!(server.departure(a).is_some());
+        // ...until the eviction frees it; the name is reusable, the id is not.
+        let b = server.admit(TenantConfig::new("a", 16 * 1024 * 1024), pipeline()).unwrap();
+        assert_ne!(a, b);
+        // Departed tenants reject all lifecycle operations.
+        assert!(matches!(server.evict(a), Err(LifecycleError::UnknownTenant)));
+        assert_eq!(server.rekey(a), Err(LifecycleError::UnknownTenant));
+        assert_eq!(server.resize_quota(a, 1024), Err(LifecycleError::UnknownTenant));
+        // But their keychains stay derivable for late trail verification.
+        assert!(server.verifier_keys(a).is_some());
+    }
+
+    #[test]
+    fn departed_trails_drain_once_and_keychains_survive() {
+        let server = StreamServer::new(ServerConfig::default());
+        let a = server.admit(TenantConfig::new("a", 1024 * 1024), pipeline()).unwrap();
+        let report = server.evict(a).unwrap();
+        assert!(!report.trail.is_empty(), "departure record flushes a segment");
+        // The retained copy drains exactly once; the compact record stays.
+        let drained = server.take_departed_trail(a).unwrap();
+        assert_eq!(drained.len(), report.trail.len());
+        assert_eq!(server.take_departed_trail(a).unwrap().len(), 0);
+        assert!(server.departure(a).is_some());
+        assert!(server.verifier_keys(a).is_some());
+        assert!(server.take_departed_trail(TenantId(99)).is_none());
+    }
+
+    #[test]
+    fn resize_quota_respects_carveout_headroom() {
+        let server = StreamServer::new(ServerConfig::default().with_secure_mem(32 * 1024 * 1024));
+        let a = server.admit(TenantConfig::new("a", 8 * 1024 * 1024), pipeline()).unwrap();
+        let _b = server.admit(TenantConfig::new("b", 8 * 1024 * 1024), pipeline()).unwrap();
+        // Growing within headroom succeeds and moves the reservation.
+        server.resize_quota(a, 20 * 1024 * 1024).unwrap();
+        assert_eq!(server.unreserved_quota(), 4 * 1024 * 1024);
+        assert_eq!(server.tenant_config(a).unwrap().quota_bytes, 20 * 1024 * 1024);
+        assert_eq!(
+            server.data_plane().tenant_memory(a).unwrap().quota_bytes,
+            Some(20 * 1024 * 1024)
+        );
+        // Growing past the carve-out fails; shrinking always succeeds.
+        assert_eq!(
+            server.resize_quota(a, 30 * 1024 * 1024),
+            Err(LifecycleError::QuotaOvercommit {
+                requested: 30 * 1024 * 1024,
+                available: 24 * 1024 * 1024
+            })
+        );
+        server.resize_quota(a, 1024 * 1024).unwrap();
+        assert_eq!(server.unreserved_quota(), 23 * 1024 * 1024);
+        assert_eq!(server.resize_quota(a, 0), Err(LifecycleError::EmptyQuota));
+    }
+
+    #[test]
+    fn rekey_bumps_the_tenants_epoch_only() {
+        let server = StreamServer::new(ServerConfig::default());
+        let a = server.admit(TenantConfig::new("a", 1024 * 1024), pipeline()).unwrap();
+        let b = server.admit(TenantConfig::new("b", 1024 * 1024), pipeline()).unwrap();
+        assert_eq!(server.rekey(a).unwrap(), 1);
+        assert_eq!(server.rekey(a).unwrap(), 2);
+        assert_eq!(server.verifier_keys(a).unwrap().epoch_count(), 3);
+        assert_eq!(server.verifier_keys(b).unwrap().epoch_count(), 1);
+    }
+
+    #[test]
+    fn drain_without_a_serve_loop_departs_immediately() {
+        let server = StreamServer::new(ServerConfig::default());
+        let a = server.admit(TenantConfig::new("a", 1024 * 1024), pipeline()).unwrap();
+        let report = server.drain(a).unwrap();
+        assert_eq!(report.reason, DepartureReason::Drained);
+        assert!(server.tenants().is_empty());
+        assert_eq!(server.unreserved_quota(), server.config().secure_mem_bytes);
     }
 
     #[test]

@@ -85,6 +85,44 @@ impl std::fmt::Display for AdmissionError {
 
 impl std::error::Error for AdmissionError {}
 
+/// Why a lifecycle operation (evict / drain / rekey / resize) failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LifecycleError {
+    /// The tenant is not admitted (never was, or already departed).
+    UnknownTenant,
+    /// A quota resize asked for zero bytes, which could never ingest.
+    EmptyQuota,
+    /// Resizing the tenant's quota would overcommit the secure-memory
+    /// carve-out against the other tenants' reservations.
+    QuotaOvercommit {
+        /// The quota the resize requested.
+        requested: u64,
+        /// Bytes available to this tenant (carve-out minus the others'
+        /// reservations).
+        available: u64,
+    },
+    /// The data plane refused the operation.
+    Rejected(DataPlaneError),
+}
+
+impl std::fmt::Display for LifecycleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LifecycleError::UnknownTenant => write!(f, "tenant not admitted"),
+            LifecycleError::EmptyQuota => write!(f, "tenant quota must be nonzero"),
+            LifecycleError::QuotaOvercommit { requested, available } => {
+                write!(
+                    f,
+                    "quota resize overcommit: requested {requested} B, {available} B available"
+                )
+            }
+            LifecycleError::Rejected(e) => write!(f, "data plane rejected the operation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LifecycleError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,5 +142,13 @@ mod tests {
             .to_string()
             .contains("10"));
         assert!(AdmissionError::DuplicateName("x".into()).to_string().contains('x'));
+        assert!(LifecycleError::UnknownTenant.to_string().contains("not admitted"));
+        assert!(LifecycleError::QuotaOvercommit { requested: 7, available: 3 }
+            .to_string()
+            .contains('7'));
+        assert!(LifecycleError::Rejected(DataPlaneError::UnknownTenant)
+            .to_string()
+            .contains("rejected"));
+        assert!(LifecycleError::EmptyQuota.to_string().contains("nonzero"));
     }
 }

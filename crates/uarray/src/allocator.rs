@@ -73,6 +73,16 @@ pub struct MemoryReport {
     pub reclaimed_bytes: u64,
 }
 
+/// Result of tearing down one owner's arrays ([`Allocator::release_owner`]).
+#[derive(Debug, Clone, Default)]
+pub struct OwnerTeardown {
+    /// `(id, charged bytes)` of every array freed; the caller releases their
+    /// backing storage.
+    pub arrays: Vec<(UArrayId, u64)>,
+    /// Total bytes reclaimed by the teardown.
+    pub reclaimed_bytes: u64,
+}
+
 /// Where a uArray currently lives.
 #[derive(Debug, Clone, Copy)]
 struct Placement {
@@ -261,6 +271,37 @@ impl Allocator {
     /// responsible for releasing the array's pages in that case.
     pub fn charge_owner(&mut self, owner: u64, id: UArrayId, bytes: u64) -> Result<(), QuotaError> {
         self.quotas.charge(owner, id, bytes)
+    }
+
+    /// Tear down everything an owner holds in one pass: every uArray charged
+    /// to the owner — live, open or stuck-retired alike — is removed from
+    /// its group (ignoring the front-of-group reclaim frontier), its quota
+    /// charge released, and groups emptied by the sweep dissolved. Returns
+    /// the freed arrays with their charged bytes so the caller can release
+    /// their backing storage.
+    pub fn release_owner(&mut self, owner: u64) -> OwnerTeardown {
+        let arrays = self.quotas.charged_to(owner);
+        let mut reclaimed_bytes = 0;
+        for (id, bytes) in &arrays {
+            if let Some(p) = self.placements.remove(id) {
+                if let Some(g) = self.groups.get_mut(&p.group) {
+                    g.remove_member(*id);
+                }
+            }
+            self.consumed_after.remove(id);
+            self.quotas.release(*id);
+            reclaimed_bytes += *bytes;
+        }
+        let empty_groups: Vec<UGroupId> =
+            self.groups.iter().filter(|(_, g)| g.is_empty()).map(|(gid, _)| *gid).collect();
+        for gid in empty_groups {
+            if let Some(g) = self.groups.remove(&gid) {
+                self.total_reclaimed += g.reclaimed_bytes();
+                self.vspace.release();
+                self.producer_groups.retain(|_, v| *v != gid);
+            }
+        }
+        OwnerTeardown { arrays, reclaimed_bytes }
     }
 
     /// Run the reclamation scan over all groups: from the front of each
@@ -500,6 +541,48 @@ mod tests {
         assert_eq!(a.owner_quota(1), Some(8192));
         a.clear_owner_quota(1);
         assert_eq!(a.owner_quota(1), None);
+    }
+
+    #[test]
+    fn release_owner_frees_everything_in_one_pass() {
+        let mut a = Allocator::hint_guided();
+        a.set_owner_quota(1, 1 << 20);
+        a.set_owner_quota(2, 1 << 20);
+        // Owner 1: one live array, one retired-but-stuck behind it (same
+        // group via consumed-after), plus one in its own group. Owner 2: one
+        // array that must survive untouched.
+        a.place(UArrayId(1), 0, None);
+        seal(&mut a, UArrayId(1), 4096);
+        a.charge_owner(1, UArrayId(1), 4096).unwrap();
+        let g_shared = a.place(UArrayId(2), 0, Some(ConsumptionHint::ConsumedAfter(UArrayId(1))));
+        seal(&mut a, UArrayId(2), 4096);
+        a.charge_owner(1, UArrayId(2), 4096).unwrap();
+        retire(&mut a, UArrayId(2), 4096); // stuck behind live 1
+        a.place(UArrayId(3), 9, None);
+        seal(&mut a, UArrayId(3), 8192);
+        a.charge_owner(1, UArrayId(3), 8192).unwrap();
+        let g_other = a.place(UArrayId(4), 9, None);
+        seal(&mut a, UArrayId(4), 4096);
+        a.charge_owner(2, UArrayId(4), 4096).unwrap();
+        assert_ne!(g_shared, g_other);
+        assert_eq!(a.owner_used(1), 16384);
+
+        let torn = a.release_owner(1);
+        assert_eq!(torn.reclaimed_bytes, 16384);
+        let mut ids: Vec<UArrayId> = torn.arrays.iter().map(|(id, _)| *id).collect();
+        ids.sort();
+        assert_eq!(ids, vec![UArrayId(1), UArrayId(2), UArrayId(3)]);
+        assert_eq!(a.owner_used(1), 0);
+        // Owner 2's array is untouched; its group survives.
+        assert_eq!(a.owner_used(2), 4096);
+        assert_eq!(a.group_of(UArrayId(4)), Some(g_other));
+        assert_eq!(a.group_of(UArrayId(1)), None);
+        let r = a.report();
+        assert_eq!(r.committed_bytes, 4096);
+        assert_eq!(r.live_uarrays, 1);
+        assert!(r.reclaimed_bytes >= 16384);
+        // A second teardown is a no-op.
+        assert_eq!(a.release_owner(1).reclaimed_bytes, 0);
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod uarray;
 pub mod ugroup;
 pub mod vspace;
 
-pub use allocator::{Allocator, AllocatorConfig, MemoryReport, PlacementPolicy};
+pub use allocator::{Allocator, AllocatorConfig, MemoryReport, OwnerTeardown, PlacementPolicy};
 pub use hints::{ConsumptionHint, HintSet};
 pub use pager::{PageError, TeePager, PAGE_SIZE};
 pub use quota::{QuotaBook, QuotaError};

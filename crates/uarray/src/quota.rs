@@ -108,6 +108,16 @@ impl QuotaBook {
     pub fn owner_of(&self, id: UArrayId) -> Option<u64> {
         self.charges.get(&id).map(|(owner, _)| *owner)
     }
+
+    /// Every uArray currently charged to an owner, with its charged bytes.
+    /// The order is unspecified (teardown frees them all in one pass).
+    pub fn charged_to(&self, owner: u64) -> Vec<(UArrayId, u64)> {
+        self.charges
+            .iter()
+            .filter(|(_, (o, _))| *o == owner)
+            .map(|(id, (_, bytes))| (*id, *bytes))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -160,6 +170,18 @@ mod tests {
         assert!(q.charge(1, UArrayId(2), 1).is_err());
         q.charge(2, UArrayId(3), 100).unwrap();
         assert_eq!(q.used_by(2), 100);
+    }
+
+    #[test]
+    fn charged_to_lists_only_the_owners_arrays() {
+        let mut q = QuotaBook::new();
+        q.charge(1, UArrayId(10), 100).unwrap();
+        q.charge(1, UArrayId(11), 200).unwrap();
+        q.charge(2, UArrayId(12), 300).unwrap();
+        let mut mine = q.charged_to(1);
+        mine.sort_by_key(|(id, _)| *id);
+        assert_eq!(mine, vec![(UArrayId(10), 100), (UArrayId(11), 200)]);
+        assert!(q.charged_to(9).is_empty());
     }
 
     #[test]

@@ -116,6 +116,19 @@ impl UGroup {
         out
     }
 
+    /// Forcibly remove a member from anywhere in the group (owner teardown:
+    /// the member's storage is being released regardless of its position or
+    /// state). Returns the member's committed bytes, which count as
+    /// reclaimed. Unlike [`take_reclaimable`](UGroup::take_reclaimable) this
+    /// does not respect the front-of-group frontier — eviction frees a
+    /// tenant's memory wherever it sits.
+    pub fn remove_member(&mut self, id: UArrayId) -> Option<u64> {
+        let pos = self.members.iter().position(|m| m.id == id)?;
+        let m = self.members.remove(pos);
+        self.reclaimed_bytes += m.committed_bytes;
+        Some(m.committed_bytes)
+    }
+
     /// Bytes committed by live members of this group.
     pub fn committed_bytes(&self) -> u64 {
         self.members.iter().map(|m| m.committed_bytes).sum()
@@ -220,6 +233,21 @@ mod tests {
         g.update_member(UArrayId(1), UArrayState::Retired, 100);
         assert_eq!(g.stuck_bytes(), 200);
         assert_eq!(g.take_reclaimable(), vec![UArrayId(1)]);
+    }
+
+    #[test]
+    fn remove_member_frees_from_anywhere() {
+        let mut g = group();
+        for i in 1..=3 {
+            g.append(UArrayId(i));
+            g.update_member(UArrayId(i), UArrayState::Produced, 100 * i);
+        }
+        // Remove the middle member, live, not at the frontier.
+        assert_eq!(g.remove_member(UArrayId(2)), Some(200));
+        assert_eq!(g.member_ids().collect::<Vec<_>>(), vec![UArrayId(1), UArrayId(3)]);
+        assert_eq!(g.reclaimed_bytes(), 200);
+        assert_eq!(g.committed_bytes(), 400);
+        assert_eq!(g.remove_member(UArrayId(2)), None, "already gone");
     }
 
     #[test]

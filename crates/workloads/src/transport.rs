@@ -9,8 +9,8 @@
 //! USB-Ethernet or a common 1 GbE uplink).
 
 use crate::datasets::StreamChunk;
-use sbt_crypto::{AesCtr, Key128, Nonce};
-use sbt_types::{Event, PowerEvent};
+use sbt_crypto::{AesCtr, Key128, KeySet, MasterSecret, Nonce};
+use sbt_types::{Event, PowerEvent, TenantId};
 
 /// Whether the stream is encrypted on the wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,9 +80,25 @@ impl Channel {
         Channel { config, key, nonce, next_block: 0 }
     }
 
-    /// Create an encrypted channel with a fixed demo key (examples/tests).
+    /// Create an encrypted channel provisioned with a tenant's derived key
+    /// set: the source encrypts under exactly the key the TEE will derive
+    /// for that `(tenant, epoch)`, so no tenant's traffic is readable under
+    /// any other tenant's (or epoch's) key.
+    pub fn encrypted_for(keys: &KeySet) -> Self {
+        Channel::new(ChannelConfig::default(), keys.source_key, keys.source_nonce)
+    }
+
+    /// Convenience for harnesses playing the provisioner role: the encrypted
+    /// channel of one tenant at one key epoch, derived from the shared
+    /// master secret.
+    pub fn for_tenant(master: &MasterSecret, tenant: TenantId, epoch: u32) -> Self {
+        Channel::encrypted_for(&master.tenant_keys(tenant.0, epoch))
+    }
+
+    /// Create an encrypted channel with the demo master secret's default-
+    /// tenant keys (single-pipeline examples/tests).
     pub fn encrypted_demo() -> Self {
-        Channel::new(ChannelConfig::default(), [7u8; 16], [9u8; 16])
+        Channel::for_tenant(&MasterSecret::demo(), TenantId::DEFAULT, 0)
     }
 
     /// Create a cleartext channel (trusted link).
@@ -180,6 +196,27 @@ mod tests {
         let d2 = ch.send(&c);
         // Same plaintext, different keystream offset => different ciphertext.
         assert_ne!(d1.wire_bytes, d2.wire_bytes);
+    }
+
+    #[test]
+    fn tenant_channels_use_disjoint_keystreams() {
+        let master = MasterSecret::demo();
+        let c = chunk(64);
+        let d1 = Channel::for_tenant(&master, TenantId(1), 0).send(&c);
+        let d2 = Channel::for_tenant(&master, TenantId(2), 0).send(&c);
+        let d1e1 = Channel::for_tenant(&master, TenantId(1), 1).send(&c);
+        // Same plaintext, same block offset — different tenants and epochs
+        // produce different ciphertexts.
+        assert_ne!(d1.wire_bytes, d2.wire_bytes);
+        assert_ne!(d1.wire_bytes, d1e1.wire_bytes);
+        // And each decrypts only under its own derived key.
+        let ks = master.tenant_keys(1, 0);
+        let mut plain = d1.wire_bytes.clone();
+        AesCtr::new(&ks.source_key, &ks.source_nonce).apply_keystream_at(&mut plain, 0);
+        assert_eq!(Event::slice_from_bytes(&plain), c.events);
+        let mut cross = d2.wire_bytes.clone();
+        AesCtr::new(&ks.source_key, &ks.source_nonce).apply_keystream_at(&mut cross, 0);
+        assert_ne!(Event::slice_from_bytes(&cross), c.events);
     }
 
     #[test]

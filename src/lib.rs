@@ -66,16 +66,18 @@ pub use sbt_workloads as workloads;
 /// many of them multi-tenant over one shared TEE.
 pub mod prelude {
     pub use sbt_attest::{
-        decompress_records, verify_tenant_trail, PipelineSpec, VerificationReport, Verifier,
+        decompress_records, verify_tenant_trail, DepartureReason, PipelineSpec, VerificationReport,
+        Verifier,
     };
+    pub use sbt_crypto::{KeySet, MasterSecret, TenantKeychain, VerifierKeySet};
     pub use sbt_dataplane::EgressMessage;
     pub use sbt_engine::{
         CycleCost, Engine, EngineConfig, EngineVariant, Executor, IngestStatus, Operator, Pipeline,
         StreamSide, TaskSet, WindowTicket,
     };
     pub use sbt_server::{
-        AdmissionError, DrrAccounting, Scheduler, ServeReport, ServerConfig, StreamServer,
-        TenantConfig, TenantStream,
+        AdmissionError, DepartureReport, DrrAccounting, LifecycleError, Scheduler, ServeReport,
+        ServerConfig, StreamServer, TenantConfig, TenantStream,
     };
     pub use sbt_types::{Duration, Event, EventTime, PowerEvent, TenantId, Watermark, WindowSpec};
     pub use sbt_workloads::datasets::{

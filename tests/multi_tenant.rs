@@ -60,6 +60,7 @@ fn served_tenants_produce_correct_isolated_results_and_trails() {
                 .unwrap()
         })
         .collect();
+    let master = MasterSecret::demo();
     let loads = multi_tenant_streams(tenants, windows, 3_000, keys, 5);
     let streams: Vec<TenantStream> = ids
         .iter()
@@ -68,7 +69,7 @@ fn served_tenants_produce_correct_isolated_results_and_trails() {
             tenant: *id,
             generator: Generator::new(
                 GeneratorConfig { batch_events: 700 },
-                Channel::encrypted_demo(),
+                Channel::for_tenant(&master, *id, 0),
                 chunks,
             ),
         })
@@ -76,15 +77,15 @@ fn served_tenants_produce_correct_isolated_results_and_trails() {
     let report = server.serve(streams).unwrap();
     assert_eq!(report.aggregate_events(), (tenants * windows as usize * 3_000) as u64);
 
-    let (key, nonce, signing) = server.cloud_keys();
     let mut all_segments = Vec::new();
     for (t, id) in ids.iter().enumerate() {
+        let keychain = server.verifier_keys(*id).unwrap();
         let engine = server.engine(*id).unwrap();
         let results = engine.results();
         assert_eq!(results.len(), windows as usize, "tenant {t}");
         let (lo, hi) = (t as u32 * keys, (t as u32 + 1) * keys);
         for (w, msg) in results.iter().enumerate() {
-            let plain = msg.open(&key, &nonce, &signing).unwrap();
+            let plain = msg.open_with(keychain.latest()).unwrap();
             let got = decode_key_aggs(&plain);
             // No foreign keys: everything this tenant egressed lies in its
             // own disjoint key range.
@@ -94,14 +95,16 @@ fn served_tenants_produce_correct_isolated_results_and_trails() {
         // Its audit trail verifies independently and replays cleanly.
         let segments = engine.drain_audit_segments();
         assert!(segments.iter().all(|s| s.tenant == *id));
-        let records = verify_tenant_trail(&segments, *id, &signing).unwrap();
+        let records = verify_tenant_trail(&segments, *id, &keychain).unwrap();
         let replay = Verifier::new(engine.pipeline().spec()).replay(&records);
         assert!(replay.is_correct(), "tenant {t}: {:?}", replay.violations);
         assert_eq!(replay.egressed, windows as usize);
         all_segments.push(segments);
     }
-    // Trails are not interchangeable between tenants.
-    assert!(verify_tenant_trail(&all_segments[0], ids[1], &signing).is_err());
+    // Trails are not interchangeable between tenants: tenant 1's keychain
+    // never vouches for tenant 0's segments.
+    let keychain1 = server.verifier_keys(ids[1]).unwrap();
+    assert!(verify_tenant_trail(&all_segments[0], ids[1], &keychain1).is_err());
 }
 
 #[test]
@@ -116,6 +119,7 @@ fn quota_exceeding_tenant_is_contained_while_others_progress() {
     let big =
         server.admit(TenantConfig::new("big", 64 * MB), sum_by_key_pipeline("big", 2_000)).unwrap();
     // ~40_000 events/window * 12 B = ~480 KB/window >> 64 KB quota.
+    let master = MasterSecret::demo();
     let loads = multi_tenant_streams(2, 2, 40_000, 16, 9);
     let streams: Vec<TenantStream> = [small, big]
         .into_iter()
@@ -124,7 +128,7 @@ fn quota_exceeding_tenant_is_contained_while_others_progress() {
             tenant,
             generator: Generator::new(
                 GeneratorConfig { batch_events: 2_000 },
-                Channel::encrypted_demo(),
+                Channel::for_tenant(&master, tenant, 0),
                 chunks,
             ),
         })
@@ -145,13 +149,13 @@ fn quota_exceeding_tenant_is_contained_while_others_progress() {
     let engine = server.engine(big).unwrap();
     let results = engine.results();
     assert_eq!(results.len(), 2);
-    let (key, nonce, signing) = server.cloud_keys();
+    let keychain = server.verifier_keys(big).unwrap();
     for (w, msg) in results.iter().enumerate() {
-        let plain = msg.open(&key, &nonce, &signing).unwrap();
+        let plain = msg.open_with(keychain.latest()).unwrap();
         assert_eq!(decode_key_aggs(&plain), oracle_key_aggs(&loads[1][w].events), "window {w}");
     }
     // And its trail still verifies.
-    let records = verify_tenant_trail(&engine.drain_audit_segments(), big, &signing).unwrap();
+    let records = verify_tenant_trail(&engine.drain_audit_segments(), big, &keychain).unwrap();
     assert!(Verifier::new(engine.pipeline().spec()).replay(&records).is_correct());
 
     // The small tenant's quota is respected inside the TEE throughout.
@@ -187,13 +191,15 @@ proptest! {
                     .unwrap()
             })
             .collect();
+        let master = MasterSecret::demo();
         let loads = multi_tenant_streams(tenants, 1, events_per_window, keys, seed);
         let mut generators: Vec<Generator> = loads
             .iter()
-            .map(|chunks| {
+            .zip(&ids)
+            .map(|(chunks, id)| {
                 Generator::new(
                     GeneratorConfig { batch_events: batch },
-                    Channel::encrypted_demo(),
+                    Channel::for_tenant(&master, *id, 0),
                     chunks.clone(),
                 )
             })
@@ -224,12 +230,12 @@ proptest! {
             }
         }
 
-        let (key, nonce, signing) = server.cloud_keys();
         for (t, id) in ids.iter().enumerate() {
+            let keychain = server.verifier_keys(*id).unwrap();
             let engine = server.engine(*id).unwrap();
             let results = engine.results();
             prop_assert_eq!(results.len(), 1, "tenant {} results", t);
-            let plain = results[0].open(&key, &nonce, &signing).unwrap();
+            let plain = results[0].open_with(keychain.latest()).unwrap();
             let got = decode_key_aggs(&plain);
             let (lo, hi) = (t as u32 * keys, (t as u32 + 1) * keys);
             prop_assert!(
@@ -242,12 +248,15 @@ proptest! {
 
             let segments = engine.drain_audit_segments();
             prop_assert!(segments.iter().all(|s| s.tenant == *id), "foreign segment tag");
-            let records = verify_tenant_trail(&segments, *id, &signing).unwrap();
+            let records = verify_tenant_trail(&segments, *id, &keychain).unwrap();
             let replay = Verifier::new(engine.pipeline().spec()).replay(&records);
             prop_assert!(replay.is_correct(), "tenant {}: {:?}", t, replay.violations);
-            // The trail cannot be passed off as a neighbour's.
+            // The trail cannot be passed off as a neighbour's: neither the
+            // neighbour's keychain nor its results open under ours.
             let other = ids[(t + 1) % tenants];
-            prop_assert!(verify_tenant_trail(&segments, other, &signing).is_err());
+            let other_chain = server.verifier_keys(other).unwrap();
+            prop_assert!(verify_tenant_trail(&segments, other, &other_chain).is_err());
+            prop_assert!(results[0].open_with(other_chain.latest()).is_none());
         }
 
         // Forged cross-tenant reference: a probe tenant ingests a batch and

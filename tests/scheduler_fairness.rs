@@ -135,6 +135,7 @@ fn weighted_drr_serve_completes_all_tenants_correctly() {
                 .unwrap()
         })
         .collect();
+    let master = MasterSecret::demo();
     let loads = multi_tenant_streams(tenants, 2, 3_000, 16, 11);
     let streams: Vec<TenantStream> = ids
         .iter()
@@ -143,7 +144,7 @@ fn weighted_drr_serve_completes_all_tenants_correctly() {
             tenant: *id,
             generator: Generator::new(
                 GeneratorConfig { batch_events: 400 },
-                Channel::encrypted_demo(),
+                Channel::for_tenant(&master, *id, 0),
                 chunks,
             ),
         })
@@ -151,19 +152,19 @@ fn weighted_drr_serve_completes_all_tenants_correctly() {
     let report = server.serve_with(streams, Scheduler::DeficitRoundRobin).unwrap();
     assert_eq!(report.aggregate_events(), (tenants * 2 * 3_000) as u64);
 
-    let (key, nonce, signing) = server.cloud_keys();
     for (t, id) in ids.iter().enumerate() {
+        let keychain = server.verifier_keys(*id).unwrap();
         let engine = server.engine(*id).unwrap();
         let results = engine.results();
         assert_eq!(results.len(), 2, "tenant {t}");
         for (w, msg) in results.iter().enumerate() {
-            let plain = msg.open(&key, &nonce, &signing).unwrap();
+            let plain = msg.open_with(keychain.latest()).unwrap();
             let got = u64::from_le_bytes(plain[..8].try_into().unwrap());
             let expected: u64 = loads[t][w].events.iter().map(|e| e.value as u64).sum();
             assert_eq!(got, expected, "tenant {t} window {w}");
         }
         // Pipelined serving must not corrupt the per-tenant audit trail.
-        let records = verify_tenant_trail(&engine.drain_audit_segments(), *id, &signing).unwrap();
+        let records = verify_tenant_trail(&engine.drain_audit_segments(), *id, &keychain).unwrap();
         let replay = Verifier::new(engine.pipeline().spec()).replay(&records);
         assert!(replay.is_correct(), "tenant {t}: {:?}", replay.violations);
     }
