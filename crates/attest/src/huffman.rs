@@ -1,10 +1,25 @@
-//! Canonical Huffman coding over byte symbols.
+//! Canonical Huffman coding over byte symbols — the audit codec's entropy
+//! stage.
 //!
 //! The columnar codec uses Huffman coding for the columns with skewed value
-//! distributions (primitive op codes and field counts, §7). The encoder
-//! builds a length-limited-enough canonical code from the symbol frequencies
-//! of the block being compressed and stores the 256 code lengths as a
-//! header, so the decoder can rebuild the identical code.
+//! distributions (record tags, primitive op codes, field counts, §7). Two
+//! block formats exist:
+//!
+//! * the **legacy block** ([`compress_block`]/[`decompress_block`]) stores
+//!   the per-symbol code lengths as a sparse header and is what format-v1
+//!   columnar payloads embed;
+//! * the **v2 entropy block** ([`encode_block_v2`]/[`decode_block_v2`]) is
+//!   mode-tagged: tiny columns are stored raw or as a single repeated byte,
+//!   skewed columns use either a **precomputed static table** (no header, no
+//!   tree construction — the decoder ships the same table) or a dynamic
+//!   length-limited code when that measures smaller.
+//!
+//! Both encoders emit through a 64-bit-buffer [`BitWriter`]; both decoders
+//! go through [`Decoder`], a canonical decoder with a single-lookup table
+//! for codes up to [`TABLE_BITS`] bits (every code the encoder emits) and a
+//! per-length canonical walk for longer codes found in legacy payloads.
+//! Encoder-built codes are **length-limited** to [`ENC_MAX_CODE_LEN`] bits
+//! via a Kraft-sum fixup, so the fast path covers them entirely.
 
 /// A built Huffman code: per-symbol bit lengths and codes.
 #[derive(Debug, Clone)]
@@ -13,12 +28,130 @@ pub struct HuffmanCode {
     codes: [u64; 256],
 }
 
-/// Maximum code length the codec accepts (defensive bound for the decoder;
-/// real audit-record alphabets stay far below this).
-const MAX_CODE_LEN: u8 = 56;
+/// Maximum code length the *decoder* accepts (defensive bound; legacy
+/// payloads may carry codes this deep).
+pub const MAX_CODE_LEN: u8 = 56;
+
+/// Maximum code length the *encoder* emits: [`build_lengths`] length-limits
+/// the code so every emitted symbol decodes through the one-lookup fast
+/// table.
+pub const ENC_MAX_CODE_LEN: u8 = 12;
+
+/// Width of the decoder's fast lookup table. Codes at most this long decode
+/// with a single table access.
+const TABLE_BITS: u32 = ENC_MAX_CODE_LEN as u32;
+
+// ---------------------------------------------------------------------------
+// Bit I/O
+// ---------------------------------------------------------------------------
+
+/// MSB-first bit writer with a 64-bit accumulator, appending to a `Vec<u8>`.
+pub struct BitWriter<'a> {
+    out: &'a mut Vec<u8>,
+    buf: u64,
+    bits: u32,
+}
+
+impl<'a> BitWriter<'a> {
+    /// Write bits to the end of `out`.
+    pub fn new(out: &'a mut Vec<u8>) -> Self {
+        BitWriter { out, buf: 0, bits: 0 }
+    }
+
+    /// Append the low `len` bits of `code`, most significant first.
+    /// `len` must be at most [`MAX_CODE_LEN`].
+    #[inline]
+    pub fn put(&mut self, code: u64, len: u32) {
+        debug_assert!(len <= MAX_CODE_LEN as u32);
+        if self.bits + len > 64 {
+            // Only reachable with legacy >32-bit codes; the fast flush below
+            // otherwise keeps the buffer under 32 bits.
+            self.spill();
+        }
+        self.buf = (self.buf << len) | code;
+        self.bits += len;
+        if self.bits >= 32 {
+            // Flush a whole word at once: for the short codes the encoder
+            // emits this runs once every several symbols.
+            self.bits -= 32;
+            self.out.extend_from_slice(&((self.buf >> self.bits) as u32).to_be_bytes());
+        }
+    }
+
+    #[cold]
+    fn spill(&mut self) {
+        while self.bits >= 8 {
+            self.bits -= 8;
+            self.out.push((self.buf >> self.bits) as u8);
+        }
+    }
+
+    /// Flush the trailing bytes (zero-padded low bits of the last one).
+    pub fn finish(mut self) {
+        self.spill();
+        if self.bits > 0 {
+            self.out.push((self.buf << (8 - self.bits)) as u8);
+        }
+    }
+}
+
+/// MSB-first bit reader with a 64-bit buffer. Peeks past the end of input
+/// return zero-padded bits; consuming past the end fails.
+struct BitReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    buf: u64,
+    bits: u32,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        BitReader { data, pos: 0, buf: 0, bits: 0 }
+    }
+
+    #[inline]
+    fn refill(&mut self) {
+        while self.bits <= 56 && self.pos < self.data.len() {
+            self.buf = (self.buf << 8) | self.data[self.pos] as u64;
+            self.pos += 1;
+            self.bits += 8;
+        }
+    }
+
+    /// The next `n` bits (1..=56) without consuming, zero-padded past the
+    /// end of the stream.
+    #[inline]
+    fn peek(&mut self, n: u32) -> u64 {
+        self.refill();
+        let mask = (1u64 << n) - 1;
+        if self.bits >= n {
+            (self.buf >> (self.bits - n)) & mask
+        } else {
+            (self.buf << (n - self.bits)) & mask
+        }
+    }
+
+    /// Consume `n` bits; `false` if the stream has fewer left.
+    #[inline]
+    fn consume(&mut self, n: u32) -> bool {
+        if self.bits < n {
+            self.refill();
+            if self.bits < n {
+                return false;
+            }
+        }
+        self.bits -= n;
+        true
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code construction
+// ---------------------------------------------------------------------------
 
 /// Build canonical code lengths from symbol frequencies using the standard
-/// two-queue/heap construction, then assign canonical codes.
+/// two-queue/heap construction, then length-limit them to
+/// [`ENC_MAX_CODE_LEN`] bits with a Kraft-sum fixup.
 fn build_lengths(freqs: &[u64; 256]) -> [u8; 256] {
     // Collect present symbols.
     let present: Vec<usize> = (0..256).filter(|&s| freqs[s] > 0).collect();
@@ -54,7 +187,7 @@ fn build_lengths(freqs: &[u64; 256]) -> [u8; 256] {
         let left = nodes[i1].take().expect("node taken twice");
         let right = nodes[i2].take().expect("node taken twice");
         nodes.push(Some(Node::Internal(Box::new(left), Box::new(right))));
-        heap.push((Reverse(w1 + w2), Reverse(counter), nodes.len() - 1));
+        heap.push((Reverse(w1.saturating_add(w2)), Reverse(counter), nodes.len() - 1));
         counter += 1;
     }
     let (_, _, root_idx) = heap.pop().expect("exactly one root remains");
@@ -70,11 +203,43 @@ fn build_lengths(freqs: &[u64; 256]) -> [u8; 256] {
         }
     }
     walk(&root, 0, &mut lengths);
+    limit_code_lengths(&mut lengths, ENC_MAX_CODE_LEN);
     lengths
 }
 
+/// Clamp code lengths to `limit` bits and restore the Kraft inequality by
+/// demoting (lengthening) the deepest still-short codes until the code is
+/// decodable again. Lengths of zero (absent symbols) are untouched.
+fn limit_code_lengths(lengths: &mut [u8; 256], limit: u8) {
+    let mut clamped = false;
+    for l in lengths.iter_mut() {
+        if *l > limit {
+            *l = limit;
+            clamped = true;
+        }
+    }
+    if !clamped {
+        return;
+    }
+    // Kraft sum in units of 2^-limit; a prefix-free code needs k <= budget.
+    let unit = |l: u8| 1u64 << (limit - l) as u32;
+    let budget = 1u64 << limit as u32;
+    let mut k: u64 = lengths.iter().filter(|&&l| l > 0).map(|&l| unit(l)).sum();
+    while k > budget {
+        // Demote the longest code still below the limit: the cheapest
+        // per-step reduction, guaranteed to exist while k exceeds budget
+        // (256 symbols all at `limit` sum to 256 <= 2^limit for limit >= 8).
+        let s = (0..256)
+            .filter(|&s| lengths[s] > 0 && lengths[s] < limit)
+            .max_by_key(|&s| lengths[s])
+            .expect("kraft fixup always finds a demotable symbol");
+        k -= unit(lengths[s]) / 2;
+        lengths[s] += 1;
+    }
+}
+
 impl HuffmanCode {
-    /// Build a canonical code from per-symbol frequencies.
+    /// Build a canonical, length-limited code from per-symbol frequencies.
     pub fn from_frequencies(freqs: &[u64; 256]) -> Self {
         let lengths = build_lengths(freqs);
         Self::from_lengths(lengths)
@@ -112,66 +277,312 @@ impl HuffmanCode {
         &self.lengths
     }
 
-    /// Encode `data`, returning the bitstream and its length in bits.
-    pub fn encode(&self, data: &[u8]) -> (Vec<u8>, u64) {
-        let mut out = Vec::new();
-        let mut bitbuf = 0u128;
-        let mut bits = 0u32;
-        let mut total_bits = 0u64;
+    /// Total encoded size of `data` in bits under this code. Symbols without
+    /// a code count as zero (callers check coverage separately).
+    pub fn cost_bits(&self, data: &[u8]) -> u64 {
+        data.iter().map(|&b| self.lengths[b as usize] as u64).sum()
+    }
+
+    /// Whether every byte of `data` has a code.
+    pub fn covers(&self, data: &[u8]) -> bool {
+        data.iter().all(|&b| self.lengths[b as usize] > 0)
+    }
+
+    /// Encode `data` through `writer`.
+    #[inline]
+    pub fn encode_into(&self, data: &[u8], writer: &mut BitWriter<'_>) {
         for &b in data {
             let len = self.lengths[b as usize] as u32;
             debug_assert!(len > 0, "encoding symbol with no code");
-            let code = self.codes[b as usize] as u128;
-            bitbuf = (bitbuf << len) | code;
-            bits += len;
-            total_bits += len as u64;
-            while bits >= 8 {
-                bits -= 8;
-                out.push(((bitbuf >> bits) & 0xFF) as u8);
-            }
+            writer.put(self.codes[b as usize], len);
         }
-        if bits > 0 {
-            out.push(((bitbuf << (8 - bits)) & 0xFF) as u8);
-        }
-        (out, total_bits)
+    }
+
+    /// Encode `data`, returning the bitstream and its length in bits.
+    pub fn encode(&self, data: &[u8]) -> (Vec<u8>, u64) {
+        let mut out = Vec::with_capacity(data.len());
+        let mut writer = BitWriter::new(&mut out);
+        self.encode_into(data, &mut writer);
+        writer.finish();
+        (out, self.cost_bits(data))
     }
 
     /// Decode `count` symbols from the bitstream.
     pub fn decode(&self, data: &[u8], count: usize) -> Option<Vec<u8>> {
-        // Build a (length, code) -> symbol lookup. Audit-record alphabets are
-        // tiny, so a simple linear structure per length is fine.
-        let mut by_len: Vec<Vec<(u64, u8)>> = vec![Vec::new(); MAX_CODE_LEN as usize + 1];
-        for s in 0..256 {
-            let len = self.lengths[s];
-            if len > 0 {
-                by_len[len as usize].push((self.codes[s], s as u8));
-            }
-        }
         let mut out = Vec::with_capacity(count);
-        let mut bitpos = 0usize;
-        'outer: while out.len() < count {
-            let mut code = 0u64;
-            for symbols_of_len in by_len.iter().skip(1) {
-                let byte_idx = bitpos / 8;
-                if byte_idx >= data.len() {
-                    return None;
-                }
-                let bit = (data[byte_idx] >> (7 - (bitpos % 8))) & 1;
-                code = (code << 1) | bit as u64;
-                bitpos += 1;
-                if let Some(&(_, sym)) = symbols_of_len.iter().find(|(c, _)| *c == code) {
-                    out.push(sym);
-                    continue 'outer;
-                }
-            }
-            return None;
-        }
+        Decoder::new(self).decode_into(data, count, &mut out)?;
         Some(out)
     }
 }
 
-/// Convenience: Huffman-compress a byte block, producing a self-describing
-/// buffer.
+// ---------------------------------------------------------------------------
+// Table-driven decoding
+// ---------------------------------------------------------------------------
+
+/// A canonical Huffman decoder.
+///
+/// Codes up to [`TABLE_BITS`] bits — everything the length-limited encoder
+/// produces — resolve with one lookup in a `(symbol, length)` table indexed
+/// by the next `table_bits` bits of the stream. Deeper codes (legacy
+/// payloads only) fall back to a per-length canonical range walk.
+pub struct Decoder {
+    table_bits: u32,
+    /// `(len << 8) | symbol`; 0 marks an escape to the slow path.
+    lut: Vec<u16>,
+    max_len: u8,
+    /// Per length: canonical code of the first symbol of that length.
+    first_code: [u64; MAX_CODE_LEN as usize + 1],
+    /// Per length: number of symbols of that length.
+    count: [u16; MAX_CODE_LEN as usize + 1],
+    /// Per length: index of its first symbol in `symbols`.
+    offset: [u16; MAX_CODE_LEN as usize + 1],
+    /// Symbols sorted by (length, symbol) — canonical order.
+    symbols: Vec<u8>,
+}
+
+/// Whether `lengths` satisfies the Kraft inequality — i.e. a canonical
+/// prefix-free code can actually assign them. Untrusted code-length headers
+/// must pass this before a [`Decoder`] is built: oversubscribed lengths
+/// would assign canonical codes that overflow their own bit width.
+pub fn kraft_valid(lengths: &[u8; 256]) -> bool {
+    // Units of 2^-MAX_CODE_LEN: per symbol at most 2^55, 256 symbols still
+    // fit in u64 without overflow.
+    let budget = 1u64 << MAX_CODE_LEN as u32;
+    let mut sum = 0u64;
+    for &l in lengths.iter() {
+        if l > 0 {
+            if l > MAX_CODE_LEN {
+                return false;
+            }
+            sum = sum.saturating_add(1u64 << (MAX_CODE_LEN - l) as u32);
+        }
+    }
+    sum <= budget
+}
+
+impl Decoder {
+    /// Build the decode tables for `code`.
+    ///
+    /// The code's lengths must satisfy the Kraft inequality (always true
+    /// for codes built by [`HuffmanCode::from_frequencies`] and for the
+    /// static tables); callers holding *untrusted* length headers must
+    /// check [`kraft_valid`] first.
+    pub fn new(code: &HuffmanCode) -> Self {
+        debug_assert!(kraft_valid(&code.lengths), "decoder built from oversubscribed lengths");
+        let mut max_len = 0u8;
+        let mut count = [0u16; MAX_CODE_LEN as usize + 1];
+        for &l in code.lengths.iter() {
+            if l > 0 {
+                count[l as usize] += 1;
+                max_len = max_len.max(l);
+            }
+        }
+        let mut offset = [0u16; MAX_CODE_LEN as usize + 1];
+        let mut next = 0u16;
+        for l in 1..=max_len as usize {
+            offset[l] = next;
+            next += count[l];
+        }
+        // Canonical order: (length, symbol) ascending, the same order
+        // `from_lengths` assigns codes in.
+        let mut by_canon: Vec<usize> = (0..256).filter(|&s| code.lengths[s] > 0).collect();
+        by_canon.sort_by_key(|&s| (code.lengths[s], s));
+        let symbols: Vec<u8> = by_canon.iter().map(|&s| s as u8).collect();
+        // first_code per length is the code of the first canonical symbol of
+        // that length.
+        let mut first_code = [0u64; MAX_CODE_LEN as usize + 1];
+        {
+            let mut idx = 0usize;
+            for l in 1..=max_len as usize {
+                if count[l] > 0 {
+                    first_code[l] = code.codes[symbols[idx] as usize];
+                    idx += count[l] as usize;
+                }
+            }
+        }
+        let table_bits = (max_len as u32).clamp(1, TABLE_BITS);
+        let mut lut = vec![0u16; 1 << table_bits];
+        for &s in &by_canon {
+            let l = code.lengths[s] as u32;
+            if l <= table_bits {
+                let base = (code.codes[s] << (table_bits - l)) as usize;
+                let span = 1usize << (table_bits - l);
+                let entry = ((l as u16) << 8) | s as u16;
+                // The range clamp is defense in depth: Kraft-valid lengths
+                // (the documented precondition) can never exceed the table.
+                let table_len = lut.len();
+                let end = (base + span).min(table_len);
+                for e in &mut lut[base.min(table_len)..end] {
+                    *e = entry;
+                }
+            }
+        }
+        Decoder { table_bits, lut, max_len, first_code, count, offset, symbols }
+    }
+
+    /// Decode `count` symbols from `data` into `out`. Returns `None` on
+    /// truncated input or an invalid code.
+    pub fn decode_into(&self, data: &[u8], count: usize, out: &mut Vec<u8>) -> Option<()> {
+        if count == 0 {
+            return Some(());
+        }
+        if self.symbols.is_empty() {
+            return None;
+        }
+        out.reserve(count);
+        let mut reader = BitReader::new(data);
+        for _ in 0..count {
+            let window = reader.peek(self.table_bits);
+            let entry = self.lut[window as usize];
+            if entry != 0 {
+                if !reader.consume((entry >> 8) as u32) {
+                    return None;
+                }
+                out.push(entry as u8);
+                continue;
+            }
+            // Escape: a code longer than the table (legacy payloads only).
+            self.decode_slow(&mut reader, out)?;
+        }
+        Some(())
+    }
+
+    #[cold]
+    fn decode_slow(&self, reader: &mut BitReader<'_>, out: &mut Vec<u8>) -> Option<()> {
+        let window = reader.peek(self.max_len as u32);
+        for l in (self.table_bits + 1)..=(self.max_len as u32) {
+            let n = self.count[l as usize] as u64;
+            if n == 0 {
+                continue;
+            }
+            let code = window >> (self.max_len as u32 - l);
+            let first = self.first_code[l as usize];
+            if code >= first && code - first < n {
+                let sym = self.symbols[self.offset[l as usize] as usize + (code - first) as usize];
+                if !reader.consume(l) {
+                    return None;
+                }
+                out.push(sym);
+                return Some(());
+            }
+        }
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Static tables
+// ---------------------------------------------------------------------------
+
+/// Identifier of a precomputed static code table carried in v2 entropy
+/// blocks. The encoder and the verifier ship identical tables, so a block
+/// using one needs no code header and no per-block tree construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StaticTable {
+    /// Record-kind tags (alphabet 0..=6, ingress/execution-heavy skew).
+    Tags = 0,
+    /// Primitive op codes, low byte (flat 5-bit code over 0..=31).
+    Ops = 1,
+    /// Port/hint count fields (tiny values, 1-heavy skew).
+    Counts = 2,
+    /// Departure reason codes (one bit each).
+    Reasons = 3,
+}
+
+/// A static table's prepared encoder + decoder pair.
+pub struct StaticEntry {
+    /// The canonical code.
+    pub code: HuffmanCode,
+    /// The prebuilt decoder for it.
+    pub decoder: Decoder,
+}
+
+fn static_lengths(id: u8) -> Option<[u8; 256]> {
+    let mut lengths = [0u8; 256];
+    match id {
+        // Tags: ingress-data / windowing / execution dominate real streams;
+        // egress is one per window; watermarks one per window; lifecycle
+        // records are rare. Kraft-complete over the 7-symbol alphabet.
+        0 => {
+            for (sym, len) in [(0u8, 2u8), (1, 4), (2, 3), (3, 2), (4, 2), (5, 5), (6, 5)] {
+                lengths[sym as usize] = len;
+            }
+        }
+        // Op codes (low byte): skewed toward the primitives real pipelines
+        // execute constantly — Sort and Merge dominate (one per batch and a
+        // near-1:1 merge tree), sorts-by and aggregations follow, plumbing
+        // and rare primitives get long codes. Covers 0..=31 so any
+        // primitive encodes; ill-matched distributions fall back to a
+        // fitted dynamic code.
+        1 => {
+            for l in lengths.iter_mut().take(32) {
+                *l = 9;
+            }
+            lengths[2] = 2; // Sort
+            lengths[5] = 2; // Merge
+            lengths[3] = 4; // SortByValue
+            lengths[4] = 4; // SortByTime
+            lengths[6] = 4; // MergeK
+            lengths[8] = 4; // SumCnt
+            lengths[9] = 4; // Sum
+            for code in [10u8, 11, 16, 17, 18, 20, 24, 25] {
+                // Count, CountPerKey, MinMax, Unique, TopK, FilterBand,
+                // Concat, Join.
+                lengths[code as usize] = 6;
+            }
+        }
+        // Counts: packed `(inputs << 5) | (outputs << 2) | hints` bytes (the
+        // v2 columnar layout). Executions are overwhelmingly 1-in/1-out with
+        // no hints; merges are 2-in/1-out; 0xFF is the spill escape. Columns
+        // containing other shapes fall through to the dynamic path.
+        2 => {
+            for (sym, len) in [
+                (0x24u8, 1u8), // 1 in, 1 out, 0 hints
+                (0x44, 2),     // 2 in, 1 out (merge)
+                (0x28, 4),     // 1 in, 2 out
+                (0x25, 4),     // 1 in, 1 out, 1 hint
+                (0x45, 5),     // 2 in, 1 out, 1 hint
+                (0x64, 5),     // 3 in, 1 out
+                (0x84, 6),     // 4 in, 1 out
+                (0x20, 6),     // 1 in, 0 out (sink/filter-all)
+                (0x26, 7),     // 1 in, 1 out, 2 hints
+                (0xFF, 7),     // escape: three verbatim count bytes follow
+            ] {
+                lengths[sym as usize] = len;
+            }
+        }
+        // Departure reasons: drained / evicted, one bit each.
+        3 => {
+            lengths[0] = 1;
+            lengths[1] = 1;
+        }
+        _ => return None,
+    }
+    Some(lengths)
+}
+
+/// Look up a static table by id. Tables are built once per process.
+pub fn static_table(id: u8) -> Option<&'static StaticEntry> {
+    use std::sync::LazyLock;
+    static TABLES: LazyLock<Vec<StaticEntry>> = LazyLock::new(|| {
+        (0..4u8)
+            .map(|id| {
+                let code =
+                    HuffmanCode::from_lengths(static_lengths(id).expect("static id in range"));
+                let decoder = Decoder::new(&code);
+                StaticEntry { code, decoder }
+            })
+            .collect()
+    });
+    TABLES.get(id as usize)
+}
+
+// ---------------------------------------------------------------------------
+// Legacy (format-v1) block
+// ---------------------------------------------------------------------------
+
+/// Huffman-compress a byte block, producing the self-describing legacy
+/// layout embedded in format-v1 columnar payloads.
 ///
 /// Layout: `symbol_count: u32 LE`, `present_symbols: u16 LE`, then one
 /// `(symbol, code_length)` byte pair per present symbol, then the bitstream.
@@ -225,8 +636,247 @@ pub fn decompress_block(data: &[u8]) -> Option<Vec<u8>> {
         }
         lengths[sym] = len;
     }
+    if !kraft_valid(&lengths) {
+        return None;
+    }
     let code = HuffmanCode::from_lengths(lengths);
     code.decode(&data[header_end..], count)
+}
+
+// ---------------------------------------------------------------------------
+// v2 entropy block
+// ---------------------------------------------------------------------------
+
+const MODE_RAW: u8 = 0;
+const MODE_CONST: u8 = 1;
+const MODE_STATIC: u8 = 2;
+const MODE_DYNAMIC: u8 = 3;
+
+/// Largest count a constant block may carry. The decoder enforces it (a
+/// constant block's payload cannot bound `count` against adversarial
+/// headers) and the encoder respects it symmetrically, falling back to the
+/// planner for absurdly long constant columns.
+const CONST_MAX: usize = 1 << 24;
+
+/// Columns shorter than this never bother fitting a dynamic code: the
+/// (symbol, length) header plus the tree construction would eat the savings
+/// that the header-free static tables already deliver — this is what lets
+/// small segments (the data plane flushes every 256 records and at every
+/// egress) skip tree construction entirely.
+const DYNAMIC_MIN_LEN: usize = 2048;
+
+/// Encode a byte column as a self-delimiting v2 entropy block.
+///
+/// `static_id` names the [`StaticTable`] to try; the encoder picks the
+/// smallest of raw / constant / static / dynamic representations.
+///
+/// Layout: `varint count`, then (for non-empty blocks) a mode byte:
+/// * `0` raw — `count` verbatim bytes;
+/// * `1` constant — one byte, repeated `count` times;
+/// * `2` static — table-id byte, `varint byte_len`, bitstream;
+/// * `3` dynamic — `present - 1` byte, `present` `(symbol, length)` pairs,
+///   `varint byte_len`, bitstream.
+pub fn encode_block_v2(data: &[u8], static_id: Option<StaticTable>, out: &mut Vec<u8>) {
+    crate::varint::write_u64(data.len() as u64, out);
+    if data.is_empty() {
+        return;
+    }
+    if data.len() < DYNAMIC_MIN_LEN {
+        // Small-column fast path: one fused pass computes constness and the
+        // static-table cost — no frequency table, no tree construction. If
+        // the static table fits *well* (≤ 2.5 bits/symbol on average) it
+        // wins outright; a poor or missing fit falls through to the full
+        // planner below so an ill-matched table can never cost ratio.
+        let static_lengths =
+            static_id.and_then(|id| static_table(id as u8)).map(|e| (e, e.code.lengths()));
+        let mut all_same = true;
+        let mut static_bits: Option<u64> = static_lengths.as_ref().map(|_| 0);
+        for &b in data {
+            all_same &= b == data[0];
+            if let (Some(bits), Some((_, lengths))) = (&mut static_bits, &static_lengths) {
+                if lengths[b as usize] == 0 {
+                    static_bits = None;
+                } else {
+                    *bits += lengths[b as usize] as u64;
+                }
+            }
+        }
+        if all_same {
+            out.push(MODE_CONST);
+            out.push(data[0]);
+            return;
+        }
+        let raw_cost = 1 + data.len();
+        if let (Some(bits), Some((entry, _))) = (static_bits, static_lengths) {
+            let bytes = bits.div_ceil(8) as usize;
+            if bits * 2 <= data.len() as u64 * 5 && 3 + varint_len(bytes as u64) + bytes < raw_cost
+            {
+                out.push(MODE_STATIC);
+                out.push(static_id.expect("static cost implies an id") as u8);
+                crate::varint::write_u64(bytes as u64, out);
+                let mut writer = BitWriter::new(out);
+                entry.code.encode_into(data, &mut writer);
+                writer.finish();
+                return;
+            }
+        }
+        // Fall through to the full planner (freq pass + fitted code).
+    }
+    // Full planner (large columns, plus small ones the static tables serve
+    // poorly): one pass yields the frequency table; every plan's cost —
+    // coverage, bit counts, constness — derives from it in O(256).
+    let mut freqs = [0u64; 256];
+    for &b in data {
+        freqs[b as usize] += 1;
+    }
+    if freqs[data[0] as usize] == data.len() as u64 && data.len() <= CONST_MAX {
+        out.push(MODE_CONST);
+        out.push(data[0]);
+        return;
+    }
+    let raw_cost = 1 + data.len();
+    let freq_cost = |lengths: &[u8; 256]| -> Option<u64> {
+        let mut bits = 0u64;
+        for (s, &f) in freqs.iter().enumerate() {
+            if f > 0 {
+                if lengths[s] == 0 {
+                    return None; // a symbol the code cannot express
+                }
+                bits += f * lengths[s] as u64;
+            }
+        }
+        Some(bits)
+    };
+
+    let static_entry = static_id.and_then(|id| static_table(id as u8));
+    let static_plan = static_entry.and_then(|e| {
+        freq_cost(e.code.lengths()).map(|bits| {
+            let bytes = bits.div_ceil(8) as usize;
+            (e, bytes, 3 + varint_len(bytes as u64) + bytes)
+        })
+    });
+
+    let dynamic_plan = {
+        let code = HuffmanCode::from_frequencies(&freqs);
+        let present = code.lengths.iter().filter(|&&l| l > 0).count();
+        let bits = freq_cost(&code.lengths).expect("fitted code covers its own data");
+        let bytes = bits.div_ceil(8) as usize;
+        Some((code, bytes, 2 + 2 * present + varint_len(bytes as u64) + bytes))
+    };
+
+    let static_cost = static_plan.as_ref().map(|p| p.2).unwrap_or(usize::MAX);
+    let dynamic_cost = dynamic_plan.as_ref().map(|p| p.2).unwrap_or(usize::MAX);
+
+    if dynamic_cost < raw_cost && dynamic_cost <= static_cost {
+        let (code, bytes, _) = dynamic_plan.expect("dynamic plan chosen");
+        out.push(MODE_DYNAMIC);
+        let present: Vec<u8> =
+            (0..256u16).filter(|&s| code.lengths()[s as usize] > 0).map(|s| s as u8).collect();
+        out.push((present.len() - 1) as u8);
+        for s in &present {
+            out.push(*s);
+            out.push(code.lengths()[*s as usize]);
+        }
+        crate::varint::write_u64(bytes as u64, out);
+        let mut writer = BitWriter::new(out);
+        code.encode_into(data, &mut writer);
+        writer.finish();
+    } else if static_cost < raw_cost {
+        let (entry, bytes, _) = static_plan.expect("static plan chosen");
+        out.push(MODE_STATIC);
+        out.push(static_id.expect("static plan implies an id") as u8);
+        crate::varint::write_u64(bytes as u64, out);
+        let mut writer = BitWriter::new(out);
+        entry.code.encode_into(data, &mut writer);
+        writer.finish();
+    } else {
+        out.push(MODE_RAW);
+        out.extend_from_slice(data);
+    }
+}
+
+fn varint_len(v: u64) -> usize {
+    ((64 - v.max(1).leading_zeros()) as usize).div_ceil(7)
+}
+
+/// Decode a v2 entropy block written by [`encode_block_v2`], advancing
+/// `pos`. Returns `None` on corrupt or truncated input.
+pub fn decode_block_v2(data: &[u8], pos: &mut usize) -> Option<Vec<u8>> {
+    let count = crate::varint::read_u64(data, pos)? as usize;
+    if count == 0 {
+        return Some(Vec::new());
+    }
+    let mode = *data.get(*pos)?;
+    *pos += 1;
+    match mode {
+        MODE_RAW => {
+            let end = pos.checked_add(count)?;
+            if end > data.len() {
+                return None;
+            }
+            let out = data[*pos..end].to_vec();
+            *pos = end;
+            Some(out)
+        }
+        MODE_CONST => {
+            // A constant block's payload cannot bound `count`, so cap the
+            // materialized size against adversarial headers (real segments
+            // hold a few hundred records); the encoder never exceeds it.
+            if count > CONST_MAX {
+                return None;
+            }
+            let value = *data.get(*pos)?;
+            *pos += 1;
+            Some(vec![value; count])
+        }
+        MODE_STATIC => {
+            let id = *data.get(*pos)?;
+            *pos += 1;
+            let entry = static_table(id)?;
+            let bytes = crate::varint::read_u64(data, pos)? as usize;
+            let end = pos.checked_add(bytes)?;
+            if end > data.len() || count > bytes.saturating_mul(8) {
+                return None;
+            }
+            let mut out = Vec::with_capacity(count);
+            entry.decoder.decode_into(&data[*pos..end], count, &mut out)?;
+            *pos = end;
+            Some(out)
+        }
+        MODE_DYNAMIC => {
+            let present = *data.get(*pos)? as usize + 1;
+            *pos += 1;
+            let header_end = pos.checked_add(present * 2)?;
+            if header_end > data.len() {
+                return None;
+            }
+            let mut lengths = [0u8; 256];
+            for i in 0..present {
+                let sym = data[*pos + i * 2] as usize;
+                let len = data[*pos + i * 2 + 1];
+                if len == 0 || len > MAX_CODE_LEN {
+                    return None;
+                }
+                lengths[sym] = len;
+            }
+            if !kraft_valid(&lengths) {
+                return None;
+            }
+            *pos = header_end;
+            let bytes = crate::varint::read_u64(data, pos)? as usize;
+            let end = pos.checked_add(bytes)?;
+            if end > data.len() || count > bytes.saturating_mul(8) {
+                return None;
+            }
+            let code = HuffmanCode::from_lengths(lengths);
+            let decoder = Decoder::new(&code);
+            let mut out = Vec::with_capacity(count);
+            decoder.decode_into(&data[*pos..end], count, &mut out)?;
+            *pos = end;
+            Some(out)
+        }
+        _ => None,
+    }
 }
 
 #[cfg(test)]
@@ -304,6 +954,187 @@ mod tests {
         }
     }
 
+    /// KAT: a block touching all 256 distinct symbols — including a
+    /// Fibonacci-weighted skew that would drive an unlimited Huffman code
+    /// far past the table width — still round-trips, and every emitted code
+    /// respects the encoder's length limit.
+    #[test]
+    fn kat_256_distinct_symbols_round_trip_with_limited_lengths() {
+        let mut data: Vec<u8> = (0..=255u8).collect();
+        // Fibonacci frequencies for the first symbols: the worst case for
+        // code depth.
+        let (mut a, mut b) = (1u64, 1u64);
+        for sym in 0..24u8 {
+            for _ in 0..a.min(100_000) {
+                data.push(sym);
+            }
+            let next = a + b;
+            a = b;
+            b = next;
+        }
+        let mut freqs = [0u64; 256];
+        for &x in &data {
+            freqs[x as usize] += 1;
+        }
+        let code = HuffmanCode::from_frequencies(&freqs);
+        for s in 0..256 {
+            assert!(
+                code.lengths[s] <= ENC_MAX_CODE_LEN,
+                "symbol {s} got length {}",
+                code.lengths[s]
+            );
+        }
+        let compressed = compress_block(&data);
+        assert_eq!(decompress_block(&compressed).unwrap(), data);
+
+        // The same block through the v2 entropy stage.
+        let mut v2 = Vec::new();
+        encode_block_v2(&data, None, &mut v2);
+        let mut pos = 0;
+        assert_eq!(decode_block_v2(&v2, &mut pos).unwrap(), data);
+        assert_eq!(pos, v2.len());
+    }
+
+    #[test]
+    fn deep_legacy_codes_still_decode() {
+        // Hand-build a code whose depths exceed the fast table: the decoder
+        // must fall back to the per-length walk, not reject or misdecode.
+        let mut lengths = [0u8; 256];
+        for s in 0..16u8 {
+            lengths[s as usize] = 16 + s; // 16..=31 bits, all past TABLE_BITS
+        }
+        // Make it Kraft-satisfiable: lengths 16..=31 sum to well under 1.
+        let code = HuffmanCode::from_lengths(lengths);
+        let data: Vec<u8> = (0..16u8).cycle().take(200).collect();
+        let (bits, _) = code.encode(&data);
+        assert_eq!(code.decode(&bits, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn v2_block_modes_cover_their_inputs() {
+        // Constant column.
+        let mut out = Vec::new();
+        encode_block_v2(&[9u8; 500], None, &mut out);
+        assert!(out.len() < 8, "constant block should be a few bytes, got {}", out.len());
+        let mut pos = 0;
+        assert_eq!(decode_block_v2(&out, &mut pos).unwrap(), vec![9u8; 500]);
+
+        // Static-table column (tags-like skew).
+        let tags: Vec<u8> = (0..300).map(|i| [0u8, 3, 4, 4, 0, 2][i % 6]).collect();
+        let mut out = Vec::new();
+        encode_block_v2(&tags, Some(StaticTable::Tags), &mut out);
+        assert!(out.len() < tags.len() / 2, "{} vs {}", out.len(), tags.len());
+        let mut pos = 0;
+        assert_eq!(decode_block_v2(&out, &mut pos).unwrap(), tags);
+
+        // Incompressible column falls back to raw without exploding.
+        let noise: Vec<u8> =
+            (0..100u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+        let mut out = Vec::new();
+        encode_block_v2(&noise, Some(StaticTable::Tags), &mut out);
+        assert!(out.len() <= noise.len() + 4);
+        let mut pos = 0;
+        assert_eq!(decode_block_v2(&out, &mut pos).unwrap(), noise);
+
+        // Empty column.
+        let mut out = Vec::new();
+        encode_block_v2(&[], Some(StaticTable::Counts), &mut out);
+        let mut pos = 0;
+        assert_eq!(decode_block_v2(&out, &mut pos).unwrap(), Vec::<u8>::new());
+        assert_eq!(pos, out.len());
+    }
+
+    #[test]
+    fn oversubscribed_length_headers_are_rejected_not_panicking() {
+        // Three symbols all claiming code length 1 violate the Kraft
+        // inequality: canonical assignment would give codes 0, 1, 2 — and 2
+        // does not fit in one bit. Both untrusted header paths must return
+        // None instead of building a decoder (which would panic).
+        let mut lengths = [0u8; 256];
+        lengths[..3].fill(1);
+        assert!(!kraft_valid(&lengths));
+        lengths[2] = 2;
+        lengths[3] = 2;
+        assert!(!kraft_valid(&lengths)); // 1/2 + 1/2 + 1/4 + 1/4 > 1
+        let mut ok = [0u8; 256];
+        ok[0] = 1;
+        ok[1] = 1;
+        assert!(kraft_valid(&ok));
+
+        // Legacy block: count=4, 3 present symbols each length 1.
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(&4u32.to_le_bytes());
+        v1.extend_from_slice(&3u16.to_le_bytes());
+        for s in 0..3u8 {
+            v1.push(s);
+            v1.push(1);
+        }
+        v1.push(0b0101_0101);
+        assert_eq!(decompress_block(&v1), None);
+
+        // v2 dynamic block with the same oversubscribed header.
+        let mut v2 = Vec::new();
+        crate::varint::write_u64(4, &mut v2);
+        v2.push(MODE_DYNAMIC);
+        v2.push(2); // present - 1
+        for s in 0..3u8 {
+            v2.push(s);
+            v2.push(1);
+        }
+        crate::varint::write_u64(1, &mut v2);
+        v2.push(0b0101_0101);
+        let mut pos = 0;
+        assert_eq!(decode_block_v2(&v2, &mut pos), None);
+    }
+
+    #[test]
+    fn v2_block_rejects_corruption_without_panicking() {
+        let tags: Vec<u8> = (0..300).map(|i| [0u8, 3, 4, 4, 0, 2][i % 6]).collect();
+        let mut out = Vec::new();
+        encode_block_v2(&tags, Some(StaticTable::Tags), &mut out);
+        for cut in 0..out.len() {
+            let mut pos = 0;
+            let _ = decode_block_v2(&out[..cut], &mut pos);
+        }
+        for i in 0..out.len().min(16) {
+            let mut flipped = out.clone();
+            flipped[i] ^= 0xFF;
+            let mut pos = 0;
+            let _ = decode_block_v2(&flipped, &mut pos);
+        }
+        // Unknown static table id.
+        let mut bogus = Vec::new();
+        crate::varint::write_u64(4, &mut bogus);
+        bogus.extend_from_slice(&[MODE_STATIC, 99, 1, 0xAA]);
+        let mut pos = 0;
+        assert_eq!(decode_block_v2(&bogus, &mut pos), None);
+        // Adversarial huge count with no payload.
+        let mut huge = Vec::new();
+        crate::varint::write_u64(u64::MAX, &mut huge);
+        huge.push(MODE_CONST);
+        huge.push(1);
+        let mut pos = 0;
+        assert_eq!(decode_block_v2(&huge, &mut pos), None);
+    }
+
+    #[test]
+    fn static_tables_are_prefix_free_and_kraft_valid() {
+        for id in 0..4u8 {
+            let entry = static_table(id).unwrap();
+            let lengths = entry.code.lengths();
+            let kraft: f64 =
+                lengths.iter().filter(|&&l| l > 0).map(|&l| (0.5f64).powi(l as i32)).sum();
+            assert!(kraft <= 1.0 + 1e-12, "table {id} violates Kraft: {kraft}");
+            // Round-trip every covered symbol.
+            let covered: Vec<u8> = (0..=255u8).filter(|&s| lengths[s as usize] > 0).collect();
+            let (bits, _) = entry.code.encode(&covered);
+            let mut out = Vec::new();
+            entry.decoder.decode_into(&bits, covered.len(), &mut out).unwrap();
+            assert_eq!(out, covered);
+        }
+        assert!(static_table(4).is_none());
+    }
+
     proptest! {
         #[test]
         fn round_trip_arbitrary(data in proptest::collection::vec(any::<u8>(), 0..2000)) {
@@ -316,6 +1147,24 @@ mod tests {
             prop_oneof![9 => Just(0u8), 2 => Just(3u8), 1 => any::<u8>()], 0..3000)) {
             let compressed = compress_block(&data);
             prop_assert_eq!(decompress_block(&compressed).unwrap(), data);
+        }
+
+        #[test]
+        fn v2_round_trip_arbitrary(data in proptest::collection::vec(any::<u8>(), 0..2000)) {
+            let mut out = Vec::new();
+            encode_block_v2(&data, None, &mut out);
+            let mut pos = 0;
+            prop_assert_eq!(decode_block_v2(&out, &mut pos).unwrap(), data);
+            prop_assert_eq!(pos, out.len());
+        }
+
+        #[test]
+        fn v2_round_trip_tagged(data in proptest::collection::vec(0u8..7, 0..3000)) {
+            let mut out = Vec::new();
+            encode_block_v2(&data, Some(StaticTable::Tags), &mut out);
+            let mut pos = 0;
+            prop_assert_eq!(decode_block_v2(&out, &mut pos).unwrap(), data);
+            prop_assert_eq!(pos, out.len());
         }
     }
 }

@@ -6,7 +6,14 @@
 //! execution (with its inputs, outputs and any consumption hints). The
 //! records are timestamped, compressed with domain-specific **columnar
 //! encoding** (delta coding for monotone columns, Huffman coding for skewed
-//! ones), signed, and uploaded to the cloud.
+//! ones), signed, and uploaded to the cloud. Encoding is *streaming*: the
+//! in-TEE [`AuditLog`] delta/varint-codes every field into pre-laid-out
+//! column buffers at append time (allocation-free on the steady state), so
+//! flushing a segment is a cheap seal — entropy-code the small byte columns
+//! against precomputed static tables, sign — rather than a batch re-encode.
+//! The legacy batch layout remains decodable: every payload opens with
+//! format-version bytes and the verifier accepts both (see
+//! [`columnar::FORMAT_V2_PREFIX`]).
 //!
 //! A **cloud verifier** replays the records symbolically against its own
 //! copy of the pipeline declaration to attest:
@@ -33,8 +40,11 @@ pub mod trail;
 pub mod varint;
 pub mod verifier;
 
-pub use columnar::{compress_records, decompress_records};
+pub use columnar::{
+    compress_records, compress_records_streaming, decompress_records, ColumnarEncoder,
+    FORMAT_V2_PREFIX, FORMAT_VERSION_STREAMING,
+};
 pub use log::{AuditLog, LogSegment};
-pub use record::{AuditRecord, DataRef, DepartureReason, UArrayRef};
+pub use record::{AuditRecord, DataRef, DepartureReason, PortList, UArrayRef};
 pub use trail::{verify_tenant_trail, TrailError};
 pub use verifier::{FreshnessReport, PipelineSpec, VerificationReport, Verifier, Violation};

@@ -5,8 +5,14 @@
 //! Each flush produces a [`LogSegment`]: the columnar-compressed record
 //! batch plus an HMAC signature computed inside the TEE so the cloud can
 //! trust the segment's origin and integrity.
+//!
+//! Appends stream straight into a [`ColumnarEncoder`]: every field is
+//! delta/varint-coded into pre-laid-out column buffers at append time (the
+//! paper's in-TEE logging design), so the steady-state append path performs
+//! no heap allocation and `flush` is a cheap seal — entropy-code the small
+//! byte columns, concatenate, sign — rather than a full batch re-encode.
 
-use crate::columnar::compress_records;
+use crate::columnar::ColumnarEncoder;
 use crate::record::AuditRecord;
 use sbt_crypto::{Signature, SigningKey};
 use sbt_types::TenantId;
@@ -33,6 +39,23 @@ pub struct LogSegment {
 }
 
 impl LogSegment {
+    /// Build a segment over an already-compressed payload, signing it under
+    /// `key`. This is what [`AuditLog::flush`] uses; it is public so tests
+    /// and external producers can assemble trails from either codec format
+    /// (the verifier accepts both, selected by the payload's version bytes).
+    pub fn new_signed(
+        tenant: TenantId,
+        epoch: u32,
+        seq: u64,
+        compressed: Vec<u8>,
+        raw_bytes: usize,
+        record_count: usize,
+        key: &SigningKey,
+    ) -> Self {
+        let signature = key.sign(&Self::signed_payload(tenant, epoch, seq, &compressed));
+        LogSegment { tenant, epoch, seq, compressed, raw_bytes, record_count, signature }
+    }
+
     /// Verify the segment's signature with the epoch's key.
     pub fn verify(&self, key: &SigningKey) -> bool {
         key.verify(
@@ -58,7 +81,8 @@ pub struct AuditLog {
     /// Current key epoch: segments are tagged with it and signed under the
     /// epoch's key. Bumped by [`AuditLog::rekey`].
     epoch: u32,
-    pending: Vec<AuditRecord>,
+    /// Streaming encoder holding the not-yet-flushed records in column form.
+    encoder: ColumnarEncoder,
     next_seq: u64,
     /// Flush when this many records are pending (in addition to explicit
     /// flushes at egress).
@@ -79,13 +103,16 @@ impl AuditLog {
     /// Create a log whose segments are tagged with (and signed under)
     /// `tenant`, so the cloud can verify each tenant's trail independently.
     pub fn for_tenant(key: SigningKey, flush_threshold: usize, tenant: TenantId) -> Self {
+        let flush_threshold = flush_threshold.max(1);
         AuditLog {
             key,
             tenant,
             epoch: 0,
-            pending: Vec::new(),
+            // Size the column buffers for the flush threshold up front so
+            // even the first segment's appends allocate nothing.
+            encoder: ColumnarEncoder::with_capacity(flush_threshold.min(1 << 16)),
             next_seq: 0,
-            flush_threshold: flush_threshold.max(1),
+            flush_threshold,
             total_records: 0,
             total_raw_bytes: 0,
             total_compressed_bytes: 0,
@@ -113,11 +140,12 @@ impl AuditLog {
         last
     }
 
-    /// Append a record. Returns a flushed segment if the pending batch
-    /// reached the flush threshold.
+    /// Append a record: its fields stream directly into the column
+    /// accumulators (no row buffering, no steady-state allocation). Returns
+    /// a flushed segment if the pending batch reached the flush threshold.
     pub fn append(&mut self, record: AuditRecord) -> Option<LogSegment> {
-        self.pending.push(record);
-        if self.pending.len() >= self.flush_threshold {
+        self.encoder.append(&record);
+        if self.encoder.len() >= self.flush_threshold {
             self.flush()
         } else {
             None
@@ -126,34 +154,34 @@ impl AuditLog {
 
     /// Number of records not yet flushed.
     pub fn pending_len(&self) -> usize {
-        self.pending.len()
+        self.encoder.len()
     }
 
     /// Flush all pending records into a signed segment. Returns `None` if
-    /// nothing is pending.
+    /// nothing is pending. With the streaming encoder this is a *seal*:
+    /// entropy-code the byte columns, concatenate the pre-encoded numeric
+    /// columns, and sign — the records are never re-walked.
     pub fn flush(&mut self) -> Option<LogSegment> {
-        if self.pending.is_empty() {
+        if self.encoder.is_empty() {
             return None;
         }
-        let records = std::mem::take(&mut self.pending);
-        let raw_bytes = AuditRecord::raw_size(&records);
-        let compressed = compress_records(&records);
+        let record_count = self.encoder.len();
+        let raw_bytes = self.encoder.raw_bytes() as usize;
+        let compressed = self.encoder.seal();
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.total_records += records.len() as u64;
+        self.total_records += record_count as u64;
         self.total_raw_bytes += raw_bytes as u64;
         self.total_compressed_bytes += compressed.len() as u64;
-        let signature =
-            self.key.sign(&LogSegment::signed_payload(self.tenant, self.epoch, seq, &compressed));
-        Some(LogSegment {
-            tenant: self.tenant,
-            epoch: self.epoch,
+        Some(LogSegment::new_signed(
+            self.tenant,
+            self.epoch,
             seq,
-            raw_bytes,
-            record_count: records.len(),
             compressed,
-            signature,
-        })
+            raw_bytes,
+            record_count,
+            &self.key,
+        ))
     }
 
     /// Total records ever appended and flushed.

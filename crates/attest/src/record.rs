@@ -20,6 +20,123 @@ use sbt_types::PrimitiveKind;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct UArrayRef(pub u32);
 
+/// Ports kept inline in a [`PortList`] before spilling to the heap.
+/// Operators have at most four ports in practice, so execution records
+/// normally allocate nothing.
+pub const INLINE_PORTS: usize = 4;
+
+/// A small fixed-capacity list of uArray ports.
+///
+/// [`AuditRecord::Execution`] carries one of these for its inputs and one
+/// for its outputs. Up to [`INLINE_PORTS`] entries live inline in the record
+/// itself — the steady-state append path performs no heap allocation. Longer
+/// lists (possible only through hand-built records or decoded legacy
+/// payloads) spill to a `Vec` transparently.
+#[derive(Clone, Default)]
+pub struct PortList {
+    inline: [UArrayRef; INLINE_PORTS],
+    len: u8,
+    /// Authoritative storage once non-empty; `inline`/`len` are then unused.
+    spill: Vec<UArrayRef>,
+}
+
+impl PortList {
+    /// An empty list (allocates nothing).
+    pub const fn new() -> Self {
+        PortList { inline: [UArrayRef(0); INLINE_PORTS], len: 0, spill: Vec::new() }
+    }
+
+    /// Append a port, spilling to the heap past [`INLINE_PORTS`] entries.
+    pub fn push(&mut self, port: UArrayRef) {
+        if self.spill.is_empty() {
+            if (self.len as usize) < INLINE_PORTS {
+                self.inline[self.len as usize] = port;
+                self.len += 1;
+                return;
+            }
+            self.spill.reserve(INLINE_PORTS * 2);
+            self.spill.extend_from_slice(&self.inline[..self.len as usize]);
+        }
+        self.spill.push(port);
+    }
+
+    /// The ports as a slice.
+    pub fn as_slice(&self) -> &[UArrayRef] {
+        if self.spill.is_empty() {
+            &self.inline[..self.len as usize]
+        } else {
+            &self.spill
+        }
+    }
+}
+
+impl std::ops::Deref for PortList {
+    type Target = [UArrayRef];
+    fn deref(&self) -> &[UArrayRef] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for PortList {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for PortList {}
+
+impl std::hash::Hash for PortList {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl std::fmt::Debug for PortList {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl<const N: usize> From<[UArrayRef; N]> for PortList {
+    fn from(ports: [UArrayRef; N]) -> Self {
+        ports.into_iter().collect()
+    }
+}
+
+impl From<Vec<UArrayRef>> for PortList {
+    fn from(ports: Vec<UArrayRef>) -> Self {
+        if ports.len() > INLINE_PORTS {
+            PortList { inline: [UArrayRef(0); INLINE_PORTS], len: 0, spill: ports }
+        } else {
+            ports.into_iter().collect()
+        }
+    }
+}
+
+impl From<&[UArrayRef]> for PortList {
+    fn from(ports: &[UArrayRef]) -> Self {
+        ports.iter().copied().collect()
+    }
+}
+
+impl FromIterator<UArrayRef> for PortList {
+    fn from_iter<I: IntoIterator<Item = UArrayRef>>(iter: I) -> Self {
+        let mut list = PortList::new();
+        for port in iter {
+            list.push(port);
+        }
+        list
+    }
+}
+
+impl<'a> IntoIterator for &'a PortList {
+    type Item = &'a UArrayRef;
+    type IntoIter = std::slice::Iter<'a, UArrayRef>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
 /// The payload of an ingress record: either a data uArray or a watermark.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataRef {
@@ -103,10 +220,11 @@ pub enum AuditRecord {
         /// Which primitive ran.
         op: PrimitiveKind,
         /// Input uArray ids (watermark inputs are recorded by their ingress
-        /// uArray id as in the paper's Listing 1).
-        inputs: Vec<UArrayRef>,
-        /// Output uArray ids.
-        outputs: Vec<UArrayRef>,
+        /// uArray id as in the paper's Listing 1). Kept inline: operators
+        /// have ≤ [`INLINE_PORTS`] ports.
+        inputs: PortList,
+        /// Output uArray ids, inline like `inputs`.
+        outputs: PortList,
         /// Encoded consumption hints supplied with the invocation.
         hints: Vec<u64>,
     },
@@ -157,6 +275,22 @@ impl AuditRecord {
             AuditRecord::Execution { op, .. } => op.code(),
             AuditRecord::Rekey { .. } => OP_CODE_REKEY,
             AuditRecord::Departure { .. } => OP_CODE_DEPARTURE,
+        }
+    }
+
+    /// Size of the record's uncompressed row format (Figure 6) in bytes,
+    /// without serializing. The streaming encoder uses this to account raw
+    /// bandwidth incrementally at append time.
+    pub fn row_len(&self) -> usize {
+        // op(2) + ts(4) + variant payload.
+        6 + match self {
+            AuditRecord::Ingress { .. } | AuditRecord::Egress { .. } => 5,
+            AuditRecord::Windowing { .. } => 10,
+            AuditRecord::Execution { inputs, outputs, hints, .. } => {
+                6 + 4 * (inputs.len() + outputs.len()) + 8 * hints.len()
+            }
+            AuditRecord::Rekey { .. } => 4,
+            AuditRecord::Departure { .. } => 1,
         }
     }
 
@@ -231,8 +365,8 @@ mod tests {
         let r = AuditRecord::Execution {
             ts_ms: 10,
             op: PrimitiveKind::Sort,
-            inputs: vec![UArrayRef(1)],
-            outputs: vec![UArrayRef(2)],
+            inputs: [UArrayRef(1)].into(),
+            outputs: [UArrayRef(2)].into(),
             hints: vec![],
         };
         assert_eq!(r.op_code(), PrimitiveKind::Sort.code());
@@ -268,8 +402,8 @@ mod tests {
         AuditRecord::Execution {
             ts_ms: 1,
             op: PrimitiveKind::Sum,
-            inputs: vec![UArrayRef(1), UArrayRef(2)],
-            outputs: vec![UArrayRef(3)],
+            inputs: [UArrayRef(1), UArrayRef(2)].into(),
+            outputs: [UArrayRef(3)].into(),
             hints: vec![42],
         }
         .to_row_bytes(&mut buf);

@@ -4,8 +4,19 @@
 //! into one-byte symbols, which is where most of the compression ratio of
 //! the domain-specific codec comes from.
 
-/// Append an unsigned varint to `out`.
-pub fn write_u64(mut value: u64, out: &mut Vec<u8>) {
+/// Append an unsigned varint to `out`. The one-byte case — the vast
+/// majority of delta-coded audit columns — is a single push on the hot
+/// path.
+#[inline]
+pub fn write_u64(value: u64, out: &mut Vec<u8>) {
+    if value < 0x80 {
+        out.push(value as u8);
+        return;
+    }
+    write_u64_multi(value, out);
+}
+
+fn write_u64_multi(mut value: u64, out: &mut Vec<u8>) {
     loop {
         let byte = (value & 0x7F) as u8;
         value >>= 7;
@@ -19,6 +30,7 @@ pub fn write_u64(mut value: u64, out: &mut Vec<u8>) {
 
 /// Read an unsigned varint from `data` starting at `pos`, advancing `pos`.
 /// Returns `None` on truncated input.
+#[inline]
 pub fn read_u64(data: &[u8], pos: &mut usize) -> Option<u64> {
     let mut value = 0u64;
     let mut shift = 0u32;
@@ -37,11 +49,13 @@ pub fn read_u64(data: &[u8], pos: &mut usize) -> Option<u64> {
 }
 
 /// ZigZag-encode a signed delta so small negative values stay small.
+#[inline]
 pub fn zigzag(value: i64) -> u64 {
     ((value << 1) ^ (value >> 63)) as u64
 }
 
 /// Inverse of [`zigzag`].
+#[inline]
 pub fn unzigzag(value: u64) -> i64 {
     ((value >> 1) as i64) ^ -((value & 1) as i64)
 }

@@ -447,8 +447,8 @@ mod tests {
                 records.push(AuditRecord::Execution {
                     ts_ms: ts,
                     op: PrimitiveKind::Sort,
-                    inputs: vec![windowed],
-                    outputs: vec![sorted],
+                    inputs: [windowed].into(),
+                    outputs: [sorted].into(),
                     hints: vec![],
                 });
                 ts += 1;
@@ -466,8 +466,8 @@ mod tests {
                 records.push(AuditRecord::Execution {
                     ts_ms: ts,
                     op: PrimitiveKind::Merge,
-                    inputs: vec![a, b],
-                    outputs: vec![merged],
+                    inputs: [a, b].into(),
+                    outputs: [merged].into(),
                     hints: vec![],
                 });
                 ts += 1;
@@ -477,8 +477,8 @@ mod tests {
             records.push(AuditRecord::Execution {
                 ts_ms: ts,
                 op: PrimitiveKind::Sum,
-                inputs: vec![sorted_ids[0]],
-                outputs: vec![summed],
+                inputs: [sorted_ids[0]].into(),
+                outputs: [summed].into(),
                 hints: vec![],
             });
             ts += 2;
@@ -580,8 +580,8 @@ mod tests {
         records.push(AuditRecord::Execution {
             ts_ms: 500,
             op: PrimitiveKind::TopK,
-            inputs: vec![sorted_output],
-            outputs: vec![UArrayRef(700)],
+            inputs: [sorted_output].into(),
+            outputs: [UArrayRef(700)].into(),
             hints: vec![],
         });
         let report = Verifier::new(spec()).replay(&records);
@@ -597,8 +597,8 @@ mod tests {
         records.push(AuditRecord::Execution {
             ts_ms: 999,
             op: PrimitiveKind::Sum,
-            inputs: vec![UArrayRef(12345)],
-            outputs: vec![UArrayRef(12346)],
+            inputs: [UArrayRef(12345)].into(),
+            outputs: [UArrayRef(12346)].into(),
             hints: vec![],
         });
         let report = Verifier::new(spec()).replay(&records);

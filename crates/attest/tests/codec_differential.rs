@@ -1,0 +1,204 @@
+//! Differential tests between the two columnar codec generations.
+//!
+//! The streaming (format-v2) encoder must be observationally identical to
+//! the legacy batch (format-v1) codec: for any record mix — including the
+//! `Rekey`/`Departure` lifecycle terminals — both payloads decode to
+//! exactly the same record sequence, and the trail verifier accepts trails
+//! that interleave segments from both formats (the format-version bytes in
+//! each payload select the decoder).
+
+use proptest::prelude::*;
+use sbt_attest::record::PortList;
+use sbt_attest::{
+    compress_records, compress_records_streaming, decompress_records, verify_tenant_trail,
+    AuditLog, AuditRecord, DataRef, DepartureReason, LogSegment, UArrayRef,
+};
+use sbt_crypto::{SigningKey, TenantKeychain};
+use sbt_types::{PrimitiveKind, TenantId};
+
+/// Build an arbitrary record from a generated spec tuple.
+fn record_from_spec(kind: u8, ts: u32, id: u32, win: u16) -> AuditRecord {
+    match kind {
+        0 => AuditRecord::Ingress { ts_ms: ts, data: DataRef::UArray(UArrayRef(id)) },
+        1 => AuditRecord::Ingress { ts_ms: ts, data: DataRef::Watermark(id) },
+        2 => AuditRecord::Egress { ts_ms: ts, data: UArrayRef(id) },
+        3 => AuditRecord::Windowing {
+            ts_ms: ts,
+            input: UArrayRef(id),
+            win_no: win,
+            output: UArrayRef(id + 1),
+        },
+        4 => AuditRecord::Rekey { ts_ms: ts, epoch: id },
+        5 => AuditRecord::Departure {
+            ts_ms: ts,
+            reason: if id.is_multiple_of(2) {
+                DepartureReason::Drained
+            } else {
+                DepartureReason::Evicted
+            },
+        },
+        6 => {
+            // Execution with a heap-spilled port list: more inputs than fit
+            // inline, exercising the slow construction path end to end.
+            let inputs: PortList = (id..id + 6).map(UArrayRef).collect();
+            AuditRecord::Execution {
+                ts_ms: ts,
+                op: PrimitiveKind::TRUSTED_PRIMITIVES[(id % 23) as usize],
+                inputs,
+                outputs: [UArrayRef(id + 7)].into(),
+                hints: vec![id as u64, (id as u64) << 33],
+            }
+        }
+        _ => AuditRecord::Execution {
+            ts_ms: ts,
+            op: PrimitiveKind::TRUSTED_PRIMITIVES[(id % 23) as usize],
+            inputs: [UArrayRef(id)].into(),
+            outputs: [UArrayRef(id + 1), UArrayRef(id + 2)].into(),
+            hints: if id.is_multiple_of(3) { vec![id as u64] } else { vec![] },
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The core differential property: both codecs decode to the same
+    /// sequence — the original — for arbitrary record mixes.
+    #[test]
+    fn streaming_and_batch_codecs_agree(
+        specs in proptest::collection::vec(
+            (0u8..8, 0u32..100_000, 0u32..50_000, 0u16..500), 0..300),
+    ) {
+        let records: Vec<AuditRecord> =
+            specs.into_iter().map(|(k, ts, id, win)| record_from_spec(k, ts, id, win)).collect();
+        let batch = compress_records(&records);
+        let streaming = compress_records_streaming(&records);
+        let from_batch = decompress_records(&batch).expect("batch payload decodes");
+        let from_streaming = decompress_records(&streaming).expect("streaming payload decodes");
+        prop_assert_eq!(&from_batch, &records);
+        prop_assert_eq!(&from_streaming, &records);
+        prop_assert_eq!(&from_batch, &from_streaming);
+    }
+
+    /// Segment-splitting invariance: encoding a stream as several sealed
+    /// v2 segments and concatenating the decodes equals the one-shot batch
+    /// decode (each seal resets delta state, so segments stay independent).
+    #[test]
+    fn segmented_streaming_equals_batch(
+        specs in proptest::collection::vec(
+            (0u8..8, 0u32..100_000, 0u32..50_000, 0u16..500), 1..200),
+        split in 1usize..50,
+    ) {
+        let records: Vec<AuditRecord> =
+            specs.into_iter().map(|(k, ts, id, win)| record_from_spec(k, ts, id, win)).collect();
+        let mut enc = sbt_attest::ColumnarEncoder::new();
+        let mut reassembled = Vec::new();
+        for chunk in records.chunks(split) {
+            for r in chunk {
+                enc.append(r);
+            }
+            let payload = enc.seal();
+            reassembled.extend(decompress_records(&payload).expect("segment decodes"));
+        }
+        prop_assert_eq!(&reassembled, &records);
+    }
+}
+
+/// A trail interleaving legacy-format and streaming-format segments — the
+/// upgrade scenario where an edge device flushes v1 segments before a code
+/// update and v2 after — verifies end to end, honoring each payload's
+/// format-version bytes.
+#[test]
+fn mixed_format_trail_verifies() {
+    let tenant = TenantId(7);
+    let key = SigningKey::new(b"mixed-format-trail");
+    let record = |i: u32| AuditRecord::Ingress { ts_ms: i, data: DataRef::UArray(UArrayRef(i)) };
+
+    let mut segments = Vec::new();
+    let mut all_records = Vec::new();
+    for seq in 0..6u64 {
+        let batch: Vec<AuditRecord> = (0..5).map(|i| record(seq as u32 * 5 + i)).collect();
+        let compressed = if seq.is_multiple_of(2) {
+            compress_records(&batch) // legacy v1 payload
+        } else {
+            compress_records_streaming(&batch) // streaming v2 payload
+        };
+        let raw = AuditRecord::raw_size(&batch);
+        segments.push(LogSegment::new_signed(tenant, 0, seq, compressed, raw, batch.len(), &key));
+        all_records.extend(batch);
+    }
+
+    let keychain = TenantKeychain::single(tenant.0, key.clone());
+    let verified = verify_tenant_trail(&segments, tenant, &keychain).expect("mixed trail verifies");
+    assert_eq!(verified, all_records);
+
+    // Tampering with either format's payload still breaks the signature.
+    for idx in [0usize, 1] {
+        let mut tampered = segments.clone();
+        tampered[idx].compressed[3] ^= 0x40;
+        assert!(verify_tenant_trail(&tampered, tenant, &keychain).is_err());
+    }
+}
+
+/// An `AuditLog` (always streaming) interoperates with hand-built legacy
+/// segments in one trail, across a rekey boundary.
+#[test]
+fn audit_log_segments_extend_a_legacy_trail() {
+    let tenant = TenantId(3);
+    let key0 = SigningKey::new(b"epoch-0");
+    let key1 = SigningKey::new(b"epoch-1");
+    let record = |i: u32| AuditRecord::Ingress { ts_ms: i, data: DataRef::UArray(UArrayRef(i)) };
+
+    // Segment 0: legacy payload under epoch 0.
+    let old_batch: Vec<AuditRecord> = (0..4).map(record).collect();
+    let seg0 = LogSegment::new_signed(
+        tenant,
+        0,
+        0,
+        compress_records(&old_batch),
+        AuditRecord::raw_size(&old_batch),
+        old_batch.len(),
+        &key0,
+    );
+
+    // Segments 1..: produced by a live AuditLog that rekeys to epoch 1.
+    let mut log = AuditLog::for_tenant(key0.clone(), 100, tenant);
+    // Seed the log's sequence counter past the legacy segment.
+    log.append(record(4));
+    let seg_probe = log.flush().unwrap();
+    assert_eq!(seg_probe.seq, 0);
+    // Renumber: the legacy trail owns seq 0, so rebuild the probe as seq 1.
+    let seg1 = LogSegment::new_signed(
+        tenant,
+        0,
+        1,
+        seg_probe.compressed.clone(),
+        seg_probe.raw_bytes,
+        seg_probe.record_count,
+        &key0,
+    );
+    log.rekey(key1.clone(), 1);
+    log.append(record(5));
+    let seg_probe2 = log.flush().unwrap();
+    let seg2 = LogSegment::new_signed(
+        tenant,
+        1,
+        2,
+        seg_probe2.compressed.clone(),
+        seg_probe2.raw_bytes,
+        seg_probe2.record_count,
+        &key1,
+    );
+
+    let keychain = TenantKeychain::from_epochs(
+        tenant.0,
+        vec![
+            sbt_crypto::VerifierKeySet::signing_only(0, key0),
+            sbt_crypto::VerifierKeySet::signing_only(1, key1),
+        ],
+    );
+    let verified =
+        verify_tenant_trail(&[seg0, seg1, seg2], tenant, &keychain).expect("trail verifies");
+    assert_eq!(verified.len(), 6);
+    assert_eq!(verified, (0..6).map(record).collect::<Vec<_>>());
+}

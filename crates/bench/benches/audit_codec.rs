@@ -2,77 +2,16 @@
 //! decompression, and the gzip-like baseline) and the verifier's replay rate.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use sbt_attest::record::{AuditRecord, DataRef, UArrayRef};
-use sbt_attest::{compress_records, decompress_records, lz77, PipelineSpec, Verifier};
+use sbt_attest::{
+    compress_records, decompress_records, lz77, ColumnarEncoder, PipelineSpec, Verifier,
+};
+use sbt_bench::synthetic_audit_records;
 use sbt_types::PrimitiveKind;
-
-/// A realistic audit stream: per window, several batches flow through
-/// ingress → windowing → sort → merge → sum → egress.
-fn make_records(windows: u32, batches_per_window: u32) -> Vec<AuditRecord> {
-    let mut records = Vec::new();
-    let mut id = 0u32;
-    let mut ts = 0u32;
-    let fresh = |id: &mut u32| {
-        let r = UArrayRef(*id);
-        *id += 1;
-        r
-    };
-    for w in 0..windows {
-        let mut sorted = Vec::new();
-        for _ in 0..batches_per_window {
-            let ingress = fresh(&mut id);
-            records.push(AuditRecord::Ingress { ts_ms: ts, data: DataRef::UArray(ingress) });
-            let windowed = fresh(&mut id);
-            records.push(AuditRecord::Windowing {
-                ts_ms: ts + 1,
-                input: ingress,
-                win_no: w as u16,
-                output: windowed,
-            });
-            let s = fresh(&mut id);
-            records.push(AuditRecord::Execution {
-                ts_ms: ts + 2,
-                op: PrimitiveKind::Sort,
-                inputs: vec![windowed],
-                outputs: vec![s],
-                hints: vec![],
-            });
-            sorted.push(s);
-            ts += 3;
-        }
-        records.push(AuditRecord::Ingress { ts_ms: ts, data: DataRef::Watermark((w + 1) * 1000) });
-        while sorted.len() > 1 {
-            let a = sorted.remove(0);
-            let b = sorted.remove(0);
-            let m = fresh(&mut id);
-            records.push(AuditRecord::Execution {
-                ts_ms: ts,
-                op: PrimitiveKind::Merge,
-                inputs: vec![a, b],
-                outputs: vec![m],
-                hints: vec![],
-            });
-            sorted.push(m);
-            ts += 1;
-        }
-        let out = fresh(&mut id);
-        records.push(AuditRecord::Execution {
-            ts_ms: ts,
-            op: PrimitiveKind::Sum,
-            inputs: vec![sorted[0]],
-            outputs: vec![out],
-            hints: vec![],
-        });
-        records.push(AuditRecord::Egress { ts_ms: ts + 2, data: out });
-        ts += 5;
-    }
-    records
-}
 
 fn bench_codec(c: &mut Criterion) {
     let mut group = c.benchmark_group("audit_codec");
     group.sample_size(10);
-    let records = make_records(100, 10);
+    let records = synthetic_audit_records(100, 10);
     let raw: Vec<u8> = {
         let mut buf = Vec::new();
         for r in &records {
@@ -87,14 +26,31 @@ fn bench_codec(c: &mut Criterion) {
         b.iter(|| decompress_records(&compressed).unwrap())
     });
     group.bench_function("gzip_like_compress", |b| b.iter(|| lz77::compress(&raw)));
+    let mut encoder = ColumnarEncoder::with_capacity(records.len());
+    let mut out = Vec::new();
+    group.bench_function("columnar_compress_streaming", |b| {
+        b.iter(|| {
+            for r in &records {
+                encoder.append(r);
+            }
+            out.clear();
+            encoder.seal_into(&mut out);
+            std::hint::black_box(&out);
+        })
+    });
+    let streaming = sbt_attest::compress_records_streaming(&records);
+    group.bench_function("columnar_decompress_streaming", |b| {
+        b.iter(|| decompress_records(&streaming).unwrap())
+    });
     group.finish();
 }
 
 fn bench_verifier(c: &mut Criterion) {
     let mut group = c.benchmark_group("verifier_replay");
     group.sample_size(10);
-    let records = make_records(200, 10);
-    let spec = PipelineSpec::new("winsum", vec![PrimitiveKind::Sort, PrimitiveKind::Sum], 10_000);
+    let records = synthetic_audit_records(200, 10);
+    let spec =
+        PipelineSpec::new("winsum", vec![PrimitiveKind::Sort, PrimitiveKind::SumCnt], 10_000);
     group.throughput(Throughput::Elements(records.len() as u64));
     group.bench_function("replay", |b| {
         let verifier = Verifier::new(spec.clone());

@@ -1,82 +1,26 @@
 //! Audit-log compression throughput: MB/s of the gzip-like LZ77+Huffman
 //! baseline (encode and decode) over realistic audit-record row bytes, with
-//! the domain-specific columnar codec alongside for comparison. This gives
-//! the ROADMAP's audit-log-compression direction its baseline numbers: any
-//! future codec work must beat these rates at equal-or-better ratios.
+//! both generations of the domain-specific columnar codec alongside — the
+//! legacy batch (format-v1) codec and the streaming (format-v2)
+//! `ColumnarEncoder`. Columnar entries run at the data plane's production
+//! segment granularity (256-record flush threshold), which is the rate the
+//! ingest path actually experiences; whole-stream entries are kept for the
+//! large-batch comparison. This anchors the ROADMAP's audit-log-compression
+//! numbers: codec work must beat these rates at equal-or-better ratios.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use sbt_attest::record::{AuditRecord, DataRef, UArrayRef};
-use sbt_attest::{compress_records, decompress_records, lz77};
-use sbt_types::PrimitiveKind;
+use sbt_attest::{compress_records, decompress_records, lz77, ColumnarEncoder};
+use sbt_bench::synthetic_audit_records;
 
-/// A realistic audit stream in row format: per window, several batches flow
-/// through ingress → windowing → sort → merge → sum → egress.
-fn make_row_bytes(windows: u32, batches_per_window: u32) -> (Vec<AuditRecord>, Vec<u8>) {
-    let mut records = Vec::new();
-    let mut id = 0u32;
-    let mut ts = 0u32;
-    let mut fresh = || {
-        let r = UArrayRef(id);
-        id += 1;
-        r
-    };
-    for w in 0..windows {
-        let mut sorted = Vec::new();
-        for _ in 0..batches_per_window {
-            let ingress = fresh();
-            records.push(AuditRecord::Ingress { ts_ms: ts, data: DataRef::UArray(ingress) });
-            let windowed = fresh();
-            records.push(AuditRecord::Windowing {
-                ts_ms: ts + 1,
-                input: ingress,
-                win_no: w as u16,
-                output: windowed,
-            });
-            let s = fresh();
-            records.push(AuditRecord::Execution {
-                ts_ms: ts + 2,
-                op: PrimitiveKind::Sort,
-                inputs: vec![windowed],
-                outputs: vec![s],
-                hints: vec![],
-            });
-            sorted.push(s);
-            ts += 3;
-        }
-        while sorted.len() > 1 {
-            let a = sorted.remove(0);
-            let b = sorted.remove(0);
-            let m = fresh();
-            records.push(AuditRecord::Execution {
-                ts_ms: ts,
-                op: PrimitiveKind::Merge,
-                inputs: vec![a, b],
-                outputs: vec![m],
-                hints: vec![],
-            });
-            sorted.push(m);
-            ts += 1;
-        }
-        let out = fresh();
-        records.push(AuditRecord::Execution {
-            ts_ms: ts,
-            op: PrimitiveKind::SumCnt,
-            inputs: vec![sorted[0]],
-            outputs: vec![out],
-            hints: vec![],
-        });
-        records.push(AuditRecord::Egress { ts_ms: ts + 1, data: out });
-        ts += 2;
-    }
+/// The data plane's default `audit_flush_threshold`.
+const SEGMENT_RECORDS: usize = 256;
+
+fn bench_compression_throughput(c: &mut Criterion) {
+    let records = synthetic_audit_records(50, 32);
     let mut rows = Vec::new();
     for r in &records {
         r.to_row_bytes(&mut rows);
     }
-    (records, rows)
-}
-
-fn bench_compression_throughput(c: &mut Criterion) {
-    let (records, rows) = make_row_bytes(50, 32);
     let raw_bytes = rows.len() as u64;
 
     let mut group = c.benchmark_group("audit_compression");
@@ -90,21 +34,84 @@ fn bench_compression_throughput(c: &mut Criterion) {
         b.iter(|| lz77::decompress(&lz).expect("round-trips"))
     });
 
-    // The domain-specific columnar codec on the same records.
-    group.bench_function("columnar_encode", |b| b.iter(|| compress_records(&records)));
-    let col = compress_records(&records);
+    // The legacy batch columnar codec at production segment granularity.
+    group.bench_function("columnar_encode", |b| {
+        b.iter(|| {
+            for chunk in records.chunks(SEGMENT_RECORDS) {
+                std::hint::black_box(compress_records(chunk));
+            }
+        })
+    });
+    let col_segments: Vec<Vec<u8>> =
+        records.chunks(SEGMENT_RECORDS).map(compress_records).collect();
     group.bench_function("columnar_decode", |b| {
-        b.iter(|| decompress_records(&col).expect("round-trips"))
+        b.iter(|| {
+            for seg in &col_segments {
+                std::hint::black_box(decompress_records(seg).expect("round-trips"));
+            }
+        })
+    });
+
+    // The streaming encoder on the same segments, reused across seals as
+    // the audit log uses it.
+    let mut encoder = ColumnarEncoder::with_capacity(SEGMENT_RECORDS);
+    let mut out = Vec::new();
+    group.bench_function("columnar_encode_streaming", |b| {
+        b.iter(|| {
+            for chunk in records.chunks(SEGMENT_RECORDS) {
+                for r in chunk {
+                    encoder.append(r);
+                }
+                out.clear();
+                encoder.seal_into(&mut out);
+                std::hint::black_box(&out);
+            }
+        })
+    });
+    let v2_segments: Vec<Vec<u8>> = records
+        .chunks(SEGMENT_RECORDS)
+        .map(|chunk| {
+            for r in chunk {
+                encoder.append(r);
+            }
+            encoder.seal()
+        })
+        .collect();
+    group.bench_function("columnar_decode_streaming", |b| {
+        b.iter(|| {
+            for seg in &v2_segments {
+                std::hint::black_box(decompress_records(seg).expect("round-trips"));
+            }
+        })
+    });
+
+    // Whole-stream single-segment variants for the large-batch comparison.
+    group.bench_function("columnar_encode_onebatch", |b| b.iter(|| compress_records(&records)));
+    group.bench_function("columnar_encode_streaming_onebatch", |b| {
+        b.iter(|| {
+            for r in &records {
+                encoder.append(r);
+            }
+            out.clear();
+            encoder.seal_into(&mut out);
+            std::hint::black_box(&out);
+        })
     });
     group.finish();
 
+    let col: usize = col_segments.iter().map(Vec::len).sum();
+    let v2: usize = v2_segments.iter().map(Vec::len).sum();
     println!(
-        "audit_compression: raw {} B, lz77+huffman {} B ({:.1}x), columnar {} B ({:.1}x)",
+        "audit_compression: raw {} B, lz77+huffman {} B ({:.1}x), columnar v1 {} B ({:.1}x), \
+         columnar v2 streaming {} B ({:.1}x) [{}-record segments]",
         raw_bytes,
         lz.len(),
         raw_bytes as f64 / lz.len().max(1) as f64,
-        col.len(),
-        raw_bytes as f64 / col.len().max(1) as f64,
+        col,
+        raw_bytes as f64 / col.max(1) as f64,
+        v2,
+        raw_bytes as f64 / v2.max(1) as f64,
+        SEGMENT_RECORDS,
     );
 }
 

@@ -1,0 +1,148 @@
+//! CI gate for the audit-log codec: the streaming (format-v2) columnar
+//! encoder must stay ≥ `SBT_CODEC_GATE_MIN`× (default 2×) faster than the
+//! recorded legacy baseline — the batch (format-v1) codec re-measured on
+//! the same machine, which anchors the gate to hardware-independent ground
+//! truth — at an equal-or-better compression ratio, and both payloads must
+//! round-trip.
+//!
+//! The measurement runs at the data plane's production segment granularity
+//! (`audit_flush_threshold` defaults to 256 records, and every egress
+//! forces a flush): per segment, the legacy codec re-walks the record batch
+//! and builds per-column Huffman trees, while the streaming encoder has
+//! already columnar-coded every field at append time and only entropy-codes
+//! the byte columns against precomputed static tables at seal.
+//!
+//! Exits nonzero if:
+//! * either codec fails to decode back to the input records;
+//! * the streaming compression ratio drops below the batch ratio;
+//! * streaming encode throughput falls under the threshold — a drop below
+//!   it means the streaming path regressed far beyond the 10% budget the
+//!   ROADMAP allows on the recorded baseline.
+//!
+//! Run with `cargo run --release -p sbt_bench --bin codec_gate`.
+
+use sbt_attest::{compress_records, decompress_records, AuditRecord, ColumnarEncoder};
+use sbt_bench::{best_secs, synthetic_audit_records};
+
+/// Records per segment: the data plane's default `audit_flush_threshold`.
+const SEGMENT_RECORDS: usize = 256;
+
+fn main() {
+    let records = synthetic_audit_records(50, 32);
+    let raw_bytes = AuditRecord::raw_size(&records) as f64;
+    let iters: u32 =
+        std::env::var("SBT_CODEC_GATE_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(30);
+    let min_speedup: f64 =
+        std::env::var("SBT_CODEC_GATE_MIN").ok().and_then(|v| v.parse().ok()).unwrap_or(2.0);
+
+    // Correctness first: both formats must round-trip exactly, segment by
+    // segment.
+    let mut encoder = ColumnarEncoder::with_capacity(SEGMENT_RECORDS);
+    let mut batch_bytes = 0usize;
+    let mut streaming_bytes = 0usize;
+    for chunk in records.chunks(SEGMENT_RECORDS) {
+        let batch_payload = compress_records(chunk);
+        for r in chunk {
+            encoder.append(r);
+        }
+        let streaming_payload = encoder.seal();
+        batch_bytes += batch_payload.len();
+        streaming_bytes += streaming_payload.len();
+        for (name, payload) in
+            [("batch(v1)", &batch_payload), ("streaming(v2)", &streaming_payload)]
+        {
+            match decompress_records(payload) {
+                Ok(decoded) if decoded == chunk => {}
+                Ok(_) => {
+                    eprintln!("codec gate: {name} segment decoded to different records");
+                    std::process::exit(1);
+                }
+                Err(e) => {
+                    eprintln!("codec gate: {name} segment failed to decode: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+
+    // Throughput at segment granularity; the streaming encoder is reused
+    // across seals exactly as the audit log uses it (buffers warm).
+    let batch_secs = best_secs(iters, || {
+        for chunk in records.chunks(SEGMENT_RECORDS) {
+            std::hint::black_box(compress_records(chunk));
+        }
+    });
+    let mut out = Vec::new();
+    let streaming_secs = best_secs(iters, || {
+        for chunk in records.chunks(SEGMENT_RECORDS) {
+            for r in chunk {
+                encoder.append(r);
+            }
+            out.clear();
+            encoder.seal_into(&mut out);
+            std::hint::black_box(&out);
+        }
+    });
+
+    // Decode throughput over the same segments.
+    let batch_payloads: Vec<Vec<u8>> =
+        records.chunks(SEGMENT_RECORDS).map(compress_records).collect();
+    let streaming_payloads: Vec<Vec<u8>> = records
+        .chunks(SEGMENT_RECORDS)
+        .map(|chunk| {
+            for r in chunk {
+                encoder.append(r);
+            }
+            encoder.seal()
+        })
+        .collect();
+    let decode_batch_secs = best_secs(iters, || {
+        for p in &batch_payloads {
+            std::hint::black_box(decompress_records(p).expect("decodes"));
+        }
+    });
+    let decode_streaming_secs = best_secs(iters, || {
+        for p in &streaming_payloads {
+            std::hint::black_box(decompress_records(p).expect("decodes"));
+        }
+    });
+
+    let mbps = |secs: f64| raw_bytes / secs / 1e6;
+    let batch_ratio = raw_bytes / batch_bytes as f64;
+    let streaming_ratio = raw_bytes / streaming_bytes as f64;
+    let encode_speedup = mbps(streaming_secs) / mbps(batch_secs);
+
+    println!(
+        "=== audit codec gate ({} records, {:.0} raw KB, {SEGMENT_RECORDS}-record segments) ===",
+        records.len(),
+        raw_bytes / 1024.0
+    );
+    println!(
+        "encode:  batch {:8.0} MB/s   streaming {:8.0} MB/s   ({encode_speedup:.2}x)",
+        mbps(batch_secs),
+        mbps(streaming_secs),
+    );
+    println!(
+        "decode:  batch {:8.0} MB/s   streaming {:8.0} MB/s   ({:.2}x)",
+        mbps(decode_batch_secs),
+        mbps(decode_streaming_secs),
+        mbps(decode_streaming_secs) / mbps(decode_batch_secs),
+    );
+    println!("ratio:   batch {batch_ratio:8.2}x        streaming {streaming_ratio:8.2}x");
+
+    if streaming_ratio < batch_ratio {
+        eprintln!(
+            "codec gate FAILED: streaming ratio {streaming_ratio:.3}x regressed below the \
+             batch baseline {batch_ratio:.3}x"
+        );
+        std::process::exit(1);
+    }
+    if encode_speedup < min_speedup {
+        eprintln!(
+            "codec gate FAILED: streaming encode is only {encode_speedup:.2}x the batch \
+             baseline (required ≥ {min_speedup:.2}x)"
+        );
+        std::process::exit(1);
+    }
+    println!("codec gate OK (threshold {min_speedup:.2}x)");
+}

@@ -268,6 +268,91 @@ pub fn summarize(
     }
 }
 
+/// A realistic synthetic audit-record stream for codec benchmarking: per
+/// window, `batches_per_window` partitions flow through ingress → windowing
+/// → sort, then a pairwise merge tree, a sum, and an egress, with a
+/// watermark per window — the record mix and monotone id/timestamp shape a
+/// real pipeline produces. Shared by the codec benches and the CI
+/// throughput gate so they measure identical input.
+pub fn synthetic_audit_records(
+    windows: u32,
+    batches_per_window: u32,
+) -> Vec<sbt_attest::AuditRecord> {
+    use sbt_attest::{AuditRecord, DataRef, UArrayRef};
+    let mut records = Vec::new();
+    let mut id = 0u32;
+    let mut ts = 0u32;
+    let fresh = |id: &mut u32| {
+        let r = UArrayRef(*id);
+        *id += 1;
+        r
+    };
+    for w in 0..windows {
+        let mut sorted = Vec::new();
+        for _ in 0..batches_per_window {
+            let ingress = fresh(&mut id);
+            records.push(AuditRecord::Ingress { ts_ms: ts, data: DataRef::UArray(ingress) });
+            let windowed = fresh(&mut id);
+            records.push(AuditRecord::Windowing {
+                ts_ms: ts + 1,
+                input: ingress,
+                win_no: w as u16,
+                output: windowed,
+            });
+            let s = fresh(&mut id);
+            records.push(AuditRecord::Execution {
+                ts_ms: ts + 2,
+                op: sbt_types::PrimitiveKind::Sort,
+                inputs: [windowed].into(),
+                outputs: [s].into(),
+                hints: vec![],
+            });
+            sorted.push(s);
+            ts += 3;
+        }
+        records.push(AuditRecord::Ingress { ts_ms: ts, data: DataRef::Watermark((w + 1) * 1000) });
+        while sorted.len() > 1 {
+            let a = sorted.remove(0);
+            let b = sorted.remove(0);
+            let m = fresh(&mut id);
+            records.push(AuditRecord::Execution {
+                ts_ms: ts,
+                op: sbt_types::PrimitiveKind::Merge,
+                inputs: [a, b].into(),
+                outputs: [m].into(),
+                hints: vec![],
+            });
+            sorted.push(m);
+            ts += 1;
+        }
+        let out = fresh(&mut id);
+        records.push(AuditRecord::Execution {
+            ts_ms: ts,
+            op: sbt_types::PrimitiveKind::SumCnt,
+            inputs: [sorted[0]].into(),
+            outputs: [out].into(),
+            hints: vec![],
+        });
+        records.push(AuditRecord::Egress { ts_ms: ts + 1, data: out });
+        ts += 2;
+    }
+    records
+}
+
+/// Best-of-N wall-clock timing of `f` (with one untimed warm-up call),
+/// returning seconds per call. Shared by the codec gate and the figure
+/// binaries so timing methodology stays in one place.
+pub fn best_secs<F: FnMut()>(iters: u32, mut f: F) -> f64 {
+    f();
+    let mut best = f64::MAX;
+    for _ in 0..iters {
+        let start = std::time::Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
 /// Print a header + rows as an aligned text table.
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     println!("\n=== {title} ===");

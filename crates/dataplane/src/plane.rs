@@ -455,6 +455,12 @@ impl DataPlane {
 
     // ----- internal helpers ---------------------------------------------
 
+    /// Append one audit record to the tenant's log. This sits on every
+    /// tenant's every-event path: the record's ports live inline
+    /// (`PortList`) and `AuditLog::append` streams the fields straight into
+    /// the segment's pre-laid-out column buffers, so the steady-state append
+    /// performs no heap allocation and holds the tenant lock only for the
+    /// column pushes (plus, once per threshold, the cheap seal-and-sign).
     fn append_audit(&self, ts: &Mutex<TenantState>, record: AuditRecord) {
         self.stats.record_audit(1);
         let mut t = ts.lock();

@@ -159,8 +159,8 @@ fn running_undeclared_computations_is_detected() {
     records.push(AuditRecord::Execution {
         ts_ms: 999_999,
         op: streambox_tz::types::PrimitiveKind::TopK,
-        inputs: vec![some_windowed],
-        outputs: vec![streambox_tz::attest::UArrayRef(0xFFFF)],
+        inputs: [some_windowed].into(),
+        outputs: [streambox_tz::attest::UArrayRef(0xFFFF)].into(),
         hints: vec![],
     });
     let report = Verifier::new(spec).replay(&records);
