@@ -88,6 +88,7 @@ fn run_tenant_count(
     tenants: usize,
     windows: u32,
     events_per_window: usize,
+    batch: usize,
 ) -> ScalingRow {
     let cores = 4;
     let secure_mem: u64 = 256 * 1024 * 1024;
@@ -99,7 +100,6 @@ fn run_tenant_count(
     );
     let master = MasterSecret::demo();
     let quota = secure_mem / tenants as u64;
-    let batch = (events_per_window / 4).max(1);
     let ids: Vec<_> = (0..tenants)
         .map(|t| {
             server
@@ -308,12 +308,13 @@ fn main() {
         .unwrap_or(if full { 1 } else { 3 })
         .max(1);
 
+    let fixed_batch = (events_per_window / 4).max(1);
     let rows: Vec<ScalingRow> = schedulers
         .iter()
         .flat_map(|&s| {
             sweep.iter().map(move |&n| {
                 (0..reps)
-                    .map(|_| run_tenant_count(s, n, windows, events_per_window))
+                    .map(|_| run_tenant_count(s, n, windows, events_per_window, fixed_batch))
                     .max_by(|a, b| {
                         a.aggregate_mevents_per_sec.total_cmp(&b.aggregate_mevents_per_sec)
                     })
@@ -361,6 +362,35 @@ fn main() {
          saturates; every tenant's audit trail must verify independently."
     );
     dump_json("fig_server_scaling", &rows);
+
+    // Adaptive world-switch batching under multi-tenancy: size each
+    // tenant's ingest batches from the calibrated switch cost instead of a
+    // fixed window fraction and compare aggregate throughput at the largest
+    // tenant count of the sweep.
+    let adaptive_batch = sbt_engine::AdaptiveBatcher::new(
+        &sbt_tz::CostModel::hikey(),
+        false,
+        sbt_types::EVENT_BYTES,
+        60_000,
+    )
+    .events_per_batch()
+    .min(windows as usize * events_per_window);
+    let n = *sweep.last().unwrap();
+    let sched = *schedulers.last().unwrap();
+    let best_of = |batch: usize| {
+        (0..reps)
+            .map(|_| run_tenant_count(sched, n, windows, events_per_window, batch))
+            .map(|r| r.aggregate_mevents_per_sec)
+            .fold(0.0, f64::max)
+    };
+    let fixed_tput = best_of(fixed_batch);
+    let adaptive_tput = best_of(adaptive_batch);
+    println!(
+        "\nadaptive batching ({}, {n} tenants): {adaptive_tput:.3} Mevents/s at \
+         {adaptive_batch}-event batches vs {fixed_tput:.3} at fixed {fixed_batch} ({:+.1}%)",
+        sched.name(),
+        100.0 * (adaptive_tput / fixed_tput.max(f64::MIN_POSITIVE) - 1.0)
+    );
 
     // Regression gate: with both schedulers swept, DRR must stay within 10%
     // of the WRR barrier baseline at every tenant count.

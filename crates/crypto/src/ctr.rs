@@ -64,6 +64,49 @@ impl AesCtr {
         }
     }
 
+    /// XOR `src` with the keystream starting at block `start_block`, writing
+    /// the result into `dst` without touching `src`. The two slices must
+    /// have the same length.
+    ///
+    /// This is the zero-copy ingest primitive: the data plane reserves the
+    /// uArray destination first and decrypts the ciphertext straight into it,
+    /// so no staging buffer ever holds the plaintext. The loop has the same
+    /// vectorized shape as [`apply_keystream_at`] — four counter blocks per
+    /// [`Aes128::encrypt4`] call, whole-word XORs, single-block tail.
+    ///
+    /// [`apply_keystream_at`]: AesCtr::apply_keystream_at
+    /// [`Aes128::encrypt4`]: crate::Aes128::encrypt4
+    pub fn apply_keystream_into(&self, src: &[u8], dst: &mut [u8], start_block: u32) {
+        assert_eq!(src.len(), dst.len(), "keystream source/destination length mismatch");
+        let mut ctr = start_block;
+        let mut wide_src = src.chunks_exact(64);
+        let mut wide_dst = dst.chunks_exact_mut(64);
+        for (s, d) in wide_src.by_ref().zip(wide_dst.by_ref()) {
+            let mut ks = [0u8; 64];
+            for lane in 0..4u32 {
+                ks[lane as usize * 16..lane as usize * 16 + 16]
+                    .copy_from_slice(&self.counter_block(ctr.wrapping_add(lane)));
+            }
+            self.cipher.encrypt4(&mut ks);
+            for ((d, s), k) in d.chunks_exact_mut(8).zip(s.chunks_exact(8)).zip(ks.chunks_exact(8))
+            {
+                let word = u64::from_ne_bytes(s.try_into().unwrap())
+                    ^ u64::from_ne_bytes(k.try_into().unwrap());
+                d.copy_from_slice(&word.to_ne_bytes());
+            }
+            ctr = ctr.wrapping_add(4);
+        }
+        let tail_src = wide_src.remainder();
+        let tail_dst = wide_dst.into_remainder();
+        for (s, d) in tail_src.chunks(16).zip(tail_dst.chunks_mut(16)) {
+            let ks = self.cipher.encrypt(self.counter_block(ctr));
+            for ((d, s), k) in d.iter_mut().zip(s.iter()).zip(ks.iter()) {
+                *d = *s ^ *k;
+            }
+            ctr = ctr.wrapping_add(1);
+        }
+    }
+
     /// The unbatched reference implementation: one counter block expanded
     /// and XORed at a time, byte by byte. Kept only so the `vectorization`
     /// harness can quote the win of [`apply_keystream_at`]'s batched path;
@@ -175,6 +218,44 @@ mod tests {
                 assert_eq!(fast, slow, "len {len} start {start}");
             }
         }
+    }
+
+    #[test]
+    fn keystream_into_matches_in_place_at_every_length() {
+        let ctr = AesCtr::new(&[0x11u8; 16], &[0x22u8; 16]);
+        for len in [0usize, 1, 15, 16, 17, 63, 64, 65, 100, 128, 1000, 4096] {
+            for start in [0u32, 1, 0xFFFF_FFFE] {
+                let src: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+                let mut in_place = src.clone();
+                ctr.apply_keystream_at(&mut in_place, start);
+                let mut out = vec![0u8; len];
+                ctr.apply_keystream_into(&src, &mut out, start);
+                assert_eq!(out, in_place, "len {len} start {start}");
+            }
+        }
+    }
+
+    #[test]
+    fn keystream_into_leaves_source_untouched() {
+        let ctr = AesCtr::new(&[7u8; 16], &[8u8; 16]);
+        let src: Vec<u8> = (0..200u32).map(|i| (i % 256) as u8).collect();
+        let snapshot = src.clone();
+        let mut dst = vec![0u8; src.len()];
+        ctr.apply_keystream_into(&src, &mut dst, 5);
+        assert_eq!(src, snapshot);
+        // Round trip: decrypting the output restores the source.
+        let mut back = vec![0u8; dst.len()];
+        ctr.apply_keystream_into(&dst, &mut back, 5);
+        assert_eq!(back, src);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn keystream_into_rejects_mismatched_lengths() {
+        let ctr = AesCtr::new(&[1u8; 16], &[2u8; 16]);
+        let src = [0u8; 16];
+        let mut dst = [0u8; 8];
+        ctr.apply_keystream_into(&src, &mut dst, 0);
     }
 
     #[test]

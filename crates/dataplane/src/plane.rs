@@ -598,53 +598,79 @@ impl DataPlane {
     ) -> Result<InvokeOutput, DataPlaneError> {
         WorldTracker::assert_secure("DataPlane::ingress");
         let ts = self.tenant_state(tenant)?;
+        // Wire-format check first: the payload either is whole events or the
+        // batch is rejected before any secure memory moves.
+        let record_bytes =
+            if is_power { sbt_types::POWER_EVENT_BYTES } else { sbt_types::EVENT_BYTES };
+        if !payload.len().is_multiple_of(record_bytes) {
+            return Err(DataPlaneError::BadIngress(if is_power {
+                "power payload not a whole event"
+            } else {
+                "payload not a whole event"
+            }));
+        }
+        let n_events = payload.len() / record_bytes;
         // Cheap early quota check before decrypting and parsing: the batch
-        // will commit at least its own page-rounded payload size.
-        let estimate = TeePager::pages_for(payload.len() as u64) * PAGE_SIZE;
+        // will commit its page-rounded destination size.
+        let estimate = TeePager::pages_for((n_events * sbt_types::EVENT_BYTES) as u64) * PAGE_SIZE;
         if self.alloc.lock().allocator.owner_would_exceed(tenant.owner_tag(), estimate) {
             return Err(DataPlaneError::QuotaExceeded);
         }
+        // Decrypt under the calling tenant's current-epoch source key: a
+        // batch encrypted under another tenant's key (or a stale epoch)
+        // decrypts to garbage values — the wire format is position-based, so
+        // garbage still parses, just never into meaningful records.
+        let ctr = if encrypted {
+            let t = ts.lock();
+            Some(AesCtr::new(&t.keys.source_key, &t.keys.source_nonce))
+        } else {
+            None
+        };
+
+        // Zero-copy ingest: the destination uArray is reserved first (pages
+        // committed up front, all-or-nothing), then ciphertext is decrypted
+        // through a fixed stack window directly into it. No staging heap
+        // allocation of the payload on either path.
+        //
+        // WIRE_CHUNK is a multiple of both event layouts (lcm(12,16) = 48)
+        // and of the AES block size, so every window holds whole events and
+        // starts on a CTR block boundary.
+        const WIRE_CHUNK: usize = 4080;
         let decrypt_start = Instant::now();
-        let plaintext: Vec<u8> = if encrypted {
-            // Decrypt under the calling tenant's current-epoch source key:
-            // a batch encrypted under another tenant's key (or a stale
-            // epoch) decrypts to garbage and fails event parsing below.
-            let (source_key, source_nonce) = {
-                let t = ts.lock();
-                (t.keys.source_key, t.keys.source_nonce)
-            };
-            let ctr = AesCtr::new(&source_key, &source_nonce);
-            let mut buf = payload.to_vec();
-            ctr.apply_keystream_at(&mut buf, keystream_block);
-            buf
-        } else {
-            payload.to_vec()
-        };
-        let decrypt_nanos = if encrypted { decrypt_start.elapsed().as_nanos() as u64 } else { 0 };
-
-        let events: Vec<Event> = if is_power {
-            if !plaintext.len().is_multiple_of(sbt_types::POWER_EVENT_BYTES) {
-                return Err(DataPlaneError::BadIngress("power payload not a whole event"));
-            }
-            PowerEvent::slice_from_bytes(&plaintext).iter().map(|e| e.to_generic()).collect()
-        } else {
-            if !plaintext.len().is_multiple_of(sbt_types::EVENT_BYTES) {
-                return Err(DataPlaneError::BadIngress("payload not a whole event"));
-            }
-            Event::slice_from_bytes(&plaintext)
-        };
-
         let id = self.next_id();
-        let data = StoredData::from_events(id, &events, &self.pager)?;
+        let data = StoredData::events_exact(id, n_events, &self.pager, |dst| {
+            let mut window = [0u8; WIRE_CHUNK];
+            for (i, chunk) in payload.chunks(WIRE_CHUNK).enumerate() {
+                let cleartext: &[u8] = match &ctr {
+                    Some(ctr) => {
+                        let block = keystream_block.wrapping_add((i * (WIRE_CHUNK / 16)) as u32);
+                        ctr.apply_keystream_into(chunk, &mut window[..chunk.len()], block);
+                        &window[..chunk.len()]
+                    }
+                    None => chunk,
+                };
+                if is_power {
+                    for rec in cleartext.chunks_exact(sbt_types::POWER_EVENT_BYTES) {
+                        // from_bytes only fails on short input; rec is whole.
+                        dst.push(PowerEvent::from_bytes(rec).unwrap().to_generic());
+                    }
+                } else {
+                    for rec in cleartext.chunks_exact(sbt_types::EVENT_BYTES) {
+                        dst.push(Event::from_bytes(rec).unwrap());
+                    }
+                }
+            }
+        })?;
+        let decrypt_nanos = if encrypted { decrypt_start.elapsed().as_nanos() as u64 } else { 0 };
         let (id, opaque, len) =
             self.register_output(tenant, &ts, data, PrimitiveKind::Ingress.code() as u64, None)?;
         // Counters move only after the batch has actually been admitted
         // (registration can still fail on the tenant's quota).
-        self.stats.record_ingress(events.len() as u64, plaintext.len() as u64, decrypt_nanos);
+        self.stats.record_ingress(n_events as u64, payload.len() as u64, decrypt_nanos);
         {
             let mut t = ts.lock();
-            t.events_ingested += events.len() as u64;
-            t.bytes_ingested += plaintext.len() as u64;
+            t.events_ingested += n_events as u64;
+            t.bytes_ingested += payload.len() as u64;
         }
         self.append_audit(
             &ts,

@@ -37,6 +37,19 @@ impl StoredData {
         Ok(StoredData::Events(ua))
     }
 
+    /// Build an events array of exactly `items` records produced in place by
+    /// `fill` — the zero-copy ingest path. Pages for the whole extent are
+    /// committed before `fill` runs, so quota exhaustion fails cleanly with
+    /// nothing allocated and `fill` never invoked.
+    pub fn events_exact(
+        id: UArrayId,
+        items: usize,
+        pager: &TeePager,
+        fill: impl FnOnce(&mut Vec<Event>),
+    ) -> Result<StoredData, DataPlaneError> {
+        Ok(StoredData::Events(UArray::produce_exact(id, items, pager, fill)?))
+    }
+
     /// Build an aggregate array from a slice.
     pub fn from_aggs(
         id: UArrayId,

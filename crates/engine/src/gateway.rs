@@ -18,10 +18,29 @@ use sbt_dataplane::{
     DataPlane, DataPlaneError, EgressMessage, InvokeOutput, OpaqueRef, PrimitiveParams,
 };
 use sbt_types::{PrimitiveKind, TenantId, Watermark};
-use sbt_tz::{EntryFunction, IoChannel, SmcSession};
+use sbt_tz::{EntryFunction, IngressPath, IoChannel, SmcSession};
 use sbt_uarray::HintSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Per-gateway (per-tenant) TEE-boundary event counts.
+///
+/// The platform's [`sbt_tz::TzStats`] counts crossings globally; the
+/// gateway additionally meters the crossings *this tenant's* calls caused,
+/// so multi-tenant harnesses can report switches-per-event and copied
+/// bytes-per-event per tenant. Secure-page commits stay platform-wide (the
+/// pager is shared); they are not broken out here.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GatewayBoundary {
+    /// World switches this gateway's calls made (one per invocation, plus
+    /// one per via-OS delivery).
+    pub switches: u64,
+    /// Bytes copied across the boundary on this gateway's behalf (via-OS
+    /// deliveries only; trusted IO copies nothing).
+    pub copied_bytes: u64,
+    /// SMC invocations issued.
+    pub invocations: u64,
+}
 
 /// The gateway: SMC session + IO channel + data plane handle, scoped to one
 /// tenant.
@@ -34,6 +53,10 @@ pub struct TeeGateway {
     /// this gateway since the last drain — the scheduler's per-tenant
     /// accounting signal.
     cost: AtomicU64,
+    /// Boundary events this gateway's calls caused (see [`GatewayBoundary`]).
+    switches: AtomicU64,
+    copied_bytes: AtomicU64,
+    invocations: AtomicU64,
 }
 
 impl TeeGateway {
@@ -51,7 +74,34 @@ impl TeeGateway {
             .invoke(EntryFunction::Initialize, || {})
             .expect("initializing the data plane cannot fail");
         let io = dp.platform().io_channel();
-        TeeGateway { io, session, tenant, dp, cost: AtomicU64::new(0) }
+        TeeGateway {
+            io,
+            session,
+            tenant,
+            dp,
+            cost: AtomicU64::new(0),
+            switches: AtomicU64::new(0),
+            copied_bytes: AtomicU64::new(0),
+            invocations: AtomicU64::new(0),
+        }
+    }
+
+    /// Enter the TEE for one invocation, metering the boundary crossing.
+    fn enter<R>(&self, f: impl FnOnce() -> R) -> R {
+        self.switches.fetch_add(1, Ordering::Relaxed);
+        self.invocations.fetch_add(1, Ordering::Relaxed);
+        self.session
+            .invoke(EntryFunction::InvokePrimitive, f)
+            .expect("session is open and initialized")
+    }
+
+    /// The boundary events this gateway's calls have caused so far.
+    pub fn boundary_events(&self) -> GatewayBoundary {
+        GatewayBoundary {
+            switches: self.switches.load(Ordering::Relaxed),
+            copied_bytes: self.copied_bytes.load(Ordering::Relaxed),
+            invocations: self.invocations.load(Ordering::Relaxed),
+        }
     }
 
     /// The underlying data plane (read-only introspection: stats, memory).
@@ -79,16 +129,28 @@ impl TeeGateway {
         is_power: bool,
         keystream_block: u32,
     ) -> Result<InvokeOutput, DataPlaneError> {
+        let via_os = self.io.path() == IngressPath::ViaOs;
+        if via_os {
+            // The OS-mediated delivery crosses the boundary once more and
+            // copies the payload across it.
+            self.switches.fetch_add(1, Ordering::Relaxed);
+            self.copied_bytes.fetch_add(payload.len() as u64, Ordering::Relaxed);
+        }
         self.io.deliver(payload.len());
-        let out = self
-            .session
-            .invoke(EntryFunction::InvokePrimitive, || {
-                self.dp.ingress_for(self.tenant, payload, encrypted, is_power, keystream_block)
-            })
-            .expect("session is open and initialized");
+        let out = self.enter(|| {
+            self.dp.ingress_for(self.tenant, payload, encrypted, is_power, keystream_block)
+        });
         if let Ok(ingested) = &out {
+            // Charge the *measured* batch cost: compute plus the boundary
+            // toll this batch actually paid under the platform's cost model
+            // (the scheduler's deficit currency).
             self.cost.fetch_add(
-                CycleCost::batch(payload.len() as u64, ingested.len as u64),
+                CycleCost::batch_measured(
+                    self.dp.platform().cost(),
+                    payload.len() as u64,
+                    ingested.len as u64,
+                    via_os,
+                ),
                 Ordering::Relaxed,
             );
         }
@@ -97,11 +159,9 @@ impl TeeGateway {
 
     /// Ingest a watermark.
     pub fn ingress_watermark(&self, wm: Watermark) {
-        self.session
-            .invoke(EntryFunction::InvokePrimitive, || {
-                let _ = self.dp.ingress_watermark_for(self.tenant, wm);
-            })
-            .expect("session is open and initialized");
+        self.enter(|| {
+            let _ = self.dp.ingress_watermark_for(self.tenant, wm);
+        });
     }
 
     /// Invoke a trusted primitive.
@@ -112,12 +172,7 @@ impl TeeGateway {
         params: PrimitiveParams,
         hints: &HintSet,
     ) -> Result<Vec<InvokeOutput>, DataPlaneError> {
-        let out = self
-            .session
-            .invoke(EntryFunction::InvokePrimitive, || {
-                self.dp.invoke_for(self.tenant, op, inputs, params, hints)
-            })
-            .expect("session is open and initialized");
+        let out = self.enter(|| self.dp.invoke_for(self.tenant, op, inputs, params, hints));
         if let Ok(outputs) = &out {
             let records: u64 = outputs.iter().map(|o| o.len as u64).sum();
             self.cost.fetch_add(records * CycleCost::PROCESS_RECORD, Ordering::Relaxed);
@@ -127,10 +182,7 @@ impl TeeGateway {
 
     /// Externalize a result.
     pub fn egress(&self, r: OpaqueRef) -> Result<EgressMessage, DataPlaneError> {
-        let out = self
-            .session
-            .invoke(EntryFunction::InvokePrimitive, || self.dp.egress_for(self.tenant, r))
-            .expect("session is open and initialized");
+        let out = self.enter(|| self.dp.egress_for(self.tenant, r));
         if let Ok(msg) = &out {
             self.cost.fetch_add(
                 msg.ciphertext.len() as u64 * CycleCost::ENCRYPT_BYTE,
@@ -142,9 +194,7 @@ impl TeeGateway {
 
     /// Retire a reference the control plane will no longer consume.
     pub fn retire(&self, r: OpaqueRef) -> Result<(), DataPlaneError> {
-        self.session
-            .invoke(EntryFunction::InvokePrimitive, || self.dp.retire_for(self.tenant, r))
-            .expect("session is open and initialized")
+        self.enter(|| self.dp.retire_for(self.tenant, r))
     }
 
     /// Roll back the tenant's ingest counters after the control plane
@@ -152,11 +202,7 @@ impl TeeGateway {
     /// tenant's quota): the events never reached windowed state, so they do
     /// not count as ingested.
     pub fn uncount_ingest(&self, events: u64, bytes: u64) {
-        self.session
-            .invoke(EntryFunction::InvokePrimitive, || {
-                self.dp.uncount_ingest_for(self.tenant, events, bytes)
-            })
-            .expect("session is open and initialized");
+        self.enter(|| self.dp.uncount_ingest_for(self.tenant, events, bytes));
     }
 
     /// Drain the estimated cycle cost serviced through this gateway since

@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batcher;
 pub mod config;
 pub mod executor;
 pub mod gateway;
@@ -34,9 +35,10 @@ pub mod pipeline;
 pub mod pool;
 pub mod runner;
 
+pub use batcher::AdaptiveBatcher;
 pub use config::{EngineConfig, EngineVariant};
 pub use executor::{Executor, JoinHandle, TaskPanicked, TaskResult, TaskSet};
-pub use gateway::TeeGateway;
+pub use gateway::{GatewayBoundary, TeeGateway};
 pub use metrics::{CycleCost, EngineMetrics, WindowResult};
 pub use operators::Operator;
 pub use pipeline::Pipeline;

@@ -46,6 +46,26 @@ impl CycleCost {
         payload_bytes * Self::DECRYPT_BYTE + events * Self::WINDOW_EVENT
     }
 
+    /// Measured cost of ingesting one batch: [`batch`](Self::batch) plus
+    /// the TEE-boundary toll the batch actually pays under `cost` — the
+    /// world switches of the ingress/segment/retire calls and, on the
+    /// via-OS path, one more switch and the boundary copy of the payload.
+    /// [`CycleCost`]'s currency is 1 unit ≈ 1 ns
+    /// ([`CORE_CAPACITY_PER_MS`](Self::CORE_CAPACITY_PER_MS) units per
+    /// millisecond), so modelled nanoseconds add in directly. Schedulers
+    /// charging this rank a small-batch tenant correctly: its per-event
+    /// boundary cost is higher, so it drains its deficit faster.
+    pub fn batch_measured(
+        cost: &sbt_tz::CostModel,
+        payload_bytes: u64,
+        events: u64,
+        via_os: bool,
+    ) -> u64 {
+        let switches = crate::batcher::SWITCHES_PER_BATCH + u64::from(via_os);
+        let copy = if via_os { cost.boundary_copy_nanos(payload_bytes as usize) } else { 0 };
+        Self::batch(payload_bytes, events) + switches * cost.switch_nanos() + copy
+    }
+
     /// Upper-bound cost of executing one window whose resident working set
     /// is `bytes` (ingest plus one full pass of primitive execution).
     /// Admission control uses the tenant's memory quota as the bound.

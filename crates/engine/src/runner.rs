@@ -255,6 +255,31 @@ impl Engine {
         self.gateway.tenant()
     }
 
+    /// The platform's cost model (HiKey constants or a host calibration).
+    pub fn cost_model(&self) -> &sbt_tz::CostModel {
+        self.platform.cost()
+    }
+
+    /// Boundary events this engine's gateway has caused so far (per-tenant
+    /// world switches, copied bytes, invocations).
+    pub fn boundary_events(&self) -> crate::gateway::GatewayBoundary {
+        self.gateway.boundary_events()
+    }
+
+    /// An adaptive ingest batcher for this engine: sizes batches from the
+    /// platform's cost model, the configured ingress path and the
+    /// pipeline's output-delay target. `event_wire_bytes` is the wire size
+    /// of one source event (12 generic, 16 power).
+    pub fn adaptive_batcher(&self, event_wire_bytes: usize) -> crate::batcher::AdaptiveBatcher {
+        let via_os = matches!(self.config.variant, crate::config::EngineVariant::SbtIoViaOs);
+        crate::batcher::AdaptiveBatcher::new(
+            self.platform.cost(),
+            via_os,
+            event_wire_bytes,
+            self.pipeline.target_delay(),
+        )
+    }
+
     /// The worker pool (shared across engines in multi-tenant deployments).
     pub fn worker_pool(&self) -> &Arc<Executor> {
         &self.pool

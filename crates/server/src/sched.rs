@@ -223,9 +223,19 @@ impl DrrAccounting {
     }
 }
 
-/// Estimated dispatch cost of one batch delivery.
-fn batch_cost(delivery: &Delivery) -> u64 {
-    CycleCost::batch(delivery.wire_bytes.len() as u64, delivery.event_count as u64)
+/// Estimated dispatch cost of one batch delivery for a lane's engine:
+/// compute plus the *measured* TEE-boundary toll (world switches, and the
+/// via-OS copy where configured) under the engine's platform cost model —
+/// not a guessed constant. Small-batch tenants therefore pay their real,
+/// higher per-event boundary cost.
+fn batch_cost(engine: &Engine, delivery: &Delivery) -> u64 {
+    let via_os = matches!(engine.config().variant, sbt_engine::EngineVariant::SbtIoViaOs);
+    CycleCost::batch_measured(
+        engine.cost_model(),
+        delivery.wire_bytes.len() as u64,
+        delivery.event_count as u64,
+        via_os,
+    )
 }
 
 /// Lane state shared by both disciplines.
@@ -582,7 +592,7 @@ impl StreamServer {
                                 break;
                             }
                             Some(Offer::Batch(delivery)) => {
-                                let est = batch_cost(&delivery);
+                                let est = batch_cost(&l.lane.engine, &delivery);
                                 if l.inflight.len() >= MAX_INFLIGHT_PER_LANE {
                                     l.staged = Some(Offer::Batch(delivery));
                                     break;

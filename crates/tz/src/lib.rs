@@ -36,10 +36,10 @@ pub mod stats;
 pub mod trusted_io;
 pub mod world;
 
-pub use cost::CostModel;
-pub use platform::{Platform, PlatformConfig};
+pub use cost::{Calibration, CostModel};
+pub use platform::{IngressPathConfig, Platform, PlatformConfig};
 pub use secure_mem::{SecureMemory, SecureMemoryError};
 pub use smc::{EntryFunction, SmcError, SmcInterface, SmcSession};
-pub use stats::{StatSnapshot, TzStats};
+pub use stats::{BoundaryEvents, StatSnapshot, TzStats};
 pub use trusted_io::{IngressPath, IoChannel};
 pub use world::{World, WorldGuard, WorldTracker};

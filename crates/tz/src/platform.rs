@@ -82,6 +82,13 @@ impl PlatformConfig {
         self
     }
 
+    /// Use an explicit cost model — e.g. a host-calibrated one from
+    /// [`CostModel::calibrate`].
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
     /// Set the secure memory budget.
     pub fn with_secure_mem(mut self, bytes: u64) -> Self {
         self.secure_mem_bytes = bytes;

@@ -130,6 +130,19 @@ impl StatSnapshot {
         self.switch_nanos + self.boundary_copy_nanos + self.tee_paging_nanos
     }
 
+    /// The boundary *events* of this snapshot (or snapshot delta): how many
+    /// times execution crossed the TEE boundary and how much data moved,
+    /// independent of the modelled time cost. Benches report these so a
+    /// regression in crossings is visible even when the cost model changes.
+    pub fn boundary_events(&self) -> BoundaryEvents {
+        BoundaryEvents {
+            switches: self.world_switches,
+            copied_bytes: self.boundary_copy_bytes,
+            pages_committed: self.tee_pages_committed,
+            invocations: self.smc_invocations,
+        }
+    }
+
     /// Counter-wise difference `self - earlier` (saturating), for measuring
     /// a window of execution.
     pub fn delta_since(&self, earlier: &StatSnapshot) -> StatSnapshot {
@@ -153,9 +166,43 @@ impl StatSnapshot {
     }
 }
 
+/// Boundary-crossing event counts, independent of modelled time.
+///
+/// This is the unit every bench reports per batch: world switches made,
+/// bytes copied across the boundary, secure pages committed, and SMC
+/// invocations. Dividing by the batch's event count yields the
+/// switches-per-event and copied-bytes-per-event figures the boundary gate
+/// tracks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct BoundaryEvents {
+    /// World switches (entry + exit pairs).
+    pub switches: u64,
+    /// Bytes copied across the TEE boundary.
+    pub copied_bytes: u64,
+    /// 4 KiB secure pages committed.
+    pub pages_committed: u64,
+    /// SMC invocations.
+    pub invocations: u64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn boundary_events_view_extracts_counts() {
+        let s = TzStats::new();
+        s.record_switch(10);
+        s.record_switch(10);
+        s.record_boundary_copy(4096, 7);
+        s.record_tee_paging(3, 5);
+        s.record_invocation();
+        let ev = s.snapshot().boundary_events();
+        assert_eq!(
+            ev,
+            BoundaryEvents { switches: 2, copied_bytes: 4096, pages_committed: 3, invocations: 1 }
+        );
+    }
 
     #[test]
     fn counters_accumulate() {

@@ -88,6 +88,47 @@ impl<T: Copy> UArray<T> {
         }
     }
 
+    /// Create a sealed uArray of at most `items` records whose contents are
+    /// streamed straight into the reserved destination by `fill` — the
+    /// zero-copy ingest path.
+    ///
+    /// Pages for the whole extent are committed **before** any record is
+    /// written, so a secure-memory failure is all-or-nothing: the error
+    /// returns with no pages charged and no partially populated array ever
+    /// existing. (The incremental [`append`]/[`extend_from_slice`] path, by
+    /// contrast, keeps the committed prefix — right for producers whose
+    /// output size is unknown, wrong for ingest, where the batch size is
+    /// known up front and a half-ingested batch must not survive.)
+    ///
+    /// `fill` appends into a buffer pre-reserved for `items` records; the
+    /// reservation guarantees no reallocation, so the records land in their
+    /// final location. Should `fill` produce more than `items` records, the
+    /// surplus is dropped to keep the page accounting truthful.
+    ///
+    /// [`append`]: UArray::append
+    /// [`extend_from_slice`]: UArray::extend_from_slice
+    pub fn produce_exact(
+        id: UArrayId,
+        items: usize,
+        pager: &TeePager,
+        fill: impl FnOnce(&mut Vec<T>),
+    ) -> Result<Self, UArrayError> {
+        let needed = (items * std::mem::size_of::<T>()) as u64;
+        let committed = needed.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        let paging_nanos =
+            pager.commit_pages(committed / PAGE_SIZE).map_err(UArrayError::OutOfSecureMemory)?;
+        let mut data = Vec::with_capacity(items);
+        fill(&mut data);
+        data.truncate(items);
+        Ok(UArray {
+            id,
+            data,
+            state: UArrayState::Produced,
+            committed_bytes: committed,
+            paging_nanos,
+        })
+    }
+
     /// The uArray's identifier.
     pub fn id(&self) -> UArrayId {
         self.id
@@ -220,6 +261,58 @@ mod tests {
         assert_eq!(a.as_slice()[42], 42);
         assert!(!a.is_empty());
         assert_eq!(a.id(), UArrayId(1));
+    }
+
+    #[test]
+    fn produce_exact_commits_full_extent_and_seals() {
+        let p = pager(1 << 20);
+        let a: UArray<u32> = UArray::produce_exact(UArrayId(9), 2000, &p, |dst| {
+            dst.extend(0..2000u32);
+        })
+        .unwrap();
+        assert_eq!(a.len(), 2000);
+        assert_eq!(a.as_slice()[1234], 1234);
+        assert_eq!(a.state(), UArrayState::Produced);
+        // 2000 * 4 bytes = 8000 bytes -> two pages, charged up front.
+        assert_eq!(a.committed_bytes(), 2 * PAGE_SIZE);
+        assert_eq!(p.committed_bytes(), 2 * PAGE_SIZE);
+        assert!(a.paging_nanos() > 0);
+    }
+
+    #[test]
+    fn produce_exact_truncates_overproduction() {
+        let p = pager(1 << 20);
+        let a: UArray<u32> = UArray::produce_exact(UArrayId(9), 4, &p, |dst| {
+            dst.extend(0..100u32);
+        })
+        .unwrap();
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.committed_bytes(), PAGE_SIZE);
+    }
+
+    #[test]
+    fn produce_exact_oom_leaks_nothing() {
+        let p = pager(PAGE_SIZE);
+        // 2000 u32s need two pages; only one is available. The reservation
+        // happens before any record is produced, so the fill closure must
+        // never run and the pager accounting must be untouched.
+        let ran = std::cell::Cell::new(false);
+        let r: Result<UArray<u32>, _> = UArray::produce_exact(UArrayId(3), 2000, &p, |dst| {
+            ran.set(true);
+            dst.extend(0..2000u32);
+        });
+        assert!(matches!(r, Err(UArrayError::OutOfSecureMemory(_))));
+        assert!(!ran.get());
+        assert_eq!(p.committed_bytes(), 0);
+    }
+
+    #[test]
+    fn produce_exact_empty_commits_no_pages() {
+        let p = pager(1 << 20);
+        let a: UArray<u32> = UArray::produce_exact(UArrayId(0), 0, &p, |_| {}).unwrap();
+        assert!(a.is_empty());
+        assert_eq!(a.committed_bytes(), 0);
+        assert_eq!(p.committed_bytes(), 0);
     }
 
     #[test]
