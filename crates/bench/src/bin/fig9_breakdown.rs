@@ -3,10 +3,11 @@
 //! function of the input batch size, with 8 worker threads executing GroupBy
 //! in parallel.
 //!
-//! Every lane comes from the platform's live counters (the `TzStats` deltas
-//! the run actually accumulated), not from model arithmetic, and each row
-//! also reports the raw boundary *events* behind the percentages: world
-//! switches made, bytes copied, secure pages committed. The sweep runs the
+//! Every lane comes from one diff of the unified telemetry registry
+//! snapshot (the `tz.*` and `plane.*` counters the run actually
+//! accumulated), not from model arithmetic, and each row also reports the
+//! raw boundary *events* behind the percentages: world switches made, bytes
+//! copied, secure pages committed. The sweep runs the
 //! ingest + GroupBy profile under both ingress paths, so the copy lane is
 //! demonstrably zero on trusted IO and proportional to payload via the OS.
 //!
@@ -49,8 +50,7 @@ fn run_groupby(
     let gateway = Arc::new(TeeGateway::open(dp.clone()));
     let pool = WorkerPool::new(threads);
 
-    let dp_before = dp.stats().snapshot();
-    let tz_before = platform.stats().snapshot();
+    let before = dp.telemetry().snapshot();
     let wall_start = Instant::now();
 
     // Ingest is part of the profile: it is where the ingress paths differ
@@ -94,14 +94,15 @@ fn run_groupby(
     pool.run_all(tasks);
 
     let wall = wall_start.elapsed().as_nanos() as u64;
-    let dp_delta = dp.stats().snapshot();
-    let tz_delta = platform.stats().snapshot().delta_since(&tz_before);
+    let delta = dp.telemetry().snapshot().delta_since(&before);
 
-    // Four lanes, all from live counters accumulated by this run.
-    let compute = dp_delta.compute_nanos - dp_before.compute_nanos;
-    let memory = (dp_delta.memory_nanos - dp_before.memory_nanos) + tz_delta.tee_paging_nanos;
-    let switches = tz_delta.switch_nanos;
-    let copies = tz_delta.boundary_copy_nanos;
+    // Four lanes, all from one unified registry snapshot diff: the data
+    // plane and platform counters arrive through the same named sections
+    // the other observability consumers read.
+    let compute = delta.counter_u64("plane.compute_nanos");
+    let memory = delta.counter_u64("plane.memory_nanos") + delta.counter_u64("tz.tee_paging_nanos");
+    let switches = delta.counter_u64("tz.switch_nanos");
+    let copies = delta.counter_u64("tz.boundary_copy_nanos");
     let total = compute + memory + switches + copies;
     let pct = |x: u64| 100.0 * x as f64 / total.max(1) as f64;
     BreakdownRow {
@@ -115,7 +116,12 @@ fn run_groupby(
         copy_pct: pct(copies),
         memory_pct: pct(memory),
         total_ms: (wall + (switches + copies + memory) / threads.max(1) as u64) as f64 / 1e6,
-        boundary: tz_delta.boundary_events(),
+        boundary: BoundaryEvents {
+            switches: delta.counter_u64("tz.world_switches"),
+            copied_bytes: delta.counter_u64("tz.boundary_copy_bytes"),
+            pages_committed: delta.counter_u64("tz.tee_pages_committed"),
+            invocations: delta.counter_u64("tz.smc_invocations"),
+        },
     }
 }
 

@@ -1,0 +1,349 @@
+//! CI gate for the telemetry subsystem: tracing overhead and snapshot
+//! consistency.
+//!
+//! Drives the WinSum pipeline (encrypted ingress) at the boundary-dominated
+//! regime — small 1 K-event batches on 4 cores, where world switches and
+//! boundary crossings dominate and any per-crossing tracing cost shows up
+//! first — once with telemetry disabled (the default) and once enabled, and
+//! fails (exit 1) when:
+//!
+//! * enabled tracing costs more than `SBT_TELEMETRY_GATE_MAX_OVERHEAD`
+//!   (default 3%) of the disabled-run throughput,
+//! * the registry snapshot disagrees with the platform's own `TzStats`
+//!   totals or the gateway's per-tenant boundary metering (a counter went
+//!   unmirrored), or
+//! * the per-tenant window-emit latency histograms of a 2-tenant server run
+//!   come back empty or non-monotone (p50 ≤ p95 ≤ p99 ≤ max).
+//!
+//! Besides the verdict it writes `BENCH_telemetry.json` at the repo root —
+//! the committed record of the overhead measurement and the per-tenant
+//! latency quantiles — plus the usual copy under `target/evaluation/`.
+//!
+//! Run with `cargo run --release -p sbt_bench --bin telemetry_gate`.
+
+use sbt_bench::{drive, print_table, BenchId, RunScale};
+use sbt_crypto::MasterSecret;
+use sbt_engine::{Engine, EngineConfig, EngineVariant, Operator, Pipeline, StreamSide};
+use sbt_server::{ServerConfig, StreamServer, TenantConfig, TenantStream};
+use sbt_telemetry::TenantLatencyRow;
+use sbt_workloads::datasets::multi_tenant_streams;
+use sbt_workloads::generator::{Generator, GeneratorConfig};
+use sbt_workloads::transport::Channel;
+use serde::Serialize;
+
+/// One measured regime: the boundary-dominated WinSum run with tracing
+/// either off or on.
+#[derive(Serialize)]
+struct RegimeRow {
+    label: String,
+    variant: String,
+    batch_events: usize,
+    tracing: bool,
+    events: u64,
+    mevents_per_sec: f64,
+    /// Spans drained from the tracer after the run (0 when disabled).
+    spans_drained: u64,
+    /// Spans the ring had to drop because no one drained it in time.
+    spans_dropped: u64,
+}
+
+/// Everything the gate measured, serialized to `BENCH_telemetry.json`.
+#[derive(Serialize)]
+struct TelemetryReport {
+    generated_by: &'static str,
+    scale: RunScale,
+    regimes: Vec<RegimeRow>,
+    /// Per-tenant watermark-to-window-emit quantiles from the 2-tenant
+    /// server run with tracing enabled.
+    tenant_window_emit_latencies: Vec<TenantLatencyRow>,
+    gates: GateVerdict,
+}
+
+#[derive(Serialize)]
+struct GateVerdict {
+    max_overhead: f64,
+    measured_overhead: f64,
+    counters_consistent: bool,
+    histograms_populated: bool,
+    pass: bool,
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+/// One WinSum run at the boundary-dominated regime; cross-checks the
+/// registry snapshot against the independent platform and gateway counters
+/// when tracing is on.
+fn run_once(batch: usize, tracing: bool, scale: RunScale, failures: &mut Vec<String>) -> RegimeRow {
+    let variant = EngineVariant::Sbt;
+    let engine =
+        Engine::new(EngineConfig::for_variant(variant, 4), BenchId::WinSum.pipeline(batch));
+    engine.telemetry().set_enabled(tracing);
+    let chunks = BenchId::WinSum.stream(scale.windows, scale.events_per_window, 42);
+    drive(&engine, chunks, variant, batch, StreamSide::Left);
+    let metrics = engine.metrics();
+
+    if tracing {
+        // The registry mirrors counters other subsystems also keep for
+        // themselves; any disagreement means a crossing went unmirrored.
+        let snap = engine.telemetry().snapshot();
+        let tz = engine.platform().stats().snapshot();
+        for (name, expected) in [
+            ("tz.world_switches", tz.world_switches),
+            ("tz.switch_nanos", tz.switch_nanos),
+            ("tz.boundary_copy_bytes", tz.boundary_copy_bytes),
+            ("tz.smc_invocations", tz.smc_invocations),
+            ("plane.events_ingested", metrics.events_ingested),
+        ] {
+            let got = snap.counter_u64(name);
+            if got != expected {
+                failures.push(format!(
+                    "registry counter {name} = {got} disagrees with the subsystem total {expected}"
+                ));
+            }
+        }
+        let gw = engine.boundary_events();
+        let section = format!("gateway.t{}", engine.tenant().0);
+        for (name, expected) in [
+            ("switches", gw.switches),
+            ("copied_bytes", gw.copied_bytes),
+            ("invocations", gw.invocations),
+        ] {
+            let key = format!("{section}.{name}");
+            let got = snap.counter_u64(&key);
+            if got != expected {
+                failures.push(format!(
+                    "registry counter {key} = {got} disagrees with gateway metering {expected}"
+                ));
+            }
+        }
+    }
+
+    let mut spans_drained = 0u64;
+    engine.telemetry().tracer().drain(|_| spans_drained += 1);
+    if tracing && spans_drained == 0 {
+        failures.push("tracing was enabled but the run produced no spans".to_string());
+    }
+    if !tracing && spans_drained != 0 {
+        failures
+            .push(format!("tracing was disabled but {spans_drained} spans were still recorded"));
+    }
+
+    RegimeRow {
+        label: (if tracing { "boundary-dominated/traced" } else { "boundary-dominated" })
+            .to_string(),
+        variant: variant.label().to_string(),
+        batch_events: batch,
+        tracing,
+        events: metrics.events_ingested,
+        mevents_per_sec: metrics.events_per_sec() / 1e6,
+        spans_drained,
+        spans_dropped: engine.telemetry().tracer().dropped(),
+    }
+}
+
+/// Best-of-`reps` throughput for both tracing modes, measured interleaved
+/// (off, on, off, on, …) after one untimed warm-up run. A 3% gate cannot
+/// afford either cold-start noise or time-correlated drift (frequency
+/// ramp-up, a co-tenant waking mid-measurement): interleaving spreads any
+/// drift evenly over both modes and best-of keeps the cleanest rep of
+/// each. Consistency failures are collected on every rep.
+fn measure_regimes(
+    batch: usize,
+    scale: RunScale,
+    reps: usize,
+) -> (RegimeRow, RegimeRow, Vec<String>) {
+    // Untimed warm-up: page in code and data. Its consistency failures are
+    // discarded — the checks are deterministic and re-run on every rep.
+    run_once(batch, true, scale, &mut Vec::new());
+    let mut best: [Option<RegimeRow>; 2] = [None, None];
+    let mut mode_failures: [Vec<String>; 2] = [Vec::new(), Vec::new()];
+    for _ in 0..reps {
+        for (slot, tracing) in [(0usize, false), (1usize, true)] {
+            let mut f = Vec::new();
+            let row = run_once(batch, tracing, scale, &mut f);
+            mode_failures[slot] = f; // deterministic counters: latest rep's view
+            if best[slot].as_ref().is_none_or(|b| row.mevents_per_sec > b.mevents_per_sec) {
+                best[slot] = Some(row);
+            }
+        }
+    }
+    let [off, on] = best;
+    let [mut failures, on_failures] = mode_failures;
+    failures.extend(on_failures);
+    (off.expect("at least one rep"), on.expect("at least one rep"), failures)
+}
+
+/// A 2-tenant server run with tracing enabled: every tenant must come back
+/// with a populated, monotone window-emit latency histogram.
+fn tenant_latencies(failures: &mut Vec<String>) -> Vec<TenantLatencyRow> {
+    let windows = 2u32;
+    let events_per_window = 20_000usize;
+    let batch = events_per_window / 4;
+    let server = StreamServer::new(ServerConfig::default().with_cores(4));
+    server.telemetry().set_enabled(true);
+    let master = MasterSecret::demo();
+    let ids: Vec<_> = (0..2)
+        .map(|t| {
+            server
+                .admit(
+                    TenantConfig::new(&format!("tenant-{t}"), 32 * 1024 * 1024),
+                    Pipeline::new(&format!("winsum-{t}"))
+                        .then(Operator::WindowSum)
+                        .target_delay_ms(60_000)
+                        .batch_events(batch),
+                )
+                .expect("admission within quota")
+        })
+        .collect();
+    let loads = multi_tenant_streams(2, windows, events_per_window, 64, 42);
+    let streams: Vec<TenantStream> = ids
+        .iter()
+        .zip(loads)
+        .map(|(id, chunks)| TenantStream {
+            tenant: *id,
+            generator: Generator::new(
+                GeneratorConfig { batch_events: batch },
+                Channel::for_tenant(&master, *id, 0),
+                chunks,
+            ),
+        })
+        .collect();
+    server.serve(streams).expect("serve completes");
+
+    let rows: Vec<TenantLatencyRow> =
+        server.telemetry().latency_rows().into_iter().filter(|r| r.kind == "window_emit").collect();
+    for id in &ids {
+        match rows.iter().find(|r| r.tenant == id.0) {
+            None => failures.push(format!("tenant {id} has no window-emit histogram")),
+            Some(r) => {
+                if r.count < u64::from(windows) {
+                    failures.push(format!(
+                        "tenant {id} recorded {} window emits, expected at least {windows}",
+                        r.count
+                    ));
+                }
+                if !(r.p50_nanos <= r.p95_nanos
+                    && r.p95_nanos <= r.p99_nanos
+                    && r.p99_nanos <= r.max_nanos)
+                {
+                    failures.push(format!(
+                        "tenant {id} quantiles are not monotone: p50 {} p95 {} p99 {} max {}",
+                        r.p50_nanos, r.p95_nanos, r.p99_nanos, r.max_nanos
+                    ));
+                }
+            }
+        }
+    }
+    rows
+}
+
+fn main() {
+    let scale = RunScale::from_env();
+    let batch = 1_000usize; // boundary-dominated: one crossing set per 1 K events
+    let reps: usize =
+        std::env::var("SBT_REPS").ok().and_then(|s| s.parse().ok()).unwrap_or(5).max(1);
+    let max_overhead = env_f64("SBT_TELEMETRY_GATE_MAX_OVERHEAD", 0.03);
+
+    let (off, on, mut failures) = measure_regimes(batch, scale, reps);
+    let counters_consistent = failures.is_empty();
+
+    let overhead = 1.0 - on.mevents_per_sec / off.mevents_per_sec.max(f64::MIN_POSITIVE);
+    if overhead > max_overhead {
+        failures.push(format!(
+            "enabled tracing cost {:.2}% of throughput at the boundary-dominated regime \
+             (max {:.2}%): {:.3} vs {:.3} Mevents/s",
+            overhead * 100.0,
+            max_overhead * 100.0,
+            on.mevents_per_sec,
+            off.mevents_per_sec
+        ));
+    }
+
+    let before_hist_failures = failures.len();
+    let latencies = tenant_latencies(&mut failures);
+    let histograms_populated = failures.len() == before_hist_failures;
+
+    let regimes = vec![off, on];
+    let table: Vec<Vec<String>> = regimes
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.clone(),
+                r.batch_events.to_string(),
+                if r.tracing { "on" } else { "off" }.to_string(),
+                format!("{:.3}", r.mevents_per_sec),
+                r.spans_drained.to_string(),
+                r.spans_dropped.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Telemetry overhead — WinSum, {} windows x {} events, {batch}-event batches",
+            scale.windows, scale.events_per_window
+        ),
+        &["regime", "batch", "tracing", "Mevents/s", "spans", "dropped"],
+        &table,
+    );
+    let ms = |nanos: u64| format!("{:.2}", nanos as f64 / 1e6);
+    let lat_table: Vec<Vec<String>> = latencies
+        .iter()
+        .map(|l| {
+            vec![
+                format!("t{}", l.tenant),
+                l.count.to_string(),
+                ms(l.p50_nanos),
+                ms(l.p95_nanos),
+                ms(l.p99_nanos),
+                ms(l.max_nanos),
+            ]
+        })
+        .collect();
+    print_table(
+        "Per-tenant window-emit latency (2 tenants, tracing on)",
+        &["tenant", "windows", "p50 ms", "p95 ms", "p99 ms", "max ms"],
+        &lat_table,
+    );
+    println!(
+        "\ngate: tracing overhead {:.2}% (max {:.2}%), counters {}, histograms {}",
+        overhead * 100.0,
+        max_overhead * 100.0,
+        if counters_consistent { "consistent" } else { "INCONSISTENT" },
+        if histograms_populated { "populated" } else { "MISSING" },
+    );
+
+    let report = TelemetryReport {
+        generated_by: "cargo run --release -p sbt_bench --bin telemetry_gate",
+        scale,
+        regimes,
+        tenant_window_emit_latencies: latencies,
+        gates: GateVerdict {
+            max_overhead,
+            measured_overhead: overhead,
+            counters_consistent,
+            histograms_populated,
+            pass: failures.is_empty(),
+        },
+    };
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write("BENCH_telemetry.json", json + "\n") {
+                eprintln!("could not write BENCH_telemetry.json: {e}");
+            } else {
+                eprintln!("(telemetry record written to BENCH_telemetry.json)");
+            }
+        }
+        Err(e) => eprintln!("could not serialize telemetry report: {e}"),
+    }
+    sbt_bench::dump_json("telemetry_gate", &report);
+
+    if !report.gates.pass {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("telemetry gate passed");
+}

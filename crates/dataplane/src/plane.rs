@@ -39,6 +39,7 @@ use parking_lot::{Mutex, RwLock};
 use sbt_attest::{AuditLog, AuditRecord, DataRef, DepartureReason, LogSegment, UArrayRef};
 use sbt_crypto::{AesCtr, Key128, KeySet, MasterSecret, Nonce, SigningKey, TenantKeychain};
 use sbt_primitives as prim;
+use sbt_telemetry::{LatencyKind, MetricsRegistry, SpanKind};
 use sbt_types::{Event, KeyValue, PowerEvent, PrimitiveKind, TenantId, Watermark, WindowId};
 use sbt_tz::{Platform, WorldTracker};
 use sbt_uarray::{
@@ -156,7 +157,11 @@ pub struct DataPlane {
     store: RwLock<HashMap<UArrayId, Arc<StoredData>>>,
     tenants: RwLock<HashMap<TenantId, Arc<Mutex<TenantState>>>>,
     alloc: Mutex<AllocState>,
-    stats: DataPlaneStats,
+    stats: Arc<DataPlaneStats>,
+    /// Unified observability: span tracer, per-tenant latency histograms,
+    /// counter registry, flight recorder. Disabled by default (hot paths
+    /// pay one relaxed atomic load).
+    telemetry: Arc<MetricsRegistry>,
     start: Instant,
 }
 
@@ -170,6 +175,14 @@ impl DataPlane {
             platform.stats().clone(),
             *platform.cost(),
         );
+        let stats = Arc::new(DataPlaneStats::new());
+        let telemetry = Arc::new(MetricsRegistry::new());
+        // Every layer below the control plane reports into this registry:
+        // the platform's TZ counters, the plane's own stats, and (via the
+        // installed tracer) SMC world-switch spans.
+        telemetry.register_source(platform.stats());
+        telemetry.register_source(&stats);
+        platform.smc().install_tracer(telemetry.tracer().clone());
         let dp = DataPlane {
             pager,
             store: RwLock::new(HashMap::new()),
@@ -179,7 +192,8 @@ impl DataPlane {
                 next_id: UArrayId(0),
                 committed: HashMap::new(),
             }),
-            stats: DataPlaneStats::new(),
+            stats,
+            telemetry,
             start: Instant::now(),
             config,
             platform,
@@ -227,6 +241,9 @@ impl DataPlane {
         if let Some(quota) = quota_bytes {
             self.alloc.lock().allocator.set_owner_quota(tenant.owner_tag(), quota);
         }
+        // Pre-create the tenant's latency histograms so the ingest hot
+        // path never takes the registry's write lock.
+        self.telemetry.register_tenant(tenant.0);
         Ok(())
     }
 
@@ -364,6 +381,13 @@ impl DataPlane {
     /// Lifetime statistics.
     pub fn stats(&self) -> &DataPlaneStats {
         &self.stats
+    }
+
+    /// The unified metrics registry (tracer, histograms, counter sources,
+    /// flight recorder). One per data plane; enable with
+    /// [`MetricsRegistry::set_enabled`] to start recording.
+    pub fn telemetry(&self) -> &Arc<MetricsRegistry> {
+        &self.telemetry
     }
 
     /// Current memory report from the allocator.
@@ -597,6 +621,7 @@ impl DataPlane {
         keystream_block: u32,
     ) -> Result<InvokeOutput, DataPlaneError> {
         WorldTracker::assert_secure("DataPlane::ingress");
+        let ingest_start = self.telemetry.tracer().start();
         let ts = self.tenant_state(tenant)?;
         // Wire-format check first: the payload either is whole events or the
         // batch is rejected before any secure memory moves.
@@ -679,6 +704,23 @@ impl DataPlane {
                 data: DataRef::UArray(UArrayRef(id.0 as u32)),
             },
         );
+        // Ingest-to-store latency (call entry to registered output) plus a
+        // decrypt span carrying the measured decrypt time. Both are relaxed
+        // no-ops while telemetry is disabled.
+        self.telemetry.record_latency(
+            tenant.0,
+            LatencyKind::IngestToStore,
+            self.telemetry.tracer().elapsed_since(ingest_start),
+        );
+        if encrypted {
+            self.telemetry.tracer().record_at(
+                SpanKind::Decrypt,
+                tenant.0,
+                ingest_start,
+                decrypt_nanos,
+                n_events as u64,
+            );
+        }
         Ok(InvokeOutput { opaque, len, window: None })
     }
 

@@ -84,6 +84,24 @@ impl DataPlaneStats {
     }
 }
 
+impl sbt_telemetry::CounterSource for DataPlaneStats {
+    fn section(&self) -> String {
+        "plane".to_string()
+    }
+
+    fn collect(&self, emit: &mut dyn FnMut(&str, i64)) {
+        let s = self.snapshot();
+        emit("invocations", s.invocations as i64);
+        emit("compute_nanos", s.compute_nanos as i64);
+        emit("memory_nanos", s.memory_nanos as i64);
+        emit("events_ingested", s.events_ingested as i64);
+        emit("bytes_ingested", s.bytes_ingested as i64);
+        emit("decrypt_nanos", s.decrypt_nanos as i64);
+        emit("egress_count", s.egress_count as i64);
+        emit("audit_records", s.audit_records as i64);
+    }
+}
+
 /// Point-in-time copy of [`DataPlaneStats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DataPlaneSnapshot {

@@ -135,6 +135,10 @@ struct Shared {
     probe: AtomicUsize,
     steals: AtomicU64,
     executed: AtomicU64,
+    /// Times a worker went to sleep with nothing runnable.
+    parks: AtomicU64,
+    /// Task panics caught in their slots.
+    panics: AtomicU64,
 }
 
 thread_local! {
@@ -226,6 +230,7 @@ fn worker_loop(shared: Arc<Shared>, index: usize) {
         if signal.version == version {
             // Nothing arrived since the scan; sleep until a push (or the
             // safety timeout) wakes us.
+            shared.parks.fetch_add(1, Ordering::Relaxed);
             let _ = shared
                 .work_ready
                 .wait_timeout(signal, Duration::from_millis(10))
@@ -371,6 +376,8 @@ impl Executor {
             probe: AtomicUsize::new(0),
             steals: AtomicU64::new(0),
             executed: AtomicU64::new(0),
+            parks: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
         });
         let threads = (0..size)
             .map(|i| {
@@ -399,6 +406,16 @@ impl Executor {
         self.shared.executed.load(Ordering::Relaxed)
     }
 
+    /// Times a worker parked with nothing runnable (idle-pressure signal).
+    pub fn parks(&self) -> u64 {
+        self.shared.parks.load(Ordering::Relaxed)
+    }
+
+    /// Task panics caught so far (the workers survived each one).
+    pub fn panics(&self) -> u64 {
+        self.shared.panics.load(Ordering::Relaxed)
+    }
+
     /// Submit one task and get a joinable handle on its result.
     pub fn spawn<T, F>(&self, task: F) -> JoinHandle<T>
     where
@@ -407,8 +424,12 @@ impl Executor {
     {
         let slot = Arc::new(Slot::new());
         let task_slot = slot.clone();
+        let shared = self.shared.clone();
         self.shared.push(Box::new(move || {
-            let result = catch_unwind(AssertUnwindSafe(task)).map_err(TaskPanicked::from_payload);
+            let result = catch_unwind(AssertUnwindSafe(task)).map_err(|payload| {
+                shared.panics.fetch_add(1, Ordering::Relaxed);
+                TaskPanicked::from_payload(payload)
+            });
             task_slot.complete(result);
         }));
         JoinHandle { slot, shared: self.shared.clone() }
@@ -448,6 +469,20 @@ impl Executor {
                 Err(p) => panic!("pool task panicked: {}", p.message),
             })
             .collect()
+    }
+}
+
+impl sbt_telemetry::CounterSource for Executor {
+    fn section(&self) -> String {
+        "executor".to_string()
+    }
+
+    fn collect(&self, emit: &mut dyn FnMut(&str, i64)) {
+        emit("workers", self.size as i64);
+        emit("steals", self.steals() as i64);
+        emit("executed", self.executed() as i64);
+        emit("parks", self.parks() as i64);
+        emit("panics", self.panics() as i64);
     }
 }
 
@@ -498,6 +533,26 @@ mod tests {
         let tasks: Vec<Box<dyn FnOnce() -> u32 + Send>> =
             vec![Box::new(|| 1), Box::new(|| panic!("legacy")), Box::new(|| 3)];
         exec.run_all(tasks);
+    }
+
+    #[test]
+    fn park_and_panic_counters_are_exposed() {
+        let exec = Executor::new(2);
+        assert_eq!(exec.panics(), 0);
+        let boom = exec.spawn(|| -> u32 { panic!("counted") });
+        assert!(boom.join().is_err());
+        assert_eq!(exec.panics(), 1);
+        // Idle workers park within their 10 ms safety timeout.
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(exec.parks() > 0, "idle workers never parked");
+        // And the counter source mirrors the getters.
+        use sbt_telemetry::CounterSource;
+        let mut pairs = Vec::new();
+        exec.collect(&mut |name, value| pairs.push((name.to_string(), value)));
+        let get = |n: &str| pairs.iter().find(|(name, _)| name == n).unwrap().1;
+        assert_eq!(get("panics"), 1);
+        assert_eq!(get("workers"), 2);
+        assert!(get("parks") > 0);
     }
 
     #[test]

@@ -17,6 +17,7 @@ use sbt_attest::LogSegment;
 use sbt_dataplane::{
     DataPlane, DataPlaneError, EgressMessage, InvokeOutput, OpaqueRef, PrimitiveParams,
 };
+use sbt_telemetry::SpanKind;
 use sbt_types::{PrimitiveKind, TenantId, Watermark};
 use sbt_tz::{EntryFunction, IngressPath, IoChannel, SmcSession};
 use sbt_uarray::HintSet;
@@ -129,6 +130,7 @@ impl TeeGateway {
         is_power: bool,
         keystream_block: u32,
     ) -> Result<InvokeOutput, DataPlaneError> {
+        let span_start = self.dp.telemetry().tracer().start();
         let via_os = self.io.path() == IngressPath::ViaOs;
         if via_os {
             // The OS-mediated delivery crosses the boundary once more and
@@ -152,6 +154,12 @@ impl TeeGateway {
                     via_os,
                 ),
                 Ordering::Relaxed,
+            );
+            self.dp.telemetry().tracer().record(
+                SpanKind::IngestBatch,
+                self.tenant.0,
+                span_start,
+                ingested.len as u64,
             );
         }
         out
@@ -182,11 +190,18 @@ impl TeeGateway {
 
     /// Externalize a result.
     pub fn egress(&self, r: OpaqueRef) -> Result<EgressMessage, DataPlaneError> {
+        let span_start = self.dp.telemetry().tracer().start();
         let out = self.enter(|| self.dp.egress_for(self.tenant, r));
         if let Ok(msg) = &out {
             self.cost.fetch_add(
                 msg.ciphertext.len() as u64 * CycleCost::ENCRYPT_BYTE,
                 Ordering::Relaxed,
+            );
+            self.dp.telemetry().tracer().record(
+                SpanKind::EgressSeal,
+                self.tenant.0,
+                span_start,
+                msg.ciphertext.len() as u64,
             );
         }
         out
@@ -215,6 +230,19 @@ impl TeeGateway {
     /// Drain this tenant's flushed audit segments (for upload).
     pub fn drain_audit_segments(&self) -> Vec<LogSegment> {
         self.dp.drain_audit_segments_for(self.tenant).unwrap_or_default()
+    }
+}
+
+impl sbt_telemetry::CounterSource for TeeGateway {
+    fn section(&self) -> String {
+        format!("gateway.t{}", self.tenant.0)
+    }
+
+    fn collect(&self, emit: &mut dyn FnMut(&str, i64)) {
+        let b = self.boundary_events();
+        emit("switches", b.switches as i64);
+        emit("copied_bytes", b.copied_bytes as i64);
+        emit("invocations", b.invocations as i64);
     }
 }
 

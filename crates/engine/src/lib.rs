@@ -35,7 +35,7 @@ pub mod pipeline;
 pub mod pool;
 pub mod runner;
 
-pub use batcher::AdaptiveBatcher;
+pub use batcher::{AdaptiveBatcher, LiveBatcher};
 pub use config::{EngineConfig, EngineVariant};
 pub use executor::{Executor, JoinHandle, TaskPanicked, TaskResult, TaskSet};
 pub use gateway::{GatewayBoundary, TeeGateway};

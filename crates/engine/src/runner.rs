@@ -22,6 +22,7 @@ use sbt_attest::LogSegment;
 use sbt_dataplane::{
     DataPlane, DataPlaneConfig, DataPlaneError, EgressMessage, OpaqueRef, PrimitiveParams,
 };
+use sbt_telemetry::{FlightReason, LatencyKind, MetricsRegistry, SpanKind};
 use sbt_types::{PrimitiveKind, TenantId, Watermark, WindowId};
 use sbt_tz::Platform;
 use sbt_uarray::HintSet;
@@ -209,6 +210,13 @@ impl Engine {
     ) -> Arc<Self> {
         let platform = dp.platform().clone();
         let gateway = Arc::new(TeeGateway::open_for(dp, tenant));
+        // Observability: the gateway's per-tenant boundary meters and the
+        // (possibly shared) worker pool report into the plane's registry.
+        // Registration is weak — an evicted tenant's gateway simply drops
+        // out of future snapshots.
+        let registry = gateway.data_plane().telemetry();
+        registry.register_source(&gateway);
+        registry.register_source(&pool);
         Arc::new(Engine {
             pipeline,
             platform,
@@ -283,6 +291,21 @@ impl Engine {
     /// The worker pool (shared across engines in multi-tenant deployments).
     pub fn worker_pool(&self) -> &Arc<Executor> {
         &self.pool
+    }
+
+    /// The data plane's unified metrics registry.
+    pub fn telemetry(&self) -> &Arc<MetricsRegistry> {
+        self.gateway.data_plane().telemetry()
+    }
+
+    /// A live-feedback batcher for this engine: starts from the model-based
+    /// [`AdaptiveBatcher`] and re-derives the batch size each delay window
+    /// from the *observed* world-switch cost in the registry.
+    pub fn live_batcher(&self, event_wire_bytes: usize) -> crate::batcher::LiveBatcher {
+        crate::batcher::LiveBatcher::new(
+            self.adaptive_batcher(event_wire_bytes),
+            self.telemetry().clone(),
+        )
     }
 
     /// Ingest a batch on the primary stream.
@@ -475,6 +498,10 @@ impl Engine {
                     let _ = drainer.drain_windows();
                 }));
                 if outcome.is_err() {
+                    // Flight-record the tenant's recent spans before the
+                    // state is patched up: the post-mortem wants the window
+                    // fires and boundary crossings leading into the panic.
+                    drainer.telemetry().flight_trigger(drainer.tenant().0, FlightReason::TaskPanic);
                     let mut st = drainer.window_exec.lock();
                     st.draining = false;
                     st.errors.push_back(DataPlaneError::BadArguments("window drainer panicked"));
@@ -583,6 +610,7 @@ impl Engine {
             return Ok(()); // empty window: nothing to do, nothing to egress
         };
         let overhead_before = self.platform.stats().snapshot();
+        let span_start = self.telemetry().tracer().start();
 
         // 1. Transform operators, applied per partition in parallel. Every
         // fallible step below cleans up the references it holds on error
@@ -719,12 +747,23 @@ impl Engine {
             / self.config.cores.max(1) as u64;
         self.sample_memory();
         let memory = std::mem::take(&mut *self.window_peak_memory.lock());
+        let output_delay_nanos = arrival.elapsed().as_nanos() as u64 + overhead;
         self.window_results.lock().push(WindowResult {
             window: win,
-            output_delay_nanos: arrival.elapsed().as_nanos() as u64 + overhead,
+            output_delay_nanos,
             result_records,
             memory_bytes: memory,
         });
+        // Telemetry: one WindowFire span for the execution itself, and the
+        // watermark-to-emit latency into the tenant's histogram.
+        let telemetry = self.telemetry();
+        telemetry.tracer().record(
+            SpanKind::WindowFire,
+            self.tenant().0,
+            span_start,
+            result_records as u64,
+        );
+        telemetry.record_latency(self.tenant().0, LatencyKind::WindowEmit, output_delay_nanos);
         Ok(())
     }
 

@@ -25,12 +25,15 @@
 //! including their window executions — not for a batch count.
 
 use crate::server::{LanePhase, StreamServer};
+use parking_lot::Mutex;
 use sbt_dataplane::DataPlaneError;
 use sbt_engine::{CycleCost, Engine, IngestStatus, JoinHandle, StreamSide, WindowTicket};
+use sbt_telemetry::FlightReason;
 use sbt_types::{TenantId, Watermark};
 use sbt_workloads::generator::{Generator, Offer};
 use sbt_workloads::transport::Delivery;
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -303,6 +306,55 @@ impl DrrLaneRt {
 /// small enough that no lane floods the queues.
 const MAX_INFLIGHT_PER_LANE: usize = 4;
 
+/// Live mirror of [`DrrAccounting`] state published to the telemetry
+/// registry (section `drr`): total cycle cost charged, penalties issued and
+/// each lane's current deficit. The serve loop owns the real bookkeeping;
+/// observers read this mirror so snapshots never contend with dispatch.
+pub(crate) struct DrrCounters {
+    charged: AtomicU64,
+    penalties: AtomicU64,
+    deficits: Mutex<Vec<i64>>,
+}
+
+impl DrrCounters {
+    fn new(lanes: usize) -> Self {
+        DrrCounters {
+            charged: AtomicU64::new(0),
+            penalties: AtomicU64::new(0),
+            deficits: Mutex::new(vec![0; lanes]),
+        }
+    }
+
+    fn add_charged(&self, cost: u64) {
+        self.charged.fetch_add(cost, Ordering::Relaxed);
+    }
+
+    fn add_penalty(&self) {
+        self.penalties.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn sync_deficits(&self, drr: &DrrAccounting) {
+        let mut deficits = self.deficits.lock();
+        for (i, d) in deficits.iter_mut().enumerate() {
+            *d = drr.deficit(i);
+        }
+    }
+}
+
+impl sbt_telemetry::CounterSource for DrrCounters {
+    fn section(&self) -> String {
+        "drr".to_string()
+    }
+
+    fn collect(&self, emit: &mut dyn FnMut(&str, i64)) {
+        emit("charged", self.charged.load(Ordering::Relaxed) as i64);
+        emit("penalties", self.penalties.load(Ordering::Relaxed) as i64);
+        for (i, d) in self.deficits.lock().iter().enumerate() {
+            emit(&format!("lane{i}_deficit"), *d);
+        }
+    }
+}
+
 impl StreamServer {
     /// Resolve streams against the admitted tenants: one lane per stream,
     /// erroring on unknown tenants and on two streams naming the same
@@ -404,6 +456,12 @@ impl StreamServer {
             .collect();
         let weights: Vec<u32> = rt.iter().map(|l| l.lane.weight).collect();
         let mut drr = DrrAccounting::new(&weights, self.config().drr_quantum);
+        let telemetry = self.telemetry().clone();
+        let drr_counters = Arc::new(DrrCounters::new(rt.len()));
+        telemetry.register_source(&drr_counters);
+        // Keep the mirror alive past this loop so post-run snapshots still
+        // see the final deficits (the registry only holds it weakly).
+        self.retain_drr_mirror(drr_counters.clone());
         let mut fatal: Option<DataPlaneError> = None;
         let start = Instant::now();
 
@@ -460,12 +518,17 @@ impl StreamServer {
                             l.lane.accepted_batches += 1;
                             l.lane.backpressure_signals += 1;
                             drr.penalize(li);
+                            drr_counters.add_penalty();
+                            telemetry
+                                .flight_trigger(l.lane.tenant.0, FlightReason::BackpressureStall);
                         }
                         Ok(Err(DataPlaneError::QuotaExceeded)) => {
                             // The batch is dropped: the tenant outgrew its
                             // quota. The debit penalizes only this lane.
                             l.lane.rejected_batches += 1;
                             drr.penalize(li);
+                            drr_counters.add_penalty();
+                            telemetry.flight_trigger(l.lane.tenant.0, FlightReason::QuotaExhausted);
                         }
                         // Evicted after this iteration's phase snapshot,
                         // with the batch in flight: the lane dies; nothing
@@ -480,7 +543,10 @@ impl StreamServer {
                         Ok(Err(e)) => {
                             fatal.get_or_insert(e);
                         }
-                        Err(p) => panic!("ingest task panicked: {}", p.message),
+                        Err(p) => {
+                            telemetry.flight_trigger(l.lane.tenant.0, FlightReason::TaskPanic);
+                            panic!("ingest task panicked: {}", p.message)
+                        }
                     }
                 }
 
@@ -489,6 +555,7 @@ impl StreamServer {
                 let serviced = l.lane.engine.drain_serviced_cost();
                 if serviced > 0 {
                     drr.charge(li, serviced);
+                    drr_counters.add_charged(serviced);
                 }
 
                 // Launch a pending watermark once its window's batches have
@@ -526,6 +593,8 @@ impl StreamServer {
                             // its window, nothing else.
                             l.lane.rejected_batches += 1;
                             drr.penalize(li);
+                            drr_counters.add_penalty();
+                            telemetry.flight_trigger(l.lane.tenant.0, FlightReason::QuotaExhausted);
                         }
                         // Evicted with the window in flight: lane dies,
                         // others unaffected.
@@ -613,6 +682,8 @@ impl StreamServer {
                     }
                 }
             }
+
+            drr_counters.sync_deficits(&drr);
 
             if fatal.is_some() {
                 // Fatal error: stop offering (gated above), let in-flight
@@ -889,6 +960,39 @@ mod tests {
         }
         assert_eq!(Scheduler::from_name(" DRR "), Some(Scheduler::DeficitRoundRobin));
         assert_eq!(Scheduler::from_name("fifo"), None);
+    }
+
+    #[test]
+    fn drr_serve_publishes_lane_counters_to_the_registry() {
+        let server = StreamServer::new(ServerConfig::default().with_cores(2));
+        let a = server.admit(TenantConfig::new("a", 32 << 20), pipeline("a")).unwrap();
+        let b = server.admit(TenantConfig::new("b", 32 << 20), pipeline("b")).unwrap();
+        let loads = multi_tenant_streams(2, 1, 1_000, 8, 11);
+        server.serve(streams_for(&[a, b], &loads)).unwrap();
+        let snap = server.telemetry().snapshot();
+        assert!(snap.counter_u64("drr.charged") > 0, "serviced cost reaches the registry");
+        assert!(snap.counter("drr.penalties").is_some());
+        assert!(snap.counter("drr.lane0_deficit").is_some());
+        assert!(snap.counter("drr.lane1_deficit").is_some());
+        // The shared executor is registered as a source by the server too.
+        assert!(snap.counter_u64("executor.executed") > 0);
+    }
+
+    #[test]
+    fn quota_exhaustion_during_serve_dumps_the_flight_recorder() {
+        let server = StreamServer::new(ServerConfig::default().with_cores(2));
+        // A quota far below one window's working set: ingestion trips
+        // QuotaExceeded, which the loop counts (not fatal) and records.
+        let a = server.admit(TenantConfig::new("tiny", 4 * 1024), pipeline("tiny")).unwrap();
+        let loads = multi_tenant_streams(1, 1, 2_000, 64, 5);
+        let report = server.serve(streams_for(&[a], &loads)).unwrap();
+        assert!(report.per_tenant[0].rejected_batches > 0, "quota must actually trip");
+        let dumps = server.telemetry().take_flight_dumps();
+        assert!(
+            dumps.iter().any(|d| d.tenant == a.0
+                && matches!(d.reason, sbt_telemetry::FlightReason::QuotaExhausted)),
+            "expected a QuotaExhausted dump for tenant {a}, got {dumps:?}"
+        );
     }
 
     #[test]

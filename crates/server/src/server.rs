@@ -151,6 +151,9 @@ pub struct StreamServer {
     serving: Mutex<HashMap<TenantId, usize>>,
     /// Departure records of every tenant that ever left.
     departed: Mutex<HashMap<TenantId, DepartureReport>>,
+    /// The latest DRR serve loop's telemetry mirror, retained so its
+    /// registry section outlives the loop for post-run snapshots.
+    drr_mirror: Mutex<Option<Arc<crate::sched::DrrCounters>>>,
 }
 
 impl StreamServer {
@@ -163,6 +166,7 @@ impl StreamServer {
         let platform = Platform::new(platform_config);
         let dp = DataPlane::new(platform.clone(), config.dataplane.clone());
         let pool = Arc::new(Executor::new(config.cores));
+        dp.telemetry().register_source(&pool);
         Arc::new(StreamServer {
             platform,
             dp,
@@ -174,6 +178,7 @@ impl StreamServer {
             reserved_quota: Mutex::new(0),
             serving: Mutex::new(HashMap::new()),
             departed: Mutex::new(HashMap::new()),
+            drr_mirror: Mutex::new(None),
             config,
         })
     }
@@ -475,6 +480,12 @@ impl StreamServer {
         &self.platform
     }
 
+    /// The unified telemetry registry of the shared substrate: span tracer,
+    /// per-tenant latency histograms, counter snapshot and flight recorder.
+    pub fn telemetry(&self) -> &Arc<sbt_telemetry::MetricsRegistry> {
+        self.dp.telemetry()
+    }
+
     /// The shared work-stealing executor (historically "the worker pool").
     pub fn worker_pool(&self) -> &Arc<Executor> {
         &self.pool
@@ -496,6 +507,10 @@ impl StreamServer {
         }
         let final_epoch = self.departed.lock().get(&tenant)?.final_epoch;
         Some(self.config.dataplane.master.keychain(tenant.0, final_epoch))
+    }
+
+    pub(crate) fn retain_drr_mirror(&self, mirror: Arc<crate::sched::DrrCounters>) {
+        *self.drr_mirror.lock() = Some(mirror);
     }
 
     pub(crate) fn entries_snapshot(&self) -> Vec<(TenantId, u32, Arc<Engine>)> {

@@ -1,0 +1,166 @@
+//! The flight recorder: recent spans per tenant, dumped on trouble.
+//!
+//! The collector pumps drained spans into bounded per-tenant rings
+//! ([`FlightRecorder::absorb`]); when something goes wrong — a task
+//! panic, a tenant exhausting its quota, a backpressure stall — the
+//! triggering site calls [`FlightRecorder::trigger`] and the tenant's
+//! recent span history is captured as a [`FlightDump`], serializable to
+//! JSON for post-mortems without a rerun. Dumps accumulate in memory
+//! (bounded, oldest evicted) until a harness takes them; the library
+//! itself never writes files.
+
+use crate::span::Span;
+use parking_lot::{Mutex, RwLock};
+use std::collections::{HashMap, VecDeque};
+
+/// Why a flight dump was captured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum FlightReason {
+    /// A pipeline task panicked.
+    TaskPanic,
+    /// The tenant hit its secure-memory quota.
+    QuotaExhausted,
+    /// Ingest signalled a backpressure stall.
+    BackpressureStall,
+}
+
+/// A captured dump: the tenant's recent spans at trigger time.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct FlightDump {
+    /// The tenant whose history was dumped.
+    pub tenant: u32,
+    /// What triggered the dump.
+    pub reason: FlightReason,
+    /// Recent spans, oldest first (bounded by the ring capacity).
+    pub spans: Vec<Span>,
+}
+
+/// Maximum dumps retained before the oldest is evicted.
+const MAX_DUMPS: usize = 64;
+
+/// Bounded per-tenant rings of recent spans plus captured dumps.
+pub struct FlightRecorder {
+    capacity: usize,
+    rings: RwLock<HashMap<u32, Mutex<VecDeque<Span>>>>,
+    dumps: Mutex<Vec<FlightDump>>,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `capacity` spans per tenant.
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            capacity: capacity.max(1),
+            rings: RwLock::new(HashMap::new()),
+            dumps: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Append a drained span to its tenant's ring (oldest evicted at
+    /// capacity).
+    pub fn absorb(&self, span: Span) {
+        {
+            let rings = self.rings.read();
+            if let Some(ring) = rings.get(&span.tenant) {
+                let mut ring = ring.lock();
+                if ring.len() == self.capacity {
+                    ring.pop_front();
+                }
+                ring.push_back(span);
+                return;
+            }
+        }
+        let mut rings = self.rings.write();
+        let ring = rings
+            .entry(span.tenant)
+            .or_insert_with(|| Mutex::new(VecDeque::with_capacity(self.capacity.min(1024))));
+        let mut ring = ring.lock();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(span);
+    }
+
+    /// Capture `tenant`'s recent spans as a dump (also retained for
+    /// [`FlightRecorder::take_dumps`]). The ring is left intact so
+    /// overlapping triggers each get the full history.
+    pub fn trigger(&self, tenant: u32, reason: FlightReason) -> FlightDump {
+        let spans = self
+            .rings
+            .read()
+            .get(&tenant)
+            .map(|ring| ring.lock().iter().copied().collect())
+            .unwrap_or_default();
+        let dump = FlightDump { tenant, reason, spans };
+        let mut dumps = self.dumps.lock();
+        if dumps.len() == MAX_DUMPS {
+            dumps.remove(0);
+        }
+        dumps.push(dump.clone());
+        dump
+    }
+
+    /// Take (and clear) all captured dumps.
+    pub fn take_dumps(&self) -> Vec<FlightDump> {
+        std::mem::take(&mut *self.dumps.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanKind;
+
+    fn span(tenant: u32, start: u64) -> Span {
+        Span {
+            kind: SpanKind::WindowFire,
+            tenant,
+            start_nanos: start,
+            duration_nanos: 1,
+            payload: 0,
+        }
+    }
+
+    #[test]
+    fn rings_are_bounded_and_per_tenant() {
+        let fr = FlightRecorder::new(4);
+        for i in 0..10 {
+            fr.absorb(span(1, i));
+        }
+        fr.absorb(span(2, 100));
+        let d1 = fr.trigger(1, FlightReason::TaskPanic);
+        assert_eq!(d1.spans.len(), 4);
+        assert_eq!(d1.spans[0].start_nanos, 6); // oldest evicted
+        let d2 = fr.trigger(2, FlightReason::QuotaExhausted);
+        assert_eq!(d2.spans.len(), 1);
+        assert_eq!(d2.reason, FlightReason::QuotaExhausted);
+    }
+
+    #[test]
+    fn trigger_on_unknown_tenant_is_empty_not_a_panic() {
+        let fr = FlightRecorder::new(4);
+        let d = fr.trigger(99, FlightReason::BackpressureStall);
+        assert!(d.spans.is_empty());
+    }
+
+    #[test]
+    fn dumps_accumulate_and_take_clears() {
+        let fr = FlightRecorder::new(4);
+        fr.absorb(span(1, 1));
+        fr.trigger(1, FlightReason::TaskPanic);
+        fr.trigger(1, FlightReason::BackpressureStall);
+        let dumps = fr.take_dumps();
+        assert_eq!(dumps.len(), 2);
+        assert_eq!(dumps[1].reason, FlightReason::BackpressureStall);
+        assert!(fr.take_dumps().is_empty());
+    }
+
+    #[test]
+    fn dump_serializes_to_json() {
+        let fr = FlightRecorder::new(4);
+        fr.absorb(span(3, 9));
+        let d = fr.trigger(3, FlightReason::QuotaExhausted);
+        let json = serde_json::to_string(&d).unwrap();
+        assert!(json.contains("QuotaExhausted"));
+        assert!(json.contains("WindowFire"));
+    }
+}

@@ -1,0 +1,276 @@
+//! Fixed-size log-bucketed latency histograms (HDR-style).
+//!
+//! The bucket layout is log-linear: values below `2^SUB_BITS` get exact
+//! unit buckets; above that, each power-of-two octave is split into
+//! `2^SUB_BITS` equal sub-buckets, bounding relative quantile error to
+//! `2^-SUB_BITS` (≈3.1% with `SUB_BITS = 5`). The whole table is 1920
+//! atomic words (~15 KiB), covers the full `u64` nanosecond range, and
+//! recording is three-to-four relaxed atomic RMWs — no allocation, no
+//! locks, safe from any worker thread. Histograms merge bucket-wise, so
+//! per-worker instances sum to exactly the single-threaded reference
+//! (property-tested in `tests/hist_props.rs`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-bucket resolution: each octave splits into `2^SUB_BITS` buckets.
+pub const SUB_BITS: u32 = 5;
+const SUB: usize = 1 << SUB_BITS;
+/// Total bucket count covering all of `u64`.
+pub const N_BUCKETS: usize = (64 - SUB_BITS as usize + 1) << SUB_BITS;
+
+/// Which pipeline latency a histogram tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum LatencyKind {
+    /// Ingress call entry to events registered in the windowed store.
+    IngestToStore,
+    /// Watermark arrival to the window's results being emitted.
+    WindowEmit,
+}
+
+impl LatencyKind {
+    /// Stable snake_case name used in JSON exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            LatencyKind::IngestToStore => "ingest_to_store",
+            LatencyKind::WindowEmit => "window_emit",
+        }
+    }
+}
+
+/// Bucket index for a recorded value.
+pub fn bucket_index(v: u64) -> usize {
+    let msb = 63 - (v | 1).leading_zeros();
+    if msb < SUB_BITS {
+        v as usize
+    } else {
+        let major = (msb - SUB_BITS + 1) as usize;
+        let sub = ((v >> (msb - SUB_BITS)) as usize) & (SUB - 1);
+        (major << SUB_BITS) + sub
+    }
+}
+
+/// Smallest value mapping to bucket `i` (inverse of [`bucket_index`]).
+pub fn bucket_floor(i: usize) -> u64 {
+    if i < SUB {
+        i as u64
+    } else {
+        let major = (i >> SUB_BITS) as u32;
+        let e = SUB_BITS + major - 1;
+        let sub = (i & (SUB - 1)) as u64;
+        (1u64 << e) + (sub << (e - SUB_BITS))
+    }
+}
+
+/// Largest value mapping to bucket `i` (the reported quantile estimate;
+/// errs high by at most one sub-bucket width, ≈3.1%).
+pub fn bucket_ceil(i: usize) -> u64 {
+    if i + 1 >= N_BUCKETS {
+        u64::MAX
+    } else {
+        bucket_floor(i + 1) - 1
+    }
+}
+
+/// A concurrent, fixed-size, allocation-free latency histogram.
+pub struct LatencyHistogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// A zeroed histogram. The only allocation this type ever performs.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: (0..N_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one value. Atomic increments only — no locks, no allocation.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Fold another histogram's counts into this one (bucket-wise add).
+    pub fn merge_from(&self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum.fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max.fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Recorded value count.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy for quantile queries.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An owned copy of a histogram's state.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    /// Recorded value count.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Exact maximum recorded value.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// The value at quantile `q` in `[0, 1]`: the upper edge of the bucket
+    /// containing the `ceil(q·count)`-th recorded value (capped at the
+    /// exact max). Zero when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_ceil(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Merge another snapshot into this one.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += *theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_get_exact_buckets() {
+        for v in 0..SUB as u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_floor(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn floor_inverts_index_on_boundaries() {
+        for i in 0..N_BUCKETS - 1 {
+            let f = bucket_floor(i);
+            assert_eq!(bucket_index(f), i, "floor of bucket {i} maps back");
+            // The last value of the bucket also maps to it.
+            assert_eq!(bucket_index(bucket_ceil(i)), i, "ceil of bucket {i} maps back");
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        // Any value's bucket ceiling overestimates it by < 2^-SUB_BITS.
+        for v in [100u64, 1_000, 33_333, 1_000_000, 123_456_789, u64::MAX / 3] {
+            let c = bucket_ceil(bucket_index(v));
+            assert!(c >= v);
+            let err = (c - v) as f64 / v as f64;
+            assert!(err <= 1.0 / SUB as f64, "v={v} ceil={c} err={err}");
+        }
+    }
+
+    #[test]
+    fn quantiles_of_a_known_distribution() {
+        let h = LatencyHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v * 1000); // 1µs .. 1ms evenly
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.max, 1_000_000);
+        // p50 within one bucket (3.1%) of 500_000.
+        let p50 = s.p50() as f64;
+        assert!((p50 - 500_000.0).abs() / 500_000.0 < 0.04, "p50={p50}");
+        let p99 = s.p99() as f64;
+        assert!((p99 - 990_000.0).abs() / 990_000.0 < 0.04, "p99={p99}");
+        assert_eq!(s.quantile(1.0), 1_000_000);
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        let all = LatencyHistogram::new();
+        for v in 0..500u64 {
+            a.record(v * 7 + 3);
+            all.record(v * 7 + 3);
+        }
+        for v in 0..300u64 {
+            b.record(v * 13 + 1);
+            all.record(v * 13 + 1);
+        }
+        a.merge_from(&b);
+        let (sa, sall) = (a.snapshot(), all.snapshot());
+        assert_eq!(sa.count, sall.count);
+        assert_eq!(sa.sum, sall.sum);
+        assert_eq!(sa.max, sall.max);
+        for q in [0.1, 0.5, 0.95, 0.99] {
+            assert_eq!(sa.quantile(q), sall.quantile(q));
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let s = LatencyHistogram::new().snapshot();
+        assert_eq!((s.count, s.p50(), s.p99(), s.max, s.mean()), (0, 0, 0, 0, 0));
+    }
+}

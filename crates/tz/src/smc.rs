@@ -11,8 +11,9 @@
 use crate::cost::CostModel;
 use crate::stats::TzStats;
 use crate::world::{World, WorldGuard};
+use sbt_telemetry::{SpanKind, Tracer};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// The four entry functions exported by the data plane TA.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -54,6 +55,11 @@ pub struct SmcInterface {
     stats: Arc<TzStats>,
     initialized: AtomicBool,
     sessions_opened: AtomicU64,
+    /// Span tracer installed by the observability layer (the SMC interface
+    /// sits below the data plane, so the registry is handed down rather
+    /// than owned). Absent until installed; spans are only recorded when
+    /// present *and* enabled.
+    tracer: OnceLock<Arc<Tracer>>,
 }
 
 impl SmcInterface {
@@ -64,7 +70,15 @@ impl SmcInterface {
             stats,
             initialized: AtomicBool::new(false),
             sessions_opened: AtomicU64::new(0),
+            tracer: OnceLock::new(),
         }
+    }
+
+    /// Install the span tracer that world-switch round trips are recorded
+    /// into. First installation wins; later calls are ignored (one data
+    /// plane owns a platform).
+    pub fn install_tracer(&self, tracer: Arc<Tracer>) {
+        let _ = self.tracer.set(tracer);
     }
 
     /// Open a session with the data plane TA. Opening a session itself costs
@@ -127,8 +141,19 @@ impl SmcSession {
         }
         self.iface.charge_switch();
         self.iface.stats.record_invocation();
-        let _guard = WorldGuard::enter(World::Secure);
-        Ok(f())
+        // One SMC span per round trip (enter + exit). Tenant 0: the SMC
+        // layer is tenant-agnostic; tenant-tagged spans are recorded one
+        // level up, at the gateway.
+        let tracer = self.iface.tracer.get().filter(|t| t.is_enabled());
+        let start = tracer.map_or(0, |t| t.now_nanos());
+        let out = {
+            let _guard = WorldGuard::enter(World::Secure);
+            f()
+        };
+        if let Some(t) = tracer {
+            t.record(SpanKind::Smc, 0, start, 0);
+        }
+        Ok(out)
     }
 
     /// Close the session. Subsequent invocations fail with

@@ -101,6 +101,25 @@ impl TzStats {
     }
 }
 
+impl sbt_telemetry::CounterSource for TzStats {
+    fn section(&self) -> String {
+        "tz".to_string()
+    }
+
+    fn collect(&self, emit: &mut dyn FnMut(&str, i64)) {
+        let s = self.snapshot();
+        emit("world_switches", s.world_switches as i64);
+        emit("switch_nanos", s.switch_nanos as i64);
+        emit("boundary_copy_bytes", s.boundary_copy_bytes as i64);
+        emit("boundary_copy_nanos", s.boundary_copy_nanos as i64);
+        emit("tee_pages_committed", s.tee_pages_committed as i64);
+        emit("tee_paging_nanos", s.tee_paging_nanos as i64);
+        emit("smc_invocations", s.smc_invocations as i64);
+        emit("trusted_io_bytes", s.trusted_io_bytes as i64);
+        emit("via_os_bytes", s.via_os_bytes as i64);
+    }
+}
+
 /// A point-in-time copy of [`TzStats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StatSnapshot {
@@ -246,6 +265,43 @@ mod tests {
         assert_eq!(d.world_switches, 1);
         assert_eq!(d.switch_nanos, 70);
         assert_eq!(d.smc_invocations, 1);
+    }
+
+    #[test]
+    fn counter_source_mirrors_the_snapshot() {
+        use sbt_telemetry::CounterSource;
+        let s = TzStats::new();
+        s.record_switch(100);
+        s.record_boundary_copy(4096, 10);
+        s.record_invocation();
+        assert_eq!(s.section(), "tz");
+        let mut pairs = Vec::new();
+        s.collect(&mut |name, value| pairs.push((name.to_string(), value)));
+        let get = |n: &str| pairs.iter().find(|(name, _)| name == n).unwrap().1;
+        assert_eq!(get("world_switches"), 1);
+        assert_eq!(get("switch_nanos"), 100);
+        assert_eq!(get("boundary_copy_bytes"), 4096);
+        assert_eq!(get("smc_invocations"), 1);
+        assert_eq!(pairs.len(), 9);
+    }
+
+    #[test]
+    fn smc_spans_reach_an_installed_tracer() {
+        use crate::smc::{EntryFunction, SmcInterface};
+        use sbt_telemetry::{SpanKind, Tracer};
+        use std::sync::Arc;
+        let stats = Arc::new(TzStats::new());
+        let iface = Arc::new(SmcInterface::new(crate::CostModel::hikey(), stats));
+        let tracer = Arc::new(Tracer::new(1, 64));
+        tracer.set_enabled(true);
+        iface.install_tracer(tracer.clone());
+        let session = iface.open_session();
+        session.invoke(EntryFunction::Initialize, || {}).unwrap();
+        session.invoke(EntryFunction::InvokePrimitive, || {}).unwrap();
+        let mut spans = Vec::new();
+        tracer.drain(|s| spans.push(s));
+        assert_eq!(spans.len(), 2); // init + invoke
+        assert!(spans.iter().all(|s| s.kind == SpanKind::Smc && s.tenant == 0));
     }
 
     #[test]

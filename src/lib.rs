@@ -57,6 +57,7 @@ pub use sbt_dataplane as dataplane;
 pub use sbt_engine as engine;
 pub use sbt_primitives as primitives;
 pub use sbt_server as server;
+pub use sbt_telemetry as telemetry;
 pub use sbt_types as types;
 pub use sbt_tz as tz;
 pub use sbt_uarray as uarray;
@@ -78,6 +79,10 @@ pub mod prelude {
     pub use sbt_server::{
         AdmissionError, DepartureReport, DrrAccounting, LifecycleError, Scheduler, ServeReport,
         ServerConfig, StreamServer, TenantConfig, TenantStream,
+    };
+    pub use sbt_telemetry::{
+        FlightDump, FlightReason, LatencyKind, MetricsRegistry, SpanKind, TelemetrySnapshot,
+        TenantLatencyRow,
     };
     pub use sbt_types::{Duration, Event, EventTime, PowerEvent, TenantId, Watermark, WindowSpec};
     pub use sbt_workloads::datasets::{
