@@ -5,42 +5,91 @@
 //! truth — at an equal-or-better compression ratio, and both payloads must
 //! round-trip.
 //!
-//! The measurement runs at the data plane's production segment granularity
-//! (`audit_flush_threshold` defaults to 256 records, and every egress
-//! forces a flush): per segment, the legacy codec re-walks the record batch
-//! and builds per-column Huffman trees, while the streaming encoder has
-//! already columnar-coded every field at append time and only entropy-codes
-//! the byte columns against precomputed static tables at seal.
+//! The gate measures two segment granularities:
+//!
+//! * **production** — the data plane's `audit_flush_threshold` default of
+//!   256 records, where the streaming encoder's ~2.7× advantage lives and
+//!   is gated at `SBT_CODEC_GATE_MIN`;
+//! * **large-segment** — 16 K-record segments, the ROADMAP's known gap:
+//!   streaming encode is only ~1.1–1.3× v1 there. The regime is gated at
+//!   `SBT_CODEC_GATE_MIN_LARGE` (default 1.0×, i.e. "no worse than v1")
+//!   and its measured speedup is recorded in the committed
+//!   `BENCH_codec.json`, so the gap has a measured floor before someone
+//!   closes it — and closing it tightens the committed number, not a
+//!   guess.
+//!
+//! Per segment, the legacy codec re-walks the record batch and builds
+//! per-column Huffman trees, while the streaming encoder has already
+//! columnar-coded every field at append time and only entropy-codes the
+//! byte columns against precomputed static tables at seal.
 //!
 //! Exits nonzero if:
-//! * either codec fails to decode back to the input records;
+//! * either codec fails to decode back to the input records (any regime);
 //! * the streaming compression ratio drops below the batch ratio;
-//! * streaming encode throughput falls under the threshold — a drop below
-//!   it means the streaming path regressed far beyond the 10% budget the
-//!   ROADMAP allows on the recorded baseline.
+//! * a regime's streaming encode speedup falls under its threshold.
+//!
+//! Besides the verdict it writes `BENCH_codec.json` at the repo root — a
+//! committed, machine-readable record of both regimes — plus the usual
+//! copy under `target/evaluation/`.
 //!
 //! Run with `cargo run --release -p sbt_bench --bin codec_gate`.
 
 use sbt_attest::{compress_records, decompress_records, AuditRecord, ColumnarEncoder};
 use sbt_bench::{best_secs, synthetic_audit_records};
+use serde::Serialize;
 
 /// Records per segment: the data plane's default `audit_flush_threshold`.
 const SEGMENT_RECORDS: usize = 256;
+/// The large-segment regime where the streaming encoder's edge narrows.
+const LARGE_SEGMENT_RECORDS: usize = 16 * 1024;
 
-fn main() {
-    let records = synthetic_audit_records(50, 32);
-    let raw_bytes = AuditRecord::raw_size(&records) as f64;
-    let iters: u32 =
-        std::env::var("SBT_CODEC_GATE_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(30);
-    let min_speedup: f64 =
-        std::env::var("SBT_CODEC_GATE_MIN").ok().and_then(|v| v.parse().ok()).unwrap_or(2.0);
+/// One (segment size) regime's measurements, serialized to
+/// `BENCH_codec.json`.
+#[derive(Serialize)]
+struct RegimeRow {
+    label: &'static str,
+    segment_records: usize,
+    records: usize,
+    raw_kb: f64,
+    batch_encode_mbps: f64,
+    streaming_encode_mbps: f64,
+    encode_speedup: f64,
+    batch_decode_mbps: f64,
+    streaming_decode_mbps: f64,
+    decode_speedup: f64,
+    batch_ratio: f64,
+    streaming_ratio: f64,
+    min_encode_speedup: f64,
+}
+
+#[derive(Serialize)]
+struct CodecReport {
+    generated_by: &'static str,
+    regimes: Vec<RegimeRow>,
+    pass: bool,
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+/// Round-trip, time and ratio one segment-size regime; exits on a
+/// correctness failure, returns the measurements for gating.
+fn run_regime(
+    label: &'static str,
+    records: &[AuditRecord],
+    segment_records: usize,
+    iters: u32,
+    min_encode_speedup: f64,
+) -> RegimeRow {
+    let raw_bytes = AuditRecord::raw_size(records) as f64;
 
     // Correctness first: both formats must round-trip exactly, segment by
     // segment.
-    let mut encoder = ColumnarEncoder::with_capacity(SEGMENT_RECORDS);
+    let mut encoder = ColumnarEncoder::with_capacity(segment_records);
     let mut batch_bytes = 0usize;
     let mut streaming_bytes = 0usize;
-    for chunk in records.chunks(SEGMENT_RECORDS) {
+    for chunk in records.chunks(segment_records) {
         let batch_payload = compress_records(chunk);
         for r in chunk {
             encoder.append(r);
@@ -54,11 +103,11 @@ fn main() {
             match decompress_records(payload) {
                 Ok(decoded) if decoded == chunk => {}
                 Ok(_) => {
-                    eprintln!("codec gate: {name} segment decoded to different records");
+                    eprintln!("codec gate [{label}]: {name} segment decoded to different records");
                     std::process::exit(1);
                 }
                 Err(e) => {
-                    eprintln!("codec gate: {name} segment failed to decode: {e}");
+                    eprintln!("codec gate [{label}]: {name} segment failed to decode: {e}");
                     std::process::exit(1);
                 }
             }
@@ -68,13 +117,13 @@ fn main() {
     // Throughput at segment granularity; the streaming encoder is reused
     // across seals exactly as the audit log uses it (buffers warm).
     let batch_secs = best_secs(iters, || {
-        for chunk in records.chunks(SEGMENT_RECORDS) {
+        for chunk in records.chunks(segment_records) {
             std::hint::black_box(compress_records(chunk));
         }
     });
     let mut out = Vec::new();
     let streaming_secs = best_secs(iters, || {
-        for chunk in records.chunks(SEGMENT_RECORDS) {
+        for chunk in records.chunks(segment_records) {
             for r in chunk {
                 encoder.append(r);
             }
@@ -86,9 +135,9 @@ fn main() {
 
     // Decode throughput over the same segments.
     let batch_payloads: Vec<Vec<u8>> =
-        records.chunks(SEGMENT_RECORDS).map(compress_records).collect();
+        records.chunks(segment_records).map(compress_records).collect();
     let streaming_payloads: Vec<Vec<u8>> = records
-        .chunks(SEGMENT_RECORDS)
+        .chunks(segment_records)
         .map(|chunk| {
             for r in chunk {
                 encoder.append(r);
@@ -108,41 +157,101 @@ fn main() {
     });
 
     let mbps = |secs: f64| raw_bytes / secs / 1e6;
-    let batch_ratio = raw_bytes / batch_bytes as f64;
-    let streaming_ratio = raw_bytes / streaming_bytes as f64;
-    let encode_speedup = mbps(streaming_secs) / mbps(batch_secs);
+    RegimeRow {
+        label,
+        segment_records,
+        records: records.len(),
+        raw_kb: raw_bytes / 1024.0,
+        batch_encode_mbps: mbps(batch_secs),
+        streaming_encode_mbps: mbps(streaming_secs),
+        encode_speedup: mbps(streaming_secs) / mbps(batch_secs),
+        batch_decode_mbps: mbps(decode_batch_secs),
+        streaming_decode_mbps: mbps(decode_streaming_secs),
+        decode_speedup: mbps(decode_streaming_secs) / mbps(decode_batch_secs),
+        batch_ratio: raw_bytes / batch_bytes as f64,
+        streaming_ratio: raw_bytes / streaming_bytes as f64,
+        min_encode_speedup,
+    }
+}
 
-    println!(
-        "=== audit codec gate ({} records, {:.0} raw KB, {SEGMENT_RECORDS}-record segments) ===",
-        records.len(),
-        raw_bytes / 1024.0
-    );
-    println!(
-        "encode:  batch {:8.0} MB/s   streaming {:8.0} MB/s   ({encode_speedup:.2}x)",
-        mbps(batch_secs),
-        mbps(streaming_secs),
-    );
-    println!(
-        "decode:  batch {:8.0} MB/s   streaming {:8.0} MB/s   ({:.2}x)",
-        mbps(decode_batch_secs),
-        mbps(decode_streaming_secs),
-        mbps(decode_streaming_secs) / mbps(decode_batch_secs),
-    );
-    println!("ratio:   batch {batch_ratio:8.2}x        streaming {streaming_ratio:8.2}x");
+fn main() {
+    let iters: u32 =
+        std::env::var("SBT_CODEC_GATE_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(30);
+    let min_speedup = env_f64("SBT_CODEC_GATE_MIN", 2.0);
+    let min_large_speedup = env_f64("SBT_CODEC_GATE_MIN_LARGE", 1.0);
 
-    if streaming_ratio < batch_ratio {
-        eprintln!(
-            "codec gate FAILED: streaming ratio {streaming_ratio:.3}x regressed below the \
-             batch baseline {batch_ratio:.3}x"
+    // Production granularity: the stream the codec benches always measured.
+    let records = synthetic_audit_records(50, 32);
+    // Large segments: enough records for two full 16 K segments, so the
+    // regime times steady-state large-segment seals, not one warm-up.
+    let large_records = synthetic_audit_records(250, 32);
+
+    let regimes = vec![
+        run_regime("production", &records, SEGMENT_RECORDS, iters, min_speedup),
+        run_regime(
+            "large-segment",
+            &large_records,
+            LARGE_SEGMENT_RECORDS,
+            iters,
+            min_large_speedup,
+        ),
+    ];
+
+    let mut failures = Vec::new();
+    for r in &regimes {
+        println!(
+            "=== audit codec gate [{}] ({} records, {:.0} raw KB, {}-record segments) ===",
+            r.label, r.records, r.raw_kb, r.segment_records
         );
+        println!(
+            "encode:  batch {:8.0} MB/s   streaming {:8.0} MB/s   ({:.2}x, min {:.2}x)",
+            r.batch_encode_mbps, r.streaming_encode_mbps, r.encode_speedup, r.min_encode_speedup,
+        );
+        println!(
+            "decode:  batch {:8.0} MB/s   streaming {:8.0} MB/s   ({:.2}x)",
+            r.batch_decode_mbps, r.streaming_decode_mbps, r.decode_speedup,
+        );
+        println!(
+            "ratio:   batch {:8.2}x        streaming {:8.2}x",
+            r.batch_ratio, r.streaming_ratio
+        );
+
+        if r.streaming_ratio < r.batch_ratio {
+            failures.push(format!(
+                "[{}] streaming ratio {:.3}x regressed below the batch baseline {:.3}x",
+                r.label, r.streaming_ratio, r.batch_ratio
+            ));
+        }
+        if r.encode_speedup < r.min_encode_speedup {
+            failures.push(format!(
+                "[{}] streaming encode is only {:.2}x the batch baseline (required ≥ {:.2}x)",
+                r.label, r.encode_speedup, r.min_encode_speedup
+            ));
+        }
+    }
+
+    let report = CodecReport {
+        generated_by: "cargo run --release -p sbt_bench --bin codec_gate",
+        regimes,
+        pass: failures.is_empty(),
+    };
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write("BENCH_codec.json", json + "\n") {
+                eprintln!("could not write BENCH_codec.json: {e}");
+            } else {
+                eprintln!("(codec record written to BENCH_codec.json)");
+            }
+        }
+        Err(e) => eprintln!("could not serialize codec report: {e}"),
+    }
+    sbt_bench::dump_json("codec_gate", &report);
+
+    if !report.pass {
+        for f in &failures {
+            eprintln!("codec gate FAILED: {f}");
+        }
         std::process::exit(1);
     }
-    if encode_speedup < min_speedup {
-        eprintln!(
-            "codec gate FAILED: streaming encode is only {encode_speedup:.2}x the batch \
-             baseline (required ≥ {min_speedup:.2}x)"
-        );
-        std::process::exit(1);
-    }
-    println!("codec gate OK (threshold {min_speedup:.2}x)");
+    println!("codec gate OK");
 }

@@ -1,21 +1,27 @@
-//! Figure 9: run-time breakdown of the GroupBy operator — compute in TEE vs
-//! world switches vs boundary copies vs TEE memory management — as a
-//! function of the input batch size, with 8 worker threads executing GroupBy
-//! in parallel.
+//! Figure 9: run-time breakdown of the GroupBy operator — in-enclave
+//! decrypt vs operator compute vs world switches vs boundary copies vs TEE
+//! memory management — as a function of the input batch size, with 8 worker
+//! threads executing both the ingest decrypt lanes and GroupBy in parallel.
 //!
 //! Every lane comes from one diff of the unified telemetry registry
 //! snapshot (the `tz.*` and `plane.*` counters the run actually
 //! accumulated), not from model arithmetic, and each row also reports the
 //! raw boundary *events* behind the percentages: world switches made, bytes
-//! copied, secure pages committed. The sweep runs the
+//! copied, secure pages committed. The decrypt lane is the sum of the
+//! per-sub-batch `Decrypt` spans: under parallel ingest a batch decrypts as
+//! N concurrent lanes inside its single crossing, so CPU time is the sum of
+//! the lane spans, not the wall time of the batch — summing spans keeps the
+//! compute-side accounting correct at any pool width. The sweep runs the
 //! ingest + GroupBy profile under both ingress paths, so the copy lane is
 //! demonstrably zero on trusted IO and proportional to payload via the OS.
 //!
 //! Run with `cargo run --release -p sbt-bench --bin fig9_breakdown`.
 
 use sbt_bench::print_table;
+use sbt_crypto::{AesCtr, MasterSecret};
 use sbt_dataplane::{DataPlane, DataPlaneConfig, PrimitiveParams};
 use sbt_engine::{TeeGateway, WorkerPool};
+use sbt_telemetry::SpanKind;
 use sbt_types::{Event, PrimitiveKind};
 use sbt_tz::{BoundaryEvents, IngressPathConfig, Platform, PlatformConfig};
 use sbt_uarray::HintSet;
@@ -27,18 +33,23 @@ use std::time::Instant;
 struct BreakdownRow {
     ingress: &'static str,
     batch_events: usize,
+    decrypt_pct: f64,
     compute_pct: f64,
     switch_pct: f64,
     copy_pct: f64,
     memory_pct: f64,
     total_ms: f64,
+    /// Decrypt lanes recorded (sub-batches across all ingest batches).
+    decrypt_spans: u64,
     /// Raw boundary events over the run, from the live platform counters.
     boundary: BoundaryEvents,
 }
 
-/// Ingest `batches` batches of `batch_events` events through `path`, then
-/// GroupBy (Sort + SumCnt per batch) on `threads` worker threads; return
-/// the four-lane breakdown from the platform's counter deltas.
+/// Ingest `batches` encrypted batches of `batch_events` events through
+/// `path` (each batch decrypting as per-worker lanes inside its one
+/// crossing), then GroupBy (Sort + SumCnt per batch) on the same `threads`
+/// worker threads; return the five-lane breakdown from the platform's
+/// counter deltas plus the drained per-sub-batch `Decrypt` spans.
 fn run_groupby(
     batch_events: usize,
     batches: usize,
@@ -48,22 +59,27 @@ fn run_groupby(
     let platform = Platform::new(PlatformConfig::hikey().with_ingress(path));
     let dp = DataPlane::new(platform.clone(), DataPlaneConfig::default());
     let gateway = Arc::new(TeeGateway::open(dp.clone()));
-    let pool = WorkerPool::new(threads);
+    // The pool that runs GroupBy also runs the ingest decrypt lanes.
+    let pool = Arc::new(WorkerPool::new(threads));
+    dp.set_ingest_pool(pool.clone());
+    let tracer = Arc::clone(dp.telemetry().tracer());
+    tracer.set_enabled(true);
+    let keys = MasterSecret::demo().tenant_keys(gateway.tenant().0, 0);
 
     let before = dp.telemetry().snapshot();
     let wall_start = Instant::now();
 
     // Ingest is part of the profile: it is where the ingress paths differ
-    // (trusted IO copies nothing; via-OS pays the boundary copy).
+    // (trusted IO copies nothing; via-OS pays the boundary copy), and where
+    // the batch fans out into per-worker decrypt lanes.
     let refs: Vec<_> = (0..batches)
         .map(|b| {
             let events: Vec<Event> = (0..batch_events)
                 .map(|i| Event::new((i % 1000) as u32, (i + b) as u32, 0))
                 .collect();
-            gateway
-                .ingress(&Event::slice_to_bytes(&events), false, false, 0)
-                .expect("ingest")
-                .opaque
+            let mut wire = Event::slice_to_bytes(&events);
+            AesCtr::new(&keys.source_key, &keys.source_nonce).apply_keystream_at(&mut wire, 0);
+            gateway.ingress_shared(&Arc::new(wire), true, false, 0).expect("ingest").opaque
         })
         .collect();
 
@@ -96,14 +112,34 @@ fn run_groupby(
     let wall = wall_start.elapsed().as_nanos() as u64;
     let delta = dp.telemetry().snapshot().delta_since(&before);
 
-    // Four lanes, all from one unified registry snapshot diff: the data
-    // plane and platform counters arrive through the same named sections
-    // the other observability consumers read.
+    // The decrypt lane sums the per-sub-batch `Decrypt` spans. Each span is
+    // one lane's CPU time; a batch split across N workers contributes N
+    // spans whose durations sum to the work done, so the lane stays correct
+    // however the batch was split (wall time per batch would under-count by
+    // the parallel speedup).
+    let mut decrypt = 0u64;
+    let mut decrypt_spans = 0u64;
+    tracer.drain(|s| {
+        if s.kind == SpanKind::Decrypt {
+            decrypt += s.duration_nanos;
+            decrypt_spans += 1;
+        }
+    });
+    // Cross-check: the data plane's own counter is the same lane sum.
+    let counted = delta.counter_u64("plane.decrypt_nanos");
+    assert_eq!(
+        decrypt, counted,
+        "Decrypt span sum ({decrypt} ns) disagrees with plane.decrypt_nanos ({counted} ns)"
+    );
+
+    // Five lanes; all but decrypt from one unified registry snapshot diff:
+    // the data plane and platform counters arrive through the same named
+    // sections the other observability consumers read.
     let compute = delta.counter_u64("plane.compute_nanos");
     let memory = delta.counter_u64("plane.memory_nanos") + delta.counter_u64("tz.tee_paging_nanos");
     let switches = delta.counter_u64("tz.switch_nanos");
     let copies = delta.counter_u64("tz.boundary_copy_nanos");
-    let total = compute + memory + switches + copies;
+    let total = decrypt + compute + memory + switches + copies;
     let pct = |x: u64| 100.0 * x as f64 / total.max(1) as f64;
     BreakdownRow {
         ingress: match path {
@@ -111,11 +147,13 @@ fn run_groupby(
             IngressPathConfig::ViaOs => "via-os",
         },
         batch_events,
+        decrypt_pct: pct(decrypt),
         compute_pct: pct(compute),
         switch_pct: pct(switches),
         copy_pct: pct(copies),
         memory_pct: pct(memory),
         total_ms: (wall + (switches + copies + memory) / threads.max(1) as u64) as f64 / 1e6,
+        decrypt_spans,
         boundary: BoundaryEvents {
             switches: delta.counter_u64("tz.world_switches"),
             copied_bytes: delta.counter_u64("tz.boundary_copy_bytes"),
@@ -141,11 +179,13 @@ fn main() {
             table.push(vec![
                 row.ingress.to_string(),
                 format!("{}K", batch / 1000),
+                format!("{:.1}%", row.decrypt_pct),
                 format!("{:.1}%", row.compute_pct),
                 format!("{:.1}%", row.switch_pct),
                 format!("{:.1}%", row.copy_pct),
                 format!("{:.1}%", row.memory_pct),
                 format!("{:.1}", row.total_ms),
+                row.decrypt_spans.to_string(),
                 row.boundary.switches.to_string(),
                 format!("{}", row.boundary.copied_bytes / 1024),
                 row.boundary.pages_committed.to_string(),
@@ -160,11 +200,13 @@ fn main() {
         &[
             "ingress",
             "batch",
+            "decrypt",
             "compute",
             "switch",
             "copy",
             "mem mgmt",
             "total ms",
+            "lanes",
             "switches",
             "copied KiB",
             "pages",
@@ -173,9 +215,11 @@ fn main() {
     );
     println!(
         "\nExpectation from the paper: with batches of 128K events or more, >90% of time is\n\
-         compute inside the TEE; with 8K-event batches the world-switch share dominates.\n\
-         Trusted IO keeps the copy lane at exactly zero; via-OS ingress pays a per-byte\n\
-         boundary copy on top of the same switch profile."
+         compute (decrypt + operators) inside the TEE; with 8K-event batches the\n\
+         world-switch share dominates. Trusted IO keeps the copy lane at exactly zero;\n\
+         via-OS ingress pays a per-byte boundary copy on top of the same switch profile.\n\
+         The decrypt lane is summed over per-sub-batch spans, so it reads as CPU time\n\
+         across the worker pool, not wall time."
     );
     sbt_bench::dump_json("fig9_breakdown", &rows);
 }

@@ -129,6 +129,24 @@ impl AesCtr {
         self.apply_keystream_at(data, 0);
     }
 
+    /// The keystream block index covering `byte_offset` of a stream that
+    /// began at `start_block`. CTR counters wrap modulo 2³², matching the
+    /// source side's counter arithmetic. `byte_offset` must be block-aligned
+    /// (a mid-block seek has no counter-block representation).
+    pub fn block_at(start_block: u32, byte_offset: usize) -> u32 {
+        assert!(byte_offset.is_multiple_of(16), "keystream seek offset must be block-aligned");
+        start_block.wrapping_add((byte_offset / 16) as u32)
+    }
+
+    /// Position a streaming cursor at `block`: the cursor's next keystream
+    /// byte is byte 0 of that counter block, exactly as if the stream had
+    /// been consumed up to there. This is what makes CTR splittable — every
+    /// sub-range of a payload can be decrypted independently by seeking its
+    /// own cursor to [`block_at`](AesCtr::block_at)`(start, offset)`.
+    pub fn seek_to_block(&self, block: u32) -> AesCtrCursor<'_> {
+        AesCtrCursor { ctr: self, block }
+    }
+
     /// Encrypt a buffer, returning a new vector.
     pub fn encrypt(&self, data: &[u8]) -> Vec<u8> {
         let mut out = data.to_vec();
@@ -142,6 +160,41 @@ impl AesCtr {
     /// [`encrypt`]: AesCtr::encrypt
     pub fn decrypt(&self, data: &[u8]) -> Vec<u8> {
         self.encrypt(data)
+    }
+}
+
+/// A keystream cursor created by [`AesCtr::seek_to_block`]: applies the
+/// keystream to successive windows, advancing its counter block as it goes.
+///
+/// Each application advances the cursor by the number of *whole* blocks the
+/// window consumed, rounded up — so after applying a window whose length is
+/// not a multiple of 16 the cursor sits on the next block boundary. That is
+/// the discipline streaming consumers already follow (only the final window
+/// of a stream may be partial), and it keeps a sequence of block-aligned
+/// window applications byte-identical to one contiguous application.
+pub struct AesCtrCursor<'c> {
+    ctr: &'c AesCtr,
+    block: u32,
+}
+
+impl AesCtrCursor<'_> {
+    /// The counter block the next keystream byte comes from.
+    pub fn block(&self) -> u32 {
+        self.block
+    }
+
+    /// XOR `src` with the keystream at the cursor, writing into `dst`
+    /// (same contract as [`AesCtr::apply_keystream_into`]), then advance.
+    pub fn apply_into(&mut self, src: &[u8], dst: &mut [u8]) {
+        self.ctr.apply_keystream_into(src, dst, self.block);
+        self.block = self.block.wrapping_add(src.len().div_ceil(16) as u32);
+    }
+
+    /// XOR `data` with the keystream at the cursor in place (same contract
+    /// as [`AesCtr::apply_keystream_at`]), then advance.
+    pub fn apply_in_place(&mut self, data: &mut [u8]) {
+        self.ctr.apply_keystream_at(data, self.block);
+        self.block = self.block.wrapping_add(data.len().div_ceil(16) as u32);
     }
 }
 
@@ -256,6 +309,69 @@ mod tests {
         let src = [0u8; 16];
         let mut dst = [0u8; 8];
         ctr.apply_keystream_into(&src, &mut dst, 0);
+    }
+
+    #[test]
+    fn seeked_cursor_windows_match_one_contiguous_application() {
+        // The parallel-ingest property: splitting a stream at block-aligned
+        // boundaries and decrypting each sub-range through its own seeked
+        // cursor is byte-identical to one contiguous pass.
+        let ctr = AesCtr::new(&[0x4Au8; 16], &[0x5Bu8; 16]);
+        for (len, window) in [(4096usize, 96usize), (1000, 48), (4080, 4080), (337, 64)] {
+            for start in [0u32, 7, 0xFFFF_FFF0] {
+                let src: Vec<u8> = (0..len).map(|i| (i * 31 % 251) as u8).collect();
+                let mut reference = vec![0u8; len];
+                ctr.apply_keystream_into(&src, &mut reference, start);
+                // Stream the same bytes through window-sized cursor steps,
+                // restarting a fresh cursor at every window via block_at.
+                let mut streamed = vec![0u8; len];
+                for (i, (s, d)) in src.chunks(window).zip(streamed.chunks_mut(window)).enumerate() {
+                    let mut cursor = ctr.seek_to_block(AesCtr::block_at(start, i * window));
+                    cursor.apply_into(s, d);
+                }
+                assert_eq!(streamed, reference, "len {len} window {window} start {start}");
+            }
+        }
+    }
+
+    #[test]
+    fn cursor_advances_across_windows_and_partial_tails() {
+        let ctr = AesCtr::new(&[0x4Au8; 16], &[0x5Bu8; 16]);
+        let src: Vec<u8> = (0..200).map(|i| (i % 251) as u8).collect();
+        let mut reference = vec![0u8; 200];
+        ctr.apply_keystream_into(&src, &mut reference, 3);
+        // One cursor consuming successive block-aligned windows, ending with
+        // a partial tail (200 = 64 + 128 + 8).
+        let mut cursor = ctr.seek_to_block(3);
+        assert_eq!(cursor.block(), 3);
+        let mut out = vec![0u8; 200];
+        cursor.apply_into(&src[..64], &mut out[..64]);
+        assert_eq!(cursor.block(), 7);
+        cursor.apply_into(&src[64..192], &mut out[64..192]);
+        assert_eq!(cursor.block(), 15);
+        cursor.apply_into(&src[192..], &mut out[192..]);
+        // Partial tail (8 bytes) still advances a whole block.
+        assert_eq!(cursor.block(), 16);
+        assert_eq!(out, reference);
+        // And the in-place variant round-trips the same bytes.
+        let mut back = out.clone();
+        let mut cursor = ctr.seek_to_block(3);
+        cursor.apply_in_place(&mut back);
+        assert_eq!(back, src);
+    }
+
+    #[test]
+    fn block_at_wraps_like_the_counter() {
+        assert_eq!(AesCtr::block_at(0, 0), 0);
+        assert_eq!(AesCtr::block_at(5, 160), 15);
+        // The counter wraps modulo 2^32, as the source side's does.
+        assert_eq!(AesCtr::block_at(u32::MAX, 32), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "block-aligned")]
+    fn block_at_rejects_mid_block_offsets() {
+        AesCtr::block_at(0, 8);
     }
 
     #[test]

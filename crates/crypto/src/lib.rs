@@ -23,7 +23,7 @@ pub mod sha256;
 pub mod sign;
 
 pub use aes::Aes128;
-pub use ctr::AesCtr;
+pub use ctr::{AesCtr, AesCtrCursor};
 pub use hmac::hmac_sha256;
 pub use kdf::{hkdf_expand, hkdf_extract, KeySet, MasterSecret, TenantKeychain, VerifierKeySet};
 pub use sha256::{sha256, Sha256};

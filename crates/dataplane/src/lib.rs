@@ -33,6 +33,7 @@
 pub mod egress;
 pub mod error;
 pub mod opaque;
+pub mod parallel;
 pub mod params;
 pub mod plane;
 pub mod stats;
@@ -41,6 +42,7 @@ pub mod store;
 pub use egress::EgressMessage;
 pub use error::DataPlaneError;
 pub use opaque::OpaqueRef;
+pub use parallel::IngestPool;
 pub use params::{InvokeOutput, PrimitiveParams};
 pub use plane::{DataPlane, DataPlaneConfig, TenantMemory};
 pub use stats::{DataPlaneStats, InvocationBreakdown};

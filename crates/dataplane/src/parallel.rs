@@ -1,0 +1,153 @@
+//! Parallel in-enclave ingest: lane planning and the worker-pool hook.
+//!
+//! One large ingest batch crosses the TEE boundary once; what happens
+//! *after* the crossing — decrypting and parsing the payload into the
+//! reserved uArray — is embarrassingly parallel because AES-CTR is
+//! seekable. This module plans the split (CTR-block- and event-aligned
+//! **lanes**) and defines the [`IngestPool`] hook through which the control
+//! plane lends the data plane its worker threads without the data plane
+//! depending on the engine crate.
+//!
+//! The paper's data plane is multithreaded inside the TEE (§4: the control
+//! plane maps pipeline parallelism onto data-plane threads); here the same
+//! executor threads that run operators also run ingest lanes, and the split
+//! never adds boundary crossings — all lanes live inside the one ingress
+//! invocation.
+
+/// The fixed decrypt window of zero-copy ingest, in bytes.
+///
+/// A multiple of both event layouts (lcm(12, 16) = 48) and of the AES block
+/// size, so every window holds whole events and starts on a CTR block
+/// boundary. Lane boundaries are multiples of this same window, which keeps
+/// the parallel path's window sequence — and therefore its output —
+/// byte-identical to the serial path's.
+pub(crate) const WIRE_CHUNK: usize = 4080;
+
+/// Minimum decrypt windows per lane before a batch fans out.
+///
+/// Cross-thread dispatch (enqueue, wake, cache handoff) costs on the order
+/// of decrypting a window, so lanes shorter than a few windows make the
+/// batch *slower* — and on oversubscribed hosts they add scheduling jitter
+/// to small batches that serial ingest does not have. Batches below
+/// `2 * MIN_LANE_CHUNKS` windows stay serial; the adaptive batcher's
+/// 100 K-event batches split into full-width lanes of ~36 windows each.
+pub(crate) const MIN_LANE_CHUNKS: usize = 4;
+
+/// An in-enclave worker pool the data plane may fan ingest lanes onto.
+///
+/// Implemented by the engine's executor and installed with
+/// [`DataPlane::set_ingest_pool`](crate::DataPlane::set_ingest_pool);
+/// without one, ingest stays serial. `run` must execute every task to
+/// completion before returning (tasks may run on any thread, including the
+/// caller's — a helping join satisfies this).
+pub trait IngestPool: Send + Sync {
+    /// Worker threads available; `0` or `1` keeps ingest serial.
+    fn workers(&self) -> usize;
+    /// Run the tasks to completion (barrier).
+    fn run(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'static>>);
+}
+
+/// Split a payload of `payload_bytes` into at most `workers` lanes of
+/// whole [`WIRE_CHUNK`] windows: `(byte_offset, byte_len)` per lane,
+/// contiguous and covering the payload exactly.
+///
+/// Lanes are balanced to within one window of each other, every lane
+/// boundary is window-aligned — so a lane holds whole events and starts on
+/// a CTR block boundary regardless of the record layout — and no lane is
+/// shorter than [`MIN_LANE_CHUNKS`] windows (a payload too small for two
+/// such lanes stays serial).
+pub(crate) fn lane_plan(payload_bytes: usize, workers: usize) -> Vec<(usize, usize)> {
+    let chunks = payload_bytes.div_ceil(WIRE_CHUNK);
+    if chunks == 0 {
+        return Vec::new();
+    }
+    let lanes = workers.max(1).min(chunks / MIN_LANE_CHUNKS).max(1);
+    let mut plan = Vec::with_capacity(lanes);
+    let mut taken_chunks = 0usize;
+    for lane in 0..lanes {
+        // Distribute the remainder one chunk at a time so lane sizes differ
+        // by at most one window.
+        let lane_chunks = chunks / lanes + usize::from(lane < chunks % lanes);
+        let offset = taken_chunks * WIRE_CHUNK;
+        let len = (lane_chunks * WIRE_CHUNK).min(payload_bytes - offset);
+        plan.push((offset, len));
+        taken_chunks += lane_chunks;
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn covers_exactly(plan: &[(usize, usize)], total: usize) {
+        let mut expect = 0;
+        for &(off, len) in plan {
+            assert_eq!(off, expect, "lanes must be contiguous");
+            assert!(len > 0, "no empty lanes");
+            assert!(off.is_multiple_of(WIRE_CHUNK), "lane start not window-aligned");
+            expect = off + len;
+        }
+        assert_eq!(expect, total, "lanes must cover the payload");
+    }
+
+    #[test]
+    fn plans_cover_and_align_across_shapes() {
+        for total in [1usize, 48, 4080, 4081, 8160, 100_000 * 12, 254 * 16, 7 * 4080 + 1000] {
+            for workers in [1usize, 2, 3, 4, 8, 16] {
+                let plan = lane_plan(total, workers);
+                covers_exactly(&plan, total);
+                assert!(plan.len() <= workers.max(1));
+                // Balanced to within one window (the unit of the split; the
+                // final window may be partial, so compare window counts).
+                if plan.len() > 1 {
+                    let windows: Vec<usize> =
+                        plan.iter().map(|&(_, l)| l.div_ceil(WIRE_CHUNK)).collect();
+                    let max = windows.iter().max().unwrap();
+                    let min = windows.iter().min().unwrap();
+                    assert!(max - min <= 1, "unbalanced: {plan:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn small_payloads_stay_serial() {
+        // One window or less can only form one lane, whatever the pool width.
+        assert_eq!(lane_plan(4080, 8).len(), 1);
+        assert_eq!(lane_plan(100, 8).len(), 1);
+        assert!(lane_plan(0, 8).is_empty());
+    }
+
+    #[test]
+    fn fan_out_requires_min_windows_per_lane() {
+        // Below 2 * MIN_LANE_CHUNKS windows there is no split: a lane must
+        // amortize its dispatch cost over at least MIN_LANE_CHUNKS windows.
+        assert_eq!(lane_plan(3 * WIRE_CHUNK, 8).len(), 1);
+        assert_eq!(lane_plan((2 * MIN_LANE_CHUNKS - 1) * WIRE_CHUNK, 8).len(), 1);
+        assert_eq!(lane_plan(2 * MIN_LANE_CHUNKS * WIRE_CHUNK, 8).len(), 2);
+        // Width still caps the split once lanes are long enough.
+        assert_eq!(lane_plan(100 * WIRE_CHUNK, 2).len(), 2);
+        for &(_, len) in &lane_plan(100 * WIRE_CHUNK, 8) {
+            assert!(len >= MIN_LANE_CHUNKS * WIRE_CHUNK);
+        }
+    }
+
+    #[test]
+    fn wide_pools_split_large_batches_per_worker() {
+        // The paper's 100 K-event batch (1.2 MB) fills an 8-wide pool.
+        let plan = lane_plan(100_000 * 12, 8);
+        assert_eq!(plan.len(), 8);
+        covers_exactly(&plan, 100_000 * 12);
+    }
+
+    #[test]
+    fn lane_event_and_block_alignment() {
+        // Every lane start must be both whole-event (12 and 16 byte) and
+        // CTR-block (16 byte) aligned — guaranteed by window alignment.
+        for &(off, _) in &lane_plan(100_000 * 12, 8) {
+            assert!(off.is_multiple_of(12));
+            assert!(off.is_multiple_of(16));
+        }
+    }
+}

@@ -32,6 +32,7 @@
 use crate::egress::EgressMessage;
 use crate::error::DataPlaneError;
 use crate::opaque::{OpaqueRef, RefTable};
+use crate::parallel::{lane_plan, IngestPool, WIRE_CHUNK};
 use crate::params::{InvokeOutput, PrimitiveParams};
 use crate::stats::{DataPlaneStats, InvocationBreakdown};
 use crate::store::StoredData;
@@ -39,14 +40,15 @@ use parking_lot::{Mutex, RwLock};
 use sbt_attest::{AuditLog, AuditRecord, DataRef, DepartureReason, LogSegment, UArrayRef};
 use sbt_crypto::{AesCtr, Key128, KeySet, MasterSecret, Nonce, SigningKey, TenantKeychain};
 use sbt_primitives as prim;
-use sbt_telemetry::{LatencyKind, MetricsRegistry, SpanKind};
+use sbt_telemetry::{decrypt_span_payload, LatencyKind, MetricsRegistry, SpanKind};
 use sbt_types::{Event, KeyValue, PowerEvent, PrimitiveKind, TenantId, Watermark, WindowId};
 use sbt_tz::{Platform, WorldTracker};
 use sbt_uarray::{
-    Allocator, AllocatorConfig, ConsumptionHint, HintSet, MemoryReport, TeePager, UArrayId,
-    UArrayState, PAGE_SIZE,
+    Allocator, AllocatorConfig, ConsumptionHint, DisjointWriter, HintSet, MemoryReport, TeePager,
+    UArrayId, UArrayState, PAGE_SIZE,
 };
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -162,6 +164,13 @@ pub struct DataPlane {
     /// counter registry, flight recorder. Disabled by default (hot paths
     /// pay one relaxed atomic load).
     telemetry: Arc<MetricsRegistry>,
+    /// Worker pool lent by the control plane for parallel in-enclave ingest
+    /// (lane decrypt/parse). `None` keeps ingest serial.
+    ingest_pool: RwLock<Option<Arc<dyn IngestPool>>>,
+    /// Recycled lane buffers for [`DisjointWriter`]: each grows once to its
+    /// high-water capacity, so steady-state parallel ingest allocates
+    /// nothing beyond the destination extent.
+    lane_buffers: Mutex<Vec<Vec<Event>>>,
     start: Instant,
 }
 
@@ -194,6 +203,8 @@ impl DataPlane {
             }),
             stats,
             telemetry,
+            ingest_pool: RwLock::new(None),
+            lane_buffers: Mutex::new(Vec::new()),
             start: Instant::now(),
             config,
             platform,
@@ -657,10 +668,9 @@ impl DataPlane {
         // through a fixed stack window directly into it. No staging heap
         // allocation of the payload on either path.
         //
-        // WIRE_CHUNK is a multiple of both event layouts (lcm(12,16) = 48)
-        // and of the AES block size, so every window holds whole events and
-        // starts on a CTR block boundary.
-        const WIRE_CHUNK: usize = 4080;
+        // WIRE_CHUNK (see `parallel`) is a multiple of both event layouts
+        // (lcm(12,16) = 48) and of the AES block size, so every window holds
+        // whole events and starts on a CTR block boundary.
         let decrypt_start = Instant::now();
         let id = self.next_id();
         let data = StoredData::events_exact(id, n_events, &self.pager, |dst| {
@@ -713,14 +723,203 @@ impl DataPlane {
             self.telemetry.tracer().elapsed_since(ingest_start),
         );
         if encrypted {
+            // One sub-batch: the span carries the batch tag and its event
+            // count in the same packed payload the parallel lanes use, so
+            // span consumers sum decrypt time uniformly across both paths.
             self.telemetry.tracer().record_at(
                 SpanKind::Decrypt,
                 tenant.0,
                 ingest_start,
                 decrypt_nanos,
-                n_events as u64,
+                decrypt_span_payload(id.0, n_events as u64),
             );
         }
+        Ok(InvokeOutput { opaque, len, window: None })
+    }
+
+    /// Install the worker pool parallel ingest fans lane tasks onto
+    /// (normally the engine's executor, lent when the engine is assembled).
+    pub fn set_ingest_pool(&self, pool: Arc<dyn IngestPool>) {
+        *self.ingest_pool.write() = Some(pool);
+    }
+
+    /// Ingest a batch whose payload arrived as a shared buffer, decrypting
+    /// and parsing its sub-ranges in parallel on the installed
+    /// [`IngestPool`].
+    ///
+    /// Semantically identical to [`ingress_for`](DataPlane::ingress_for) —
+    /// same checks, same all-or-nothing reservation, same audit record and
+    /// counters, and the stored events are byte-identical (lane boundaries
+    /// are multiples of the serial path's decrypt window, so the window
+    /// sequence is unchanged). The split happens strictly *inside* the one
+    /// ingress invocation: sub-batching adds no boundary crossings. Falls
+    /// back to the serial path when no pool is installed or the batch is too
+    /// small to split.
+    pub fn ingress_arc_for(
+        &self,
+        tenant: TenantId,
+        payload: Arc<Vec<u8>>,
+        encrypted: bool,
+        is_power: bool,
+        keystream_block: u32,
+    ) -> Result<InvokeOutput, DataPlaneError> {
+        let pool = self.ingest_pool.read().clone();
+        let lanes = match &pool {
+            Some(pool) => lane_plan(payload.len(), pool.workers()),
+            None => Vec::new(),
+        };
+        if lanes.len() < 2 {
+            return self.ingress_for(tenant, &payload, encrypted, is_power, keystream_block);
+        }
+        self.ingress_parallel(
+            tenant,
+            payload,
+            encrypted,
+            is_power,
+            keystream_block,
+            pool.expect("a multi-lane plan implies a pool").as_ref(),
+            &lanes,
+        )
+    }
+
+    /// The parallel body of [`ingress_arc_for`](DataPlane::ingress_arc_for):
+    /// one lane task per sub-range, each stream-decrypting through its own
+    /// fixed stack window into its own pooled buffer of the
+    /// [`DisjointWriter`], stitched into the single reserved extent inside
+    /// `produce_exact`'s fill.
+    #[allow(clippy::too_many_arguments)]
+    fn ingress_parallel(
+        &self,
+        tenant: TenantId,
+        payload: Arc<Vec<u8>>,
+        encrypted: bool,
+        is_power: bool,
+        keystream_block: u32,
+        pool: &dyn IngestPool,
+        lanes: &[(usize, usize)],
+    ) -> Result<InvokeOutput, DataPlaneError> {
+        WorldTracker::assert_secure("DataPlane::ingress");
+        let ingest_start = self.telemetry.tracer().start();
+        let ts = self.tenant_state(tenant)?;
+        let record_bytes =
+            if is_power { sbt_types::POWER_EVENT_BYTES } else { sbt_types::EVENT_BYTES };
+        if !payload.len().is_multiple_of(record_bytes) {
+            return Err(DataPlaneError::BadIngress(if is_power {
+                "power payload not a whole event"
+            } else {
+                "payload not a whole event"
+            }));
+        }
+        let n_events = payload.len() / record_bytes;
+        let estimate = TeePager::pages_for((n_events * sbt_types::EVENT_BYTES) as u64) * PAGE_SIZE;
+        if self.alloc.lock().allocator.owner_would_exceed(tenant.owner_tag(), estimate) {
+            return Err(DataPlaneError::QuotaExceeded);
+        }
+        // Key material is copied out (128-bit arrays) so the `'static` lane
+        // tasks never borrow tenant state; each lane builds its own cipher
+        // and seeks the keystream to its byte offset.
+        let key_material = if encrypted {
+            let t = ts.lock();
+            Some((t.keys.source_key, t.keys.source_nonce))
+        } else {
+            None
+        };
+
+        let counts: Vec<usize> = lanes.iter().map(|&(_, len)| len / record_bytes).collect();
+        let recycled = std::mem::take(&mut *self.lane_buffers.lock());
+        let writer = Arc::new(DisjointWriter::new(recycled, &counts));
+        let decrypt_total = Arc::new(AtomicU64::new(0));
+        let tracer = self.telemetry.tracer();
+        let id = self.next_id();
+        let tasks: Vec<Box<dyn FnOnce() + Send + 'static>> = lanes
+            .iter()
+            .enumerate()
+            .map(|(ix, &(off, len))| {
+                let payload = Arc::clone(&payload);
+                let writer = Arc::clone(&writer);
+                let decrypt_total = Arc::clone(&decrypt_total);
+                let tracer = Arc::clone(tracer);
+                let lane_block = AesCtr::block_at(keystream_block, off);
+                let lane_events = (len / record_bytes) as u64;
+                let tenant_raw = tenant.0;
+                let batch_tag = id.0;
+                Box::new(move || {
+                    let lane_start = tracer.start();
+                    let t0 = Instant::now();
+                    writer.fill(ix, |buf| {
+                        let mut window = [0u8; WIRE_CHUNK];
+                        let ctr = key_material.map(|(key, nonce)| AesCtr::new(&key, &nonce));
+                        let mut cursor = ctr.as_ref().map(|c| c.seek_to_block(lane_block));
+                        for chunk in payload[off..off + len].chunks(WIRE_CHUNK) {
+                            let cleartext: &[u8] = match &mut cursor {
+                                Some(cur) => {
+                                    cur.apply_into(chunk, &mut window[..chunk.len()]);
+                                    &window[..chunk.len()]
+                                }
+                                None => chunk,
+                            };
+                            if is_power {
+                                for rec in cleartext.chunks_exact(sbt_types::POWER_EVENT_BYTES) {
+                                    buf.push(PowerEvent::from_bytes(rec).unwrap().to_generic());
+                                }
+                            } else {
+                                for rec in cleartext.chunks_exact(sbt_types::EVENT_BYTES) {
+                                    buf.push(Event::from_bytes(rec).unwrap());
+                                }
+                            }
+                        }
+                    });
+                    if encrypted {
+                        // Decrypt accounting is the *sum* of lane CPU time
+                        // (not the batch's wall time), and every lane gets
+                        // its own span tagged with the parent batch, so
+                        // breakdowns stay correct under parallel ingest.
+                        let lane_nanos = t0.elapsed().as_nanos() as u64;
+                        decrypt_total.fetch_add(lane_nanos, Ordering::Relaxed);
+                        tracer.record_at(
+                            SpanKind::Decrypt,
+                            tenant_raw,
+                            lane_start,
+                            lane_nanos,
+                            decrypt_span_payload(batch_tag, lane_events),
+                        );
+                    }
+                }) as Box<dyn FnOnce() + Send + 'static>
+            })
+            .collect();
+
+        // Pages for the whole batch commit first (all-or-nothing, exactly as
+        // the serial path); only then do the lanes run and stitch. On a
+        // failed reservation the fill never runs: no decrypt work is done
+        // and no lane buffer is filled.
+        let result = StoredData::events_exact(id, n_events, &self.pager, |dst| {
+            pool.run(tasks);
+            writer.stitch_into(dst);
+        });
+        // Return the lane buffers to the pool on both outcomes.
+        *self.lane_buffers.lock() = writer.reclaim();
+        let data = result?;
+        let decrypt_nanos = decrypt_total.load(Ordering::Relaxed);
+        let (id, opaque, len) =
+            self.register_output(tenant, &ts, data, PrimitiveKind::Ingress.code() as u64, None)?;
+        self.stats.record_ingress(n_events as u64, payload.len() as u64, decrypt_nanos);
+        {
+            let mut t = ts.lock();
+            t.events_ingested += n_events as u64;
+            t.bytes_ingested += payload.len() as u64;
+        }
+        self.append_audit(
+            &ts,
+            AuditRecord::Ingress {
+                ts_ms: self.now_ms(),
+                data: DataRef::UArray(UArrayRef(id.0 as u32)),
+            },
+        );
+        self.telemetry.record_latency(
+            tenant.0,
+            LatencyKind::IngestToStore,
+            self.telemetry.tracer().elapsed_since(ingest_start),
+        );
         Ok(InvokeOutput { opaque, len, window: None })
     }
 

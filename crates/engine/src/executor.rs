@@ -472,6 +472,20 @@ impl Executor {
     }
 }
 
+/// The executor doubles as the data plane's parallel-ingest pool: the same
+/// worker threads that run operators also run ingest lanes. `run` is the
+/// barrier-style `run_all`, whose helping join keeps nested fan-out (an
+/// ingest task spawning lane tasks) deadlock-free at any pool size.
+impl sbt_dataplane::IngestPool for Executor {
+    fn workers(&self) -> usize {
+        self.size()
+    }
+
+    fn run(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'static>>) {
+        self.run_all(tasks);
+    }
+}
+
 impl sbt_telemetry::CounterSource for Executor {
     fn section(&self) -> String {
         "executor".to_string()

@@ -165,6 +165,54 @@ impl TeeGateway {
         out
     }
 
+    /// Ingest a batch whose bytes arrived as a shared buffer, letting the
+    /// data plane fan the in-enclave decrypt/parse across the installed
+    /// ingest pool. Metered *identically* to [`ingress`](TeeGateway::ingress):
+    /// one delivery, one TEE entry, one batch span — sub-batching happens
+    /// strictly inside the enclave and adds no boundary crossings.
+    pub fn ingress_shared(
+        &self,
+        payload: &Arc<Vec<u8>>,
+        encrypted: bool,
+        is_power: bool,
+        keystream_block: u32,
+    ) -> Result<InvokeOutput, DataPlaneError> {
+        let span_start = self.dp.telemetry().tracer().start();
+        let via_os = self.io.path() == IngressPath::ViaOs;
+        if via_os {
+            self.switches.fetch_add(1, Ordering::Relaxed);
+            self.copied_bytes.fetch_add(payload.len() as u64, Ordering::Relaxed);
+        }
+        self.io.deliver(payload.len());
+        let out = self.enter(|| {
+            self.dp.ingress_arc_for(
+                self.tenant,
+                Arc::clone(payload),
+                encrypted,
+                is_power,
+                keystream_block,
+            )
+        });
+        if let Ok(ingested) = &out {
+            self.cost.fetch_add(
+                CycleCost::batch_measured(
+                    self.dp.platform().cost(),
+                    payload.len() as u64,
+                    ingested.len as u64,
+                    via_os,
+                ),
+                Ordering::Relaxed,
+            );
+            self.dp.telemetry().tracer().record(
+                SpanKind::IngestBatch,
+                self.tenant.0,
+                span_start,
+                ingested.len as u64,
+            );
+        }
+        out
+    }
+
     /// Ingest a watermark.
     pub fn ingress_watermark(&self, wm: Watermark) {
         self.enter(|| {

@@ -167,6 +167,10 @@ impl StreamServer {
         let dp = DataPlane::new(platform.clone(), config.dataplane.clone());
         let pool = Arc::new(Executor::new(config.cores));
         dp.telemetry().register_source(&pool);
+        // The shared pool also serves as the data plane's parallel-ingest
+        // pool: every tenant's batches split into per-worker decrypt lanes
+        // inside their single ingress crossing.
+        dp.set_ingest_pool(pool.clone());
         Arc::new(StreamServer {
             platform,
             dp,

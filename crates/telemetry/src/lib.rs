@@ -40,4 +40,4 @@ pub use registry::{
     CounterEntry, CounterSource, MetricsRegistry, TelemetrySnapshot, TenantLatencyRow,
     SNAPSHOT_VERSION,
 };
-pub use span::{Span, SpanKind, SpanRing, Tracer};
+pub use span::{decrypt_span_parts, decrypt_span_payload, Span, SpanKind, SpanRing, Tracer};

@@ -1,0 +1,217 @@
+//! Parallel production of one uArray extent, in safe code.
+//!
+//! Parallel in-enclave ingest splits one large batch into per-worker
+//! sub-ranges (lanes) that decrypt and parse concurrently. The records of
+//! all lanes end up in **one** contiguous reserved extent, so the naive
+//! shape — N workers holding `&mut` sub-slices of one `Vec` — needs either
+//! scoped borrows (impossible with `'static` executor tasks) or raw-pointer
+//! aliasing by convention. This crate forbids `unsafe_code`, so the
+//! [`DisjointWriter`] takes a third shape that the type system checks:
+//!
+//! * each lane is backed by its **own** buffer behind its **own** mutex —
+//!   a worker locks exactly its lane, so the "disjointness" of the writes
+//!   is enforced by ownership, not promised by pointer arithmetic;
+//! * lane buffers are *caller-provided and reusable*: the data plane pools
+//!   them across batches, so steady-state parallel ingest allocates nothing
+//!   beyond the destination extent itself (each buffer grows once to its
+//!   high-water capacity and is then recycled);
+//! * after every lane has filled (the caller joins its workers first), the
+//!   lanes are stitched into the reserved extent in lane order with one
+//!   sequential pass — inside `produce_exact`'s fill, so the all-or-nothing
+//!   page-commit discipline of zero-copy ingest is untouched.
+//!
+//! The lane mutexes are never contended (one producer per lane); they cost
+//! one uncontended lock/unlock per lane per batch and buy compiler-checked
+//! aliasing safety.
+
+use std::sync::Mutex;
+
+/// One lane's backing store plus its fill bookkeeping.
+struct Lane<T> {
+    buf: Vec<T>,
+    /// Records this lane is expected to produce.
+    expected: usize,
+    /// Whether the lane's producer has run.
+    filled: bool,
+}
+
+/// Safe parallel-fill handle over the lanes of one batch.
+///
+/// Create it with the per-lane record counts and a set of reusable buffers,
+/// share it (`Arc`) with one producer task per lane, have each task call
+/// [`fill`](DisjointWriter::fill) exactly once for its lane index, join the
+/// tasks, then [`stitch_into`](DisjointWriter::stitch_into) the destination
+/// and [`reclaim`](DisjointWriter::reclaim) the buffers for the next batch.
+pub struct DisjointWriter<T> {
+    lanes: Vec<Mutex<Lane<T>>>,
+}
+
+impl<T: Copy> DisjointWriter<T> {
+    /// Build a writer with one lane per entry of `counts`. `buffers`
+    /// provides recycled backing stores (cleared here, capacity retained);
+    /// missing buffers are created fresh, surplus ones are dropped.
+    pub fn new(mut buffers: Vec<Vec<T>>, counts: &[usize]) -> Self {
+        let lanes = counts
+            .iter()
+            .map(|&expected| {
+                let mut buf = buffers.pop().unwrap_or_default();
+                buf.clear();
+                buf.reserve(expected);
+                Mutex::new(Lane { buf, expected, filled: false })
+            })
+            .collect();
+        DisjointWriter { lanes }
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Records lane `lane` is expected to produce.
+    pub fn expected(&self, lane: usize) -> usize {
+        self.lanes[lane].lock().expect("lane lock").expected
+    }
+
+    /// Fill lane `lane`: runs `f` on the lane's cleared buffer (capacity
+    /// pre-reserved for the expected count). Overproduction is truncated to
+    /// the expected count, mirroring `produce_exact`'s truncate discipline.
+    ///
+    /// Each lane must be filled exactly once; a second fill panics, because
+    /// it means two producers were handed the same lane index.
+    pub fn fill(&self, lane: usize, f: impl FnOnce(&mut Vec<T>)) {
+        let mut slot = self.lanes[lane].lock().expect("lane lock");
+        assert!(!slot.filled, "lane {lane} filled twice");
+        slot.filled = true;
+        let expected = slot.expected;
+        f(&mut slot.buf);
+        slot.buf.truncate(expected);
+    }
+
+    /// Whether every lane has been filled.
+    pub fn all_filled(&self) -> bool {
+        self.lanes.iter().all(|l| l.lock().expect("lane lock").filled)
+    }
+
+    /// Total records currently held across all lanes.
+    pub fn total_len(&self) -> usize {
+        self.lanes.iter().map(|l| l.lock().expect("lane lock").buf.len()).sum()
+    }
+
+    /// Append every lane's records to `dst` in lane order. Call only after
+    /// all producers have been joined; panics if a lane was never filled
+    /// (stitching a half-produced batch would silently corrupt the store).
+    pub fn stitch_into(&self, dst: &mut Vec<T>) {
+        for (ix, lane) in self.lanes.iter().enumerate() {
+            let slot = lane.lock().expect("lane lock");
+            assert!(slot.filled, "stitching unfilled lane {ix}");
+            dst.extend_from_slice(&slot.buf);
+        }
+    }
+
+    /// Take the lane buffers back (cleared, capacity retained) so the
+    /// caller can pool them for the next batch.
+    pub fn reclaim(&self) -> Vec<Vec<T>> {
+        self.lanes
+            .iter()
+            .map(|l| {
+                let mut slot = l.lock().expect("lane lock");
+                let mut buf = std::mem::take(&mut slot.buf);
+                buf.clear();
+                buf
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lanes_fill_and_stitch_in_order() {
+        let w = DisjointWriter::new(Vec::new(), &[3, 2, 4]);
+        assert_eq!(w.lanes(), 3);
+        // Fill out of order: stitch order is lane order, not fill order.
+        w.fill(2, |b| b.extend_from_slice(&[6, 7, 8, 9]));
+        w.fill(0, |b| b.extend_from_slice(&[0, 1, 2]));
+        assert!(!w.all_filled());
+        w.fill(1, |b| b.extend_from_slice(&[4, 5]));
+        assert!(w.all_filled());
+        assert_eq!(w.total_len(), 9);
+        let mut dst = Vec::new();
+        w.stitch_into(&mut dst);
+        assert_eq!(dst, vec![0, 1, 2, 4, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn concurrent_producers_never_alias() {
+        // The parallel-ingest shape: one 'static task per lane, each writing
+        // a distinct value pattern; the stitched result is deterministic.
+        let counts = vec![1000usize; 8];
+        let w = Arc::new(DisjointWriter::new(Vec::new(), &counts));
+        let handles: Vec<_> = (0..8)
+            .map(|lane| {
+                let w = Arc::clone(&w);
+                std::thread::spawn(move || {
+                    w.fill(lane, |b| b.extend((0..1000).map(|i| lane * 1000 + i)))
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut dst = Vec::new();
+        w.stitch_into(&mut dst);
+        assert_eq!(dst, (0..8000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reclaimed_buffers_keep_capacity_and_recycle() {
+        let w = DisjointWriter::new(Vec::new(), &[512, 512]);
+        w.fill(0, |b| b.extend(std::iter::repeat_n(1u64, 512)));
+        w.fill(1, |b| b.extend(std::iter::repeat_n(2u64, 512)));
+        let bufs = w.reclaim();
+        assert_eq!(bufs.len(), 2);
+        assert!(bufs.iter().all(|b| b.is_empty() && b.capacity() >= 512));
+        // Recycled into a next batch: the stale contents never leak through.
+        let ptrs: Vec<_> = bufs.iter().map(|b| b.as_ptr()).collect();
+        let w2 = DisjointWriter::new(bufs, &[16, 16]);
+        w2.fill(0, |b| b.extend(std::iter::repeat_n(9u64, 16)));
+        w2.fill(1, |b| b.extend(std::iter::repeat_n(9u64, 16)));
+        let mut dst = Vec::new();
+        w2.stitch_into(&mut dst);
+        assert_eq!(dst, vec![9u64; 32]);
+        // And no reallocation happened: same backing stores, reused.
+        let reclaimed: Vec<_> = w2.reclaim().iter().map(|b| b.as_ptr()).collect();
+        assert!(reclaimed.iter().all(|p| ptrs.contains(p)));
+    }
+
+    #[test]
+    fn overproduction_is_truncated_to_expected() {
+        let w = DisjointWriter::new(Vec::new(), &[2]);
+        w.fill(0, |b| b.extend_from_slice(&[1, 2, 3, 4]));
+        assert_eq!(w.total_len(), 2);
+        let mut dst = Vec::new();
+        w.stitch_into(&mut dst);
+        assert_eq!(dst, vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "filled twice")]
+    fn double_fill_panics() {
+        let w: DisjointWriter<u8> = DisjointWriter::new(Vec::new(), &[1]);
+        w.fill(0, |_| {});
+        w.fill(0, |_| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "unfilled lane")]
+    fn stitching_an_unfilled_lane_panics() {
+        let w: DisjointWriter<u8> = DisjointWriter::new(Vec::new(), &[1, 1]);
+        w.fill(0, |b| b.push(1));
+        let mut dst = Vec::new();
+        w.stitch_into(&mut dst);
+    }
+}

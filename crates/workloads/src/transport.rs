@@ -11,6 +11,7 @@
 use crate::datasets::StreamChunk;
 use sbt_crypto::{AesCtr, Key128, KeySet, MasterSecret, Nonce};
 use sbt_types::{Event, PowerEvent, TenantId};
+use std::sync::Arc;
 
 /// Whether the stream is encrypted on the wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,8 +41,10 @@ impl Default for ChannelConfig {
 /// A delivered message: the wire bytes plus bookkeeping.
 #[derive(Debug, Clone)]
 pub struct Delivery {
-    /// The payload exactly as it crossed the link.
-    pub wire_bytes: Vec<u8>,
+    /// The payload exactly as it crossed the link. Shared (`Arc`) so the
+    /// receiver's parallel-ingest lanes can borrow it from `'static` worker
+    /// tasks without copying the batch.
+    pub wire_bytes: Arc<Vec<u8>>,
     /// Whether the payload is encrypted.
     pub encrypted: bool,
     /// CTR keystream block offset at which the payload was encrypted (the
@@ -145,7 +148,7 @@ impl Channel {
         };
         Delivery {
             event_count: chunk.len(),
-            wire_bytes: payload,
+            wire_bytes: Arc::new(payload),
             encrypted,
             is_power,
             keystream_block,
@@ -183,7 +186,7 @@ mod tests {
         // The TEE, holding the shared key, decrypts block 0 onward.
         let (key, nonce) = ch.key();
         let ctr = AesCtr::new(&key, &nonce);
-        let mut plain = d.wire_bytes.clone();
+        let mut plain = d.wire_bytes.as_ref().clone();
         ctr.apply_keystream_at(&mut plain, d.keystream_block);
         assert_eq!(Event::slice_from_bytes(&plain), c.events);
     }
@@ -211,10 +214,10 @@ mod tests {
         assert_ne!(d1.wire_bytes, d1e1.wire_bytes);
         // And each decrypts only under its own derived key.
         let ks = master.tenant_keys(1, 0);
-        let mut plain = d1.wire_bytes.clone();
+        let mut plain = d1.wire_bytes.as_ref().clone();
         AesCtr::new(&ks.source_key, &ks.source_nonce).apply_keystream_at(&mut plain, 0);
         assert_eq!(Event::slice_from_bytes(&plain), c.events);
-        let mut cross = d2.wire_bytes.clone();
+        let mut cross = d2.wire_bytes.as_ref().clone();
         AesCtr::new(&ks.source_key, &ks.source_nonce).apply_keystream_at(&mut cross, 0);
         assert_ne!(Event::slice_from_bytes(&cross), c.events);
     }
@@ -232,7 +235,7 @@ mod tests {
     #[test]
     fn transfer_time_scales_with_bandwidth() {
         let d = Delivery {
-            wire_bytes: vec![0; 1_000_000],
+            wire_bytes: Arc::new(vec![0; 1_000_000]),
             encrypted: false,
             is_power: false,
             event_count: 0,
