@@ -133,6 +133,95 @@ pub struct ColumnarEncoder {
     /// its tag-specific numeric fields.
     nums: Vec<u8>,
     ctx: DeltaCtx,
+    /// Recycled dynamic entropy codes, one per byte column. Large segments
+    /// of one stream draw from near-identical symbol distributions, so the
+    /// seal reuses the previous segment's fitted code (an O(256)
+    /// near-optimality check) instead of re-running tree construction per
+    /// column per seal. Survives [`reset`](Self::reset) by design.
+    code_caches: [huffman::CodeCache; 4],
+    /// Incremental static-table bit costs, one per byte column: each append
+    /// adds the appended symbol's static code length, so the seal knows the
+    /// exact MODE_STATIC cost without the planner's frequency pass. A
+    /// `*_sbad` flag goes sticky (until reset) when a symbol without a
+    /// static code was appended; tags cannot go bad — every record tag has
+    /// a static code by construction.
+    tags_sbits: u64,
+    ops_sbits: u64,
+    ops_sbad: bool,
+    counts_sbits: u64,
+    counts_sbad: bool,
+    reasons_sbits: u64,
+    reasons_sbad: bool,
+    /// Flat per-symbol static code lengths for the incremental cost
+    /// tracking above, copied out of the shared lazy tables once per
+    /// encoder: the per-record append indexes a plain array instead of
+    /// dereferencing a `LazyLock` table per symbol column.
+    slen: StaticLens,
+}
+
+/// Per-symbol static-table code lengths (0 = symbol not covered) for the
+/// symbol columns whose static cost [`ColumnarEncoder::append`] tracks
+/// incrementally; tags use the [`TAG_SLEN`] constant instead.
+struct StaticLens {
+    ops: [u8; 256],
+    counts: [u8; 256],
+    reasons: [u8; 256],
+}
+
+impl Default for StaticLens {
+    fn default() -> Self {
+        let fill = |id: huffman::StaticTable| {
+            let mut lens = [0u8; 256];
+            for (symbol, len) in lens.iter_mut().enumerate() {
+                *len = huffman::static_code_len(id, symbol as u8);
+            }
+            lens
+        };
+        StaticLens {
+            ops: fill(huffman::StaticTable::Ops),
+            counts: fill(huffman::StaticTable::Counts),
+            reasons: fill(huffman::StaticTable::Reasons),
+        }
+    }
+}
+
+/// Static-table code lengths of the record-kind tags (mirrors the Tags
+/// table in [`huffman::static_table`]; asserted equal in tests), letting
+/// `append` track the tags column's static cost with one constant add.
+const TAG_SLEN: [u64; 7] = [2, 4, 3, 2, 2, 5, 5];
+
+/// Seal one byte column, preferring the plans the append path has already
+/// costed: a vectorizable constant scan, then the incremental static-table
+/// cost (the same "static fits well" rule as the small-column fast path —
+/// at most 2.5 bits/symbol and smaller than raw), and only falling back to
+/// the full planner (frequency pass + cached dynamic fit) when neither
+/// cheap plan applies. Every mode is a valid v2 block; decoders are
+/// oblivious to which plan ran.
+fn seal_column(
+    data: &[u8],
+    id: huffman::StaticTable,
+    static_bits: u64,
+    static_bad: bool,
+    cache: &mut huffman::CodeCache,
+    out: &mut Vec<u8>,
+) {
+    if !data.is_empty() && data.len() <= huffman::CONST_MAX {
+        let first = data[0];
+        if data.iter().all(|&b| b == first) {
+            huffman::encode_block_v2_const(data.len(), first, out);
+            return;
+        }
+    }
+    if !data.is_empty() && !static_bad {
+        let raw_cost = 1 + data.len();
+        let sbytes = static_bits.div_ceil(8) as usize;
+        let scost = 3 + huffman::varint_len(sbytes as u64) + sbytes;
+        if static_bits * 2 <= data.len() as u64 * 5 && scost < raw_cost {
+            huffman::encode_block_v2_static(data, id, static_bits, out);
+            return;
+        }
+    }
+    huffman::encode_block_v2_cached(data, Some(id), cache, out);
 }
 
 impl ColumnarEncoder {
@@ -179,6 +268,61 @@ impl ColumnarEncoder {
         z
     }
 
+    /// Append up to eight varints with one store: when every value in the
+    /// group is below `0x80` — the overwhelmingly common case for
+    /// delta-coded audit fields — the group packs into a single
+    /// little-endian word written with one 8-byte extend. Larger values
+    /// fall back to per-value varint writes; both paths produce identical
+    /// bytes, so the decoder is oblivious to which one ran.
+    ///
+    /// `N` is const so the packing fully unrolls: every fixed-layout record
+    /// kind compiles to a handful of straight-line OR/shift ops plus one
+    /// store, with no loop back-edge to predict.
+    #[inline]
+    fn write_varint_group<const N: usize>(nums: &mut Vec<u8>, vals: [u64; N]) {
+        const { assert!(N <= 8) }
+        let mut word = 0u64;
+        let mut any = 0u64;
+        let mut i = 0;
+        while i < N {
+            any |= vals[i];
+            word |= (vals[i] & 0x7F) << (8 * i);
+            i += 1;
+        }
+        if any < 0x80 {
+            let start = nums.len();
+            nums.extend_from_slice(&word.to_le_bytes());
+            nums.truncate(start + N);
+        } else {
+            for &v in &vals {
+                varint::write_u64(v, nums);
+            }
+        }
+    }
+
+    /// Runtime-length variant of [`write_varint_group`](Self::write_varint_group)
+    /// for the rare execution shapes whose field count is not a compile-time
+    /// constant.
+    #[inline]
+    fn write_varint_group_slice(nums: &mut Vec<u8>, vals: &[u64]) {
+        debug_assert!(vals.len() <= 8);
+        let mut word = 0u64;
+        let mut any = 0u64;
+        for (i, &v) in vals.iter().enumerate() {
+            any |= v;
+            word |= (v & 0x7F) << (8 * i);
+        }
+        if any < 0x80 {
+            let start = nums.len();
+            nums.extend_from_slice(&word.to_le_bytes());
+            nums.truncate(start + vals.len());
+        } else {
+            for &v in vals {
+                varint::write_u64(v, nums);
+            }
+        }
+    }
+
     /// Append one record's fields to the column accumulators. One match
     /// dispatches the record; every numeric field is delta/zigzag/varint
     /// coded straight into the interleaved stream.
@@ -190,38 +334,52 @@ impl ColumnarEncoder {
         match r {
             AuditRecord::Ingress { ts_ms, data } => {
                 self.raw_bytes += 11;
-                varint::write_u64(Self::delta(&mut ctx.ts, *ts_ms as u64), nums);
+                let dts = Self::delta(&mut ctx.ts, *ts_ms as u64);
                 match data {
                     DataRef::UArray(id) => {
                         self.tags.push(TAG_INGRESS_DATA);
-                        varint::write_u64(Self::delta(&mut ctx.id, id.0 as u64), nums);
+                        self.tags_sbits += TAG_SLEN[TAG_INGRESS_DATA as usize];
+                        let did = Self::delta(&mut ctx.id, id.0 as u64);
+                        Self::write_varint_group(nums, [dts, did]);
                     }
                     DataRef::Watermark(wm) => {
                         self.tags.push(TAG_INGRESS_WM);
-                        varint::write_u64(Self::delta(&mut ctx.wm, *wm as u64), nums);
+                        self.tags_sbits += TAG_SLEN[TAG_INGRESS_WM as usize];
+                        let dwm = Self::delta(&mut ctx.wm, *wm as u64);
+                        Self::write_varint_group(nums, [dts, dwm]);
                     }
                 }
             }
             AuditRecord::Egress { ts_ms, data } => {
                 self.raw_bytes += 11;
                 self.tags.push(TAG_EGRESS);
-                varint::write_u64(Self::delta(&mut ctx.ts, *ts_ms as u64), nums);
-                varint::write_u64(Self::delta(&mut ctx.id, data.0 as u64), nums);
+                self.tags_sbits += TAG_SLEN[TAG_EGRESS as usize];
+                let dts = Self::delta(&mut ctx.ts, *ts_ms as u64);
+                let did = Self::delta(&mut ctx.id, data.0 as u64);
+                Self::write_varint_group(nums, [dts, did]);
             }
             AuditRecord::Windowing { ts_ms, input, win_no, output } => {
                 self.raw_bytes += 16;
                 self.tags.push(TAG_WINDOWING);
-                varint::write_u64(Self::delta(&mut ctx.ts, *ts_ms as u64), nums);
-                varint::write_u64(Self::delta(&mut ctx.id, input.0 as u64), nums);
-                varint::write_u64(Self::delta(&mut ctx.id, output.0 as u64), nums);
-                varint::write_u64(Self::delta(&mut ctx.win, *win_no as u64), nums);
+                self.tags_sbits += TAG_SLEN[TAG_WINDOWING as usize];
+                let dts = Self::delta(&mut ctx.ts, *ts_ms as u64);
+                let din = Self::delta(&mut ctx.id, input.0 as u64);
+                let dout = Self::delta(&mut ctx.id, output.0 as u64);
+                let dwin = Self::delta(&mut ctx.win, *win_no as u64);
+                Self::write_varint_group(nums, [dts, din, dout, dwin]);
             }
             AuditRecord::Execution { ts_ms, op, inputs, outputs, hints } => {
                 self.raw_bytes +=
                     (12 + 4 * (inputs.len() + outputs.len()) + 8 * hints.len()) as u64;
                 self.tags.push(TAG_EXECUTION);
+                self.tags_sbits += TAG_SLEN[TAG_EXECUTION as usize];
                 let code = op.code();
-                self.ops.push((code & 0xFF) as u8);
+                let lo = (code & 0xFF) as u8;
+                self.ops.push(lo);
+                match self.slen.ops[lo as usize] {
+                    0 => self.ops_sbad = true,
+                    l => self.ops_sbits += l as u64,
+                }
                 if code >= 0x100 {
                     // Sparse high byte (never hit by real primitives).
                     varint::write_u64(self.exec_idx - self.last_hi_exec_idx, &mut self.ops_hi);
@@ -231,35 +389,88 @@ impl ColumnarEncoder {
                 }
                 self.exec_idx += 1;
                 match pack_counts(inputs.len(), outputs.len(), hints.len()) {
-                    Some(packed) => self.counts.push(packed),
+                    Some(packed) => {
+                        self.counts.push(packed);
+                        match self.slen.counts[packed as usize] {
+                            0 => self.counts_sbad = true,
+                            l => self.counts_sbits += l as u64,
+                        }
+                    }
                     None => {
+                        // The three verbatim spill bytes are arbitrary
+                        // values the static table cannot promise to cover.
+                        self.counts_sbad = true;
                         self.counts.push(COUNTS_ESCAPE);
                         self.counts.push(inputs.len().min(255) as u8);
                         self.counts.push(outputs.len().min(255) as u8);
                         self.counts.push(hints.len().min(255) as u8);
                     }
                 }
-                varint::write_u64(Self::delta(&mut ctx.ts, *ts_ms as u64), nums);
-                for i in inputs.iter().take(255) {
-                    varint::write_u64(Self::delta(&mut ctx.id, i.0 as u64), nums);
-                }
-                for o in outputs.iter().take(255) {
-                    varint::write_u64(Self::delta(&mut ctx.id, o.0 as u64), nums);
-                }
-                for h in hints.iter().take(255) {
-                    varint::write_u64(*h, nums);
+                let fields = 1 + inputs.len() + outputs.len() + hints.len();
+                if let ([i0], [o0], []) = (&inputs[..], &outputs[..], &hints[..]) {
+                    // 1-in/1-out, no hints: the overwhelmingly dominant
+                    // execution shape — straight-line, loop-free.
+                    let dts = Self::delta(&mut ctx.ts, *ts_ms as u64);
+                    let din = Self::delta(&mut ctx.id, i0.0 as u64);
+                    let dout = Self::delta(&mut ctx.id, o0.0 as u64);
+                    Self::write_varint_group(nums, [dts, din, dout]);
+                } else if let ([i0, i1], [o0], []) = (&inputs[..], &outputs[..], &hints[..]) {
+                    // 2-in/1-out, no hints: every merge step.
+                    let dts = Self::delta(&mut ctx.ts, *ts_ms as u64);
+                    let di0 = Self::delta(&mut ctx.id, i0.0 as u64);
+                    let di1 = Self::delta(&mut ctx.id, i1.0 as u64);
+                    let dout = Self::delta(&mut ctx.id, o0.0 as u64);
+                    Self::write_varint_group(nums, [dts, di0, di1, dout]);
+                } else if fields <= 8 {
+                    // Other shapes that still fit one group: gather the
+                    // deltas, then one store carries the whole record.
+                    let mut vals = [0u64; 8];
+                    vals[0] = Self::delta(&mut ctx.ts, *ts_ms as u64);
+                    let mut k = 1;
+                    for i in inputs.iter() {
+                        vals[k] = Self::delta(&mut ctx.id, i.0 as u64);
+                        k += 1;
+                    }
+                    for o in outputs.iter() {
+                        vals[k] = Self::delta(&mut ctx.id, o.0 as u64);
+                        k += 1;
+                    }
+                    for h in hints.iter() {
+                        vals[k] = *h;
+                        k += 1;
+                    }
+                    Self::write_varint_group_slice(nums, &vals[..k]);
+                } else {
+                    varint::write_u64(Self::delta(&mut ctx.ts, *ts_ms as u64), nums);
+                    for i in inputs.iter().take(255) {
+                        varint::write_u64(Self::delta(&mut ctx.id, i.0 as u64), nums);
+                    }
+                    for o in outputs.iter().take(255) {
+                        varint::write_u64(Self::delta(&mut ctx.id, o.0 as u64), nums);
+                    }
+                    for h in hints.iter().take(255) {
+                        varint::write_u64(*h, nums);
+                    }
                 }
             }
             AuditRecord::Rekey { ts_ms, epoch } => {
                 self.raw_bytes += 10;
                 self.tags.push(TAG_REKEY);
-                varint::write_u64(Self::delta(&mut ctx.ts, *ts_ms as u64), nums);
-                varint::write_u64(Self::delta(&mut ctx.epoch, *epoch as u64), nums);
+                self.tags_sbits += TAG_SLEN[TAG_REKEY as usize];
+                let dts = Self::delta(&mut ctx.ts, *ts_ms as u64);
+                let dep = Self::delta(&mut ctx.epoch, *epoch as u64);
+                Self::write_varint_group(nums, [dts, dep]);
             }
             AuditRecord::Departure { ts_ms, reason } => {
                 self.raw_bytes += 7;
                 self.tags.push(TAG_DEPARTURE);
-                self.reasons.push(reason.code());
+                self.tags_sbits += TAG_SLEN[TAG_DEPARTURE as usize];
+                let rc = reason.code();
+                self.reasons.push(rc);
+                match self.slen.reasons[rc as usize] {
+                    0 => self.reasons_sbad = true,
+                    l => self.reasons_sbits += l as u64,
+                }
                 varint::write_u64(Self::delta(&mut ctx.ts, *ts_ms as u64), nums);
             }
         }
@@ -273,14 +484,42 @@ impl ColumnarEncoder {
         varint::write_u64(self.n, out);
         // Layout: tags / ops-lo / packed counts / reasons entropy blocks,
         // the sparse ops-hi pairs, then the interleaved numeric stream.
-        huffman::encode_block_v2(&self.tags, Some(huffman::StaticTable::Tags), out);
-        huffman::encode_block_v2(&self.ops, Some(huffman::StaticTable::Ops), out);
-        huffman::encode_block_v2(&self.counts, Some(huffman::StaticTable::Counts), out);
-        huffman::encode_block_v2(&self.reasons, Some(huffman::StaticTable::Reasons), out);
+        let [c_tags, c_ops, c_counts, c_reasons] = &mut self.code_caches;
+        seal_column(&self.tags, huffman::StaticTable::Tags, self.tags_sbits, false, c_tags, out);
+        seal_column(
+            &self.ops,
+            huffman::StaticTable::Ops,
+            self.ops_sbits,
+            self.ops_sbad,
+            c_ops,
+            out,
+        );
+        seal_column(
+            &self.counts,
+            huffman::StaticTable::Counts,
+            self.counts_sbits,
+            self.counts_sbad,
+            c_counts,
+            out,
+        );
+        seal_column(
+            &self.reasons,
+            huffman::StaticTable::Reasons,
+            self.reasons_sbits,
+            self.reasons_sbad,
+            c_reasons,
+            out,
+        );
         varint::write_u64(self.ops_hi_count, out);
         out.extend_from_slice(&self.ops_hi);
         varint::write_u64(self.nums.len() as u64, out);
         out.extend_from_slice(&self.nums);
+        self.reset();
+    }
+
+    /// Discard the pending records, keeping buffer capacity (the reset half
+    /// of [`seal_into`](Self::seal_into) without emitting a payload).
+    pub fn reset(&mut self) {
         self.tags.clear();
         self.ops.clear();
         self.ops_hi.clear();
@@ -293,6 +532,13 @@ impl ColumnarEncoder {
         self.ctx = DeltaCtx::default();
         self.n = 0;
         self.raw_bytes = 0;
+        self.tags_sbits = 0;
+        self.ops_sbits = 0;
+        self.ops_sbad = false;
+        self.counts_sbits = 0;
+        self.counts_sbad = false;
+        self.reasons_sbits = 0;
+        self.reasons_sbad = false;
     }
 
     /// Seal into a fresh buffer.
@@ -773,6 +1019,108 @@ fn assemble_records(n: usize, cols: Columns) -> Result<Vec<AuditRecord>, CodecEr
 mod tests {
     use super::*;
     use proptest::prelude::*;
+
+    /// `TAG_SLEN` is a copy of the static Tags table's code lengths so
+    /// `append` can cost the tags column with one array index; the two must
+    /// never drift apart.
+    #[test]
+    fn tag_slen_mirrors_static_tags_table() {
+        for (tag, &len) in TAG_SLEN.iter().enumerate() {
+            assert_eq!(
+                huffman::static_code_len(huffman::StaticTable::Tags, tag as u8) as u64,
+                len,
+                "TAG_SLEN[{tag}] disagrees with the static Tags table"
+            );
+        }
+    }
+
+    /// Stage-level seal timing: run with
+    /// `cargo test --release -p sbt_attest --lib seal_stage_profile -- --ignored --nocapture`.
+    #[test]
+    #[ignore = "profiling aid, not a correctness test"]
+    fn seal_stage_profile() {
+        let records = sample_records(4000); // ~20K mixed records
+        let n = records.len();
+        let mut enc = ColumnarEncoder::with_capacity(n);
+        let best = |iters: u32, f: &mut dyn FnMut()| -> f64 {
+            let mut best = f64::INFINITY;
+            for _ in 0..iters {
+                let t = std::time::Instant::now();
+                f();
+                best = best.min(t.elapsed().as_secs_f64());
+            }
+            best
+        };
+        let append = best(40, &mut || {
+            for r in &records {
+                enc.append(r);
+            }
+            enc.reset();
+        });
+        for r in &records {
+            enc.append(r);
+        }
+        let (tags, ops, counts) = (enc.tags.clone(), enc.ops.clone(), enc.counts.clone());
+        let nums = enc.nums.clone();
+        let mut out = Vec::with_capacity(1 << 20);
+        let mut cache = huffman::CodeCache::default();
+        let t_tags = best(40, &mut || {
+            out.clear();
+            huffman::encode_block_v2_cached(
+                &tags,
+                Some(huffman::StaticTable::Tags),
+                &mut cache,
+                &mut out,
+            );
+        });
+        let mut cache_ops = huffman::CodeCache::default();
+        let t_ops = best(40, &mut || {
+            out.clear();
+            huffman::encode_block_v2_cached(
+                &ops,
+                Some(huffman::StaticTable::Ops),
+                &mut cache_ops,
+                &mut out,
+            );
+        });
+        let mut cache_counts = huffman::CodeCache::default();
+        let t_counts = best(40, &mut || {
+            out.clear();
+            huffman::encode_block_v2_cached(
+                &counts,
+                Some(huffman::StaticTable::Counts),
+                &mut cache_counts,
+                &mut out,
+            );
+        });
+        let t_nums = best(40, &mut || {
+            out.clear();
+            out.extend_from_slice(&nums);
+        });
+        let mut sealed = Vec::with_capacity(1 << 20);
+        enc.reset();
+        let t_seal = best(40, &mut || {
+            for r in &records {
+                enc.append(r);
+            }
+            sealed.clear();
+            enc.seal_into(&mut sealed);
+        }) - append;
+        let per = |s: f64| s * 1e9 / n as f64;
+        println!(
+            "records {n}: tags {} ops {} counts {} nums {}B",
+            tags.len(),
+            ops.len(),
+            counts.len(),
+            nums.len()
+        );
+        println!("append      {:6.2} ns/rec", per(append));
+        println!("seal        {:6.2} ns/rec", per(t_seal));
+        println!("  tags blk  {:6.2} ns/rec ({} fits)", per(t_tags), cache.fits);
+        println!("  ops blk   {:6.2} ns/rec", per(t_ops));
+        println!("  counts blk{:6.2} ns/rec", per(t_counts));
+        println!("  nums copy {:6.2} ns/rec", per(t_nums));
+    }
 
     #[test]
     fn adversarial_huffman_length_is_an_error_not_a_panic() {

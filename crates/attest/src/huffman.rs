@@ -65,16 +65,19 @@ impl<'a> BitWriter<'a> {
         debug_assert!(len <= MAX_CODE_LEN as u32);
         if self.bits + len > 64 {
             // Only reachable with legacy >32-bit codes; the fast flush below
-            // otherwise keeps the buffer under 32 bits.
+            // otherwise keeps the buffer under 48 bits.
             self.spill();
         }
         self.buf = (self.buf << len) | code;
         self.bits += len;
         if self.bits >= 32 {
-            // Flush a whole word at once: for the short codes the encoder
-            // emits this runs once every several symbols.
+            // Flush four whole bytes at once: a single u32 store every few
+            // symbols. The 32-bit threshold leaves ≤ 31 bits buffered, so
+            // the paired puts of [`HuffmanCode::encode_into`] (≤ 32 bits)
+            // never overflow the 64-bit accumulator.
             self.bits -= 32;
-            self.out.extend_from_slice(&((self.buf >> self.bits) as u32).to_be_bytes());
+            let word = (self.buf >> self.bits) as u32;
+            self.out.extend_from_slice(&word.to_be_bytes());
         }
     }
 
@@ -288,13 +291,48 @@ impl HuffmanCode {
         data.iter().all(|&b| self.lengths[b as usize] > 0)
     }
 
-    /// Encode `data` through `writer`.
+    /// Encode `data` through `writer`, four symbols per `put` when their
+    /// concatenated codes fit one put — for the short (1–3-bit) codes of
+    /// the skewed audit columns this quarters the flush checks on the
+    /// seal's hottest loop. Longer codes split into pairs (always ≤ 32
+    /// bits for encoder-built and static codes, which are ≤ 12 bits). The
+    /// bitstream is identical either way.
     #[inline]
     pub fn encode_into(&self, data: &[u8], writer: &mut BitWriter<'_>) {
-        for &b in data {
+        let mut quads = data.chunks_exact(4);
+        for q in &mut quads {
+            let (a, b, c, d) = (q[0] as usize, q[1] as usize, q[2] as usize, q[3] as usize);
+            let (la, lb, lc, ld) = (
+                self.lengths[a] as u32,
+                self.lengths[b] as u32,
+                self.lengths[c] as u32,
+                self.lengths[d] as u32,
+            );
+            debug_assert!(la > 0 && lb > 0 && lc > 0 && ld > 0, "encoding symbol with no code");
+            if la + lb + lc + ld <= 32 {
+                let code = (((self.codes[a] << lb | self.codes[b]) << lc | self.codes[c]) << ld)
+                    | self.codes[d];
+                writer.put(code, la + lb + lc + ld);
+            } else {
+                Self::put_pair(self.codes[a], la, self.codes[b], lb, writer);
+                Self::put_pair(self.codes[c], lc, self.codes[d], ld, writer);
+            }
+        }
+        for &b in quads.remainder() {
             let len = self.lengths[b as usize] as u32;
             debug_assert!(len > 0, "encoding symbol with no code");
             writer.put(self.codes[b as usize], len);
+        }
+    }
+
+    /// Two codes in one `put` when they fit 32 bits, else two puts.
+    #[inline]
+    fn put_pair(ca: u64, la: u32, cb: u64, lb: u32, writer: &mut BitWriter<'_>) {
+        if la + lb <= 32 {
+            writer.put((ca << lb) | cb, la + lb);
+        } else {
+            writer.put(ca, la);
+            writer.put(cb, lb);
         }
     }
 
@@ -656,7 +694,7 @@ const MODE_DYNAMIC: u8 = 3;
 /// constant block's payload cannot bound `count` against adversarial
 /// headers) and the encoder respects it symmetrically, falling back to the
 /// planner for absurdly long constant columns.
-const CONST_MAX: usize = 1 << 24;
+pub(crate) const CONST_MAX: usize = 1 << 24;
 
 /// Columns shorter than this never bother fitting a dynamic code: the
 /// (symbol, length) header plus the tree construction would eat the savings
@@ -664,6 +702,29 @@ const CONST_MAX: usize = 1 << 24;
 /// small segments (the data plane flushes every 256 records and at every
 /// egress) skip tree construction entirely.
 const DYNAMIC_MIN_LEN: usize = 2048;
+
+/// A recycled dynamic entropy code, reused across seals by
+/// [`encode_block_v2_cached`].
+///
+/// Fitting a Huffman code is the only seal-time cost that does not amortize
+/// with column length: every large segment re-runs the heap-and-tree
+/// construction per column even though consecutive segments of one stream
+/// draw from near-identical symbol distributions. The cache keeps the last
+/// fitted code; a seal reuses it whenever it still covers the column and
+/// costs within ~2% of that column's entropy bound (checked in O(256) from
+/// the frequency table), and refits — updating the cache — when the
+/// distribution has drifted. Reuse changes only which lengths the block
+/// header carries; decoders are oblivious.
+#[derive(Default)]
+pub struct CodeCache {
+    code: Option<HuffmanCode>,
+    /// Bits/symbol the cached code achieved on the column it was fitted to.
+    fit_bps: f64,
+    /// That column's entropy in bits/symbol, the fit-time optimum bound.
+    fit_eps: f64,
+    /// Fits performed (cache misses + first fills); for tests and telemetry.
+    pub fits: u64,
+}
 
 /// Encode a byte column as a self-delimiting v2 entropy block.
 ///
@@ -677,6 +738,67 @@ const DYNAMIC_MIN_LEN: usize = 2048;
 /// * `3` dynamic — `present - 1` byte, `present` `(symbol, length)` pairs,
 ///   `varint byte_len`, bitstream.
 pub fn encode_block_v2(data: &[u8], static_id: Option<StaticTable>, out: &mut Vec<u8>) {
+    encode_block_v2_cached(data, static_id, &mut CodeCache::default(), out)
+}
+
+/// The static-table code length of `symbol` (0 = no code), for callers
+/// that track a column's static cost incrementally at append time.
+#[inline]
+pub(crate) fn static_code_len(id: StaticTable, symbol: u8) -> u8 {
+    static_table(id as u8).expect("static table ids are exhaustive").code.lengths[symbol as usize]
+}
+
+/// Emit a v2 entropy block in a caller-chosen mode, for callers that
+/// already know the plan — the streaming encoder tracks each column's
+/// static-table bit cost and constness *incrementally at append time*, so
+/// its seal can skip the per-column frequency pass the full planner needs.
+///
+/// `precosted_bits` must equal the static table's `cost_bits` over `data`
+/// (debug-asserted); the produced bytes are identical to what the planner
+/// writes when it picks the same mode.
+pub(crate) fn encode_block_v2_static(
+    data: &[u8],
+    id: StaticTable,
+    precosted_bits: u64,
+    out: &mut Vec<u8>,
+) {
+    let entry = static_table(id as u8).expect("static table ids are exhaustive");
+    debug_assert_eq!(precosted_bits, entry.code.cost_bits(data), "precosted bits drifted");
+    debug_assert!(entry.code.covers(data), "static emit of uncovered column");
+    crate::varint::write_u64(data.len() as u64, out);
+    if data.is_empty() {
+        return;
+    }
+    out.push(MODE_STATIC);
+    out.push(id as u8);
+    let bytes = precosted_bits.div_ceil(8);
+    crate::varint::write_u64(bytes, out);
+    let mut writer = BitWriter::new(out);
+    entry.code.encode_into(data, &mut writer);
+    writer.finish();
+}
+
+/// Emit a constant-column v2 entropy block (`value` repeated `count`
+/// times): the two-byte plan the streaming seal uses when its vectorized
+/// constant scan hits, bypassing the planner entirely.
+pub(crate) fn encode_block_v2_const(count: usize, value: u8, out: &mut Vec<u8>) {
+    debug_assert!(count > 0 && count <= CONST_MAX);
+    crate::varint::write_u64(count as u64, out);
+    out.push(MODE_CONST);
+    out.push(value);
+}
+
+/// [`encode_block_v2`] with a [`CodeCache`]: recycles the last fitted
+/// dynamic code across calls when it is still near-optimal for the column,
+/// skipping tree construction (and all planner allocation) in the steady
+/// state. Byte-compatible with the uncached path — the chosen code's
+/// lengths travel in the block header either way.
+pub fn encode_block_v2_cached(
+    data: &[u8],
+    static_id: Option<StaticTable>,
+    cache: &mut CodeCache,
+    out: &mut Vec<u8>,
+) {
     crate::varint::write_u64(data.len() as u64, out);
     if data.is_empty() {
         return;
@@ -725,9 +847,35 @@ pub fn encode_block_v2(data: &[u8], static_id: Option<StaticTable>, out: &mut Ve
     // Full planner (large columns, plus small ones the static tables serve
     // poorly): one pass yields the frequency table; every plan's cost —
     // coverage, bit counts, constness — derives from it in O(256).
+    //
+    // The count is striped over four sub-tables so consecutive bytes of a
+    // skewed column (which mostly repeat a handful of symbols) do not
+    // serialize on store-to-load forwarding of a single counter.
     let mut freqs = [0u64; 256];
-    for &b in data {
-        freqs[b as usize] += 1;
+    if data.len() >= u32::MAX as usize {
+        // Columns this large cannot stripe into u32 counters; the plain
+        // loop is memory-bound at that size anyway.
+        for &b in data {
+            freqs[b as usize] += 1;
+        }
+    } else {
+        let mut stripes = [[0u32; 256]; 4];
+        let mut chunks = data.chunks_exact(4);
+        for c in &mut chunks {
+            stripes[0][c[0] as usize] += 1;
+            stripes[1][c[1] as usize] += 1;
+            stripes[2][c[2] as usize] += 1;
+            stripes[3][c[3] as usize] += 1;
+        }
+        for &b in chunks.remainder() {
+            stripes[0][b as usize] += 1;
+        }
+        for s in 0..256 {
+            freqs[s] = stripes[0][s] as u64
+                + stripes[1][s] as u64
+                + stripes[2][s] as u64
+                + stripes[3][s] as u64;
+        }
     }
     if freqs[data[0] as usize] == data.len() as u64 && data.len() <= CONST_MAX {
         out.push(MODE_CONST);
@@ -756,30 +904,52 @@ pub fn encode_block_v2(data: &[u8], static_id: Option<StaticTable>, out: &mut Ve
         })
     });
 
-    let dynamic_plan = {
-        let code = HuffmanCode::from_frequencies(&freqs);
-        let present = code.lengths.iter().filter(|&&l| l > 0).count();
-        let bits = freq_cost(&code.lengths).expect("fitted code covers its own data");
-        let bytes = bits.div_ceil(8) as usize;
-        Some((code, bytes, 2 + 2 * present + varint_len(bytes as u64) + bytes))
-    };
-
+    // The dynamic code: reuse the cached fit when it still covers the
+    // column and the distribution has not drifted — the test is O(256)
+    // arithmetic on the frequency table, no tree construction. "Not
+    // drifted" means the cached code still achieves the bits/symbol it
+    // achieved on the column it was fitted to (so it has not gone stale),
+    // and the column's entropy has not dropped below the fit-time optimum
+    // bound (so a fresh fit could not do materially better). An absolute
+    // near-entropy check also accepts, for distributions where integer
+    // code lengths happen to sit close to the bound. Otherwise fit fresh
+    // (and remember the new optimum for the next seal).
+    let total = data.len() as f64;
+    let entropy_bits: f64 =
+        freqs.iter().filter(|&&f| f > 0).map(|&f| f as f64 * (total / f as f64).log2()).sum();
+    let cached_fits = cache.code.as_ref().and_then(|c| freq_cost(&c.lengths)).is_some_and(|bits| {
+        let bps = bits as f64 / total;
+        let eps = entropy_bits / total;
+        bits as f64 <= entropy_bits * 1.02 + 64.0
+            || (bps <= cache.fit_bps * 1.02 + 1e-9 && eps >= cache.fit_eps * 0.98 - 0.01)
+    });
+    if !cached_fits {
+        cache.code = Some(HuffmanCode::from_frequencies(&freqs));
+        cache.fits += 1;
+        let fresh = cache.code.as_ref().expect("just stored");
+        cache.fit_bps =
+            freq_cost(&fresh.lengths).expect("fresh code covers the column") as f64 / total;
+        cache.fit_eps = entropy_bits / total;
+    }
+    let dyn_code: &HuffmanCode = cache.code.as_ref().expect("fitted above");
+    let present = dyn_code.lengths.iter().filter(|&&l| l > 0).count();
+    let dyn_bits = freq_cost(&dyn_code.lengths).expect("dynamic code covers the column");
+    let dyn_bytes = dyn_bits.div_ceil(8) as usize;
+    let dynamic_cost = 2 + 2 * present + varint_len(dyn_bytes as u64) + dyn_bytes;
     let static_cost = static_plan.as_ref().map(|p| p.2).unwrap_or(usize::MAX);
-    let dynamic_cost = dynamic_plan.as_ref().map(|p| p.2).unwrap_or(usize::MAX);
 
     if dynamic_cost < raw_cost && dynamic_cost <= static_cost {
-        let (code, bytes, _) = dynamic_plan.expect("dynamic plan chosen");
         out.push(MODE_DYNAMIC);
-        let present: Vec<u8> =
-            (0..256u16).filter(|&s| code.lengths()[s as usize] > 0).map(|s| s as u8).collect();
-        out.push((present.len() - 1) as u8);
-        for s in &present {
-            out.push(*s);
-            out.push(code.lengths()[*s as usize]);
+        out.push((present - 1) as u8);
+        for (s, &l) in dyn_code.lengths.iter().enumerate() {
+            if l > 0 {
+                out.push(s as u8);
+                out.push(l);
+            }
         }
-        crate::varint::write_u64(bytes as u64, out);
+        crate::varint::write_u64(dyn_bytes as u64, out);
         let mut writer = BitWriter::new(out);
-        code.encode_into(data, &mut writer);
+        dyn_code.encode_into(data, &mut writer);
         writer.finish();
     } else if static_cost < raw_cost {
         let (entry, bytes, _) = static_plan.expect("static plan chosen");
@@ -795,7 +965,7 @@ pub fn encode_block_v2(data: &[u8], static_id: Option<StaticTable>, out: &mut Ve
     }
 }
 
-fn varint_len(v: u64) -> usize {
+pub(crate) fn varint_len(v: u64) -> usize {
     ((64 - v.max(1).leading_zeros()) as usize).div_ceil(7)
 }
 

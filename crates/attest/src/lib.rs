@@ -46,5 +46,8 @@ pub use columnar::{
 };
 pub use log::{AuditLog, LogSegment};
 pub use record::{AuditRecord, DataRef, DepartureReason, PortList, UArrayRef};
-pub use trail::{verify_tenant_trail, TrailError};
+pub use trail::{
+    verify_tenant_trail, verify_tenant_trail_parallel, verify_tenant_trail_parallel_min_shard,
+    TrailError, VerifyPool, MIN_VERIFY_SHARD_BYTES,
+};
 pub use verifier::{FreshnessReport, PipelineSpec, VerificationReport, Verifier, Violation};

@@ -52,25 +52,28 @@ impl LogSegment {
         record_count: usize,
         key: &SigningKey,
     ) -> Self {
-        let signature = key.sign(&Self::signed_payload(tenant, epoch, seq, &compressed));
+        let signature = key.sign_parts(&[&Self::signed_header(tenant, epoch, seq), &compressed]);
         LogSegment { tenant, epoch, seq, compressed, raw_bytes, record_count, signature }
     }
 
     /// Verify the segment's signature with the epoch's key.
     pub fn verify(&self, key: &SigningKey) -> bool {
-        key.verify(
-            &Self::signed_payload(self.tenant, self.epoch, self.seq, &self.compressed),
+        key.verify_parts(
+            &[&Self::signed_header(self.tenant, self.epoch, self.seq), &self.compressed],
             &self.signature,
         )
     }
 
-    fn signed_payload(tenant: TenantId, epoch: u32, seq: u64, compressed: &[u8]) -> Vec<u8> {
-        let mut payload = Vec::with_capacity(16 + compressed.len());
-        payload.extend_from_slice(&tenant.0.to_le_bytes());
-        payload.extend_from_slice(&epoch.to_le_bytes());
-        payload.extend_from_slice(&seq.to_le_bytes());
-        payload.extend_from_slice(compressed);
-        payload
+    /// The fixed-size prefix the signature covers ahead of the compressed
+    /// payload. Signing the header and payload as two parts keeps the wire
+    /// MAC identical to signing their concatenation while sparing both the
+    /// TEE signer and the cloud verifier a payload-sized copy per segment.
+    fn signed_header(tenant: TenantId, epoch: u32, seq: u64) -> [u8; 16] {
+        let mut header = [0u8; 16];
+        header[..4].copy_from_slice(&tenant.0.to_le_bytes());
+        header[4..8].copy_from_slice(&epoch.to_le_bytes());
+        header[8..].copy_from_slice(&seq.to_le_bytes());
+        header
     }
 }
 
@@ -84,6 +87,11 @@ pub struct AuditLog {
     /// Streaming encoder holding the not-yet-flushed records in column form.
     encoder: ColumnarEncoder,
     next_seq: u64,
+    /// Recycled segment payload buffers (see [`recycle`](Self::recycle)):
+    /// `flush` seals into one of these instead of allocating, so a log
+    /// whose uploader returns buffers flushes large segments with zero
+    /// steady-state allocation.
+    spare_payloads: Vec<Vec<u8>>,
     /// Flush when this many records are pending (in addition to explicit
     /// flushes at egress).
     flush_threshold: usize,
@@ -112,6 +120,7 @@ impl AuditLog {
             // even the first segment's appends allocate nothing.
             encoder: ColumnarEncoder::with_capacity(flush_threshold.min(1 << 16)),
             next_seq: 0,
+            spare_payloads: Vec::new(),
             flush_threshold,
             total_records: 0,
             total_raw_bytes: 0,
@@ -167,7 +176,12 @@ impl AuditLog {
         }
         let record_count = self.encoder.len();
         let raw_bytes = self.encoder.raw_bytes() as usize;
-        let compressed = self.encoder.seal();
+        // Seal into a recycled payload buffer when the uploader has
+        // returned one; a warm buffer already holds a sealed segment's
+        // capacity, so the seal itself allocates nothing.
+        let mut compressed = self.spare_payloads.pop().unwrap_or_default();
+        compressed.clear();
+        self.encoder.seal_into(&mut compressed);
         let seq = self.next_seq;
         self.next_seq += 1;
         self.total_records += record_count as u64;
@@ -182,6 +196,19 @@ impl AuditLog {
             record_count,
             &self.key,
         ))
+    }
+
+    /// Return a flushed segment's payload buffer for reuse by a later
+    /// [`flush`](Self::flush). The data plane uploads a segment and hands
+    /// its `compressed` vector back here; with one buffer in rotation per
+    /// in-flight upload, steady-state flushes of even 16 K-record segments
+    /// allocate nothing. Keeps at most a handful of spares so a burst of
+    /// returns cannot pin payload-sized buffers forever.
+    pub fn recycle(&mut self, payload: Vec<u8>) {
+        const MAX_SPARES: usize = 4;
+        if self.spare_payloads.len() < MAX_SPARES {
+            self.spare_payloads.push(payload);
+        }
     }
 
     /// Total records ever appended and flushed.

@@ -15,8 +15,9 @@
 use crate::columnar::decompress_records;
 use crate::log::LogSegment;
 use crate::record::AuditRecord;
-use sbt_crypto::TenantKeychain;
+use sbt_crypto::{SigningKey, TenantKeychain};
 use sbt_types::TenantId;
+use std::sync::{Arc, Mutex};
 
 /// Why a tenant trail failed authentication.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -112,6 +113,47 @@ pub fn verify_tenant_trail(
     tenant: TenantId,
     keys: &TenantKeychain,
 ) -> Result<Vec<AuditRecord>, TrailError> {
+    stitch_trail(segments, tenant, keys, &mut InlineHeavy)
+}
+
+/// The two per-segment operations whose cost dominates verification —
+/// checking the HMAC over the payload and decompressing it. [`stitch_trail`]
+/// is generic over where they run: inline on the stitching walk (serial
+/// verification) or precomputed on a worker pool (parallel verification).
+/// Everything *else* — the tenant tag, epoch, splice, and sequence checks,
+/// and their order relative to these two — lives only in the walk, so the
+/// serial and parallel verifiers cannot disagree on which error a broken
+/// trail reports.
+trait HeavyOps {
+    fn signature_ok(&mut self, index: usize, seg: &LogSegment, key: &SigningKey) -> bool;
+    fn decode(&mut self, index: usize, seg: &LogSegment) -> Option<Vec<AuditRecord>>;
+}
+
+/// Serial strategy: run the heavy work right on the walk.
+struct InlineHeavy;
+
+impl HeavyOps for InlineHeavy {
+    fn signature_ok(&mut self, _index: usize, seg: &LogSegment, key: &SigningKey) -> bool {
+        seg.verify(key)
+    }
+
+    fn decode(&mut self, _index: usize, seg: &LogSegment) -> Option<Vec<AuditRecord>> {
+        decompress_records(&seg.compressed).ok()
+    }
+}
+
+/// The sequential stitching pass over a trail: cheap per-segment checks in
+/// their canonical order, with the heavy work delegated to `heavy`.
+///
+/// Canonical per-segment order (the first failing segment's first failing
+/// check wins): tenant tag → epoch known → epoch non-decreasing →
+/// signature → sequence contiguity → decodability.
+fn stitch_trail(
+    segments: &[LogSegment],
+    tenant: TenantId,
+    keys: &TenantKeychain,
+    heavy: &mut dyn HeavyOps,
+) -> Result<Vec<AuditRecord>, TrailError> {
     if keys.tenant() != tenant.0 {
         return Err(TrailError::WrongKeychain {
             expected: tenant,
@@ -135,17 +177,151 @@ pub fn verify_tenant_trail(
             });
         }
         current_epoch = seg.epoch;
-        if !seg.verify(&epoch_keys.signing) {
+        if !heavy.signature_ok(i, seg, &epoch_keys.signing) {
             return Err(TrailError::BadSignature { seq: seg.seq });
         }
         if seg.seq != i as u64 {
             return Err(TrailError::BrokenSequence { expected: i as u64, found: seg.seq });
         }
-        let decoded = decompress_records(&seg.compressed)
-            .map_err(|_| TrailError::CorruptSegment { seq: seg.seq })?;
+        let decoded = heavy.decode(i, seg).ok_or(TrailError::CorruptSegment { seq: seg.seq })?;
         records.extend(decoded);
     }
     Ok(records)
+}
+
+// ---------------------------------------------------------------------------
+// Parallel verification
+// ---------------------------------------------------------------------------
+
+/// A worker pool the verifier may fan per-segment signature checks and
+/// decompression onto — the cloud-side mirror of the data plane's
+/// `IngestPool`: the engine's executor implements both, lending its worker
+/// threads without this crate depending on the engine.
+///
+/// `run` must execute every task to completion before returning (tasks may
+/// run on any thread, including the caller's — a helping join satisfies
+/// this). `workers() <= 1` keeps verification serial.
+pub trait VerifyPool: Send + Sync {
+    /// Worker threads available; `0` or `1` keeps verification serial.
+    fn workers(&self) -> usize;
+    /// Run the tasks to completion (barrier).
+    fn run(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'static>>);
+}
+
+/// Heavy-work outcome for one segment, precomputed by a pool worker.
+struct SegmentHeavy {
+    /// Whether the HMAC verified under the segment's epoch key. `false`
+    /// when the epoch is unknown to the keychain — the stitching pass
+    /// reports `UnknownEpoch` before ever consulting the signature, so the
+    /// placeholder is never observed.
+    sig_ok: bool,
+    /// The decoded records, attempted only when the signature verified
+    /// (mirroring the serial order: a tampered segment is rejected on its
+    /// signature, not on the decode of its corrupted payload). `None` with
+    /// `sig_ok` means the payload failed to decompress.
+    decoded: Option<Vec<AuditRecord>>,
+}
+
+/// Parallel strategy: the walk consumes worker-precomputed outcomes.
+struct PrecomputedHeavy(Vec<Option<SegmentHeavy>>);
+
+impl HeavyOps for PrecomputedHeavy {
+    fn signature_ok(&mut self, index: usize, _seg: &LogSegment, _key: &SigningKey) -> bool {
+        self.0[index].as_ref().expect("pool ran every verify task to completion").sig_ok
+    }
+
+    fn decode(&mut self, index: usize, _seg: &LogSegment) -> Option<Vec<AuditRecord>> {
+        self.0[index].take().expect("pool ran every verify task to completion").decoded
+    }
+}
+
+/// Minimum compressed payload bytes per shard before parallel verification
+/// fans out.
+///
+/// Cross-thread dispatch (enqueue, wake, cache handoff) plus the per-call
+/// keychain share cost on the order of authenticating tens of KB, so shards
+/// carrying less make verification *slower* than the serial walk — the
+/// verify-side mirror of the data plane's minimum decrypt windows per
+/// ingest lane. A trail too small for two such shards stays serial.
+pub const MIN_VERIFY_SHARD_BYTES: usize = 64 * 1024;
+
+/// [`verify_tenant_trail`] with the per-segment heavy work — HMAC check and
+/// decompression, the near-totality of verification time — fanned out over
+/// `pool` in contiguous, balanced shards. The cheap stitching pass (tenant
+/// tag, epoch chain, splice, sequence contiguity) stays sequential and
+/// shares its code with the serial verifier, so every tamper, cross-epoch
+/// and post-departure detection reports the identical [`TrailError`].
+///
+/// The trail is shared with the workers (`Arc`), never copied. With one
+/// worker, a one-segment trail, or less than [`MIN_VERIFY_SHARD_BYTES`] of
+/// payload per would-be pair of shards, this is exactly the serial
+/// verifier.
+pub fn verify_tenant_trail_parallel(
+    segments: &Arc<Vec<LogSegment>>,
+    tenant: TenantId,
+    keys: &TenantKeychain,
+    pool: &dyn VerifyPool,
+) -> Result<Vec<AuditRecord>, TrailError> {
+    verify_tenant_trail_parallel_min_shard(segments, tenant, keys, pool, MIN_VERIFY_SHARD_BYTES)
+}
+
+/// [`verify_tenant_trail_parallel`] with an explicit per-shard payload
+/// floor instead of [`MIN_VERIFY_SHARD_BYTES`] — the differential tests
+/// pass `0` to force fan-out over trails far too small to ever fan out in
+/// production.
+pub fn verify_tenant_trail_parallel_min_shard(
+    segments: &Arc<Vec<LogSegment>>,
+    tenant: TenantId,
+    keys: &TenantKeychain,
+    pool: &dyn VerifyPool,
+    min_shard_bytes: usize,
+) -> Result<Vec<AuditRecord>, TrailError> {
+    let workers = pool.workers();
+    let payload_bytes: usize = segments.iter().map(|s| s.compressed.len()).sum();
+    let byte_cap = match min_shard_bytes {
+        0 => usize::MAX,
+        floor => payload_bytes / floor,
+    };
+    if workers.min(byte_cap) <= 1 || segments.len() < 2 {
+        return verify_tenant_trail(segments, tenant, keys);
+    }
+    if keys.tenant() != tenant.0 {
+        return Err(TrailError::WrongKeychain {
+            expected: tenant,
+            keychain: TenantId(keys.tenant()),
+        });
+    }
+
+    // Contiguous shards balanced to within one segment; each task fills its
+    // shard's slots of the shared outcome table with one lock at the end.
+    let shards = workers.min(segments.len()).min(byte_cap);
+    let outcomes: Arc<Mutex<Vec<Option<SegmentHeavy>>>> =
+        Arc::new(Mutex::new((0..segments.len()).map(|_| None).collect()));
+    let keys = Arc::new(keys.clone());
+    let mut tasks: Vec<Box<dyn FnOnce() + Send + 'static>> = Vec::with_capacity(shards);
+    let mut start = 0usize;
+    for shard in 0..shards {
+        let len = segments.len() / shards + usize::from(shard < segments.len() % shards);
+        let (segments, keys, outcomes) = (segments.clone(), keys.clone(), outcomes.clone());
+        tasks.push(Box::new(move || {
+            let mut local = Vec::with_capacity(len);
+            for seg in &segments[start..start + len] {
+                let sig_ok =
+                    keys.epoch(seg.epoch).is_some_and(|epoch_keys| seg.verify(&epoch_keys.signing));
+                let decoded = if sig_ok { decompress_records(&seg.compressed).ok() } else { None };
+                local.push(Some(SegmentHeavy { sig_ok, decoded }));
+            }
+            let mut table = outcomes.lock().expect("verify outcome table");
+            for (slot, outcome) in table[start..start + len].iter_mut().zip(local) {
+                *slot = outcome;
+            }
+        }));
+        start += len;
+    }
+    pool.run(tasks);
+
+    let table = std::mem::take(&mut *outcomes.lock().expect("verify outcome table"));
+    stitch_trail(segments, tenant, keys.as_ref(), &mut PrecomputedHeavy(table))
 }
 
 #[cfg(test)]

@@ -10,23 +10,36 @@
 //! * **production** — the data plane's `audit_flush_threshold` default of
 //!   256 records, where the streaming encoder's ~2.7× advantage lives and
 //!   is gated at `SBT_CODEC_GATE_MIN`;
-//! * **large-segment** — 16 K-record segments, the ROADMAP's known gap:
-//!   streaming encode is only ~1.1–1.3× v1 there. The regime is gated at
-//!   `SBT_CODEC_GATE_MIN_LARGE` (default 1.0×, i.e. "no worse than v1")
-//!   and its measured speedup is recorded in the committed
-//!   `BENCH_codec.json`, so the gap has a measured floor before someone
-//!   closes it — and closing it tightens the committed number, not a
-//!   guess.
+//! * **large-segment** — 16 K-record segments, formerly the ROADMAP's known
+//!   gap (streaming encode was only ~1.1–1.3× v1 there). Entropy-code
+//!   recycling across seals, incremental static-table costing at append
+//!   time (against flat per-encoder code-length tables, not the shared
+//!   lazy statics), and word-at-a-time varint/bitstream writes closed it
+//!   to a measured ~1.45× median (1.30× worst case under host contention)
+//!   on the reference box; the regime is gated at
+//!   `SBT_CODEC_GATE_MIN_LARGE` (default 1.25×, under the measured worst
+//!   case with margin) and recorded in the committed `BENCH_codec.json`,
+//!   so further work tightens a number, not a guess.
 //!
 //! Per segment, the legacy codec re-walks the record batch and builds
 //! per-column Huffman trees, while the streaming encoder has already
 //! columnar-coded every field at append time and only entropy-codes the
 //! byte columns against precomputed static tables at seal.
 //!
+//! Each regime also measures **cloud-side trail verification** over the
+//! same stream — authenticate + decompress + stitch a multi-segment signed
+//! trail — serially and fanned across an `Executor` pool
+//! (`SBT_CODEC_GATE_VERIFY_WORKERS`, default 8). The parallel verifier must
+//! reach `SBT_CODEC_GATE_VERIFY_PAR_MIN` × serial throughput (default 1.0×
+//! on multi-core hosts; 0.9× on a single hardware thread, where the gate
+//! can only bound orchestration overhead, not demonstrate speedup).
+//!
 //! Exits nonzero if:
 //! * either codec fails to decode back to the input records (any regime);
+//! * either verifier rejects a clean trail, or they disagree (any regime);
 //! * the streaming compression ratio drops below the batch ratio;
-//! * a regime's streaming encode speedup falls under its threshold.
+//! * a regime's streaming encode speedup falls under its threshold;
+//! * a regime's parallel-verify speedup falls under its threshold.
 //!
 //! Besides the verdict it writes `BENCH_codec.json` at the repo root — a
 //! committed, machine-readable record of both regimes — plus the usual
@@ -34,9 +47,16 @@
 //!
 //! Run with `cargo run --release -p sbt_bench --bin codec_gate`.
 
-use sbt_attest::{compress_records, decompress_records, AuditRecord, ColumnarEncoder};
+use sbt_attest::{
+    compress_records, decompress_records, verify_tenant_trail, verify_tenant_trail_parallel,
+    AuditRecord, ColumnarEncoder, LogSegment,
+};
 use sbt_bench::{best_secs, synthetic_audit_records};
+use sbt_crypto::{SigningKey, TenantKeychain};
+use sbt_engine::Executor;
+use sbt_types::TenantId;
 use serde::Serialize;
+use std::sync::Arc;
 
 /// Records per segment: the data plane's default `audit_flush_threshold`.
 const SEGMENT_RECORDS: usize = 256;
@@ -60,6 +80,12 @@ struct RegimeRow {
     batch_ratio: f64,
     streaming_ratio: f64,
     min_encode_speedup: f64,
+    segments: usize,
+    verify_serial_mbps: f64,
+    verify_parallel_mbps: f64,
+    verify_workers: usize,
+    verify_speedup: f64,
+    min_verify_speedup: f64,
 }
 
 #[derive(Serialize)]
@@ -81,6 +107,8 @@ fn run_regime(
     segment_records: usize,
     iters: u32,
     min_encode_speedup: f64,
+    verify_workers: usize,
+    min_verify_speedup: f64,
 ) -> RegimeRow {
     let raw_bytes = AuditRecord::raw_size(records) as f64;
 
@@ -115,23 +143,35 @@ fn run_regime(
     }
 
     // Throughput at segment granularity; the streaming encoder is reused
-    // across seals exactly as the audit log uses it (buffers warm).
-    let batch_secs = best_secs(iters, || {
-        for chunk in records.chunks(segment_records) {
-            std::hint::black_box(compress_records(chunk));
-        }
-    });
+    // across seals exactly as the audit log uses it (buffers warm). Batch
+    // and streaming are timed in alternating rounds, keeping each codec's
+    // best round: on a busy host the CPU's effective speed drifts even
+    // within one process, so timing one codec to completion and then the
+    // other can hand the second a faster (or slower) machine. Interleaving
+    // lets both codecs sample the same speed neighborhoods, which is what
+    // makes the *ratio* stable enough to gate tightly.
+    let rounds = 5u32;
+    let per_round = iters.div_ceil(rounds);
+    let mut batch_secs = f64::INFINITY;
+    let mut streaming_secs = f64::INFINITY;
     let mut out = Vec::new();
-    let streaming_secs = best_secs(iters, || {
-        for chunk in records.chunks(segment_records) {
-            for r in chunk {
-                encoder.append(r);
+    for _ in 0..rounds {
+        batch_secs = batch_secs.min(best_secs(per_round, || {
+            for chunk in records.chunks(segment_records) {
+                std::hint::black_box(compress_records(chunk));
             }
-            out.clear();
-            encoder.seal_into(&mut out);
-            std::hint::black_box(&out);
-        }
-    });
+        }));
+        streaming_secs = streaming_secs.min(best_secs(per_round, || {
+            for chunk in records.chunks(segment_records) {
+                for r in chunk {
+                    encoder.append(r);
+                }
+                out.clear();
+                encoder.seal_into(&mut out);
+                std::hint::black_box(&out);
+            }
+        }));
+    }
 
     // Decode throughput over the same segments.
     let batch_payloads: Vec<Vec<u8>> =
@@ -145,16 +185,76 @@ fn run_regime(
             encoder.seal()
         })
         .collect();
-    let decode_batch_secs = best_secs(iters, || {
-        for p in &batch_payloads {
-            std::hint::black_box(decompress_records(p).expect("decodes"));
+    let mut decode_batch_secs = f64::INFINITY;
+    let mut decode_streaming_secs = f64::INFINITY;
+    for _ in 0..rounds {
+        decode_batch_secs = decode_batch_secs.min(best_secs(per_round, || {
+            for p in &batch_payloads {
+                std::hint::black_box(decompress_records(p).expect("decodes"));
+            }
+        }));
+        decode_streaming_secs = decode_streaming_secs.min(best_secs(per_round, || {
+            for p in &streaming_payloads {
+                std::hint::black_box(decompress_records(p).expect("decodes"));
+            }
+        }));
+    }
+
+    // Cloud-side trail verification over the same stream: sign each
+    // streaming segment into a trail, then authenticate + decode + stitch it
+    // serially and fanned over an `Executor` pool. Correctness first — both
+    // verifiers must accept the trail and return the original records.
+    let tenant = TenantId(1);
+    let key = SigningKey::new(b"codec-gate-verify");
+    let keychain = TenantKeychain::single(tenant.0, key.clone());
+    let trail: Arc<Vec<LogSegment>> = Arc::new(
+        records
+            .chunks(segment_records)
+            .zip(&streaming_payloads)
+            .enumerate()
+            .map(|(seq, (chunk, payload))| {
+                LogSegment::new_signed(
+                    tenant,
+                    0,
+                    seq as u64,
+                    payload.clone(),
+                    AuditRecord::raw_size(chunk),
+                    chunk.len(),
+                    &key,
+                )
+            })
+            .collect(),
+    );
+    let pool = Executor::new(verify_workers);
+    let serial_records = verify_tenant_trail(&trail, tenant, &keychain);
+    let parallel_records = verify_tenant_trail_parallel(&trail, tenant, &keychain, &pool);
+    match (&serial_records, &parallel_records) {
+        (Ok(s), Ok(p)) if s == records && p == records => {}
+        _ => {
+            eprintln!(
+                "codec gate [{label}]: trail verification diverged or rejected a clean trail \
+                 (serial ok: {}, parallel ok: {})",
+                serial_records.is_ok(),
+                parallel_records.is_ok()
+            );
+            std::process::exit(1);
         }
-    });
-    let decode_streaming_secs = best_secs(iters, || {
-        for p in &streaming_payloads {
-            std::hint::black_box(decompress_records(p).expect("decodes"));
-        }
-    });
+    }
+    let mut verify_serial_secs = f64::INFINITY;
+    let mut verify_parallel_secs = f64::INFINITY;
+    for _ in 0..rounds {
+        verify_serial_secs = verify_serial_secs.min(best_secs(per_round, || {
+            std::hint::black_box(
+                verify_tenant_trail(&trail, tenant, &keychain).expect("trail verifies"),
+            );
+        }));
+        verify_parallel_secs = verify_parallel_secs.min(best_secs(per_round, || {
+            std::hint::black_box(
+                verify_tenant_trail_parallel(&trail, tenant, &keychain, &pool)
+                    .expect("trail verifies"),
+            );
+        }));
+    }
 
     let mbps = |secs: f64| raw_bytes / secs / 1e6;
     RegimeRow {
@@ -171,6 +271,12 @@ fn run_regime(
         batch_ratio: raw_bytes / batch_bytes as f64,
         streaming_ratio: raw_bytes / streaming_bytes as f64,
         min_encode_speedup,
+        segments: trail.len(),
+        verify_serial_mbps: mbps(verify_serial_secs),
+        verify_parallel_mbps: mbps(verify_parallel_secs),
+        verify_workers,
+        verify_speedup: mbps(verify_parallel_secs) / mbps(verify_serial_secs),
+        min_verify_speedup,
     }
 }
 
@@ -178,7 +284,17 @@ fn main() {
     let iters: u32 =
         std::env::var("SBT_CODEC_GATE_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(30);
     let min_speedup = env_f64("SBT_CODEC_GATE_MIN", 2.0);
-    let min_large_speedup = env_f64("SBT_CODEC_GATE_MIN_LARGE", 1.0);
+    let min_large_speedup = env_f64("SBT_CODEC_GATE_MIN_LARGE", 1.25);
+    let verify_workers = env_f64("SBT_CODEC_GATE_VERIFY_WORKERS", 8.0) as usize;
+    // The parallel-verify floor depends on the machine: with one hardware
+    // thread, fanning out cannot win and pool threads add scheduler jitter
+    // — measured 0.85–1.09x serial across runs on the single-core
+    // reference box — so the gate there only guards against pathological
+    // orchestration overhead (within 20% of serial). On real multi-core
+    // verifier hosts, parallel must be at least as fast as serial.
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let min_verify_speedup =
+        env_f64("SBT_CODEC_GATE_VERIFY_PAR_MIN", if cores > 1 { 1.0 } else { 0.8 });
 
     // Production granularity: the stream the codec benches always measured.
     let records = synthetic_audit_records(50, 32);
@@ -187,13 +303,23 @@ fn main() {
     let large_records = synthetic_audit_records(250, 32);
 
     let regimes = vec![
-        run_regime("production", &records, SEGMENT_RECORDS, iters, min_speedup),
+        run_regime(
+            "production",
+            &records,
+            SEGMENT_RECORDS,
+            iters,
+            min_speedup,
+            verify_workers,
+            min_verify_speedup,
+        ),
         run_regime(
             "large-segment",
             &large_records,
             LARGE_SEGMENT_RECORDS,
             iters,
             min_large_speedup,
+            verify_workers,
+            min_verify_speedup,
         ),
     ];
 
@@ -215,6 +341,15 @@ fn main() {
             "ratio:   batch {:8.2}x        streaming {:8.2}x",
             r.batch_ratio, r.streaming_ratio
         );
+        println!(
+            "verify:  serial {:7.0} MB/s   {}-worker {:9.0} MB/s   ({:.2}x, min {:.2}x, {} segments)",
+            r.verify_serial_mbps,
+            r.verify_workers,
+            r.verify_parallel_mbps,
+            r.verify_speedup,
+            r.min_verify_speedup,
+            r.segments,
+        );
 
         if r.streaming_ratio < r.batch_ratio {
             failures.push(format!(
@@ -226,6 +361,12 @@ fn main() {
             failures.push(format!(
                 "[{}] streaming encode is only {:.2}x the batch baseline (required ≥ {:.2}x)",
                 r.label, r.encode_speedup, r.min_encode_speedup
+            ));
+        }
+        if r.verify_speedup < r.min_verify_speedup {
+            failures.push(format!(
+                "[{}] {}-worker verify is only {:.2}x serial (required ≥ {:.2}x)",
+                r.label, r.verify_workers, r.verify_speedup, r.min_verify_speedup
             ));
         }
     }

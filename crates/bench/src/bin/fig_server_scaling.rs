@@ -12,7 +12,9 @@
 //! aggregate throughput and per-tenant delays, and verifies each tenant's
 //! audit trail independently under the tenant's keychain (tenant tag, epoch,
 //! signatures, segment sequence, then symbolic replay against the tenant's
-//! declared pipeline).
+//! declared pipeline). Trail authentication fans out over a verifier-side
+//! executor pool — the cloud verifier's own machine, not the enclave's —
+//! falling back to the serial walk for trails below the fan-out floor.
 //!
 //! When both schedulers are swept, the run **fails** (exit 1) if deficit
 //! round-robin's aggregate throughput regresses more than 10% below the
@@ -29,9 +31,10 @@
 //! `SBT_TENANTS=1,4,16` overrides the sweep; `SBT_SCHED=drr` picks one
 //! scheduler; `SBT_FULL=1` scales the streams up.
 
-use sbt_attest::{verify_tenant_trail, LogSegment, Verifier};
+use sbt_attest::{verify_tenant_trail_parallel, LogSegment, Verifier};
 use sbt_bench::{dump_json, print_table};
 use sbt_crypto::MasterSecret;
+use sbt_engine::Executor;
 use sbt_engine::{Operator, Pipeline};
 use sbt_server::{Scheduler, ServerConfig, StreamServer, TenantConfig, TenantStream};
 use sbt_types::TenantId;
@@ -130,14 +133,15 @@ fn run_tenant_count(
     let report = server.serve_with(streams, scheduler).expect("serve completes");
 
     // Verify every tenant's audit trail independently, each under its own
-    // derived keychain.
+    // derived keychain, fanned over the verifier's own worker pool.
+    let verify_pool = Executor::new(cores);
     let mut trails_verified = 0;
     for id in &ids {
         let keychain = server.verifier_keys(*id).expect("admitted tenant has a keychain");
         let engine = server.engine(*id).unwrap();
-        let segments = engine.drain_audit_segments();
-        let records =
-            verify_tenant_trail(&segments, *id, &keychain).expect("tenant trail authenticates");
+        let segments = Arc::new(engine.drain_audit_segments());
+        let records = verify_tenant_trail_parallel(&segments, *id, &keychain, &verify_pool)
+            .expect("tenant trail authenticates");
         let replay = Verifier::new(engine.pipeline().spec()).replay(&records);
         assert!(replay.is_correct(), "tenant {id} replay violations: {:?}", replay.violations);
         trails_verified += 1;
@@ -251,11 +255,14 @@ fn run_churn(scheduler: Scheduler, events_per_window: usize) -> Vec<Vec<String>>
 
     // Verification: every live trail under its keychain (the rekeyed one
     // spans two epochs), and the departed tenant's trail under its final-
-    // epoch keychain, ending in the departure record.
+    // epoch keychain, ending in the departure record — all through the
+    // parallel verifier, the same entry point the scaling sweep gates.
+    let verify_pool = Executor::new(4);
     let mut rows = Vec::new();
-    for t in &tenants {
+    for t in &mut tenants {
+        let trail = Arc::new(std::mem::take(&mut t.trail));
         let keychain = server.verifier_keys(t.id).expect("live keychain");
-        let records = verify_tenant_trail(&t.trail, t.id, &keychain)
+        let records = verify_tenant_trail_parallel(&trail, t.id, &keychain, &verify_pool)
             .expect("live tenant trail authenticates");
         let replay = Verifier::new(server.engine(t.id).unwrap().pipeline().spec()).replay(&records);
         assert!(replay.is_correct(), "churn tenant {} violations: {:?}", t.id, replay.violations);
@@ -264,11 +271,12 @@ fn run_churn(scheduler: Scheduler, events_per_window: usize) -> Vec<Vec<String>>
             t.id.to_string(),
             format!("epoch {}", t.epoch),
             "live".to_string(),
-            format!("{} segments ok", t.trail.len()),
+            format!("{} segments ok", trail.len()),
         ]);
     }
+    let evicted_trail = Arc::new(evicted_trail);
     let keychain = server.verifier_keys(evicted.id).expect("departed keychain stays derivable");
-    let records = verify_tenant_trail(&evicted_trail, evicted.id, &keychain)
+    let records = verify_tenant_trail_parallel(&evicted_trail, evicted.id, &keychain, &verify_pool)
         .expect("departed tenant trail authenticates");
     let replay = Verifier::new(winsum_pipeline("churn-0", batch).spec()).replay(&records);
     assert!(replay.is_correct(), "departed tenant violations: {:?}", replay.violations);

@@ -6,6 +6,15 @@ const BLOCK_SIZE: usize = 64;
 
 /// Compute `HMAC-SHA-256(key, message)`.
 pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; 32] {
+    hmac_sha256_parts(key, &[message])
+}
+
+/// Compute `HMAC-SHA-256(key, concat(parts))` without materializing the
+/// concatenation: the incremental SHA-256 core absorbs each part in place.
+/// Identical to [`hmac_sha256`] over the concatenated bytes — callers that
+/// sign `header || payload` messages (audit segments) avoid copying the
+/// payload into a scratch buffer just to sign it.
+pub fn hmac_sha256_parts(key: &[u8], parts: &[&[u8]]) -> [u8; 32] {
     // Keys longer than the block size are hashed first.
     let mut key_block = [0u8; BLOCK_SIZE];
     if key.len() > BLOCK_SIZE {
@@ -24,7 +33,9 @@ pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; 32] {
 
     let mut inner = Sha256::new();
     inner.update(&ipad);
-    inner.update(message);
+    for part in parts {
+        inner.update(part);
+    }
     let inner_digest = inner.finalize();
 
     let mut outer = Sha256::new();
@@ -93,6 +104,25 @@ mod tests {
             hex(&hmac_sha256(&key, msg)),
             "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
         );
+    }
+
+    #[test]
+    fn parts_match_concatenation_across_splits() {
+        // Same message split every way across 1..4 parts (including empty
+        // parts) must produce the contiguous MAC.
+        let msg = b"header:12|payload with enough bytes to cross a block boundary \
+                    0123456789abcdef0123456789abcdef0123456789abcdef";
+        let whole = hmac_sha256(b"split-key", msg);
+        for a in 0..msg.len() {
+            for b in a..msg.len() {
+                assert_eq!(
+                    hmac_sha256_parts(b"split-key", &[&msg[..a], &msg[a..b], &msg[b..]]),
+                    whole,
+                    "split at ({a},{b}) diverged"
+                );
+            }
+        }
+        assert_eq!(hmac_sha256_parts(b"split-key", &[]), hmac_sha256(b"split-key", b""));
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! between the TEE and the cloud consumer; the same key also authenticates
 //! the periodic audit-record uploads so the verifier can trust them.
 
-use crate::hmac::{hmac_sha256, verify_hmac};
+use crate::hmac::{hmac_sha256, hmac_sha256_parts, verify_hmac};
 
 /// A MAC over an egress message or an audit-record flush.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,6 +31,21 @@ impl SigningKey {
     /// Verify a message/signature pair.
     pub fn verify(&self, message: &[u8], signature: &Signature) -> bool {
         let expected = hmac_sha256(&self.key, message);
+        verify_hmac(&expected, &signature.0)
+    }
+
+    /// Sign the concatenation of `parts` without materializing it —
+    /// identical to [`sign`](Self::sign) over the joined bytes. Audit
+    /// segments sign `header || compressed-payload`; this spares the
+    /// signer (and verifier) a payload-sized copy per segment.
+    pub fn sign_parts(&self, parts: &[&[u8]]) -> Signature {
+        Signature(hmac_sha256_parts(&self.key, parts))
+    }
+
+    /// Verify a signature over the concatenation of `parts` (the
+    /// counterpart of [`sign_parts`](Self::sign_parts)).
+    pub fn verify_parts(&self, parts: &[&[u8]], signature: &Signature) -> bool {
+        let expected = hmac_sha256_parts(&self.key, parts);
         verify_hmac(&expected, &signature.0)
     }
 }
@@ -66,5 +81,14 @@ mod tests {
     fn signatures_differ_across_messages() {
         let key = SigningKey::new(b"k");
         assert_ne!(key.sign(b"a"), key.sign(b"b"));
+    }
+
+    #[test]
+    fn part_signatures_interchange_with_contiguous_ones() {
+        let key = SigningKey::new(b"edge-cloud-shared-key");
+        let sig = key.sign_parts(&[b"header|", b"", b"payload bytes"]);
+        assert!(key.verify(b"header|payload bytes", &sig));
+        assert!(key.verify_parts(&[b"header", b"|payload ", b"bytes"], &sig));
+        assert!(!key.verify_parts(&[b"header|", b"payload bytes!"], &sig));
     }
 }

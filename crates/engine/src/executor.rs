@@ -486,6 +486,21 @@ impl sbt_dataplane::IngestPool for Executor {
     }
 }
 
+/// The executor also doubles as the cloud verifier's pool: per-segment
+/// signature checks and decompression fan out over the same worker threads.
+/// Like the ingest impl, `run` is the barrier-style `run_all` with a
+/// helping join, so a one-thread executor degenerates to serial
+/// verification on the caller.
+impl sbt_attest::VerifyPool for Executor {
+    fn workers(&self) -> usize {
+        self.size()
+    }
+
+    fn run(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'static>>) {
+        self.run_all(tasks);
+    }
+}
+
 impl sbt_telemetry::CounterSource for Executor {
     fn section(&self) -> String {
         "executor".to_string()

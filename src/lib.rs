@@ -67,8 +67,8 @@ pub use sbt_workloads as workloads;
 /// many of them multi-tenant over one shared TEE.
 pub mod prelude {
     pub use sbt_attest::{
-        decompress_records, verify_tenant_trail, DepartureReason, PipelineSpec, VerificationReport,
-        Verifier,
+        decompress_records, verify_tenant_trail, verify_tenant_trail_parallel, DepartureReason,
+        PipelineSpec, VerificationReport, Verifier, VerifyPool,
     };
     pub use sbt_crypto::{KeySet, MasterSecret, TenantKeychain, VerifierKeySet};
     pub use sbt_dataplane::EgressMessage;

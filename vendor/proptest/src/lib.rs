@@ -159,7 +159,10 @@ macro_rules! impl_arbitrary_int {
             fn gen(&self, rng: &mut TestRng) -> $t {
                 let (start, end) = (*self.start(), *self.end());
                 assert!(start <= end, "empty range strategy");
-                let span = (end as u128) - (start as u128) + 1;
+                // Wrapping like the half-open impl above: a negative start
+                // sign-extends to a huge u128 and would underflow a checked
+                // subtraction, but the wrapped difference is still the span.
+                let span = (end as u128).wrapping_sub(start as u128).wrapping_add(1);
                 start.wrapping_add((rng.next_u64() as u128 % span) as $t)
             }
             fn shrink(&self, value: &$t) -> Vec<$t> {
