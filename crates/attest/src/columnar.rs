@@ -40,6 +40,8 @@ const TAG_WINDOWING: u8 = 3;
 const TAG_EXECUTION: u8 = 4;
 const TAG_REKEY: u8 = 5;
 const TAG_DEPARTURE: u8 = 6;
+const TAG_CKPT_SEALED: u8 = 7;
+const TAG_CKPT_RESUMED: u8 = 8;
 
 /// Two-byte prefix announcing a versioned (v2+) payload, followed by the
 /// format-version byte.
@@ -98,6 +100,7 @@ struct DeltaCtx {
     wm: i64,
     win: i64,
     epoch: i64,
+    ckpt: i64,
 }
 
 /// Incremental columnar encoder: the audit log appends records directly
@@ -188,7 +191,7 @@ impl Default for StaticLens {
 /// Static-table code lengths of the record-kind tags (mirrors the Tags
 /// table in [`huffman::static_table`]; asserted equal in tests), letting
 /// `append` track the tags column's static cost with one constant add.
-const TAG_SLEN: [u64; 7] = [2, 4, 3, 2, 2, 5, 5];
+const TAG_SLEN: [u64; 9] = [2, 4, 3, 2, 2, 6, 6, 6, 6];
 
 /// Seal one byte column, preferring the plans the append path has already
 /// costed: a vectorizable constant scan, then the incremental static-table
@@ -473,6 +476,24 @@ impl ColumnarEncoder {
                 }
                 varint::write_u64(Self::delta(&mut ctx.ts, *ts_ms as u64), nums);
             }
+            AuditRecord::Checkpoint { ts_ms, seq, resumed, hash } => {
+                self.raw_bytes += 47;
+                let tag = if *resumed { TAG_CKPT_RESUMED } else { TAG_CKPT_SEALED };
+                self.tags.push(tag);
+                self.tags_sbits += TAG_SLEN[tag as usize];
+                // Timestamp and checkpoint-seq deltas, then the snapshot
+                // hash as four verbatim little-endian words (uniformly
+                // random bytes — no transform helps them).
+                let dts = Self::delta(&mut ctx.ts, *ts_ms as u64);
+                let dseq = Self::delta(&mut ctx.ckpt, *seq);
+                Self::write_varint_group(nums, [dts, dseq]);
+                for word in hash.chunks_exact(8) {
+                    varint::write_u64(
+                        u64::from_le_bytes(word.try_into().expect("8-byte chunk")),
+                        nums,
+                    );
+                }
+            }
         }
     }
 
@@ -652,6 +673,8 @@ pub fn compress_records(records: &[AuditRecord]) -> Vec<u8> {
     let mut hints: Vec<u64> = Vec::new();
     let mut epochs: Vec<u64> = Vec::new(); // rekey epochs, monotone per tenant
     let mut reasons: Vec<u8> = Vec::new(); // departure reason codes
+    let mut ckpt_seqs: Vec<u64> = Vec::new(); // checkpoint sequence numbers
+    let mut ckpt_hashes: Vec<u64> = Vec::new(); // snapshot hashes, 4 words each
 
     for r in records {
         timestamps.push(r.ts_ms() as u64);
@@ -700,6 +723,13 @@ pub fn compress_records(records: &[AuditRecord]) -> Vec<u8> {
                 tags.push(TAG_DEPARTURE);
                 reasons.push(reason.code());
             }
+            AuditRecord::Checkpoint { seq, resumed, hash, .. } => {
+                tags.push(if *resumed { TAG_CKPT_RESUMED } else { TAG_CKPT_SEALED });
+                ckpt_seqs.push(*seq);
+                for word in hash.chunks_exact(8) {
+                    ckpt_hashes.push(u64::from_le_bytes(word.try_into().expect("8-byte chunk")));
+                }
+            }
         }
     }
 
@@ -719,6 +749,14 @@ pub fn compress_records(records: &[AuditRecord]) -> Vec<u8> {
     encode_varints(&hints, &mut out);
     encode_delta(&epochs, &mut out);
     encode_huffman(&reasons, &mut out);
+    // Trailing checkpoint columns, written only when checkpoint records are
+    // present: a checkpoint-free payload stays byte-identical to the
+    // pre-checkpoint v1 layout, and the decoder treats end-of-payload after
+    // the reasons column as "no checkpoints" (see [`decompress_v1`]).
+    if !ckpt_seqs.is_empty() {
+        encode_delta(&ckpt_seqs, &mut out);
+        encode_varints(&ckpt_hashes, &mut out);
+    }
     out
 }
 
@@ -739,6 +777,8 @@ struct Columns {
     hints: Vec<u64>,
     epochs: Vec<u64>,
     reasons: Vec<u8>,
+    ckpt_seqs: Vec<u64>,
+    ckpt_hashes: Vec<u64>,
 }
 
 /// Decompress a payload produced by [`compress_records`] (format v1) or a
@@ -897,6 +937,14 @@ fn decompress_v2(data: &[u8]) -> Result<Vec<AuditRecord>, CodecError> {
                     DepartureReason::from_code(code).ok_or(CodecError("unknown reason code"))?;
                 AuditRecord::Departure { ts_ms, reason }
             }
+            TAG_CKPT_SEALED | TAG_CKPT_RESUMED => {
+                let seq = nums.delta(|c| &mut c.ckpt)?;
+                let mut hash = [0u8; 32];
+                for word in hash.chunks_exact_mut(8) {
+                    word.copy_from_slice(&nums.varint()?.to_le_bytes());
+                }
+                AuditRecord::Checkpoint { ts_ms, seq, resumed: tag == TAG_CKPT_RESUMED, hash }
+            }
             _ => return Err(CodecError("unknown record tag")),
         };
         out.push(rec);
@@ -918,6 +966,13 @@ fn decompress_v1(data: &[u8]) -> Result<Vec<AuditRecord>, CodecError> {
     let hints = decode_varints(data, &mut pos)?;
     let epochs = decode_delta(data, &mut pos)?;
     let reasons = decode_huffman(data, &mut pos)?;
+    // Trailing checkpoint columns: absent (end of payload) in both
+    // checkpoint-free and pre-checkpoint payloads.
+    let (ckpt_seqs, ckpt_hashes) = if pos < data.len() {
+        (decode_delta(data, &mut pos)?, decode_varints(data, &mut pos)?)
+    } else {
+        (Vec::new(), Vec::new())
+    };
     assemble_records(
         n,
         Columns {
@@ -932,6 +987,8 @@ fn decompress_v1(data: &[u8]) -> Result<Vec<AuditRecord>, CodecError> {
             hints,
             epochs,
             reasons,
+            ckpt_seqs,
+            ckpt_hashes,
         },
     )
 }
@@ -944,7 +1001,7 @@ fn assemble_records(n: usize, cols: Columns) -> Result<Vec<AuditRecord>, CodecEr
     }
     let mut out = Vec::with_capacity(n);
     let (mut id_i, mut wm_i, mut win_i, mut op_i, mut cnt_i, mut hint_i) = (0, 0, 0, 0, 0, 0);
-    let (mut epoch_i, mut reason_i) = (0, 0);
+    let (mut epoch_i, mut reason_i, mut ckpt_i) = (0, 0, 0);
     let next_id = |id_i: &mut usize| -> Result<UArrayRef, CodecError> {
         let v = *cols.ids.get(*id_i).ok_or(CodecError("missing id column value"))?;
         *id_i += 1;
@@ -1007,6 +1064,20 @@ fn assemble_records(n: usize, cols: Columns) -> Result<Vec<AuditRecord>, CodecEr
                 let reason =
                     DepartureReason::from_code(code).ok_or(CodecError("unknown reason code"))?;
                 AuditRecord::Departure { ts_ms, reason }
+            }
+            tag @ (TAG_CKPT_SEALED | TAG_CKPT_RESUMED) => {
+                let seq =
+                    *cols.ckpt_seqs.get(ckpt_i).ok_or(CodecError("missing checkpoint seq"))?;
+                let words = cols
+                    .ckpt_hashes
+                    .get(ckpt_i * 4..ckpt_i * 4 + 4)
+                    .ok_or(CodecError("missing checkpoint hash"))?;
+                ckpt_i += 1;
+                let mut hash = [0u8; 32];
+                for (chunk, word) in hash.chunks_exact_mut(8).zip(words) {
+                    chunk.copy_from_slice(&word.to_le_bytes());
+                }
+                AuditRecord::Checkpoint { ts_ms, seq, resumed: tag == TAG_CKPT_RESUMED, hash }
             }
             _ => return Err(CodecError("unknown record tag")),
         };
@@ -1199,6 +1270,12 @@ mod tests {
         // literals to `AuditRecord::raw_size` / `row_len`.
         let mut records = sample_records(40);
         records.push(AuditRecord::Rekey { ts_ms: 900, epoch: 1 });
+        records.push(AuditRecord::Checkpoint {
+            ts_ms: 900,
+            seq: 0,
+            resumed: false,
+            hash: [0x5A; 32],
+        });
         records.push(AuditRecord::Execution {
             ts_ms: 901,
             op: PrimitiveKind::MergeK,
@@ -1267,6 +1344,45 @@ mod tests {
                 vec![AuditRecord::Departure { ts_ms: 0, reason: DepartureReason::Evicted }];
             assert_eq!(decompress_records(&codec(&evicted)).unwrap(), evicted);
         }
+    }
+
+    #[test]
+    fn checkpoint_records_round_trip_in_both_formats() {
+        // A sealed/resumed pair with distinct hashes, mixed into ordinary
+        // traffic; hashes use bytes exercising every varint length.
+        let mut hash_a = [0u8; 32];
+        for (i, b) in hash_a.iter_mut().enumerate() {
+            *b = (i as u8).wrapping_mul(0x3B).wrapping_add(0x81);
+        }
+        let mut hash_b = hash_a;
+        hash_b[31] ^= 0xFF;
+        let records = vec![
+            AuditRecord::Ingress { ts_ms: 1, data: DataRef::UArray(UArrayRef(1)) },
+            AuditRecord::Checkpoint { ts_ms: 2, seq: 0, resumed: false, hash: hash_a },
+            AuditRecord::Ingress { ts_ms: 3, data: DataRef::UArray(UArrayRef(2)) },
+            AuditRecord::Checkpoint { ts_ms: 4, seq: 1, resumed: false, hash: hash_b },
+            AuditRecord::Checkpoint { ts_ms: 5, seq: 1, resumed: true, hash: hash_b },
+        ];
+        for codec in [compress_records, compress_records_streaming] {
+            let rt = decompress_records(&codec(&records)).unwrap();
+            assert_eq!(rt, records);
+        }
+    }
+
+    #[test]
+    fn checkpoint_free_v1_payload_keeps_the_legacy_layout() {
+        // The trailing checkpoint columns are written only when checkpoint
+        // records exist, so pre-checkpoint decoders and payloads agree on
+        // every checkpoint-free stream.
+        let records = sample_records(10);
+        let with_ckpt = {
+            let mut r = records.clone();
+            r.push(AuditRecord::Checkpoint { ts_ms: 999, seq: 0, resumed: false, hash: [1; 32] });
+            compress_records(&r)
+        };
+        let without = compress_records(&records);
+        assert!(with_ckpt.len() > without.len());
+        assert_eq!(decompress_records(&without).unwrap(), records);
     }
 
     #[test]
@@ -1343,7 +1459,7 @@ mod tests {
         #![proptest_config(ProptestConfig::with_cases(64))]
         #[test]
         fn arbitrary_records_round_trip(
-            specs in proptest::collection::vec((0u8..7, 0u32..10_000, 0u32..5_000, 0u16..200), 0..200),
+            specs in proptest::collection::vec((0u8..9, 0u32..10_000, 0u32..5_000, 0u16..200), 0..200),
         ) {
             let mut records = Vec::new();
             for (kind, ts, id, win) in specs {
@@ -1363,6 +1479,15 @@ mod tests {
                             DepartureReason::Evicted
                         },
                     },
+                    7 | 8 => {
+                        let mut hash = [0u8; 32];
+                        for (i, b) in hash.iter_mut().enumerate() {
+                            *b = (id as u8).wrapping_mul(31).wrapping_add(i as u8);
+                        }
+                        AuditRecord::Checkpoint {
+                            ts_ms: ts, seq: id as u64, resumed: kind == 8, hash,
+                        }
+                    }
                     _ => AuditRecord::Execution {
                         ts_ms: ts,
                         op: PrimitiveKind::TRUSTED_PRIMITIVES[(id % 23) as usize],

@@ -517,7 +517,7 @@ impl Decoder {
 /// using one needs no code header and no per-block tree construction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StaticTable {
-    /// Record-kind tags (alphabet 0..=6, ingress/execution-heavy skew).
+    /// Record-kind tags (alphabet 0..=8, ingress/execution-heavy skew).
     Tags = 0,
     /// Primitive op codes, low byte (flat 5-bit code over 0..=31).
     Ops = 1,
@@ -540,9 +540,12 @@ fn static_lengths(id: u8) -> Option<[u8; 256]> {
     match id {
         // Tags: ingress-data / windowing / execution dominate real streams;
         // egress is one per window; watermarks one per window; lifecycle
-        // records are rare. Kraft-complete over the 7-symbol alphabet.
+        // and checkpoint records are rare. Kraft-complete over the 9-symbol
+        // alphabet.
         0 => {
-            for (sym, len) in [(0u8, 2u8), (1, 4), (2, 3), (3, 2), (4, 2), (5, 5), (6, 5)] {
+            for (sym, len) in
+                [(0u8, 2u8), (1, 4), (2, 3), (3, 2), (4, 2), (5, 6), (6, 6), (7, 6), (8, 6)]
+            {
                 lengths[sym as usize] = len;
             }
         }

@@ -45,7 +45,7 @@ pub use columnar::{
     FORMAT_V2_PREFIX, FORMAT_VERSION_STREAMING,
 };
 pub use log::{AuditLog, LogSegment};
-pub use record::{AuditRecord, DataRef, DepartureReason, PortList, UArrayRef};
+pub use record::{AuditRecord, DataRef, DepartureReason, PortList, UArrayRef, OP_CODE_CHECKPOINT};
 pub use trail::{
     verify_tenant_trail, verify_tenant_trail_parallel, verify_tenant_trail_parallel_min_shard,
     TrailError, VerifyPool, MIN_VERIFY_SHARD_BYTES,

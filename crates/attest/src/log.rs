@@ -138,6 +138,30 @@ impl AuditLog {
         self.epoch
     }
 
+    /// Sequence number the next flushed segment will carry — the audit
+    /// cursor a checkpoint snapshot records so a restored log can resume
+    /// exactly where the sealed trail prefix ends.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Reconstruct a log resuming an interrupted trail: segments continue
+    /// at `next_seq` under `epoch` (signed with that epoch's `key`), so the
+    /// restored suffix stitches seamlessly onto the cloud's retained prefix
+    /// — sequence-contiguous, epoch-monotone.
+    pub fn resume(
+        key: SigningKey,
+        flush_threshold: usize,
+        tenant: TenantId,
+        epoch: u32,
+        next_seq: u64,
+    ) -> Self {
+        let mut log = AuditLog::for_tenant(key, flush_threshold, tenant);
+        log.epoch = epoch;
+        log.next_seq = next_seq;
+        log
+    }
+
     /// Rotate to a new signing key and epoch. Records appended before the
     /// rotation still belong to the old epoch, so they are flushed under the
     /// old key first; the returned segment (if any) is the old epoch's last.
@@ -311,6 +335,22 @@ mod tests {
         // Rekeying with nothing pending flushes nothing.
         let mut empty = AuditLog::new(key(), 10);
         assert!(empty.rekey(SigningKey::new(b"k2"), 1).is_none());
+    }
+
+    #[test]
+    fn resumed_log_continues_the_sequence_under_the_resumed_epoch() {
+        let mut log = AuditLog::new(key(), 1);
+        log.append(record(0)).unwrap();
+        log.append(record(1)).unwrap();
+        assert_eq!(log.next_seq(), 2);
+
+        let mut resumed = AuditLog::resume(key(), 1, log.tenant(), 3, log.next_seq());
+        assert_eq!(resumed.epoch(), 3);
+        assert_eq!(resumed.next_seq(), 2);
+        let seg = resumed.append(record(2)).unwrap();
+        assert_eq!(seg.seq, 2, "the resumed trail continues the prefix's sequence");
+        assert_eq!(seg.epoch, 3);
+        assert!(seg.verify(&key()));
     }
 
     #[test]

@@ -245,6 +245,23 @@ pub enum AuditRecord {
         /// Why the tenant left.
         reason: DepartureReason,
     },
+    /// A checkpoint boundary: the tenant's state was sealed into snapshot
+    /// `seq` (`resumed == false`), or serving resumed from that snapshot
+    /// after a crash (`resumed == true`). `hash` is the SHA-256 of the
+    /// snapshot *plaintext*, chaining the snapshot content into the signed
+    /// trail: a resume record whose `(seq, hash)` does not match the last
+    /// sealed checkpoint is a rollback and the verifier rejects the trail.
+    Checkpoint {
+        /// Data-plane timestamp, milliseconds.
+        ts_ms: u32,
+        /// The checkpoint sequence number (monotone per tenant).
+        seq: u64,
+        /// Whether this record marks a resume from the snapshot rather than
+        /// its creation.
+        resumed: bool,
+        /// SHA-256 of the snapshot plaintext.
+        hash: [u8; 32],
+    },
 }
 
 /// Op code of [`AuditRecord::Rekey`] rows (outside the primitive code space).
@@ -252,6 +269,9 @@ pub const OP_CODE_REKEY: u16 = 30;
 /// Op code of [`AuditRecord::Departure`] rows (outside the primitive code
 /// space).
 pub const OP_CODE_DEPARTURE: u16 = 31;
+/// Op code of [`AuditRecord::Checkpoint`] rows (outside the primitive code
+/// space).
+pub const OP_CODE_CHECKPOINT: u16 = 32;
 
 impl AuditRecord {
     /// The record's data-plane timestamp.
@@ -262,7 +282,8 @@ impl AuditRecord {
             | AuditRecord::Windowing { ts_ms, .. }
             | AuditRecord::Execution { ts_ms, .. }
             | AuditRecord::Rekey { ts_ms, .. }
-            | AuditRecord::Departure { ts_ms, .. } => *ts_ms,
+            | AuditRecord::Departure { ts_ms, .. }
+            | AuditRecord::Checkpoint { ts_ms, .. } => *ts_ms,
         }
     }
 
@@ -275,6 +296,7 @@ impl AuditRecord {
             AuditRecord::Execution { op, .. } => op.code(),
             AuditRecord::Rekey { .. } => OP_CODE_REKEY,
             AuditRecord::Departure { .. } => OP_CODE_DEPARTURE,
+            AuditRecord::Checkpoint { .. } => OP_CODE_CHECKPOINT,
         }
     }
 
@@ -291,6 +313,7 @@ impl AuditRecord {
             }
             AuditRecord::Rekey { .. } => 4,
             AuditRecord::Departure { .. } => 1,
+            AuditRecord::Checkpoint { .. } => 41,
         }
     }
 
@@ -338,6 +361,11 @@ impl AuditRecord {
             }
             AuditRecord::Departure { reason, .. } => {
                 out.push(reason.code());
+            }
+            AuditRecord::Checkpoint { seq, resumed, hash, .. } => {
+                out.push(u8::from(*resumed));
+                out.extend_from_slice(&seq.to_le_bytes());
+                out.extend_from_slice(hash);
             }
         }
     }
@@ -428,9 +456,19 @@ mod tests {
         // op(2) + ts(4) + reason(1)
         assert_eq!(buf.len(), 7);
 
+        let ckpt = AuditRecord::Checkpoint { ts_ms: 12, seq: 3, resumed: false, hash: [0xAB; 32] };
+        assert_eq!(ckpt.op_code(), OP_CODE_CHECKPOINT);
+        assert_eq!(ckpt.ts_ms(), 12);
+        let mut buf = Vec::new();
+        ckpt.to_row_bytes(&mut buf);
+        // op(2) + ts(4) + resumed(1) + seq(8) + hash(32)
+        assert_eq!(buf.len(), 47);
+        assert_eq!(buf.len(), ckpt.row_len());
+
         // The lifecycle codes stay clear of every primitive's code.
         assert!(PrimitiveKind::from_code(OP_CODE_REKEY).is_none());
         assert!(PrimitiveKind::from_code(OP_CODE_DEPARTURE).is_none());
+        assert!(PrimitiveKind::from_code(OP_CODE_CHECKPOINT).is_none());
         for reason in [DepartureReason::Drained, DepartureReason::Evicted] {
             assert_eq!(DepartureReason::from_code(reason.code()), Some(reason));
         }

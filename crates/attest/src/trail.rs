@@ -72,6 +72,29 @@ pub enum TrailError {
         /// Sequence number of the offending segment.
         seq: u64,
     },
+    /// A resume record references an older checkpoint than the newest one
+    /// sealed into the trail — the enclave was restarted from a stale
+    /// snapshot, rolling the tenant's state back past sealed history.
+    CheckpointRollback {
+        /// Sequence number of the segment carrying the offending record.
+        seq: u64,
+        /// The checkpoint sequence number chained by the newest sealed
+        /// checkpoint record.
+        chained: u64,
+        /// The (older) checkpoint sequence number the resume claims.
+        found: u64,
+    },
+    /// A checkpoint record is inconsistent with the chained history: a
+    /// resume whose snapshot hash differs from the sealed checkpoint of the
+    /// same sequence number, a resume from a checkpoint the trail never
+    /// sealed, or a sealed checkpoint whose sequence number fails to
+    /// advance.
+    CheckpointMismatch {
+        /// Sequence number of the segment carrying the offending record.
+        seq: u64,
+        /// The checkpoint sequence number the offending record claims.
+        ckpt: u64,
+    },
 }
 
 impl std::fmt::Display for TrailError {
@@ -94,6 +117,16 @@ impl std::fmt::Display for TrailError {
                 write!(f, "segment sequence broken: expected {expected}, found {found}")
             }
             TrailError::CorruptSegment { seq } => write!(f, "segment {seq} failed to decompress"),
+            TrailError::CheckpointRollback { seq, chained, found } => {
+                write!(
+                    f,
+                    "segment {seq} resumes from checkpoint {found} but checkpoint {chained} \
+                     is already sealed into the trail (stale-snapshot rollback)"
+                )
+            }
+            TrailError::CheckpointMismatch { seq, ckpt } => {
+                write!(f, "segment {seq} carries an inconsistent record for checkpoint {ckpt}")
+            }
         }
     }
 }
@@ -162,6 +195,11 @@ fn stitch_trail(
     }
     let mut records = Vec::new();
     let mut current_epoch = 0u32;
+    // The newest sealed checkpoint's (seq, snapshot hash), chained through
+    // the signed trail. Every resume must match it exactly: an older seq is
+    // a rollback to a stale snapshot, a different hash (or a seq the trail
+    // never sealed) is a fabricated restore point.
+    let mut last_sealed: Option<(u64, [u8; 32])> = None;
     for (i, seg) in segments.iter().enumerate() {
         if seg.tenant != tenant {
             return Err(TrailError::WrongTenant { expected: tenant, found: seg.tenant });
@@ -184,6 +222,33 @@ fn stitch_trail(
             return Err(TrailError::BrokenSequence { expected: i as u64, found: seg.seq });
         }
         let decoded = heavy.decode(i, seg).ok_or(TrailError::CorruptSegment { seq: seg.seq })?;
+        for rec in &decoded {
+            let AuditRecord::Checkpoint { seq: ckpt, resumed, hash, .. } = rec else {
+                continue;
+            };
+            if *resumed {
+                match last_sealed {
+                    Some((chained, sealed_hash)) if chained == *ckpt && sealed_hash == *hash => {}
+                    Some((chained, _)) if *ckpt < chained => {
+                        return Err(TrailError::CheckpointRollback {
+                            seq: seg.seq,
+                            chained,
+                            found: *ckpt,
+                        });
+                    }
+                    // Hash mismatch at the chained seq, a resume from a
+                    // checkpoint never sealed, or a resume before any seal.
+                    _ => return Err(TrailError::CheckpointMismatch { seq: seg.seq, ckpt: *ckpt }),
+                }
+            } else {
+                if let Some((chained, _)) = last_sealed {
+                    if *ckpt <= chained {
+                        return Err(TrailError::CheckpointMismatch { seq: seg.seq, ckpt: *ckpt });
+                    }
+                }
+                last_sealed = Some((*ckpt, *hash));
+            }
+        }
         records.extend(decoded);
     }
     Ok(records)
@@ -481,6 +546,129 @@ mod tests {
         let err = verify_tenant_trail(&[seg0, seg1], TenantId(4), &chain_through(TenantId(4), 1))
             .unwrap_err();
         assert_eq!(err, TrailError::EpochSplice { seq: 1, from: 1, to: 0 });
+    }
+
+    /// A pool that runs every task inline but *claims* `n` workers, forcing
+    /// the parallel verifier through its fan-out path deterministically.
+    struct InlinePool(usize);
+
+    impl VerifyPool for InlinePool {
+        fn workers(&self) -> usize {
+            self.0
+        }
+        fn run(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'static>>) {
+            for t in tasks {
+                t();
+            }
+        }
+    }
+
+    /// Verify `segments` through the serial verifier and through the
+    /// parallel verifier with the shard floor disabled; the two must agree
+    /// exactly (same records or same error).
+    fn verify_both(
+        segments: Vec<LogSegment>,
+        tenant: TenantId,
+        keys: &TenantKeychain,
+    ) -> Result<Vec<AuditRecord>, TrailError> {
+        let serial = verify_tenant_trail(&segments, tenant, keys);
+        let parallel = verify_tenant_trail_parallel_min_shard(
+            &Arc::new(segments),
+            tenant,
+            keys,
+            &InlinePool(4),
+            0,
+        );
+        assert_eq!(serial, parallel, "serial and parallel verifiers disagree");
+        serial
+    }
+
+    fn ckpt(seq: u64, resumed: bool, hash: [u8; 32]) -> AuditRecord {
+        AuditRecord::Checkpoint { ts_ms: 0, seq, resumed, hash }
+    }
+
+    fn data(i: u32) -> AuditRecord {
+        AuditRecord::Ingress { ts_ms: i, data: DataRef::UArray(UArrayRef(i)) }
+    }
+
+    /// Build a trail from per-segment record lists (threshold high, explicit
+    /// flush per segment).
+    fn trail_of(tenant: TenantId, per_segment: &[&[AuditRecord]]) -> Vec<LogSegment> {
+        let mut log = AuditLog::for_tenant(key(), 1000, tenant);
+        let mut out = Vec::new();
+        for records in per_segment {
+            for r in *records {
+                log.append(r.clone());
+            }
+            out.push(log.flush().expect("non-empty segment"));
+        }
+        out
+    }
+
+    #[test]
+    fn matching_seal_and_resume_verifies() {
+        let t = TenantId(6);
+        let segs = trail_of(
+            t,
+            &[
+                &[data(0), ckpt(0, false, [7; 32])],
+                &[ckpt(0, true, [7; 32]), data(1)],
+                &[data(2), ckpt(1, false, [8; 32]), ckpt(1, true, [8; 32])],
+            ],
+        );
+        let records = verify_both(segs, t, &chain(t)).unwrap();
+        assert_eq!(records.len(), 7);
+    }
+
+    #[test]
+    fn resume_from_a_stale_checkpoint_is_a_rollback() {
+        // Seal 0, seal 1, then resume from 0: the cloud kept the later
+        // sealed checkpoint, so the stale restore is caught.
+        let t = TenantId(6);
+        let segs = trail_of(
+            t,
+            &[
+                &[data(0), ckpt(0, false, [7; 32])],
+                &[data(1), ckpt(1, false, [8; 32])],
+                &[ckpt(0, true, [7; 32])],
+            ],
+        );
+        let err = verify_both(segs, t, &chain(t)).unwrap_err();
+        assert_eq!(err, TrailError::CheckpointRollback { seq: 2, chained: 1, found: 0 });
+    }
+
+    #[test]
+    fn resume_with_a_forged_hash_is_rejected() {
+        let t = TenantId(6);
+        let segs = trail_of(t, &[&[data(0), ckpt(3, false, [7; 32])], &[ckpt(3, true, [9; 32])]]);
+        let err = verify_both(segs, t, &chain(t)).unwrap_err();
+        assert_eq!(err, TrailError::CheckpointMismatch { seq: 1, ckpt: 3 });
+    }
+
+    #[test]
+    fn resume_without_a_sealed_checkpoint_is_rejected() {
+        let t = TenantId(6);
+        let segs = trail_of(t, &[&[data(0), ckpt(0, true, [7; 32])]]);
+        let err = verify_both(segs, t, &chain(t)).unwrap_err();
+        assert_eq!(err, TrailError::CheckpointMismatch { seq: 0, ckpt: 0 });
+        // ... including a resume from a *future* (never sealed) checkpoint.
+        let segs = trail_of(
+            TenantId(6),
+            &[&[data(0), ckpt(0, false, [7; 32])], &[ckpt(2, true, [7; 32])]],
+        );
+        let err = verify_both(segs, t, &chain(t)).unwrap_err();
+        assert_eq!(err, TrailError::CheckpointMismatch { seq: 1, ckpt: 2 });
+    }
+
+    #[test]
+    fn sealed_checkpoint_seq_must_advance() {
+        let t = TenantId(6);
+        let segs = trail_of(
+            t,
+            &[&[data(0), ckpt(1, false, [7; 32])], &[data(1), ckpt(1, false, [8; 32])]],
+        );
+        let err = verify_both(segs, t, &chain(t)).unwrap_err();
+        assert_eq!(err, TrailError::CheckpointMismatch { seq: 1, ckpt: 1 });
     }
 
     #[test]

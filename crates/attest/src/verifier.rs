@@ -186,6 +186,11 @@ pub struct VerificationReport {
     pub misleading_hints: usize,
     /// Number of key-epoch rotations recorded in the trail.
     pub rekeys: usize,
+    /// Number of checkpoint records (sealed and resumed) in the trail.
+    pub checkpoints: usize,
+    /// Whether the trail contains a resume-from-checkpoint record (the
+    /// tenant was restored from a sealed snapshot at least once).
+    pub resumed: bool,
     /// Whether the trail carries the tenant's departure record. Departure
     /// is terminal: any record after it raises
     /// [`Violation::PostDepartureActivity`].
@@ -332,6 +337,16 @@ impl Verifier {
                 // verifies only under its epoch's key).
                 AuditRecord::Rekey { .. } => report.rekeys += 1,
                 AuditRecord::Departure { .. } => report.departed = true,
+                // Checkpoint records don't participate in dataflow either:
+                // the seal/resume chain (seq and snapshot-hash matching) is
+                // enforced by trail stitching, where the records are bound
+                // to their signed segments. The restored window state itself
+                // re-enters the replay through the Ingress + Windowing
+                // records the restore path re-announces.
+                AuditRecord::Checkpoint { resumed, .. } => {
+                    report.checkpoints += 1;
+                    report.resumed |= *resumed;
+                }
             }
         }
 
@@ -687,6 +702,31 @@ mod tests {
         });
         let report = Verifier::new(spec()).replay(&records);
         assert!(report.violations.iter().any(|v| matches!(v, Violation::PostDepartureActivity)));
+    }
+
+    #[test]
+    fn checkpoint_records_are_counted_and_inert() {
+        // A seal/resume pair inside an honest run neither breaks dataflow
+        // nor window coverage; the report counts them.
+        let mut records = honest_run(2, 1);
+        let mid = records.len() / 2;
+        records.insert(
+            mid,
+            AuditRecord::Checkpoint { ts_ms: 50, seq: 0, resumed: false, hash: [3; 32] },
+        );
+        records.insert(
+            mid + 1,
+            AuditRecord::Checkpoint { ts_ms: 51, seq: 0, resumed: true, hash: [3; 32] },
+        );
+        let report = Verifier::new(spec()).replay(&records);
+        assert!(report.is_correct(), "violations: {:?}", report.violations);
+        assert_eq!(report.checkpoints, 2);
+        assert!(report.resumed);
+
+        let sealed_only = honest_run(1, 1);
+        let report = Verifier::new(spec()).replay(&sealed_only);
+        assert_eq!(report.checkpoints, 0);
+        assert!(!report.resumed);
     }
 
     #[test]

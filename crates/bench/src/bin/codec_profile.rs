@@ -77,6 +77,9 @@ fn main() {
                     acc = acc.wrapping_add(*ts_ms as u64 + *epoch as u64);
                 }
                 AuditRecord::Departure { ts_ms, .. } => acc = acc.wrapping_add(*ts_ms as u64),
+                AuditRecord::Checkpoint { ts_ms, seq, hash, .. } => {
+                    acc = acc.wrapping_add(*ts_ms as u64 + *seq).wrapping_add(hash[0] as u64);
+                }
             }
         }
         std::hint::black_box(acc);

@@ -97,6 +97,23 @@ impl VerifierKeySet {
     }
 }
 
+/// The key material sealing one checkpoint snapshot: an AES-CTR key/nonce
+/// pair encrypting the serialized state and an HMAC key authenticating the
+/// ciphertext. Derived per `(tenant, epoch, checkpoint)` — the checkpoint
+/// sequence number participates in the derivation, so no two snapshots ever
+/// share a CTR keystream even within one epoch.
+#[derive(Clone)]
+pub struct SealingKeySet {
+    /// The key epoch the snapshot is sealed under.
+    pub epoch: u32,
+    /// AES-CTR key encrypting the snapshot plaintext.
+    pub key: Key128,
+    /// CTR nonce for the snapshot.
+    pub nonce: Nonce,
+    /// HMAC key authenticating the sealed snapshot.
+    pub mac: SigningKey,
+}
+
 /// The per-tenant chain of verifier key sets across every epoch the tenant
 /// has been through — what the cloud consumer of one tenant holds.
 #[derive(Clone)]
@@ -107,9 +124,11 @@ pub struct TenantKeychain {
 
 impl TenantKeychain {
     /// Build a keychain from explicit per-epoch verifier sets. The sets must
-    /// be in ascending epoch order starting at 0 and non-empty.
+    /// be in ascending epoch order and non-empty (a freshly provisioned
+    /// chain starts at epoch 0; a chain that has been through
+    /// [`retire_before`](Self::retire_before) starts at its horizon).
     pub fn from_epochs(tenant: u32, epochs: Vec<VerifierKeySet>) -> Self {
-        assert!(!epochs.is_empty(), "a keychain holds at least epoch 0");
+        assert!(!epochs.is_empty(), "a keychain holds at least one epoch");
         TenantKeychain { tenant, epochs }
     }
 
@@ -141,6 +160,26 @@ impl TenantKeychain {
     /// Iterate epochs newest-first (the order trial decryption should try).
     pub fn newest_first(&self) -> impl Iterator<Item = &VerifierKeySet> {
         self.epochs.iter().rev()
+    }
+
+    /// The oldest epoch still covered — the keychain's retirement horizon.
+    pub fn oldest_epoch(&self) -> u32 {
+        self.epochs.first().expect("keychain is never empty").epoch
+    }
+
+    /// Retire every epoch strictly below `horizon`, dropping its key
+    /// material from the chain: [`epoch`](Self::epoch) returns `None` for
+    /// retired epochs forever after, so segments (or sealed snapshots) from
+    /// before the horizon can no longer be authenticated — the forward-
+    /// secrecy boundary crash recovery promises. The newest epoch is never
+    /// retired (a keychain is never empty); retiring is monotone — a
+    /// horizon below [`oldest_epoch`](Self::oldest_epoch) is a no-op.
+    /// Returns how many epochs were dropped.
+    pub fn retire_before(&mut self, horizon: u32) -> usize {
+        let before = self.epochs.len();
+        let newest = self.latest().epoch;
+        self.epochs.retain(|e| e.epoch >= horizon || e.epoch == newest);
+        before - self.epochs.len()
     }
 }
 
@@ -194,6 +233,27 @@ impl MasterSecret {
     pub fn keychain(&self, tenant: u32, through_epoch: u32) -> TenantKeychain {
         let epochs = (0..=through_epoch).map(|e| self.tenant_keys(tenant, e).verifier()).collect();
         TenantKeychain::from_epochs(tenant, epochs)
+    }
+
+    /// Derive the sealing keys of one tenant checkpoint.
+    ///
+    /// Domain-separated from [`tenant_keys`](Self::tenant_keys) by the info
+    /// prefix, and bound to the checkpoint sequence number so every snapshot
+    /// is sealed under a fresh CTR keystream and MAC key.
+    pub fn sealing_keys(&self, tenant: u32, epoch: u32, ckpt_seq: u64) -> SealingKeySet {
+        let mut info = Vec::with_capacity(25);
+        info.extend_from_slice(b"sbt-seal/");
+        info.extend_from_slice(&tenant.to_le_bytes());
+        info.extend_from_slice(&epoch.to_le_bytes());
+        info.extend_from_slice(&ckpt_seq.to_le_bytes());
+        let okm = hkdf_expand(&self.prk, &info, 64);
+        let take16 = |at: usize| -> [u8; 16] { okm[at..at + 16].try_into().expect("16 bytes") };
+        SealingKeySet {
+            epoch,
+            key: take16(0),
+            nonce: take16(16),
+            mac: SigningKey::new(&okm[32..64]),
+        }
     }
 }
 
@@ -305,6 +365,51 @@ mod tests {
         // but pin the cloud half round-trips signatures.
         let sig = ks.signing.sign(b"r");
         assert!(vk.signing.verify(b"r", &sig));
+    }
+
+    #[test]
+    fn sealing_keys_are_disjoint_per_tenant_epoch_and_checkpoint() {
+        let master = MasterSecret::demo();
+        let a = master.sealing_keys(1, 0, 0);
+        let b = master.sealing_keys(1, 0, 1);
+        let c = master.sealing_keys(1, 1, 0);
+        let d = master.sealing_keys(2, 0, 0);
+        assert_ne!(a.key, b.key, "checkpoint seq must rotate the sealing key");
+        assert_ne!(a.nonce, b.nonce);
+        assert_ne!(a.key, c.key, "epoch must rotate the sealing key");
+        assert_ne!(a.key, d.key, "tenants must not share sealing keys");
+        // Domain separation from the tenant-link hierarchy.
+        let link = master.tenant_keys(1, 0);
+        assert_ne!(a.key, link.source_key);
+        assert_ne!(a.key, link.cloud_key);
+        // MAC keys differ: a tag under one checkpoint's key fails the next.
+        let tag = a.mac.sign(b"snapshot");
+        assert!(!b.mac.verify(b"snapshot", &tag));
+        // Deterministic across instances (edge and cloud agree).
+        let again = MasterSecret::demo().sealing_keys(1, 0, 0);
+        assert_eq!(a.key, again.key);
+        assert_eq!(a.nonce, again.nonce);
+        assert!(again.mac.verify(b"snapshot", &tag));
+    }
+
+    #[test]
+    fn retire_before_drops_old_epochs_but_never_the_newest() {
+        let master = MasterSecret::demo();
+        let mut chain = master.keychain(5, 3);
+        assert_eq!(chain.oldest_epoch(), 0);
+        assert_eq!(chain.retire_before(2), 2);
+        assert_eq!(chain.oldest_epoch(), 2);
+        assert_eq!(chain.epoch_count(), 2);
+        assert!(chain.epoch(0).is_none(), "retired epochs must be unreachable");
+        assert!(chain.epoch(1).is_none());
+        assert!(chain.epoch(2).is_some());
+        assert_eq!(chain.latest().epoch, 3);
+        // Retiring is monotone: an older horizon is a no-op.
+        assert_eq!(chain.retire_before(1), 0);
+        // The newest epoch survives any horizon.
+        assert_eq!(chain.retire_before(100), 1);
+        assert_eq!(chain.epoch_count(), 1);
+        assert_eq!(chain.latest().epoch, 3);
     }
 
     #[test]

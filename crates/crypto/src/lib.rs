@@ -25,7 +25,9 @@ pub mod sign;
 pub use aes::Aes128;
 pub use ctr::{AesCtr, AesCtrCursor};
 pub use hmac::{hmac_sha256, hmac_sha256_parts};
-pub use kdf::{hkdf_expand, hkdf_extract, KeySet, MasterSecret, TenantKeychain, VerifierKeySet};
+pub use kdf::{
+    hkdf_expand, hkdf_extract, KeySet, MasterSecret, SealingKeySet, TenantKeychain, VerifierKeySet,
+};
 pub use sha256::{sha256, Sha256};
 pub use sign::{Signature, SigningKey};
 

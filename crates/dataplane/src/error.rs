@@ -27,6 +27,19 @@ pub enum DataPlaneError {
     /// quota; the tenant's sources should be backpressured. Other tenants
     /// are unaffected.
     QuotaExceeded,
+    /// A sealed checkpoint snapshot failed authentication or parsing
+    /// (bit flip, torn/truncated write, tampered header, wrong platform).
+    /// Restores fail closed; the message names the first check that failed.
+    SnapshotRejected(&'static str),
+    /// The snapshot was sealed under a key epoch older than the tenant's
+    /// retirement horizon: the epoch has been retired for forward secrecy
+    /// and the enclave refuses to act on state sealed under it.
+    RetiredEpoch {
+        /// The epoch the rejected snapshot was sealed under.
+        epoch: u32,
+        /// The tenant's current retirement horizon.
+        horizon: u32,
+    },
 }
 
 impl std::fmt::Display for DataPlaneError {
@@ -39,6 +52,12 @@ impl std::fmt::Display for DataPlaneError {
             DataPlaneError::BadIngress(msg) => write!(f, "bad ingress payload: {msg}"),
             DataPlaneError::UnknownTenant => write!(f, "unknown tenant"),
             DataPlaneError::QuotaExceeded => write!(f, "tenant memory quota exceeded"),
+            DataPlaneError::SnapshotRejected(msg) => {
+                write!(f, "checkpoint snapshot rejected: {msg}")
+            }
+            DataPlaneError::RetiredEpoch { epoch, horizon } => {
+                write!(f, "key epoch {epoch} is retired (horizon {horizon})")
+            }
         }
     }
 }

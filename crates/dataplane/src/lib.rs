@@ -36,6 +36,7 @@ pub mod opaque;
 pub mod parallel;
 pub mod params;
 pub mod plane;
+pub mod snapshot;
 pub mod stats;
 pub mod store;
 
@@ -44,6 +45,9 @@ pub use error::DataPlaneError;
 pub use opaque::OpaqueRef;
 pub use parallel::IngestPool;
 pub use params::{InvokeOutput, PrimitiveParams};
-pub use plane::{DataPlane, DataPlaneConfig, TenantMemory};
+pub use plane::{DataPlane, DataPlaneConfig, TenantMemory, TenantTeardown};
+pub use snapshot::{
+    CheckpointManifest, RestoredTenant, RestoredWindow, SealedSnapshot, WindowManifest,
+};
 pub use stats::{DataPlaneStats, InvocationBreakdown};
 pub use store::StoredData;

@@ -34,6 +34,10 @@ use crate::error::DataPlaneError;
 use crate::opaque::{OpaqueRef, RefTable};
 use crate::parallel::{lane_plan, IngestPool, WIRE_CHUNK};
 use crate::params::{InvokeOutput, PrimitiveParams};
+use crate::snapshot::{
+    seal_snapshot, unseal_snapshot, CheckpointManifest, RestoredTenant, RestoredWindow,
+    SealedSnapshot, SnapshotPlaintext, SnapshotWindow,
+};
 use crate::stats::{DataPlaneStats, InvocationBreakdown};
 use crate::store::StoredData;
 use parking_lot::{Mutex, RwLock};
@@ -110,6 +114,13 @@ struct TenantState {
     events_ingested: u64,
     /// Plaintext bytes the tenant has ingested.
     bytes_ingested: u64,
+    /// Monotone checkpoint counter (the next snapshot's `ckpt_seq`).
+    next_ckpt_seq: u64,
+    /// Key epoch of the tenant's most recent sealed checkpoint.
+    last_ckpt_epoch: Option<u32>,
+    /// Epoch-retirement horizon: epochs below this are retired — excluded
+    /// from the tenant's verifier keychain and refused at restore.
+    retired_before: u32,
 }
 
 /// What [`DataPlane::deregister_tenant`] hands back: the tenant's final
@@ -246,6 +257,9 @@ impl DataPlane {
                     egress_seq: 0,
                     events_ingested: 0,
                     bytes_ingested: 0,
+                    next_ckpt_seq: 0,
+                    last_ckpt_epoch: None,
+                    retired_before: 0,
                 })),
             );
         }
@@ -305,8 +319,16 @@ impl DataPlane {
     /// one. This is all trail verification and result decryption need — the
     /// source-link keys are not included.
     pub fn verifier_keys(&self, tenant: TenantId) -> Result<TenantKeychain, DataPlaneError> {
-        let epoch = self.tenant_epoch(tenant)?;
-        Ok(self.config.master.keychain(tenant.0, epoch))
+        let ts = self.tenant_state(tenant)?;
+        let (epoch, horizon) = {
+            let t = ts.lock();
+            (t.keys.epoch, t.retired_before)
+        };
+        let mut chain = self.config.master.keychain(tenant.0, epoch);
+        if horizon > 0 {
+            chain.retire_before(horizon);
+        }
+        Ok(chain)
     }
 
     /// Tear a tenant down: append its departure record, flush and hand back
@@ -357,6 +379,10 @@ impl DataPlane {
                 self.pager.release_pages(bytes / PAGE_SIZE);
             }
         }
+        // Purge the tenant's observability state along with its namespace:
+        // histogram rows, the checkpoint gauge, and the flight-recorder ring
+        // all key on the tenant id, which deployments recycle.
+        self.telemetry.deregister_tenant(tenant.0);
         Ok(TenantTeardown {
             tenant,
             reason,
@@ -365,6 +391,272 @@ impl DataPlane {
             reclaimed_bytes: torn.reclaimed_bytes,
             refs_revoked,
         })
+    }
+
+    // ----- crash recovery: checkpoint / restore / epoch retirement -------
+
+    /// Seal a checkpoint of one tenant's streaming state.
+    ///
+    /// The control plane supplies a [`CheckpointManifest`] captured at a
+    /// quiescent point (no window mid-fire, no ingest in flight for this
+    /// tenant); the data plane materializes every referenced partition,
+    /// serializes the `SBTC` plaintext, chains its hash into the signed
+    /// trail as an [`AuditRecord::Checkpoint`] record (flushed as its own
+    /// segment, so the recorded audit cursor is exactly where a restored
+    /// log resumes), and seals it under keys derived per
+    /// `(tenant, epoch, ckpt_seq)`. Only the sealed container leaves the
+    /// enclave.
+    pub fn checkpoint_tenant(
+        &self,
+        tenant: TenantId,
+        manifest: &CheckpointManifest,
+    ) -> Result<SealedSnapshot, DataPlaneError> {
+        WorldTracker::assert_secure("DataPlane::checkpoint");
+        let span_start = self.telemetry.tracer().start();
+        let ts = self.tenant_state(tenant)?;
+        // Materialize the windowed state before taking the tenant lock
+        // (`lookup` takes it per reference). The quiescent-point contract
+        // means nothing mutates these windows concurrently.
+        let mut windows = Vec::with_capacity(manifest.windows.len());
+        for w in &manifest.windows {
+            let mut sides: [Vec<Vec<Event>>; 2] = [Vec::new(), Vec::new()];
+            for (side, refs) in sides.iter_mut().zip([&w.left, &w.right]) {
+                for r in refs {
+                    let (_, data) = self.lookup(&ts, *r)?;
+                    side.push(data.as_events()?.to_vec());
+                }
+            }
+            let [left, right] = sides;
+            windows.push(SnapshotWindow { win_no: w.win_no, left, right });
+        }
+        let next_uarray_id = self.alloc.lock().next_id.0;
+        let sealed = {
+            let mut t = ts.lock();
+            // Flush whatever is pending so the checkpoint record becomes a
+            // segment of its own: the cursor names the segment right after
+            // it, which is where the resumed log continues.
+            if let Some(seg) = t.audit.flush() {
+                t.segments.push(seg);
+            }
+            let audit_cursor = t.audit.next_seq() + 1;
+            let ckpt_seq = t.next_ckpt_seq;
+            let epoch = t.keys.epoch;
+            let plain = SnapshotPlaintext {
+                tenant: tenant.0,
+                ckpt_seq,
+                epoch,
+                retired_before: t.retired_before,
+                audit_cursor,
+                egress_seq: t.egress_seq,
+                events_ingested: t.events_ingested,
+                bytes_ingested: t.bytes_ingested,
+                left_watermark_ms: manifest.left_watermark_ms,
+                right_watermark_ms: manifest.right_watermark_ms,
+                next_unexecuted: manifest.next_unexecuted,
+                next_uarray_id,
+                windows: std::mem::take(&mut windows),
+            };
+            let (sealed, hash) = seal_snapshot(&self.config.master, &plain);
+            let record = AuditRecord::Checkpoint {
+                ts_ms: self.now_ms(),
+                seq: ckpt_seq,
+                resumed: false,
+                hash,
+            };
+            self.stats.record_audit(1);
+            if let Some(seg) = t.audit.append(record) {
+                t.segments.push(seg);
+            }
+            if let Some(seg) = t.audit.flush() {
+                t.segments.push(seg);
+            }
+            t.next_ckpt_seq = ckpt_seq + 1;
+            t.last_ckpt_epoch = Some(epoch);
+            sealed
+        };
+        self.telemetry.note_checkpoint(tenant.0);
+        self.telemetry.tracer().record(
+            SpanKind::Checkpoint,
+            tenant.0,
+            span_start,
+            sealed.len() as u64,
+        );
+        Ok(sealed)
+    }
+
+    /// Restore a tenant from a sealed checkpoint into this (fresh) plane.
+    ///
+    /// Fails closed: the snapshot must authenticate, parse, belong to
+    /// `tenant`, and be sealed under an epoch at or above both `min_epoch`
+    /// (the caller's retirement floor, e.g. from vault metadata) and the
+    /// horizon recorded in the snapshot itself. The tenant's audit log
+    /// resumes at the recorded cursor, opening with the matching
+    /// `resumed` checkpoint record so the cloud can stitch the suffix onto
+    /// its retained prefix and detect rollback; every restored partition is
+    /// re-committed to secure memory and re-announced to the trail as an
+    /// ordinary ingress + windowing pair.
+    ///
+    /// A failed restore can leave the tenant partially registered (e.g. on
+    /// quota rejection mid-recommit); callers must treat any error as fatal
+    /// for this plane instance and discard it.
+    pub fn restore_tenant(
+        &self,
+        tenant: TenantId,
+        quota_bytes: Option<u64>,
+        sealed: &SealedSnapshot,
+        min_epoch: u32,
+    ) -> Result<RestoredTenant, DataPlaneError> {
+        WorldTracker::assert_secure("DataPlane::restore");
+        let span_start = self.telemetry.tracer().start();
+        if sealed.tenant != tenant.0 {
+            return Err(DataPlaneError::SnapshotRejected("snapshot belongs to another tenant"));
+        }
+        let (plain, hash) = unseal_snapshot(&self.config.master, sealed)?;
+        let horizon = min_epoch.max(plain.retired_before);
+        if plain.epoch < horizon {
+            return Err(DataPlaneError::RetiredEpoch { epoch: plain.epoch, horizon });
+        }
+        {
+            let mut tenants = self.tenants.write();
+            if tenants.contains_key(&tenant) {
+                return Err(DataPlaneError::BadArguments("tenant already registered"));
+            }
+            let seed = self
+                .config
+                .ref_seed
+                .wrapping_add((tenant.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let keys = self.config.master.tenant_keys(tenant.0, plain.epoch);
+            let audit = AuditLog::resume(
+                keys.signing.clone(),
+                self.config.audit_flush_threshold,
+                tenant,
+                plain.epoch,
+                plain.audit_cursor,
+            );
+            tenants.insert(
+                tenant,
+                Arc::new(Mutex::new(TenantState {
+                    refs: RefTable::new(seed),
+                    audit,
+                    keys,
+                    segments: Vec::new(),
+                    egress_seq: plain.egress_seq,
+                    events_ingested: plain.events_ingested,
+                    bytes_ingested: plain.bytes_ingested,
+                    next_ckpt_seq: plain.ckpt_seq + 1,
+                    last_ckpt_epoch: Some(plain.epoch),
+                    retired_before: horizon,
+                })),
+            );
+        }
+        if let Some(quota) = quota_bytes {
+            self.alloc.lock().allocator.set_owner_quota(tenant.owner_tag(), quota);
+        }
+        self.telemetry.register_tenant(tenant.0);
+        {
+            // A fresh plane mints ids from zero; lift the floor past every
+            // id the trail prefix can reference so the suffix never reuses
+            // one in replay.
+            let mut alloc = self.alloc.lock();
+            if alloc.next_id.0 < plain.next_uarray_id {
+                alloc.next_id = UArrayId(plain.next_uarray_id);
+            }
+        }
+        let ts = self.tenant_state(tenant)?;
+        // The resumed trail opens with the resumed-checkpoint record: same
+        // sequence and hash as the sealed record the cloud already holds.
+        self.append_audit(
+            &ts,
+            AuditRecord::Checkpoint {
+                ts_ms: self.now_ms(),
+                seq: plain.ckpt_seq,
+                resumed: true,
+                hash,
+            },
+        );
+        // Re-commit every partition and re-announce it: the state re-enters
+        // the TEE and is re-windowed, so replay sees an ordinary ingress +
+        // windowing pair per array and rebuilds its lineage from there.
+        let mut windows = Vec::with_capacity(plain.windows.len());
+        let mut events_restored = 0u64;
+        for w in &plain.windows {
+            let mut restored =
+                RestoredWindow { win_no: w.win_no, left: Vec::new(), right: Vec::new() };
+            for (events_side, refs_side) in
+                [(&w.left, &mut restored.left), (&w.right, &mut restored.right)]
+            {
+                for events in events_side.iter() {
+                    events_restored += events.len() as u64;
+                    let pre_id = self.next_id();
+                    let data = StoredData::from_events(self.next_id(), events, &self.pager)?;
+                    let (rid, opaque, _) = self.register_output(
+                        tenant,
+                        &ts,
+                        data,
+                        PrimitiveKind::Segment.code() as u64,
+                        None,
+                    )?;
+                    self.append_audit(
+                        &ts,
+                        AuditRecord::Ingress {
+                            ts_ms: self.now_ms(),
+                            data: DataRef::UArray(UArrayRef(pre_id.0 as u32)),
+                        },
+                    );
+                    self.append_audit(
+                        &ts,
+                        AuditRecord::Windowing {
+                            ts_ms: self.now_ms(),
+                            input: UArrayRef(pre_id.0 as u32),
+                            win_no: w.win_no as u16,
+                            output: UArrayRef(rid.0 as u32),
+                        },
+                    );
+                    refs_side.push(opaque);
+                }
+            }
+            windows.push(restored);
+        }
+        self.telemetry.note_checkpoint(tenant.0);
+        self.telemetry.tracer().record(SpanKind::Restore, tenant.0, span_start, events_restored);
+        Ok(RestoredTenant {
+            tenant,
+            ckpt_seq: plain.ckpt_seq,
+            epoch: plain.epoch,
+            left_watermark_ms: plain.left_watermark_ms,
+            right_watermark_ms: plain.right_watermark_ms,
+            next_unexecuted: plain.next_unexecuted,
+            windows,
+            events_restored,
+        })
+    }
+
+    /// Retire a tenant's key epochs below `horizon` (forward secrecy):
+    /// retired epochs disappear from [`DataPlane::verifier_keys`] and
+    /// snapshots sealed under them are refused at restore. The horizon can
+    /// only advance, never past the epoch of the latest sealed checkpoint
+    /// (retiring it would make the tenant unrecoverable) and never past the
+    /// current epoch. Returns the number of epochs newly retired.
+    pub fn retire_epochs_before(
+        &self,
+        tenant: TenantId,
+        horizon: u32,
+    ) -> Result<usize, DataPlaneError> {
+        let ts = self.tenant_state(tenant)?;
+        let mut t = ts.lock();
+        let ckpt_epoch =
+            t.last_ckpt_epoch.ok_or(DataPlaneError::BadArguments("no checkpoint sealed yet"))?;
+        if horizon > ckpt_epoch || horizon > t.keys.epoch {
+            return Err(DataPlaneError::BadArguments("horizon beyond the checkpoint epoch"));
+        }
+        let newly = horizon.saturating_sub(t.retired_before);
+        t.retired_before = t.retired_before.max(horizon);
+        Ok(newly as usize)
+    }
+
+    /// A tenant's epoch-retirement horizon (0 = nothing retired).
+    pub fn tenant_retired_before(&self, tenant: TenantId) -> Result<u32, DataPlaneError> {
+        Ok(self.tenant_state(tenant)?.lock().retired_before)
     }
 
     /// The registered tenants, in ascending id order.
@@ -1292,6 +1584,7 @@ impl DataPlane {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::snapshot::WindowManifest;
     use sbt_types::Duration;
     use sbt_types::WindowSpec;
     use sbt_tz::World;
@@ -1913,5 +2206,147 @@ mod tests {
         assert!(dp.tenant_under_pressure(TenantId(1)));
         // The default (unconstrained) tenant never reports quota pressure.
         assert!(!dp.tenant_under_pressure(TenantId::DEFAULT));
+    }
+
+    #[test]
+    fn checkpoint_restore_round_trips_state_and_stitched_trail_verifies() {
+        let dp = plane();
+        dp.register_tenant(TenantId(1), None).unwrap();
+        let events: Vec<Event> = (0..500).map(|i| Event::new(i % 7, i, i * 3)).collect();
+        let a = ingest_events_for(&dp, TenantId(1), &events);
+        let manifest = CheckpointManifest {
+            left_watermark_ms: 1_500,
+            right_watermark_ms: 0,
+            next_unexecuted: 0,
+            windows: vec![WindowManifest { win_no: 0, left: vec![a.opaque], right: Vec::new() }],
+        };
+        let sealed = in_tee(|| dp.checkpoint_tenant(TenantId(1), &manifest)).unwrap();
+        assert_eq!((sealed.tenant, sealed.ckpt_seq, sealed.epoch), (1, 0, 0));
+        assert!(dp.telemetry().last_checkpoint_age_nanos(1).is_some());
+        let prefix = dp.drain_audit_segments_for(TenantId(1)).unwrap();
+
+        // Crash: a fresh plane restores the tenant from the container as it
+        // came back from untrusted storage.
+        let dp2 = plane();
+        let stored = SealedSnapshot::from_bytes(&sealed.to_bytes()).unwrap();
+        let restored = in_tee(|| dp2.restore_tenant(TenantId(1), None, &stored, 0)).unwrap();
+        assert_eq!(restored.ckpt_seq, 0);
+        assert_eq!(restored.left_watermark_ms, 1_500);
+        assert_eq!(restored.windows.len(), 1);
+        assert_eq!(restored.events_restored, 500);
+        // The restored partition holds exactly the original events.
+        let chain = dp2.verifier_keys(TenantId(1)).unwrap();
+        let msg = in_tee(|| dp2.egress_for(TenantId(1), restored.windows[0].left[0])).unwrap();
+        assert_eq!(msg.open_with(chain.latest()).unwrap(), Event::slice_to_bytes(&events));
+        // Prefix + post-restore suffix stitch into one verifiable trail
+        // whose resume record matches the sealed checkpoint.
+        let mut trail = prefix;
+        trail.extend(dp2.drain_audit_segments_for(TenantId(1)).unwrap());
+        let records = sbt_attest::verify_tenant_trail(&trail, TenantId(1), &chain).unwrap();
+        assert!(records
+            .iter()
+            .any(|r| matches!(r, AuditRecord::Checkpoint { resumed: true, seq: 0, .. })));
+        // Restoring over a live tenant is refused.
+        assert!(in_tee(|| dp2.restore_tenant(TenantId(1), None, &stored, 0)).is_err());
+    }
+
+    #[test]
+    fn restore_from_a_stale_checkpoint_is_detected_by_both_verifiers() {
+        let dp = plane();
+        dp.register_tenant(TenantId(1), None).unwrap();
+        let events: Vec<Event> = (0..64).map(|i| Event::new(i, i, i)).collect();
+        let a = ingest_events_for(&dp, TenantId(1), &events);
+        let manifest = CheckpointManifest {
+            windows: vec![WindowManifest { win_no: 0, left: vec![a.opaque], right: Vec::new() }],
+            ..CheckpointManifest::default()
+        };
+        let stale = in_tee(|| dp.checkpoint_tenant(TenantId(1), &manifest)).unwrap();
+        let _ = ingest_events_for(&dp, TenantId(1), &events);
+        let fresh = in_tee(|| dp.checkpoint_tenant(TenantId(1), &manifest)).unwrap();
+        assert_eq!((stale.ckpt_seq, fresh.ckpt_seq), (0, 1));
+        let prefix = dp.drain_audit_segments_for(TenantId(1)).unwrap();
+
+        // Restart from the *stale* snapshot: its suffix forks the sealed
+        // history, so stitching the cloud's full prefix with the resumed
+        // suffix cannot produce one verifiable trail.
+        let dp2 = plane();
+        in_tee(|| dp2.restore_tenant(TenantId(1), None, &stale, 0)).unwrap();
+        let mut trail = prefix;
+        trail.extend(dp2.drain_audit_segments_for(TenantId(1)).unwrap());
+        let chain = dp2.verifier_keys(TenantId(1)).unwrap();
+        let err = sbt_attest::verify_tenant_trail(&trail, TenantId(1), &chain).unwrap_err();
+        // The parallel verifier reports the identical failure.
+        struct Inline;
+        impl sbt_attest::VerifyPool for Inline {
+            fn workers(&self) -> usize {
+                4
+            }
+            fn run(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'static>>) {
+                for t in tasks {
+                    t();
+                }
+            }
+        }
+        let arc = Arc::new(trail);
+        let perr = sbt_attest::verify_tenant_trail_parallel_min_shard(
+            &arc,
+            TenantId(1),
+            &chain,
+            &Inline,
+            0,
+        )
+        .unwrap_err();
+        assert_eq!(perr, err);
+    }
+
+    #[test]
+    fn retired_epochs_vanish_from_verifier_keys_and_refuse_old_snapshots() {
+        let dp = plane();
+        dp.register_tenant(TenantId(1), None).unwrap();
+        let manifest = CheckpointManifest::default();
+        let old = in_tee(|| dp.checkpoint_tenant(TenantId(1), &manifest)).unwrap();
+        assert_eq!(old.epoch, 0);
+        // The horizon can never pass the newest checkpoint's epoch: that
+        // would make the tenant unrecoverable.
+        assert!(dp.retire_epochs_before(TenantId(1), 1).is_err());
+        dp.rekey_tenant(TenantId(1)).unwrap();
+        let fresh = in_tee(|| dp.checkpoint_tenant(TenantId(1), &manifest)).unwrap();
+        assert_eq!(fresh.epoch, 1);
+        assert_eq!(dp.retire_epochs_before(TenantId(1), 1).unwrap(), 1);
+        assert_eq!(dp.tenant_retired_before(TenantId(1)).unwrap(), 1);
+        // Epoch 0's key material is gone from the verifier keychain.
+        assert_eq!(dp.verifier_keys(TenantId(1)).unwrap().oldest_epoch(), 1);
+        // A fresh enclave refuses the retired snapshot and takes the new one.
+        let dp2 = plane();
+        assert_eq!(
+            in_tee(|| dp2.restore_tenant(TenantId(1), None, &old, 1)).unwrap_err(),
+            DataPlaneError::RetiredEpoch { epoch: 0, horizon: 1 }
+        );
+        let restored = in_tee(|| dp2.restore_tenant(TenantId(1), None, &fresh, 1)).unwrap();
+        assert_eq!(restored.epoch, 1);
+        assert_eq!(dp2.tenant_retired_before(TenantId(1)).unwrap(), 1);
+        // A snapshot sealed *after* retirement carries the horizon itself,
+        // so even a caller with no vault metadata re-adopts it.
+        let carried = in_tee(|| dp.checkpoint_tenant(TenantId(1), &manifest)).unwrap();
+        let dp3 = plane();
+        in_tee(|| dp3.restore_tenant(TenantId(1), None, &carried, 0)).unwrap();
+        assert_eq!(dp3.tenant_retired_before(TenantId(1)).unwrap(), 1);
+    }
+
+    #[test]
+    fn deregister_purges_telemetry_rows_with_the_tenant() {
+        let dp = plane();
+        dp.telemetry().set_enabled(true);
+        dp.register_tenant(TenantId(1), None).unwrap();
+        let events: Vec<Event> = (0..16).map(|i| Event::new(i, i, 0)).collect();
+        let _ = ingest_events_for(&dp, TenantId(1), &events);
+        in_tee(|| dp.checkpoint_tenant(TenantId(1), &CheckpointManifest::default())).unwrap();
+        assert!(dp.telemetry().last_checkpoint_age_nanos(1).is_some());
+        dp.deregister_tenant(TenantId(1), DepartureReason::Drained).unwrap();
+        // Gauge, latency rows and flight ring all went with the tenant.
+        assert!(dp.telemetry().last_checkpoint_age_nanos(1).is_none());
+        let snap = dp.telemetry().snapshot();
+        assert!(!snap.counters.iter().any(|c| c.name.starts_with("checkpoint.t1.")));
+        assert!(snap.latencies.iter().all(|row| row.tenant != 1));
     }
 }

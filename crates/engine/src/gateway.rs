@@ -15,7 +15,8 @@
 use crate::metrics::CycleCost;
 use sbt_attest::LogSegment;
 use sbt_dataplane::{
-    DataPlane, DataPlaneError, EgressMessage, InvokeOutput, OpaqueRef, PrimitiveParams,
+    CheckpointManifest, DataPlane, DataPlaneError, EgressMessage, InvokeOutput, OpaqueRef,
+    PrimitiveParams, RestoredTenant, SealedSnapshot,
 };
 use sbt_telemetry::SpanKind;
 use sbt_types::{PrimitiveKind, TenantId, Watermark};
@@ -278,6 +279,26 @@ impl TeeGateway {
     /// Drain this tenant's flushed audit segments (for upload).
     pub fn drain_audit_segments(&self) -> Vec<LogSegment> {
         self.dp.drain_audit_segments_for(self.tenant).unwrap_or_default()
+    }
+
+    /// Seal a checkpoint snapshot of this tenant's windowed state (one TEE
+    /// entry; only the sealed container crosses back).
+    pub fn checkpoint(
+        &self,
+        manifest: &CheckpointManifest,
+    ) -> Result<SealedSnapshot, DataPlaneError> {
+        self.enter(|| self.dp.checkpoint_tenant(self.tenant, manifest))
+    }
+
+    /// Restore this gateway's tenant from a sealed checkpoint (one TEE
+    /// entry). `min_epoch` is the caller's epoch-retirement floor.
+    pub fn restore(
+        &self,
+        quota_bytes: Option<u64>,
+        sealed: &SealedSnapshot,
+        min_epoch: u32,
+    ) -> Result<RestoredTenant, DataPlaneError> {
+        self.enter(|| self.dp.restore_tenant(self.tenant, quota_bytes, sealed, min_epoch))
     }
 }
 

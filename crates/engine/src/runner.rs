@@ -20,7 +20,8 @@ use crate::pipeline::Pipeline;
 use parking_lot::Mutex;
 use sbt_attest::LogSegment;
 use sbt_dataplane::{
-    DataPlane, DataPlaneConfig, DataPlaneError, EgressMessage, OpaqueRef, PrimitiveParams,
+    CheckpointManifest, DataPlane, DataPlaneConfig, DataPlaneError, EgressMessage, OpaqueRef,
+    PrimitiveParams, RestoredTenant, SealedSnapshot, WindowManifest,
 };
 use sbt_telemetry::{FlightReason, LatencyKind, MetricsRegistry, SpanKind};
 use sbt_types::{PrimitiveKind, TenantId, Watermark, WindowId};
@@ -947,6 +948,76 @@ impl Engine {
                 std::thread::sleep(Duration::from_micros(100));
             }
         }
+    }
+
+    /// Capture this engine's window bookkeeping as a checkpoint manifest:
+    /// every pending window's partition references, both watermarks and the
+    /// window-execution cursor. Only consistent at a quiescent point —
+    /// [`Engine::checkpoint`] quiesces first; call this directly only when
+    /// no ingest or window execution is in flight.
+    pub fn checkpoint_manifest(&self) -> CheckpointManifest {
+        let (left_wm, right_wm) = *self.watermarks.lock();
+        let mut windows: Vec<WindowManifest> = self
+            .windows
+            .lock()
+            .iter()
+            .map(|(id, st)| WindowManifest {
+                win_no: id.0 as u32,
+                left: st.left.clone(),
+                right: st.right.clone(),
+            })
+            .collect();
+        windows.sort_by_key(|w| w.win_no);
+        CheckpointManifest {
+            left_watermark_ms: left_wm.event_time.as_millis(),
+            right_watermark_ms: right_wm.event_time.as_millis(),
+            next_unexecuted: self.next_unexecuted.lock().0 as u32,
+            windows,
+        }
+    }
+
+    /// Seal a checkpoint of this engine's tenant: wait for in-flight window
+    /// execution to drain, capture the manifest, and seal the snapshot
+    /// inside the TEE (one entry). The returned container is safe to hand
+    /// to untrusted storage; the matching sealed-checkpoint record is
+    /// already chained into the tenant's audit trail.
+    pub fn checkpoint(&self) -> Result<SealedSnapshot, DataPlaneError> {
+        self.quiesce();
+        let manifest = self.checkpoint_manifest();
+        self.gateway.checkpoint(&manifest)
+    }
+
+    /// Restore this engine's tenant from a sealed checkpoint and adopt the
+    /// recovered state: the data plane re-commits every partition (fresh
+    /// references, re-announced to the audit trail) and this engine resumes
+    /// with the recovered windows, watermarks and execution cursor.
+    pub fn restore_from(
+        &self,
+        quota_bytes: Option<u64>,
+        sealed: &SealedSnapshot,
+        min_epoch: u32,
+    ) -> Result<RestoredTenant, DataPlaneError> {
+        let restored = self.gateway.restore(quota_bytes, sealed, min_epoch)?;
+        self.adopt_restored(&restored);
+        Ok(restored)
+    }
+
+    /// Adopt already-restored tenant state (see [`Engine::restore_from`],
+    /// which restores and adopts in one step).
+    pub fn adopt_restored(&self, restored: &RestoredTenant) {
+        {
+            let mut windows = self.windows.lock();
+            for w in &restored.windows {
+                let entry = windows.entry(WindowId(w.win_no as u64)).or_default();
+                entry.left.extend(w.left.iter().copied());
+                entry.right.extend(w.right.iter().copied());
+            }
+        }
+        *self.next_unexecuted.lock() = WindowId(restored.next_unexecuted as u64);
+        *self.watermarks.lock() = (
+            Watermark::from_millis(restored.left_watermark_ms),
+            Watermark::from_millis(restored.right_watermark_ms),
+        );
     }
 
     /// Results externalized so far (encrypted and signed for the cloud).

@@ -28,6 +28,13 @@
 //!   scheduler lane mid-`serve`; either frees the tenant's references,
 //!   uArrays and quota reservation in one pass, and the departed tenant's
 //!   trail stays verifiable under its final epoch's keychain.
+//! * **Crash recovery** ([`StreamServer::checkpoint`],
+//!   [`StreamServer::restore_tenant`], [`StreamServer::retire_epochs`]):
+//!   per-tenant snapshots seal inside the TEE, park as ciphertext in an
+//!   untrusted [`CheckpointVault`] that outlives the server instance, and
+//!   chain their hash into the signed trail — a replacement server restores
+//!   mid-stream, rollback to a stale snapshot is detected by the cloud
+//!   verifiers, and retired key epochs refuse old snapshots outright.
 //!
 //! The TCB story is unchanged: the server, like the engine, is untrusted
 //! control-plane code. Everything it is trusted *not* to do is enforced by
@@ -40,10 +47,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod recovery;
 pub mod sched;
 pub mod server;
 pub mod tenant;
 
+pub use recovery::{CheckpointVault, VaultError, VaultFault};
 pub use sched::{DrrAccounting, Scheduler, ServeReport, TenantProgress, TenantStream};
-pub use server::{DepartureReport, ServerConfig, StreamServer};
+pub use server::{CheckpointReceipt, DepartureReport, ServerConfig, StreamServer};
 pub use tenant::{AdmissionError, LifecycleError, TenantConfig};

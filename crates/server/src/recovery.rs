@@ -1,0 +1,215 @@
+//! Crash recovery: the untrusted checkpoint vault and its deterministic
+//! fault injection.
+//!
+//! Sealed snapshots leave the enclave as opaque ciphertext (AES-CTR +
+//! HMAC under keys derived from the tenant's epoch material, see
+//! `sbt_dataplane::snapshot`), so they can be parked on any untrusted
+//! medium. The [`CheckpointVault`] models that medium: a per-tenant slot
+//! store that **outlives a server instance** — a crashed server's vault is
+//! handed to its replacement via
+//! [`ServerConfig::with_vault`](crate::ServerConfig::with_vault), exactly
+//! as an on-disk or cloud-object vault would survive a reboot.
+//!
+//! Each slot keeps the current snapshot *and* the previous one. Stores are
+//! write-ahead in spirit: the old current becomes `previous` before the new
+//! bytes land, so a torn or corrupted write (which restore detects —
+//! truncation fails the wire parse, corruption fails the MAC, both fail
+//! closed) still leaves one older, intact snapshot to fall back to. Falling
+//! back is safe for *recovery* but is rollback from the verifier's
+//! viewpoint beyond the trail the cloud already holds — the stitched trail
+//! only verifies from the restored checkpoint's cursor, which is the
+//! guarantee the kill-and-restart suite pins down.
+//!
+//! Fault injection is deterministic and ordinal-based: the test plan names
+//! the Nth store (1-based, counted across all tenants) and what happens to
+//! it — refused outright (a crash *before* the write, mid-seal), torn (a
+//! crash *during* the write), or bit-flipped (media corruption). No clocks,
+//! no randomness: a failing schedule replays exactly.
+
+use parking_lot::Mutex;
+use sbt_types::TenantId;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// What happens to one specific store call, identified by its 1-based
+/// ordinal across the vault's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VaultFault {
+    /// The Nth store fails before any byte is written: the slot keeps its
+    /// prior contents. Models a crash between sealing and persisting.
+    FailStore {
+        /// 1-based store ordinal the fault fires on.
+        nth: u64,
+    },
+    /// The Nth store writes only the first `keep` bytes: a torn write.
+    /// Restore must fail closed on the truncated snapshot.
+    TearStore {
+        /// 1-based store ordinal the fault fires on.
+        nth: u64,
+        /// Bytes that make it to the medium.
+        keep: usize,
+    },
+    /// The Nth store lands fully but with one bit flipped at `byte`
+    /// (clamped into range): media corruption. Restore must fail the MAC.
+    FlipBit {
+        /// 1-based store ordinal the fault fires on.
+        nth: u64,
+        /// Byte offset whose low bit is flipped.
+        byte: usize,
+    },
+}
+
+impl VaultFault {
+    fn nth(&self) -> u64 {
+        match self {
+            VaultFault::FailStore { nth }
+            | VaultFault::TearStore { nth, .. }
+            | VaultFault::FlipBit { nth, .. } => *nth,
+        }
+    }
+}
+
+/// Why a vault store failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VaultError {
+    /// An injected [`VaultFault::FailStore`] refused the write.
+    InjectedFailure,
+}
+
+impl std::fmt::Display for VaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VaultError::InjectedFailure => write!(f, "injected vault store failure"),
+        }
+    }
+}
+
+impl std::error::Error for VaultError {}
+
+/// One tenant's slot: the latest snapshot plus the one it replaced.
+#[derive(Debug, Default, Clone)]
+struct VaultSlot {
+    current: Vec<u8>,
+    previous: Option<Vec<u8>>,
+}
+
+/// Untrusted, server-lifetime-independent storage for sealed snapshots.
+#[derive(Debug, Default)]
+pub struct CheckpointVault {
+    slots: Mutex<HashMap<u32, VaultSlot>>,
+    plan: Mutex<Vec<VaultFault>>,
+    stores: AtomicU64,
+}
+
+impl CheckpointVault {
+    /// An empty vault with no fault plan.
+    pub fn new() -> Arc<Self> {
+        Arc::new(CheckpointVault::default())
+    }
+
+    /// Arm a deterministic fault. Faults are one-shot: each fires on the
+    /// store whose ordinal it names, then is spent.
+    pub fn inject(&self, fault: VaultFault) {
+        self.plan.lock().push(fault);
+    }
+
+    /// Persist a tenant's sealed snapshot, demoting the prior current to
+    /// the fallback slot. Applies any armed fault whose ordinal matches
+    /// this store (faulted stores still consume an ordinal — a crash is a
+    /// crash whether or not bytes landed).
+    pub fn store(&self, tenant: TenantId, bytes: Vec<u8>) -> Result<(), VaultError> {
+        let ordinal = self.stores.fetch_add(1, Ordering::SeqCst) + 1;
+        let fault = {
+            let mut plan = self.plan.lock();
+            plan.iter().position(|f| f.nth() == ordinal).map(|i| plan.remove(i))
+        };
+        let bytes = match fault {
+            Some(VaultFault::FailStore { .. }) => return Err(VaultError::InjectedFailure),
+            Some(VaultFault::TearStore { keep, .. }) => bytes[..keep.min(bytes.len())].to_vec(),
+            Some(VaultFault::FlipBit { byte, .. }) => {
+                let mut bytes = bytes;
+                if !bytes.is_empty() {
+                    let i = byte.min(bytes.len() - 1);
+                    bytes[i] ^= 1;
+                }
+                bytes
+            }
+            None => bytes,
+        };
+        let mut slots = self.slots.lock();
+        let slot = slots.entry(tenant.0).or_default();
+        if !slot.current.is_empty() {
+            slot.previous = Some(std::mem::take(&mut slot.current));
+        }
+        slot.current = bytes;
+        Ok(())
+    }
+
+    /// The latest snapshot bytes stored for a tenant.
+    pub fn fetch(&self, tenant: TenantId) -> Option<Vec<u8>> {
+        self.slots.lock().get(&tenant.0).map(|s| s.current.clone()).filter(|b| !b.is_empty())
+    }
+
+    /// The fallback snapshot: whatever the latest store displaced. Used
+    /// when the current snapshot fails closed (torn / corrupted).
+    pub fn fetch_previous(&self, tenant: TenantId) -> Option<Vec<u8>> {
+        self.slots.lock().get(&tenant.0).and_then(|s| s.previous.clone())
+    }
+
+    /// Tenants with at least one stored snapshot.
+    pub fn tenants(&self) -> Vec<TenantId> {
+        let mut ids: Vec<TenantId> = self.slots.lock().keys().map(|id| TenantId(*id)).collect();
+        ids.sort_by_key(|t| t.0);
+        ids
+    }
+
+    /// Store calls attempted over the vault's lifetime (faulted ones
+    /// included) — the ordinal space the fault plan indexes.
+    pub fn stores_attempted(&self) -> u64 {
+        self.stores.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_rotates_current_into_previous() {
+        let vault = CheckpointVault::new();
+        let t = TenantId(3);
+        assert!(vault.fetch(t).is_none());
+        vault.store(t, vec![1, 2, 3]).unwrap();
+        assert_eq!(vault.fetch(t).unwrap(), vec![1, 2, 3]);
+        assert!(vault.fetch_previous(t).is_none());
+        vault.store(t, vec![4, 5]).unwrap();
+        assert_eq!(vault.fetch(t).unwrap(), vec![4, 5]);
+        assert_eq!(vault.fetch_previous(t).unwrap(), vec![1, 2, 3]);
+        assert_eq!(vault.tenants(), vec![t]);
+        assert_eq!(vault.stores_attempted(), 2);
+    }
+
+    #[test]
+    fn faults_fire_on_their_ordinal_and_are_one_shot() {
+        let vault = CheckpointVault::new();
+        let t = TenantId(1);
+        vault.inject(VaultFault::FailStore { nth: 2 });
+        vault.inject(VaultFault::TearStore { nth: 3, keep: 1 });
+        vault.inject(VaultFault::FlipBit { nth: 4, byte: 0 });
+        vault.store(t, vec![10, 11]).unwrap();
+        // Ordinal 2 fails; the slot keeps its contents.
+        assert_eq!(vault.store(t, vec![20]), Err(VaultError::InjectedFailure));
+        assert_eq!(vault.fetch(t).unwrap(), vec![10, 11]);
+        // Ordinal 3 tears; the displaced good snapshot is the fallback.
+        vault.store(t, vec![30, 31, 32]).unwrap();
+        assert_eq!(vault.fetch(t).unwrap(), vec![30]);
+        assert_eq!(vault.fetch_previous(t).unwrap(), vec![10, 11]);
+        // Ordinal 4 flips a bit.
+        vault.store(t, vec![0x40]).unwrap();
+        assert_eq!(vault.fetch(t).unwrap(), vec![0x41]);
+        // The plan is spent: ordinal 5 stores cleanly.
+        vault.store(t, vec![50]).unwrap();
+        assert_eq!(vault.fetch(t).unwrap(), vec![50]);
+    }
+}

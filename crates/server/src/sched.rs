@@ -111,6 +111,12 @@ pub struct TenantProgress {
     pub results: usize,
     /// Events the tenant's engine ingested.
     pub ingested_events: u64,
+    /// Checkpoints sealed and vaulted for the tenant during the run
+    /// (policy-driven, at lane-quiescent points; see
+    /// [`TenantConfig::with_checkpoint_every_records`]).
+    ///
+    /// [`TenantConfig::with_checkpoint_every_records`]: crate::TenantConfig::with_checkpoint_every_records
+    pub checkpoints_taken: u64,
     /// Mean output delay over the tenant's windows, in milliseconds.
     pub avg_delay_ms: f64,
     /// Maximum output delay over the tenant's windows, in milliseconds.
@@ -250,6 +256,10 @@ struct Lane {
     accepted_batches: u64,
     rejected_batches: u64,
     backpressure_signals: u64,
+    /// Checkpoint policy from the tenant's admitted config.
+    ckpt_every_records: Option<u64>,
+    ckpt_every_ms: Option<u64>,
+    checkpoints_taken: u64,
 }
 
 /// DRR-only in-flight state layered over a [`Lane`].
@@ -272,6 +282,23 @@ struct DrrLaneRt {
     /// lane only exists to absorb in-flight completions, whose outcomes —
     /// `UnknownTenant` included — are discarded.
     dead: bool,
+    /// Engine event count at the last checkpoint attempt (record-driven
+    /// policies measure progress from here).
+    last_ckpt_events: u64,
+    /// When the last checkpoint attempt happened (wall-driven policies
+    /// measure from here).
+    last_ckpt_at: Instant,
+    /// A window fired since the last checkpoint attempt. Amortized
+    /// checkpoints wait for this: right after a fire the lane's buffered
+    /// state is minimal, so the snapshot seals a few hundred bytes instead
+    /// of a whole in-progress window's events.
+    fired_since_ckpt: bool,
+    /// A fire happened and the record-driven due-check hasn't looked at the
+    /// ingest counter yet. Reading that counter takes the tenant-state lock
+    /// that in-flight ingest workers hold, so the serve loop reads it once
+    /// per fire — never per iteration, which would serialize against
+    /// ingest.
+    ckpt_check_pending: bool,
 }
 
 impl DrrLaneRt {
@@ -360,27 +387,30 @@ impl StreamServer {
     /// erroring on unknown tenants and on two streams naming the same
     /// tenant in one submission (which would silently double-drain it).
     fn lanes_for(&self, streams: Vec<TenantStream>) -> Result<Vec<Lane>, DataPlaneError> {
-        let entries: HashMap<TenantId, (u32, Arc<Engine>)> = self
+        let entries: HashMap<TenantId, (crate::tenant::TenantConfig, Arc<Engine>)> = self
             .entries_snapshot()
             .into_iter()
-            .map(|(id, weight, engine)| (id, (weight, engine)))
+            .map(|(id, config, engine)| (id, (config, engine)))
             .collect();
         let mut seen: HashSet<TenantId> = HashSet::new();
         let mut lanes = Vec::with_capacity(streams.len());
         for s in streams {
-            let (weight, engine) =
+            let (config, engine) =
                 entries.get(&s.tenant).cloned().ok_or(DataPlaneError::UnknownTenant)?;
             if !seen.insert(s.tenant) {
                 return Err(DataPlaneError::UnknownTenant);
             }
             lanes.push(Lane {
                 tenant: s.tenant,
-                weight,
+                weight: config.weight,
                 engine,
                 generator: s.generator,
                 accepted_batches: 0,
                 rejected_batches: 0,
                 backpressure_signals: 0,
+                ckpt_every_records: config.checkpoint_every_records,
+                ckpt_every_ms: config.checkpoint_every_ms,
+                checkpoints_taken: 0,
             });
         }
         Ok(lanes)
@@ -399,6 +429,7 @@ impl StreamServer {
                     backpressure_signals: lane.backpressure_signals,
                     results: lane.engine.results_len(),
                     ingested_events: metrics.events_ingested,
+                    checkpoints_taken: lane.checkpoints_taken,
                     avg_delay_ms: metrics.avg_delay_ms(),
                     max_delay_ms: metrics.max_delay_ms(),
                     departed: self.is_departed(lane.tenant),
@@ -451,6 +482,10 @@ impl StreamServer {
                     tickets: Vec::new(),
                     draining: false,
                     dead: false,
+                    last_ckpt_events: 0,
+                    last_ckpt_at: Instant::now(),
+                    fired_since_ckpt: false,
+                    ckpt_check_pending: false,
                 }
             })
             .collect();
@@ -586,7 +621,10 @@ impl StreamServer {
                     progress = true;
                     match result {
                         _ if l.dead => {}
-                        Ok(()) => {}
+                        Ok(()) => {
+                            l.fired_since_ckpt = true;
+                            l.ckpt_check_pending = true;
+                        }
                         Err(DataPlaneError::QuotaExceeded) => {
                             // Window execution tripped the tenant's quota
                             // (intermediates count too): costs the tenant
@@ -627,6 +665,70 @@ impl StreamServer {
                         l.lane.engine.quiesce();
                         self.finish_drain(l.lane.tenant);
                         l.dead = true;
+                        progress = true;
+                    }
+                }
+            }
+
+            // Amortized checkpoints: a lane with a checkpoint policy whose
+            // interval is due seals a snapshot at its next quiescent
+            // post-fire point (no in-flight batches, window tickets or
+            // staged watermark, and a window fired since the last attempt —
+            // right after a fire the buffered state is minimal, so the
+            // seal hashes a few hundred bytes, not a whole in-progress
+            // window). The seal is one world crossing on this thread; the
+            // other lanes' in-flight work keeps overlapping it, so the cost
+            // is amortized exactly like any other dispatch.
+            if fatal.is_none() {
+                for l in rt.iter_mut() {
+                    if l.dead
+                        || l.draining
+                        || (l.lane.ckpt_every_records.is_none() && l.lane.ckpt_every_ms.is_none())
+                        || !l.fired_since_ckpt
+                        || !l.inflight.is_empty()
+                        || !l.tickets.is_empty()
+                        || l.pending_wm.is_some()
+                    {
+                        continue;
+                    }
+                    let due_wall = l
+                        .lane
+                        .ckpt_every_ms
+                        .map(|ms| l.last_ckpt_at.elapsed().as_millis() as u64 >= ms)
+                        .unwrap_or(false);
+                    if !due_wall && !l.ckpt_check_pending {
+                        continue;
+                    }
+                    l.ckpt_check_pending = false;
+                    // The raw ingest counter — read at most once per fire
+                    // (see `ckpt_check_pending`), and never via
+                    // `Engine::metrics()`, whose snapshot clones every
+                    // window result.
+                    let events = l
+                        .lane
+                        .engine
+                        .data_plane()
+                        .tenant_ingest(l.lane.tenant)
+                        .map(|(e, _)| e)
+                        .unwrap_or(0);
+                    let due_records = l
+                        .lane
+                        .ckpt_every_records
+                        .map(|n| events.saturating_sub(l.last_ckpt_events) >= n)
+                        .unwrap_or(false);
+                    if !(due_records || due_wall) {
+                        continue;
+                    }
+                    // Mark the attempt whether or not it lands: a vault
+                    // fault or a racing departure must not become a
+                    // per-iteration retry storm.
+                    l.last_ckpt_events = events;
+                    l.last_ckpt_at = Instant::now();
+                    l.fired_since_ckpt = false;
+                    if let Ok(sealed) = l.lane.engine.checkpoint() {
+                        if self.vault_store(l.lane.tenant, &sealed).is_ok() {
+                            l.lane.checkpoints_taken += 1;
+                        }
                         progress = true;
                     }
                 }

@@ -11,11 +11,12 @@
 //! reservation to [`StreamServer::unreserved_quota`], so a long-running edge
 //! can admit, churn and re-admit tenants indefinitely.
 
+use crate::recovery::CheckpointVault;
 use crate::tenant::{AdmissionError, LifecycleError, TenantConfig};
 use parking_lot::Mutex;
 use sbt_attest::{DepartureReason, LogSegment};
 use sbt_crypto::TenantKeychain;
-use sbt_dataplane::{DataPlane, DataPlaneConfig};
+use sbt_dataplane::{DataPlane, DataPlaneConfig, DataPlaneError, RestoredTenant, SealedSnapshot};
 use sbt_engine::{CycleCost, Engine, EngineConfig, EngineVariant, Executor, Pipeline};
 use sbt_types::TenantId;
 use sbt_tz::Platform;
@@ -42,6 +43,10 @@ pub struct ServerConfig {
     /// unit of scheduling weight each refill round (see
     /// [`crate::sched::DrrAccounting`]).
     pub drr_quantum: u64,
+    /// The untrusted checkpoint vault to attach. `None` gives the server a
+    /// fresh, empty vault; a recovering server is handed the crashed
+    /// instance's vault here so its snapshots survive the "reboot".
+    pub vault: Option<Arc<CheckpointVault>>,
 }
 
 impl Default for ServerConfig {
@@ -53,6 +58,7 @@ impl Default for ServerConfig {
             variant: EngineVariant::Sbt,
             dataplane: DataPlaneConfig::default(),
             drr_quantum: 32 * 1024,
+            vault: None,
         }
     }
 }
@@ -79,6 +85,13 @@ impl ServerConfig {
     /// Override the deficit round-robin quantum.
     pub fn with_drr_quantum(mut self, quantum: u64) -> Self {
         self.drr_quantum = quantum.max(1);
+        self
+    }
+
+    /// Attach an existing checkpoint vault (untrusted storage that
+    /// survived a previous server instance's crash).
+    pub fn with_vault(mut self, vault: Arc<CheckpointVault>) -> Self {
+        self.vault = Some(vault);
         self
     }
 }
@@ -154,6 +167,22 @@ pub struct StreamServer {
     /// The latest DRR serve loop's telemetry mirror, retained so its
     /// registry section outlives the loop for post-run snapshots.
     drr_mirror: Mutex<Option<Arc<crate::sched::DrrCounters>>>,
+    /// Untrusted storage for sealed checkpoints; shared with (and outliving)
+    /// crashed predecessors when recovery hands it over.
+    vault: Arc<CheckpointVault>,
+}
+
+/// What one sealed-and-vaulted checkpoint amounted to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointReceipt {
+    /// The checkpointed tenant.
+    pub tenant: TenantId,
+    /// Monotone per-tenant checkpoint sequence number.
+    pub ckpt_seq: u64,
+    /// The key epoch the snapshot sealed under.
+    pub epoch: u32,
+    /// Sealed snapshot size on the untrusted medium, in bytes.
+    pub sealed_bytes: usize,
 }
 
 impl StreamServer {
@@ -183,6 +212,7 @@ impl StreamServer {
             serving: Mutex::new(HashMap::new()),
             departed: Mutex::new(HashMap::new()),
             drr_mirror: Mutex::new(None),
+            vault: config.vault.clone().unwrap_or_default(),
             config,
         })
     }
@@ -205,6 +235,9 @@ impl StreamServer {
     ) -> Result<TenantId, AdmissionError> {
         if tenant_config.quota_bytes == 0 {
             return Err(AdmissionError::EmptyQuota);
+        }
+        if let Some(reason) = tenant_config.checkpoint_policy_error() {
+            return Err(AdmissionError::InvalidCheckpointPolicy { reason });
         }
         let mut tenants = self.tenants.lock();
         if tenants.len() >= self.config.max_tenants {
@@ -376,6 +409,163 @@ impl StreamServer {
         self.dp.rekey_tenant(tenant).map_err(LifecycleError::Rejected)
     }
 
+    // ----- crash recovery -------------------------------------------------
+
+    /// Seal a checkpoint of a tenant's windowed state, watermarks and audit
+    /// cursor inside the TEE and park the ciphertext in the untrusted
+    /// vault. Quiesces the tenant's engine first, so the snapshot is a
+    /// consistent cut; the sealed hash is chained into the tenant's signed
+    /// trail, which is what lets the cloud detect a later rollback.
+    pub fn checkpoint(&self, tenant: TenantId) -> Result<CheckpointReceipt, LifecycleError> {
+        let engine = self.engine(tenant).ok_or(LifecycleError::UnknownTenant)?;
+        let sealed = engine.checkpoint().map_err(LifecycleError::Rejected)?;
+        self.vault_store(tenant, &sealed)
+    }
+
+    /// Checkpoint every admitted tenant, returning per-tenant outcomes
+    /// (one tenant's vault fault or mid-flight departure must not mask the
+    /// others' checkpoints).
+    pub fn checkpoint_all(&self) -> Vec<(TenantId, Result<CheckpointReceipt, LifecycleError>)> {
+        self.tenants().into_iter().map(|t| (t, self.checkpoint(t))).collect()
+    }
+
+    /// Park an already-sealed snapshot in the vault (the serve loop's
+    /// amortized checkpoints land here too).
+    pub(crate) fn vault_store(
+        &self,
+        tenant: TenantId,
+        sealed: &SealedSnapshot,
+    ) -> Result<CheckpointReceipt, LifecycleError> {
+        let bytes = sealed.to_bytes();
+        let receipt = CheckpointReceipt {
+            tenant,
+            ckpt_seq: sealed.ckpt_seq,
+            epoch: sealed.epoch,
+            sealed_bytes: bytes.len(),
+        };
+        self.vault.store(tenant, bytes).map_err(|_| {
+            LifecycleError::Rejected(DataPlaneError::SnapshotRejected(
+                "untrusted vault refused the store",
+            ))
+        })?;
+        Ok(receipt)
+    }
+
+    /// Re-admit a crashed tenant from the latest snapshot in the vault.
+    ///
+    /// The tenant keeps its original id (the snapshot names it and the MAC
+    /// binds it); admission-style capacity, name, quota and checkpoint
+    /// policy checks all still apply. On success the tenant's engine holds
+    /// the checkpointed windows and watermarks, its audit log has resumed
+    /// at the checkpoint cursor with a `resumed` record chaining the
+    /// snapshot hash, and serving can continue mid-stream.
+    pub fn restore_tenant(
+        &self,
+        tenant: TenantId,
+        tenant_config: TenantConfig,
+        pipeline: Pipeline,
+        min_epoch: u32,
+    ) -> Result<RestoredTenant, AdmissionError> {
+        let bytes = self.vault.fetch(tenant).ok_or(AdmissionError::NoCheckpoint)?;
+        self.restore_tenant_from_bytes(&bytes, tenant_config, pipeline, min_epoch)
+    }
+
+    /// [`restore_tenant`](StreamServer::restore_tenant) from explicit
+    /// snapshot bytes — the path recovery takes when the vault's current
+    /// slot fails closed (torn or corrupted) and the fallback slot is
+    /// tried instead. The tenant id comes from the snapshot header and is
+    /// authenticated when the enclave verifies the MAC; a truncated,
+    /// bit-flipped or stale snapshot is refused inside the TEE and the
+    /// server admits nothing.
+    pub fn restore_tenant_from_bytes(
+        &self,
+        bytes: &[u8],
+        tenant_config: TenantConfig,
+        pipeline: Pipeline,
+        min_epoch: u32,
+    ) -> Result<RestoredTenant, AdmissionError> {
+        let sealed = SealedSnapshot::from_bytes(bytes).map_err(AdmissionError::Rejected)?;
+        let tenant = TenantId(sealed.tenant);
+        if tenant_config.quota_bytes == 0 {
+            return Err(AdmissionError::EmptyQuota);
+        }
+        if let Some(reason) = tenant_config.checkpoint_policy_error() {
+            return Err(AdmissionError::InvalidCheckpointPolicy { reason });
+        }
+        let mut tenants = self.tenants.lock();
+        if tenants.len() >= self.config.max_tenants {
+            return Err(AdmissionError::ServerFull { max_tenants: self.config.max_tenants });
+        }
+        if tenants.iter().any(|t| t.config.name == tenant_config.name || t.id == tenant) {
+            return Err(AdmissionError::DuplicateName(tenant_config.name));
+        }
+        let required = tenants
+            .iter()
+            .map(|t| Self::demand_per_ms(t.config.quota_bytes, t.engine.pipeline().target_delay()))
+            .sum::<u64>()
+            + Self::demand_per_ms(tenant_config.quota_bytes, pipeline.target_delay());
+        let capacity = self.config.cores as u64 * CycleCost::CORE_CAPACITY_PER_MS;
+        if required > capacity {
+            return Err(AdmissionError::DelayUnmeetable { required, capacity });
+        }
+        {
+            let mut reserved = self.reserved_quota.lock();
+            let available = self.config.secure_mem_bytes.saturating_sub(*reserved);
+            if tenant_config.quota_bytes > available {
+                return Err(AdmissionError::QuotaOvercommit {
+                    requested: tenant_config.quota_bytes,
+                    available,
+                });
+            }
+            *reserved += tenant_config.quota_bytes;
+        }
+        let engine_config = EngineConfig {
+            dataplane: self.config.dataplane.clone(),
+            ..EngineConfig::for_variant(self.config.variant, self.config.cores)
+                .with_secure_mem(self.config.secure_mem_bytes)
+        };
+        let engine =
+            Engine::for_tenant(engine_config, pipeline, self.dp.clone(), tenant, self.pool.clone());
+        let restored =
+            match engine.restore_from(Some(tenant_config.quota_bytes), &sealed, min_epoch) {
+                Ok(restored) => restored,
+                Err(e) => {
+                    *self.reserved_quota.lock() -= tenant_config.quota_bytes;
+                    return Err(AdmissionError::Rejected(e));
+                }
+            };
+        tenants.push(TenantEntry {
+            id: tenant,
+            config: tenant_config,
+            engine,
+            phase: TenantPhase::Active,
+        });
+        // Restored ids must stay out of the mint: a fresh admission after
+        // recovery may never collide with a recovered tenant.
+        let mut next = self.next_tenant.lock();
+        *next = (*next).max(tenant.0 + 1);
+        Ok(restored)
+    }
+
+    /// Retire a tenant's key epochs older than `horizon`: they vanish from
+    /// [`verifier_keys`](StreamServer::verifier_keys) and snapshots sealed
+    /// under them are refused at restore (forward secrecy across crashes).
+    /// The horizon may not pass the tenant's newest checkpoint epoch —
+    /// retiring the only restorable snapshot would make the next crash
+    /// unrecoverable. Returns how many epochs this call newly retired.
+    pub fn retire_epochs(&self, tenant: TenantId, horizon: u32) -> Result<usize, LifecycleError> {
+        if !self.tenants.lock().iter().any(|t| t.id == tenant) {
+            return Err(LifecycleError::UnknownTenant);
+        }
+        self.dp.retire_epochs_before(tenant, horizon).map_err(LifecycleError::Rejected)
+    }
+
+    /// The untrusted checkpoint vault (hand it to a replacement server via
+    /// [`ServerConfig::with_vault`] to recover after a crash).
+    pub fn vault(&self) -> &Arc<CheckpointVault> {
+        &self.vault
+    }
+
     /// The departure record of a tenant that left, if it ever did. The
     /// record (trail included) is retained until the cloud drains it with
     /// [`take_departed_trail`](StreamServer::take_departed_trail).
@@ -517,8 +707,8 @@ impl StreamServer {
         *self.drr_mirror.lock() = Some(mirror);
     }
 
-    pub(crate) fn entries_snapshot(&self) -> Vec<(TenantId, u32, Arc<Engine>)> {
-        self.tenants.lock().iter().map(|t| (t.id, t.config.weight, t.engine.clone())).collect()
+    pub(crate) fn entries_snapshot(&self) -> Vec<(TenantId, TenantConfig, Arc<Engine>)> {
+        self.tenants.lock().iter().map(|t| (t.id, t.config.clone(), t.engine.clone())).collect()
     }
 }
 
@@ -668,6 +858,125 @@ mod tests {
         assert_eq!(report.reason, DepartureReason::Drained);
         assert!(server.tenants().is_empty());
         assert_eq!(server.unreserved_quota(), server.config().secure_mem_bytes);
+    }
+
+    #[test]
+    fn admission_rejects_malformed_checkpoint_policies() {
+        let server = StreamServer::new(ServerConfig::default());
+        let err = server
+            .admit(TenantConfig::new("z", 1024).with_checkpoint_every_records(0), pipeline())
+            .unwrap_err();
+        assert!(matches!(err, AdmissionError::InvalidCheckpointPolicy { .. }));
+        let err = server
+            .admit(
+                TenantConfig::new("z", 1024)
+                    .with_checkpoint_every_ms(crate::tenant::MAX_CHECKPOINT_INTERVAL_MS + 1),
+                pipeline(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, AdmissionError::InvalidCheckpointPolicy { .. }));
+        // A well-formed policy admits; no tenant slot was leaked by the
+        // rejections.
+        server
+            .admit(
+                TenantConfig::new("z", 1024 * 1024)
+                    .with_checkpoint_every_records(1_000)
+                    .with_checkpoint_every_ms(100),
+                pipeline(),
+            )
+            .unwrap();
+        assert_eq!(server.tenants().len(), 1);
+    }
+
+    #[test]
+    fn checkpoint_vaults_and_restore_revives_the_tenant_on_a_new_server() {
+        let server = StreamServer::new(ServerConfig::default());
+        let a = server.admit(TenantConfig::new("a", 4 * 1024 * 1024), pipeline()).unwrap();
+        let receipt = server.checkpoint(a).unwrap();
+        assert_eq!(receipt.tenant, a);
+        assert_eq!(receipt.ckpt_seq, 0);
+        assert!(receipt.sealed_bytes > 0);
+        assert_eq!(server.vault().tenants(), vec![a]);
+        // Unknown tenants cannot checkpoint.
+        assert!(matches!(server.checkpoint(TenantId(99)), Err(LifecycleError::UnknownTenant)));
+
+        // "Crash": the vault survives, the server does not.
+        let vault = server.vault().clone();
+        drop(server);
+        let server2 = StreamServer::new(ServerConfig::default().with_vault(vault));
+        let restored = server2
+            .restore_tenant(a, TenantConfig::new("a", 4 * 1024 * 1024), pipeline(), 0)
+            .unwrap();
+        assert_eq!(restored.tenant, a);
+        assert_eq!(restored.ckpt_seq, 0);
+        assert_eq!(server2.tenants(), vec![a]);
+        // The restored id is fenced out of the mint.
+        let b = server2.admit(TenantConfig::new("b", 1024 * 1024), pipeline()).unwrap();
+        assert!(b.0 > a.0);
+        // Restoring again collides with the live tenant.
+        assert!(matches!(
+            server2.restore_tenant(a, TenantConfig::new("a2", 1024), pipeline(), 0),
+            Err(AdmissionError::DuplicateName(_))
+        ));
+        // A tenant with no snapshot has nothing to restore from.
+        assert_eq!(
+            server2
+                .restore_tenant(TenantId(77), TenantConfig::new("c", 1024), pipeline(), 0)
+                .unwrap_err(),
+            AdmissionError::NoCheckpoint
+        );
+    }
+
+    #[test]
+    fn torn_vault_snapshot_fails_closed_and_fallback_slot_recovers() {
+        let server = StreamServer::new(ServerConfig::default());
+        let a = server.admit(TenantConfig::new("a", 4 * 1024 * 1024), pipeline()).unwrap();
+        server.checkpoint(a).unwrap();
+        // The second store tears mid-write; the first snapshot is demoted
+        // to the fallback slot intact.
+        server.vault().inject(crate::recovery::VaultFault::TearStore { nth: 2, keep: 24 });
+        server.checkpoint(a).unwrap();
+
+        let vault = server.vault().clone();
+        drop(server);
+        let server2 = StreamServer::new(ServerConfig::default().with_vault(vault.clone()));
+        // The torn current snapshot is refused inside the TEE; nothing is
+        // admitted.
+        let err = server2
+            .restore_tenant(a, TenantConfig::new("a", 4 * 1024 * 1024), pipeline(), 0)
+            .unwrap_err();
+        assert!(matches!(err, AdmissionError::Rejected(_)), "torn snapshot must fail closed");
+        assert!(server2.tenants().is_empty());
+        // The fallback slot still restores.
+        let previous = vault.fetch_previous(a).unwrap();
+        let restored = server2
+            .restore_tenant_from_bytes(
+                &previous,
+                TenantConfig::new("a", 4 * 1024 * 1024),
+                pipeline(),
+                0,
+            )
+            .unwrap();
+        assert_eq!(restored.tenant, a);
+        assert_eq!(restored.ckpt_seq, 0, "fallback is the older checkpoint");
+    }
+
+    #[test]
+    fn retire_epochs_trims_verifier_keys_and_gates_on_checkpoints() {
+        let server = StreamServer::new(ServerConfig::default());
+        let a = server.admit(TenantConfig::new("a", 1024 * 1024), pipeline()).unwrap();
+        // No checkpoint yet: retirement is refused (it would orphan
+        // recovery).
+        assert!(matches!(server.retire_epochs(a, 1), Err(LifecycleError::Rejected(_))));
+        assert_eq!(server.rekey(a).unwrap(), 1);
+        server.checkpoint(a).unwrap();
+        assert_eq!(server.retire_epochs(a, 1).unwrap(), 1);
+        let chain = server.verifier_keys(a).unwrap();
+        assert_eq!(chain.oldest_epoch(), 1, "epoch 0 left the keychain");
+        assert!(matches!(
+            server.retire_epochs(TenantId(99), 1),
+            Err(LifecycleError::UnknownTenant)
+        ));
     }
 
     #[test]

@@ -2,6 +2,16 @@
 
 use sbt_dataplane::DataPlaneError;
 
+/// Upper bound on a wall-clock checkpoint interval: it must survive
+/// conversion to nanoseconds (the unit the telemetry gauges and span clocks
+/// use) without wrapping a `u64`.
+pub const MAX_CHECKPOINT_INTERVAL_MS: u64 = u64::MAX / 1_000_000;
+
+/// Upper bound on a record-count checkpoint interval: intervals are compared
+/// against event-counter *differences*, which must never be able to wrap the
+/// signed arithmetic the DRR accounting shares.
+pub const MAX_CHECKPOINT_INTERVAL_RECORDS: u64 = i64::MAX as u64;
+
 /// What a tenant asks for at admission time.
 #[derive(Debug, Clone)]
 pub struct TenantConfig {
@@ -12,18 +22,67 @@ pub struct TenantConfig {
     /// Weighted-round-robin scheduling weight (≥ 1): a tenant with weight 2
     /// is offered twice as many batches per round as a weight-1 tenant.
     pub weight: u32,
+    /// Seal a checkpoint after this many newly ingested events (taken at
+    /// the lane's next quiescent point in the serve loop). `None` disables
+    /// record-driven checkpoints.
+    pub checkpoint_every_records: Option<u64>,
+    /// Seal a checkpoint after this much wall time, in milliseconds.
+    /// `None` disables interval-driven checkpoints.
+    pub checkpoint_every_ms: Option<u64>,
 }
 
 impl TenantConfig {
-    /// A tenant with the given name and quota, weight 1.
+    /// A tenant with the given name and quota, weight 1, no checkpoint
+    /// policy.
     pub fn new(name: &str, quota_bytes: u64) -> Self {
-        TenantConfig { name: name.to_string(), quota_bytes, weight: 1 }
+        TenantConfig {
+            name: name.to_string(),
+            quota_bytes,
+            weight: 1,
+            checkpoint_every_records: None,
+            checkpoint_every_ms: None,
+        }
     }
 
     /// Set the scheduling weight.
     pub fn with_weight(mut self, weight: u32) -> Self {
         self.weight = weight.max(1);
         self
+    }
+
+    /// Request a checkpoint every `records` newly ingested events. The
+    /// value is validated at admission, not here: zero or out-of-range
+    /// intervals produce [`AdmissionError::InvalidCheckpointPolicy`], never
+    /// a later panic.
+    pub fn with_checkpoint_every_records(mut self, records: u64) -> Self {
+        self.checkpoint_every_records = Some(records);
+        self
+    }
+
+    /// Request a checkpoint every `ms` milliseconds of wall time. Validated
+    /// at admission, like
+    /// [`with_checkpoint_every_records`](TenantConfig::with_checkpoint_every_records).
+    pub fn with_checkpoint_every_ms(mut self, ms: u64) -> Self {
+        self.checkpoint_every_ms = Some(ms);
+        self
+    }
+
+    /// Validate the checkpoint policy, returning the reason it is invalid.
+    pub(crate) fn checkpoint_policy_error(&self) -> Option<&'static str> {
+        match self.checkpoint_every_records {
+            Some(0) => return Some("checkpoint record interval must be nonzero"),
+            Some(n) if n > MAX_CHECKPOINT_INTERVAL_RECORDS => {
+                return Some("checkpoint record interval overflows counter arithmetic")
+            }
+            _ => {}
+        }
+        match self.checkpoint_every_ms {
+            Some(0) => Some("checkpoint wall interval must be nonzero"),
+            Some(ms) if ms > MAX_CHECKPOINT_INTERVAL_MS => {
+                Some("checkpoint wall interval overflows the nanosecond clock")
+            }
+            _ => None,
+        }
     }
 }
 
@@ -58,6 +117,15 @@ pub enum AdmissionError {
         /// The pool's modelled capacity in cycles per millisecond.
         capacity: u64,
     },
+    /// The tenant's checkpoint policy is malformed (zero or out-of-range
+    /// interval): rejected here, at admission, rather than panicking in the
+    /// serve loop when the interval is first consulted.
+    InvalidCheckpointPolicy {
+        /// Why the policy was refused.
+        reason: &'static str,
+    },
+    /// A restore was requested for a tenant with no snapshot in the vault.
+    NoCheckpoint,
     /// The data plane refused the registration.
     Rejected(DataPlaneError),
 }
@@ -78,6 +146,12 @@ impl std::fmt::Display for AdmissionError {
                 "delay target unmeetable: {required} cycle units/ms required, \
                  pool sustains {capacity}"
             ),
+            AdmissionError::InvalidCheckpointPolicy { reason } => {
+                write!(f, "invalid checkpoint policy: {reason}")
+            }
+            AdmissionError::NoCheckpoint => {
+                write!(f, "no checkpoint in the vault for this tenant")
+            }
             AdmissionError::Rejected(e) => write!(f, "data plane rejected tenant: {e}"),
         }
     }
@@ -136,12 +210,53 @@ mod tests {
     }
 
     #[test]
+    fn checkpoint_policy_validation_rejects_zero_and_overflow() {
+        let ok = TenantConfig::new("a", 1024)
+            .with_checkpoint_every_records(10_000)
+            .with_checkpoint_every_ms(250);
+        assert!(ok.checkpoint_policy_error().is_none());
+        assert!(TenantConfig::new("a", 1024).checkpoint_policy_error().is_none());
+        // Zero intervals could never fire sanely; they are refused.
+        assert!(TenantConfig::new("a", 1024)
+            .with_checkpoint_every_records(0)
+            .checkpoint_policy_error()
+            .unwrap()
+            .contains("nonzero"));
+        assert!(TenantConfig::new("a", 1024)
+            .with_checkpoint_every_ms(0)
+            .checkpoint_policy_error()
+            .unwrap()
+            .contains("nonzero"));
+        // Out-of-range intervals would overflow downstream arithmetic.
+        assert!(TenantConfig::new("a", 1024)
+            .with_checkpoint_every_records(u64::MAX)
+            .checkpoint_policy_error()
+            .unwrap()
+            .contains("overflow"));
+        assert!(TenantConfig::new("a", 1024)
+            .with_checkpoint_every_ms(MAX_CHECKPOINT_INTERVAL_MS + 1)
+            .checkpoint_policy_error()
+            .unwrap()
+            .contains("overflow"));
+        // The boundary values themselves are valid.
+        assert!(TenantConfig::new("a", 1024)
+            .with_checkpoint_every_records(MAX_CHECKPOINT_INTERVAL_RECORDS)
+            .with_checkpoint_every_ms(MAX_CHECKPOINT_INTERVAL_MS)
+            .checkpoint_policy_error()
+            .is_none());
+    }
+
+    #[test]
     fn errors_display() {
         assert!(AdmissionError::ServerFull { max_tenants: 4 }.to_string().contains('4'));
         assert!(AdmissionError::QuotaOvercommit { requested: 10, available: 5 }
             .to_string()
             .contains("10"));
         assert!(AdmissionError::DuplicateName("x".into()).to_string().contains('x'));
+        assert!(AdmissionError::InvalidCheckpointPolicy { reason: "zero" }
+            .to_string()
+            .contains("zero"));
+        assert!(AdmissionError::NoCheckpoint.to_string().contains("vault"));
         assert!(LifecycleError::UnknownTenant.to_string().contains("not admitted"));
         assert!(LifecycleError::QuotaOvercommit { requested: 7, available: 3 }
             .to_string()

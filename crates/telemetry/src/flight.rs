@@ -103,6 +103,12 @@ impl FlightRecorder {
     pub fn take_dumps(&self) -> Vec<FlightDump> {
         std::mem::take(&mut *self.dumps.lock())
     }
+
+    /// Drop `tenant`'s ring entirely (teardown path). Already-captured
+    /// dumps are kept — they describe incidents, not live state.
+    pub fn purge_tenant(&self, tenant: u32) {
+        self.rings.write().remove(&tenant);
+    }
 }
 
 #[cfg(test)]
@@ -152,6 +158,16 @@ mod tests {
         assert_eq!(dumps.len(), 2);
         assert_eq!(dumps[1].reason, FlightReason::BackpressureStall);
         assert!(fr.take_dumps().is_empty());
+    }
+
+    #[test]
+    fn purge_drops_the_ring_but_keeps_past_dumps() {
+        let fr = FlightRecorder::new(4);
+        fr.absorb(span(5, 1));
+        fr.trigger(5, FlightReason::TaskPanic);
+        fr.purge_tenant(5);
+        assert!(fr.trigger(5, FlightReason::TaskPanic).spans.is_empty());
+        assert_eq!(fr.take_dumps().len(), 2);
     }
 
     #[test]

@@ -135,6 +135,8 @@ pub struct MetricsRegistry {
     flight: FlightRecorder,
     sources: RwLock<Vec<Weak<dyn CounterSource>>>,
     tenants: RwLock<HashMap<u32, Arc<TenantLatencies>>>,
+    /// Tracer-origin stamp (nanos) of each tenant's last sealed checkpoint.
+    checkpoints: RwLock<HashMap<u32, u64>>,
 }
 
 impl Default for MetricsRegistry {
@@ -162,6 +164,7 @@ impl MetricsRegistry {
             flight: FlightRecorder::new(flight_capacity),
             sources: RwLock::new(Vec::new()),
             tenants: RwLock::new(HashMap::new()),
+            checkpoints: RwLock::new(HashMap::new()),
         }
     }
 
@@ -202,6 +205,29 @@ impl MetricsRegistry {
     /// record takes no write lock.
     pub fn register_tenant(&self, tenant: u32) {
         self.tenants.write().entry(tenant).or_insert_with(|| Arc::new(TenantLatencies::new()));
+    }
+
+    /// Tear down all per-tenant telemetry rows: latency histograms, the
+    /// flight-recorder ring, and the checkpoint gauge. Departed tenants
+    /// must not linger in future snapshots.
+    pub fn deregister_tenant(&self, tenant: u32) {
+        self.tenants.write().remove(&tenant);
+        self.checkpoints.write().remove(&tenant);
+        self.flight.purge_tenant(tenant);
+    }
+
+    /// Note that `tenant` just sealed a checkpoint. Recorded even when
+    /// telemetry is disabled: the gauge is recovery-critical and the
+    /// record path is cold (one checkpoint per interval, not per event).
+    pub fn note_checkpoint(&self, tenant: u32) {
+        self.checkpoints.write().insert(tenant, self.tracer.now_nanos());
+    }
+
+    /// Nanoseconds since `tenant`'s last recorded checkpoint (`None` if
+    /// it has never checkpointed or has been deregistered).
+    pub fn last_checkpoint_age_nanos(&self, tenant: u32) -> Option<u64> {
+        let stamp = *self.checkpoints.read().get(&tenant)?;
+        Some(self.tracer.now_nanos().saturating_sub(stamp))
     }
 
     /// Record one latency sample. No-op when disabled; allocation-free
@@ -292,6 +318,15 @@ impl MetricsRegistry {
                 });
                 true
             });
+        }
+        {
+            let now = self.tracer.now_nanos();
+            for (&tenant, &stamp) in self.checkpoints.read().iter() {
+                counters.push(CounterEntry {
+                    name: format!("checkpoint.t{tenant}.last_checkpoint_age_nanos"),
+                    value: now.saturating_sub(stamp) as i64,
+                });
+            }
         }
         counters.sort_by(|a, b| a.name.cmp(&b.name));
         TelemetrySnapshot {
@@ -394,6 +429,26 @@ mod tests {
         let reg = MetricsRegistry::new();
         reg.record_latency(1, LatencyKind::WindowEmit, 1234);
         assert!(reg.latency_rows().is_empty());
+    }
+
+    #[test]
+    fn checkpoint_gauge_appears_in_snapshots_and_deregister_clears_it() {
+        let reg = MetricsRegistry::new();
+        reg.set_enabled(true);
+        reg.register_tenant(3);
+        reg.record_latency(3, LatencyKind::WindowEmit, 100);
+        reg.note_checkpoint(3);
+        let snap = reg.snapshot();
+        let age = snap.counter("checkpoint.t3.last_checkpoint_age_nanos");
+        assert!(age.is_some_and(|v| v >= 0));
+        assert!(reg.last_checkpoint_age_nanos(3).is_some());
+        assert!(reg.last_checkpoint_age_nanos(4).is_none());
+
+        reg.deregister_tenant(3);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("checkpoint.t3.last_checkpoint_age_nanos"), None);
+        assert!(snap.latencies.is_empty());
+        assert!(reg.last_checkpoint_age_nanos(3).is_none());
     }
 
     #[test]

@@ -28,6 +28,10 @@ pub enum SpanKind {
     EgressSeal,
     /// One SMC world-switch round trip (enter + exit).
     Smc,
+    /// Sealing one per-tenant checkpoint snapshot (payload: snapshot bytes).
+    Checkpoint,
+    /// Restoring a tenant from a sealed snapshot (payload: snapshot bytes).
+    Restore,
 }
 
 impl SpanKind {
@@ -37,6 +41,8 @@ impl SpanKind {
             1 => SpanKind::Decrypt,
             2 => SpanKind::WindowFire,
             3 => SpanKind::EgressSeal,
+            5 => SpanKind::Checkpoint,
+            6 => SpanKind::Restore,
             _ => SpanKind::Smc,
         }
     }
@@ -48,6 +54,8 @@ impl SpanKind {
             SpanKind::WindowFire => 2,
             SpanKind::EgressSeal => 3,
             SpanKind::Smc => 4,
+            SpanKind::Checkpoint => 5,
+            SpanKind::Restore => 6,
         }
     }
 }
@@ -416,6 +424,8 @@ mod tests {
             SpanKind::WindowFire,
             SpanKind::EgressSeal,
             SpanKind::Smc,
+            SpanKind::Checkpoint,
+            SpanKind::Restore,
         ] {
             assert_eq!(SpanKind::from_code(k.code()), k);
         }
